@@ -1,0 +1,94 @@
+//! Ablation benches for the design decisions called out in DESIGN.md §4:
+//!
+//! * `ablation_granularity` — closed-form aggregation must make kernel
+//!   cost independent of the iteration count (O(1) in loop length);
+//! * `ablation_governor` — the power governor on vs off for the FP64
+//!   two-GCD workload (the paper's §V-C anomaly);
+//! * `ablation_sampling` — 10 ms vs 100 ms sampler periods (the paper's
+//!   §IV-C validation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_isa::cdna2_catalog;
+use mc_power::sampler::BackgroundSampler;
+use mc_power::SamplerConfig;
+use mc_sim::{throughput_run_all_dies, Gpu, SimConfig, Smi};
+use mc_types::DType;
+use std::hint::black_box;
+
+fn ablation_granularity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_granularity");
+    g.sample_size(20);
+    let instr = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+    // Simulation cost must not scale with loop length: 10^5 vs 10^9
+    // iterations should take the same host time (closed-form per-wave
+    // aggregation, DESIGN.md decision 1).
+    for iters in [100_000u64, 1_000_000_000] {
+        g.bench_with_input(BenchmarkId::new("iters", iters), &iters, |b, &iters| {
+            let mut gpu = Gpu::mi250x();
+            b.iter(|| {
+                black_box(
+                    mc_sim::throughput_run(&mut gpu, 0, &instr, 440, iters)
+                        .unwrap()
+                        .tflops,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_governor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_governor");
+    g.sample_size(20);
+    let instr = *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap();
+    for (label, governor) in [("governor_on", true), ("governor_off", false)] {
+        g.bench_function(label, |b| {
+            let cfg = if governor {
+                SimConfig::mi250x()
+            } else {
+                SimConfig::mi250x().without_governor()
+            };
+            let mut gpu = Gpu::new(cfg);
+            b.iter(|| {
+                let r = throughput_run_all_dies(&mut gpu, &instr, 440, 1_000_000).unwrap();
+                // Report: ~69-71 TF / 541 W governed, ~82 TF / 605 W not.
+                black_box((r.tflops, r.package.peak_power_w))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sampling");
+    g.sample_size(10);
+    let instr = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+    let mut gpu = Gpu::mi250x();
+    let result = throughput_run_all_dies(&mut gpu, &instr, 440, 6_000_000_000).unwrap();
+    let noise = gpu.config().telemetry_noise;
+    for (label, period) in [("period_100ms", 0.1), ("period_10ms", 0.01)] {
+        let profile = result.package.profile.clone();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let smi = Smi::attach(profile.clone(), noise, 42);
+                let sampler = BackgroundSampler::spawn(
+                    smi,
+                    SamplerConfig {
+                        period_s: period,
+                        min_samples: 100,
+                    },
+                );
+                black_box(sampler.join_stats().expect("enough samples").mean_w)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_granularity,
+    ablation_governor,
+    ablation_sampling
+);
+criterion_main!(benches);

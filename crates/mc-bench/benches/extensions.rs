@@ -1,0 +1,32 @@
+//! Criterion benches for the extension experiments: the LAPACK-layer
+//! utilization sweep and the ML-datatype throughput survey.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mc_blas::BlasHandle;
+use mc_solver::{factor_timed, Factorization};
+use std::hint::black_box;
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+
+    g.bench_function("solver_utilization_sweep", |b| {
+        b.iter(|| black_box(mc_bench::solver_ext::run()))
+    });
+
+    g.bench_function("ml_dtypes_survey", |b| {
+        b.iter(|| black_box(mc_bench::ml_dtypes::run(black_box(100_000))))
+    });
+
+    g.bench_function("potrf_8192", |b| {
+        let mut handle = BlasHandle::new_mi250x_gcd();
+        b.iter(|| {
+            black_box(factor_timed(&mut handle, Factorization::Potrf, 8192, 128).unwrap().tflops)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for Fig. 3: the wavefront-scaling throughput sweep
+//! (measured + Eq. 2 model) for all three datatypes, plus individual
+//! saturated-plateau measurements per datatype.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mc_isa::cdna2_catalog;
+use mc_sim::{throughput_run, Gpu};
+use mc_types::DType;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_throughput_scaling");
+    g.sample_size(10);
+
+    g.bench_function("full_sweep_three_dtypes", |b| {
+        b.iter(|| black_box(mc_bench::fig3::run(black_box(100_000))))
+    });
+
+    for (label, cd, ab, m, n, k) in [
+        ("plateau_mixed", DType::F32, DType::F16, 16, 16, 16),
+        ("plateau_float", DType::F32, DType::F32, 16, 16, 4),
+        ("plateau_double", DType::F64, DType::F64, 16, 16, 4),
+    ] {
+        let instr = *cdna2_catalog().find(cd, ab, m, n, k).unwrap();
+        g.bench_function(label, |b| {
+            let mut gpu = Gpu::mi250x();
+            b.iter(|| {
+                black_box(throughput_run(&mut gpu, 0, &instr, 440, 100_000).unwrap().tflops)
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for Fig. 4: the MI250X-vs-A100 whole-package peak
+//! comparison across the four Table I type combinations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_vendor_comparison");
+    g.sample_size(10);
+    g.bench_function("four_type_combos_both_vendors", |b| {
+        b.iter(|| black_box(mc_bench::fig4::run(black_box(100_000))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

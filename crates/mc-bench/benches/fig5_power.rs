@@ -1,0 +1,23 @@
+//! Criterion bench for Fig. 5: the power-vs-throughput sweep with
+//! SMI sampling and Eq. 3 model recovery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mc_power::SamplerConfig;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_power");
+    g.sample_size(10);
+    g.bench_function("three_dtype_power_sweep_with_sampling", |b| {
+        b.iter(|| {
+            black_box(mc_bench::fig5::run(
+                black_box(6_000_000_000),
+                SamplerConfig::default(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches for Fig. 6 and Fig. 7: the rocBLAS GEMM sweeps in
+//! all five precisions, plus single-point GEMMs at the paper's peak
+//! locations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_blas::{BlasHandle, GemmDesc, GemmOp};
+use std::hint::black_box;
+
+fn bench_sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_fig7_gemm_sweeps");
+    g.sample_size(10);
+
+    g.bench_function("fig6_sgemm_dgemm_sweep", |b| {
+        b.iter(|| black_box(mc_bench::fig6::run()))
+    });
+    g.bench_function("fig7_mixed_precision_sweep", |b| {
+        b.iter(|| black_box(mc_bench::fig7::run()))
+    });
+    g.finish();
+}
+
+fn bench_peak_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_peak_points");
+    g.sample_size(20);
+    for (op, n) in [
+        (GemmOp::Sgemm, 8192usize),
+        (GemmOp::Dgemm, 4096),
+        (GemmOp::Hhs, 8192),
+        (GemmOp::Hss, 8192),
+        (GemmOp::Hgemm, 8192),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new(op.routine(), n),
+            &(op, n),
+            |b, &(op, n)| {
+                let mut handle = BlasHandle::new_mi250x_gcd();
+                b.iter(|| {
+                    black_box(
+                        handle
+                            .gemm_timed(&GemmDesc::square(op, n))
+                            .expect("fits")
+                            .tflops,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweeps, bench_peak_points);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion benches for Fig. 8 and Fig. 9: the counter-derived Matrix
+//! Core utilization sweep and the FLOP-distribution measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_fig9_profiling");
+    g.sample_size(10);
+    g.bench_function("fig8_matrix_core_ratio_sweep", |b| {
+        b.iter(|| black_box(mc_bench::fig8::run()))
+    });
+    g.bench_function("fig9_flop_distribution", |b| {
+        b.iter(|| black_box(mc_bench::fig9::run()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_profiling);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Micro-benchmarks of the library itself (not the simulated device):
+//! soft-float conversion, register-map queries, catalog lookups, GEMM
+//! planning, and the functional MMA — the hot paths a downstream user
+//! of this crate actually pays for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mc_blas::{plan_gemm, GemmDesc, GemmOp};
+use mc_isa::regmap::{element_location, ElementCoord, Operand};
+use mc_isa::cdna2_catalog;
+use mc_types::{DType, F16};
+use mc_wmma::{mma_sync, Accumulator, Fragment, MatrixA, MatrixB};
+use std::hint::black_box;
+
+fn bench_soft_float(c: &mut Criterion) {
+    let mut g = c.benchmark_group("library/soft_float");
+    let values: Vec<f32> = (0..4096).map(|i| (i as f32) * 0.37 - 700.0).collect();
+    g.bench_function("f16_from_f32_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &v in &values {
+                acc = acc.wrapping_add(u32::from(F16::from_f32(black_box(v)).to_bits()));
+            }
+            black_box(acc)
+        })
+    });
+    let halves: Vec<F16> = values.iter().map(|&v| F16::from_f32(v)).collect();
+    g.bench_function("f16_to_f32_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &h in &halves {
+                acc += black_box(h).to_f32();
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_isa_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("library/isa");
+    let catalog = cdna2_catalog();
+    g.bench_function("catalog_find", |b| {
+        b.iter(|| black_box(catalog.find(DType::F32, DType::F16, 16, 16, 16)))
+    });
+    let instr = *catalog.find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+    g.bench_function("regmap_element_location", |b| {
+        b.iter(|| {
+            black_box(element_location(
+                &instr,
+                Operand::D,
+                ElementCoord { block: 0, row: 7, col: 9 },
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("library/planner");
+    let die = mc_isa::specs::mi250x().die;
+    g.bench_function("plan_gemm_8192", |b| {
+        b.iter(|| black_box(plan_gemm(&die, &GemmDesc::square(GemmOp::Hhs, 8192)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_functional_mma(c: &mut Criterion) {
+    let mut g = c.benchmark_group("library/functional_mma");
+    let mut a = Fragment::<MatrixA, F16, 16, 16, 16>::new();
+    let mut b_frag = Fragment::<MatrixB, F16, 16, 16, 16>::new();
+    let c_frag = Fragment::<Accumulator, f32, 16, 16, 16>::new();
+    for i in 0..16 {
+        for j in 0..16 {
+            a.set(i, j, F16::from_f32((i * 16 + j) as f32 * 0.01));
+            b_frag.set(i, j, F16::from_f32((i + j) as f32 * 0.02));
+        }
+    }
+    g.bench_function("mma_sync_16x16x16", |bch| {
+        bch.iter(|| {
+            let mut d = Fragment::<Accumulator, f32, 16, 16, 16>::new();
+            mma_sync(&mut d, black_box(&a), black_box(&b_frag), &c_frag).unwrap();
+            black_box(d.get(0, 0))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_soft_float,
+    bench_isa_queries,
+    bench_planner,
+    bench_functional_mma
+);
+criterion_main!(benches);

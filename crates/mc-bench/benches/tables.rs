@@ -1,0 +1,30 @@
+//! Criterion benches regenerating the paper's tables.
+//!
+//! `table2` is the real measurement (the latency micro-benchmark);
+//! `table1`/`table3` are catalog queries, benchmarked to keep the
+//! harness honest about their cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+
+    g.bench_function("table1_supported_shapes", |b| {
+        b.iter(|| black_box(mc_bench::table1::run()))
+    });
+
+    g.bench_function("table2_mfma_latencies", |b| {
+        b.iter(|| black_box(mc_bench::table2::run(black_box(1_000_000))))
+    });
+
+    g.bench_function("table3_gemm_datatypes", |b| {
+        b.iter(|| black_box(mc_bench::table3::run()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

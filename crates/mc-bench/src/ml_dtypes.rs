@@ -1,0 +1,111 @@
+//! Extension experiment: the machine-learning datatypes (§II).
+//!
+//! The paper's evaluation focuses on the IEEE types for HPC, noting that
+//! Matrix Cores "also support 8-byte (INT8) integer … along with the
+//! half-precision datatype bfloat16, which are specifically targeting
+//! machine learning workloads". This experiment completes the picture:
+//! instruction-level throughput for INT8 and both bfloat16 generations
+//! (current `_1k` encodings at full rate, legacy CDNA1 encodings at half
+//! rate), using the same §V micro-benchmark.
+
+use mc_isa::cdna2_catalog;
+use mc_sim::{throughput_run_all_dies, Gpu};
+use mc_types::DType;
+use serde::{Deserialize, Serialize};
+
+/// One instruction's measured throughput.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MlDtypeRow {
+    /// Instruction mnemonic.
+    pub mnemonic: String,
+    /// Measured package throughput in TFLOPS (TOPS for INT8).
+    pub tops: f64,
+    /// Theoretical package peak.
+    pub peak_tops: f64,
+    /// Fraction of peak.
+    pub fraction: f64,
+}
+
+/// The experiment result.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MlDtypes {
+    /// One row per instruction.
+    pub rows: Vec<MlDtypeRow>,
+}
+
+/// Runs the ML-datatype throughput survey on the whole MI250X package.
+pub fn run(iterations: u64) -> MlDtypes {
+    let mut gpu = Gpu::mi250x();
+    let catalog = cdna2_catalog();
+    let picks = [
+        ("v_mfma_i32_16x16x16i8", DType::I32, DType::I8),
+        ("v_mfma_f32_16x16x16bf16_1k", DType::F32, DType::Bf16),
+        ("v_mfma_f32_16x16x8bf16", DType::F32, DType::Bf16), // legacy, half rate
+    ];
+    let rows = picks
+        .into_iter()
+        .map(|(mnemonic, _cd, _ab)| {
+            let instr = *catalog.by_mnemonic(mnemonic).expect("catalogued");
+            let r = throughput_run_all_dies(&mut gpu, &instr, 440, iterations)
+                .expect("ML dtype launch");
+            let peak = gpu.spec().peak_flops(instr.flops_per_cu_per_cycle()) / 1e12;
+            MlDtypeRow {
+                mnemonic: mnemonic.to_owned(),
+                tops: r.tflops,
+                peak_tops: peak,
+                fraction: r.tflops / peak,
+            }
+        })
+        .collect();
+    MlDtypes { rows }
+}
+
+/// Renders the experiment as text.
+pub fn render(m: &MlDtypes) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("Extension: ML datatypes (INT8, BF16) on the MI250X package\n");
+    let _ = writeln!(s, "{:<30} {:>10} {:>10} {:>8}", "instruction", "T(FL)OPS", "peak", "%");
+    for r in &m.rows {
+        let _ = writeln!(
+            s,
+            "{:<30} {:>10.1} {:>10.1} {:>7.1}%",
+            r.mnemonic,
+            r.tops,
+            r.peak_tops,
+            r.fraction * 100.0
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int8_hits_the_383_tops_class() {
+        let m = run(100_000);
+        let i8row = &m.rows[0];
+        // Same per-cycle rate family as FP16: ~383 TOPS peak, ~350 achieved.
+        assert!((i8row.peak_tops - 383.0).abs() < 1.0);
+        assert!((i8row.tops - 350.0).abs() < 7.0, "{}", i8row.tops);
+    }
+
+    #[test]
+    fn bf16_1k_matches_fp16_and_legacy_is_half_rate() {
+        let m = run(100_000);
+        let bf = &m.rows[1];
+        let legacy = &m.rows[2];
+        assert!((bf.tops - 350.0).abs() < 7.0, "{}", bf.tops);
+        let ratio = legacy.tops / bf.tops;
+        assert!((ratio - 0.5).abs() < 0.02, "legacy/new = {ratio}");
+    }
+
+    #[test]
+    fn all_rows_achieve_high_fraction_of_peak() {
+        let m = run(50_000);
+        for r in &m.rows {
+            assert!(r.fraction > 0.88 && r.fraction < 1.0, "{}: {}", r.mnemonic, r.fraction);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Terminal plotting: renders experiment series as ASCII charts so the
+//! `experiments` binary's output visually resembles the paper's figures.
+
+use serde::{Deserialize, Serialize};
+
+/// One plotted series.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The glyph used for this series' points.
+    pub glyph: char,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Axis scaling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Logarithmic axis (positive values only).
+    Log,
+}
+
+/// Chart configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Chart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis scale (the paper's Fig. 3/6/7 use log-x).
+    pub x_scale: Scale,
+    /// Plot area width in characters.
+    pub width: usize,
+    /// Plot area height in characters.
+    pub height: usize,
+}
+
+impl Default for Chart {
+    fn default() -> Self {
+        Chart {
+            title: String::new(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            x_scale: Scale::Log,
+            width: 64,
+            height: 16,
+        }
+    }
+}
+
+fn transform(v: f64, scale: Scale) -> f64 {
+    match scale {
+        Scale::Linear => v,
+        Scale::Log => v.max(f64::MIN_POSITIVE).log2(),
+    }
+}
+
+/// Renders the chart with its series into a text block.
+pub fn render(chart: &Chart, series: &[Series]) -> String {
+    use std::fmt::Write as _;
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return format!("{} (no data)\n", chart.title);
+    }
+    let xs: Vec<f64> = all.iter().map(|p| transform(p.0, chart.x_scale)).collect();
+    let ys: Vec<f64> = all.iter().map(|p| p.1).collect();
+    let (x_min, x_max) = xs.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let (y_min, y_max) = ys.iter().fold((0.0f64, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+    let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
+
+    let mut grid = vec![vec![' '; chart.width]; chart.height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let tx = transform(x, chart.x_scale);
+            let col = (((tx - x_min) / x_span) * (chart.width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / y_span) * (chart.height - 1) as f64).round() as usize;
+            let row = chart.height - 1 - row.min(chart.height - 1);
+            grid[row][col.min(chart.width - 1)] = s.glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", chart.title);
+    let _ = writeln!(out, "{} ({})", chart.y_label, "max at top");
+    for (i, row) in grid.iter().enumerate() {
+        let y_val = y_max - (i as f64 / (chart.height - 1) as f64) * y_span;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{y_val:>9.1} |{line}|");
+    }
+    let _ = writeln!(
+        out,
+        "{:>9} +{}+  x: {} ({:?})",
+        "",
+        "-".repeat(chart.width),
+        chart.x_label,
+        chart.x_scale
+    );
+    let legend: Vec<String> = series.iter().map(|s| format!("{} {}", s.glyph, s.label)).collect();
+    let _ = writeln!(out, "{:>11}{}", "", legend.join("   "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        Chart {
+            title: "test".into(),
+            x_label: "N".into(),
+            y_label: "TFLOPS".into(),
+            ..Chart::default()
+        }
+    }
+
+    #[test]
+    fn renders_points_within_bounds() {
+        let s = Series {
+            label: "sgemm".into(),
+            glyph: '*',
+            points: vec![(16.0, 0.1), (1024.0, 20.0), (65536.0, 40.0)],
+        };
+        let text = render(&chart(), &[s]);
+        assert!(text.contains("test"));
+        assert!(text.contains("* sgemm"));
+        // 3 points plotted somewhere.
+        assert_eq!(text.matches('*').count(), 3 + 1 /* legend */);
+    }
+
+    #[test]
+    fn saturating_series_plots_as_a_plateau() {
+        // A log-x saturating curve: the top row must contain several
+        // points (the plateau), the bottom rows the ramp.
+        let points: Vec<(f64, f64)> = (2..=11)
+            .map(|p| {
+                let x = (1u64 << p) as f64;
+                (x, 175.0 * (x / 440.0).min(1.0))
+            })
+            .collect();
+        let s = Series {
+            label: "mixed".into(),
+            glyph: 'o',
+            points,
+        };
+        let text = render(&chart(), &[s]);
+        let top_row = text.lines().nth(2).unwrap();
+        assert!(top_row.matches('o').count() >= 2, "{top_row}");
+    }
+
+    #[test]
+    fn multiple_series_keep_distinct_glyphs() {
+        let a = Series { label: "a".into(), glyph: 'a', points: vec![(1.0, 1.0), (10.0, 2.0)] };
+        let b = Series { label: "b".into(), glyph: 'b', points: vec![(1.0, 3.0), (10.0, 4.0)] };
+        let text = render(&chart(), &[a, b]);
+        assert!(text.contains('a') && text.contains('b'));
+    }
+
+    #[test]
+    fn empty_chart_does_not_panic() {
+        let text = render(&chart(), &[]);
+        assert!(text.contains("no data"));
+    }
+
+    #[test]
+    fn linear_scale_spaces_evenly() {
+        let c = Chart { x_scale: Scale::Linear, width: 11, height: 3, ..chart() };
+        let s = Series {
+            label: "l".into(),
+            glyph: 'x',
+            points: vec![(0.0, 0.0), (5.0, 0.5), (10.0, 1.0)],
+        };
+        let text = render(&c, &[s]);
+        // Midpoint lands in the middle column of the middle row.
+        let mid_row = text.lines().nth(3).unwrap();
+        let inner = mid_row.split('|').nth(1).unwrap();
+        assert_eq!(inner.chars().nth(5), Some('x'), "{text}");
+    }
+}

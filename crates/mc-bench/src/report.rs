@@ -1,0 +1,190 @@
+//! Automated paper-vs-measured report generation.
+//!
+//! Runs every artifact and renders a single markdown report comparing
+//! measured values against the paper's published numbers, with pass
+//! bands. `experiments report` writes it to stdout; EXPERIMENTS.md is
+//! the curated version of this output.
+
+use serde::{Deserialize, Serialize};
+
+/// One compared quantity.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// What is being compared.
+    pub metric: String,
+    /// The paper's published value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Acceptable relative deviation for a "pass".
+    pub band: f64,
+}
+
+impl Comparison {
+    /// Relative deviation from the paper value.
+    pub fn deviation(&self) -> f64 {
+        (self.measured - self.paper).abs() / self.paper.abs().max(f64::MIN_POSITIVE)
+    }
+
+    /// Whether the measurement is within the band.
+    pub fn pass(&self) -> bool {
+        self.deviation() <= self.band
+    }
+}
+
+/// The full report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// All comparisons, grouped by artifact via the metric prefix.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl Report {
+    /// Number of passing comparisons.
+    pub fn passed(&self) -> usize {
+        self.comparisons.iter().filter(|c| c.pass()).count()
+    }
+
+    /// `true` when every comparison passes.
+    pub fn all_pass(&self) -> bool {
+        self.passed() == self.comparisons.len()
+    }
+}
+
+fn cmp(metric: &str, paper: f64, measured: f64, band: f64) -> Comparison {
+    Comparison {
+        metric: metric.to_owned(),
+        paper,
+        measured,
+        band,
+    }
+}
+
+/// Runs the quantitative artifacts and assembles the comparison report.
+pub fn run() -> Report {
+    let mut c = Vec::new();
+
+    // Table II.
+    let t2 = crate::table2::run(1_000_000);
+    for (row, paper) in t2.rows.iter().zip([64.0, 32.0, 64.0, 32.0, 32.0]) {
+        c.push(cmp(
+            &format!("table2/{} {} latency (cycles)", row.types, row.shape),
+            paper,
+            row.latency_cycles,
+            0.01,
+        ));
+    }
+
+    // Fig. 3 plateaus and fractions of peak.
+    let f3 = crate::fig3::run(200_000);
+    let series = |l: &str| f3.series.iter().find(|s| s.label == l).unwrap();
+    c.push(cmp("fig3/mixed plateau (TFLOPS)", 175.0, series("mixed").plateau_tflops, 0.03));
+    c.push(cmp("fig3/float plateau (TFLOPS)", 43.0, series("float").plateau_tflops, 0.03));
+    c.push(cmp("fig3/double plateau (TFLOPS)", 41.0, series("double").plateau_tflops, 0.03));
+    c.push(cmp("fig3/mixed fraction of peak", 0.92, series("mixed").fraction_of_peak, 0.02));
+    c.push(cmp("fig3/double fraction of peak", 0.85, series("double").fraction_of_peak, 0.02));
+
+    // Fig. 4.
+    let f4 = crate::fig4::run(200_000);
+    let row = |t: &str| f4.rows.iter().find(|r| r.types == t).unwrap();
+    c.push(cmp("fig4/MI250X mixed (TFLOPS)", 350.0, row("FP32 <- FP16").mi250x_tflops.unwrap(), 0.03));
+    c.push(cmp("fig4/MI250X float (TFLOPS)", 88.0, row("FP32 <- FP32").mi250x_tflops.unwrap(), 0.04));
+    c.push(cmp("fig4/MI250X double (TFLOPS)", 69.0, row("FP64 <- FP64").mi250x_tflops.unwrap(), 0.05));
+    c.push(cmp("fig4/A100 mixed (TFLOPS)", 290.0, row("FP32 <- FP16").a100_tflops.unwrap(), 0.02));
+    c.push(cmp("fig4/A100 double (TFLOPS)", 19.4, row("FP64 <- FP64").a100_tflops.unwrap(), 0.02));
+    c.push(cmp("fig4/FP64 advantage (x)", 3.5, f4.fp64_advantage, 0.08));
+
+    // Fig. 5 / §VI.
+    let f5 = crate::fig5::run(6_000_000_000, mc_power::SamplerConfig::default());
+    let s5 = |l: &str| f5.series.iter().find(|s| s.label == l).unwrap();
+    c.push(cmp("fig5/double slope (W/TFLOPS)", 5.88, s5("double").fitted_slope_w_per_tflops, 0.08));
+    c.push(cmp("fig5/float slope (W/TFLOPS)", 2.18, s5("float").fitted_slope_w_per_tflops, 0.08));
+    c.push(cmp("fig5/mixed slope (W/TFLOPS)", 0.61, s5("mixed").fitted_slope_w_per_tflops, 0.10));
+    c.push(cmp("fig5/idle power (W)", 88.0, f5.idle_w, 0.001));
+    c.push(cmp("fig5/double peak power (W)", 541.0, s5("double").peak_watts, 0.02));
+    c.push(cmp("fig5/mixed efficiency (GFLOPS/W)", 1020.0, s5("mixed").peak_gflops_per_watt, 0.10));
+    c.push(cmp("fig5/float efficiency (GFLOPS/W)", 273.0, s5("float").peak_gflops_per_watt, 0.10));
+    c.push(cmp("fig5/double efficiency (GFLOPS/W)", 127.0, s5("double").peak_gflops_per_watt, 0.10));
+
+    // Fig. 6.
+    let f6 = crate::fig6::run();
+    c.push(cmp("fig6/SGEMM peak (TFLOPS)", 43.0, f6.sgemm.peak.tflops, 0.05));
+    c.push(cmp("fig6/SGEMM peak location (N)", 8192.0, f6.sgemm.peak.n as f64, 0.0));
+    c.push(cmp("fig6/DGEMM peak location (N)", 4096.0, f6.dgemm.peak.n as f64, 0.0));
+    c.push(cmp("fig6/DGEMM peak (TFLOPS)", 37.0, f6.dgemm.peak.tflops, 0.15));
+
+    // Fig. 7.
+    let f7 = crate::fig7::run();
+    c.push(cmp("fig7/HHS peak (TFLOPS)", 155.0, f7.hhs.peak.tflops, 0.12));
+    let max_speedup = f7.speedup_hhs_over_hgemm.iter().map(|p| p.1).fold(0.0, f64::max);
+    c.push(cmp("fig7/max MC speedup (x)", 7.5, max_speedup, 0.20));
+
+    Report { comparisons: c }
+}
+
+/// Renders the report as markdown.
+pub fn render(r: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("# Paper-vs-measured report\n\n");
+    let _ = writeln!(s, "| metric | paper | measured | deviation | band | verdict |");
+    let _ = writeln!(s, "|---|---|---|---|---|---|");
+    for cpr in &r.comparisons {
+        let _ = writeln!(
+            s,
+            "| {} | {:.4} | {:.4} | {:.1}% | {:.0}% | {} |",
+            cpr.metric,
+            cpr.paper,
+            cpr.measured,
+            cpr.deviation() * 100.0,
+            cpr.band * 100.0,
+            if cpr.pass() { "pass" } else { "DEVIATES" }
+        );
+    }
+    let _ = writeln!(s, "\n{}/{} within band", r.passed(), r.comparisons.len());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_math() {
+        let c = cmp("x", 100.0, 103.0, 0.05);
+        assert!((c.deviation() - 0.03).abs() < 1e-12);
+        assert!(c.pass());
+        assert!(!cmp("y", 100.0, 110.0, 0.05).pass());
+    }
+
+    #[test]
+    fn full_report_passes_except_documented_deviations() {
+        let r = run();
+        let failures: Vec<&Comparison> =
+            r.comparisons.iter().filter(|c| !c.pass()).collect();
+        // Two known deviations, documented in EXPERIMENTS.md: the DGEMM
+        // peak magnitude and the HHS peak magnitude.
+        assert!(
+            failures.len() <= 2,
+            "unexpected deviations: {failures:#?}"
+        );
+        for f in &failures {
+            assert!(
+                f.metric.contains("DGEMM peak (TFLOPS)") || f.metric.contains("HHS peak"),
+                "undocumented deviation: {f:?}"
+            );
+        }
+        // And the vast majority must pass.
+        assert!(r.passed() >= r.comparisons.len() - 2);
+    }
+
+    #[test]
+    fn render_contains_verdicts() {
+        let r = Report {
+            comparisons: vec![cmp("a/b", 1.0, 1.0, 0.01)],
+        };
+        let text = render(&r);
+        assert!(text.contains("| a/b |"));
+        assert!(text.contains("pass"));
+        assert!(text.contains("1/1 within band"));
+    }
+}

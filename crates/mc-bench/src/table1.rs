@@ -1,0 +1,103 @@
+//! Table I: supported datatypes and shapes of MFMA operations on Matrix
+//! Cores (AMD) and Tensor Cores (NVIDIA) at the instruction level.
+
+use mc_isa::{ampere_catalog, cdna2_catalog, IsaCatalog};
+use mc_types::DType;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table I.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// `typeCD <- typeAB` label.
+    pub types: String,
+    /// CDNA2 shapes (`×` when unsupported).
+    pub cdna2: Vec<String>,
+    /// Ampere shapes (`×` when unsupported).
+    pub ampere: Vec<String>,
+}
+
+/// The reproduced Table I.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Table1Row>,
+}
+
+fn shapes(catalog: &IsaCatalog, cd: DType, ab: DType) -> Vec<String> {
+    let mut v: Vec<String> = catalog
+        .by_types(cd, ab)
+        .into_iter()
+        .filter(|i| !i.legacy && i.shape.blocks == 1)
+        .map(|i| i.shape.mnemonic_token())
+        .collect();
+    v.sort();
+    v
+}
+
+/// Regenerates Table I from the instruction catalogs.
+pub fn run() -> Table1 {
+    let amd = cdna2_catalog();
+    let nv = ampere_catalog();
+    // The paper's four floating-point rows.
+    let combos = [
+        (DType::F64, DType::F64),
+        (DType::F32, DType::F32),
+        (DType::F32, DType::F16),
+        (DType::F16, DType::F16),
+    ];
+    let rows = combos
+        .into_iter()
+        .map(|(cd, ab)| Table1Row {
+            types: format!("{cd} <- {ab}"),
+            cdna2: shapes(amd, cd, ab),
+            ampere: shapes(nv, cd, ab),
+        })
+        .collect();
+    Table1 { rows }
+}
+
+/// Renders the table as text.
+pub fn render(t: &Table1) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("Table I: supported MFMA/MMA shapes (D <- A*B + C)\n");
+    let _ = writeln!(s, "{:<16} {:<24} {:<24}", "types", "AMD CDNA2", "Nvidia Ampere");
+    for r in &t.rows {
+        let fmt = |v: &Vec<String>| if v.is_empty() { "x".to_owned() } else { v.join(", ") };
+        let _ = writeln!(s, "{:<16} {:<24} {:<24}", r.types, fmt(&r.cdna2), fmt(&r.ampere));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table1() {
+        let t = run();
+        let row = |types: &str| t.rows.iter().find(|r| r.types == types).unwrap();
+
+        let f64row = row("FP64 <- FP64");
+        assert_eq!(f64row.cdna2, vec!["16x16x4"]);
+        assert_eq!(f64row.ampere, vec!["8x8x4"]);
+
+        let f32row = row("FP32 <- FP32");
+        assert_eq!(f32row.cdna2, vec!["16x16x4", "32x32x2"]);
+        assert!(f32row.ampere.is_empty(), "crossed-out cell");
+
+        let mixed = row("FP32 <- FP16");
+        assert_eq!(mixed.cdna2, vec!["16x16x16", "32x32x8"]);
+        assert_eq!(mixed.ampere, vec!["16x8x16", "16x8x8"]);
+
+        let half = row("FP16 <- FP16");
+        assert!(half.cdna2.is_empty(), "crossed-out cell");
+        assert_eq!(half.ampere, vec!["16x8x16", "16x8x8"]);
+    }
+
+    #[test]
+    fn renders_crosses_for_unsupported() {
+        let text = render(&run());
+        assert!(text.contains("FP16 <- FP16"));
+        assert!(text.lines().any(|l| l.starts_with("FP16 <- FP16") && l.contains('x')));
+    }
+}

@@ -1,0 +1,115 @@
+//! Table II: measured latency of Matrix Core MFMA instructions,
+//! regenerated with the single-wavefront loop micro-benchmark (§IV-A).
+
+use mc_sim::{measure_latency, Gpu};
+use mc_types::DType;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table II.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// `typeCD <- typeAB` label.
+    pub types: String,
+    /// Shape token.
+    pub shape: String,
+    /// Measured latency in cycles.
+    pub latency_cycles: f64,
+    /// Implied FLOPs/CU/cycle (the §V-A validation identity).
+    pub flops_per_cu_per_cycle: f64,
+}
+
+/// The reproduced Table II.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Table2Row>,
+    /// Loop iterations used per measurement.
+    pub iterations: u64,
+}
+
+/// The shapes the paper measures, in its row order.
+pub const PAPER_ROWS: [(DType, DType, u32, u32, u32); 5] = [
+    (DType::F32, DType::F32, 32, 32, 2),
+    (DType::F32, DType::F32, 16, 16, 4),
+    (DType::F32, DType::F16, 32, 32, 8),
+    (DType::F32, DType::F16, 16, 16, 16),
+    (DType::F64, DType::F64, 16, 16, 4),
+];
+
+/// Regenerates Table II. `iterations` of 40 million matches the paper;
+/// smaller values give identical results on the simulator.
+pub fn run(iterations: u64) -> Table2 {
+    let mut gpu = Gpu::mi250x();
+    let catalog = mc_isa::cdna2_catalog();
+    let rows = PAPER_ROWS
+        .into_iter()
+        .map(|(cd, ab, m, n, k)| {
+            let instr = catalog.find(cd, ab, m, n, k).expect("paper rows exist");
+            let r = measure_latency(&mut gpu, 0, instr, iterations).expect("launch succeeds");
+            Table2Row {
+                types: format!("{cd} <- {ab}"),
+                shape: format!("{m}x{n}x{k}"),
+                latency_cycles: r.cycles,
+                flops_per_cu_per_cycle: r.flops_per_cu_per_cycle,
+            }
+        })
+        .collect();
+    Table2 { rows, iterations }
+}
+
+/// Renders the table as text.
+pub fn render(t: &Table2) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!(
+        "Table II: measured MFMA latency ({} loop iterations, 1 wavefront)\n",
+        t.iterations
+    );
+    let _ = writeln!(s, "{:<16} {:<10} {:>16} {:>20}", "types", "m x n x k", "latency (cycles)", "FLOPs/CU/cycle");
+    for r in &t.rows {
+        let _ = writeln!(
+            s,
+            "{:<16} {:<10} {:>16.1} {:>20.0}",
+            r.types, r.shape, r.latency_cycles, r.flops_per_cu_per_cycle
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_latencies() {
+        let t = run(1_000_000);
+        let expected = [64.0, 32.0, 64.0, 32.0, 32.0];
+        assert_eq!(t.rows.len(), 5);
+        for (row, want) in t.rows.iter().zip(expected) {
+            assert!(
+                (row.latency_cycles - want).abs() < 0.05,
+                "{} {}: {} vs {want}",
+                row.types,
+                row.shape,
+                row.latency_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn implied_rates_match_cdna2_whitepaper() {
+        // §V-A: 8mnk/c must equal the documented FLOPs/CU/cycle.
+        let t = run(100_000);
+        for row in &t.rows {
+            let want = if row.types.contains("FP16") { 1024.0 } else { 256.0 };
+            assert!((row.flops_per_cu_per_cycle - want).abs() < 1.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let t = run(10_000);
+        let text = render(&t);
+        assert!(text.contains("16x16x16"));
+        assert!(text.contains("FP64 <- FP64"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Table III: datatypes of the three rocBLAS half/mixed-precision GEMM
+//! operations.
+
+use mc_blas::GemmOp;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table III.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Routine name (HGEMM/HHS/HSS).
+    pub operation: String,
+    /// A/B datatype.
+    pub type_ab: String,
+    /// C/D datatype.
+    pub type_cd: String,
+    /// Compute (α/β) datatype.
+    pub compute: String,
+}
+
+/// The reproduced Table III.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table3 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Table3Row>,
+}
+
+/// Regenerates Table III from the library's operation descriptors.
+pub fn run() -> Table3 {
+    let rows = [GemmOp::Hgemm, GemmOp::Hhs, GemmOp::Hss]
+        .into_iter()
+        .map(|op| Table3Row {
+            operation: op.routine().to_uppercase(),
+            type_ab: op.type_ab().to_string(),
+            type_cd: op.type_cd().to_string(),
+            compute: op.compute_type().to_string(),
+        })
+        .collect();
+    Table3 { rows }
+}
+
+/// Renders the table as text.
+pub fn render(t: &Table3) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("Table III: rocBLAS half/mixed-precision GEMM datatypes\n");
+    let _ = writeln!(s, "{:<10} {:<8} {:<8} {:<14}", "Operation", "typeAB", "typeCD", "Compute type");
+    for r in &t.rows {
+        let _ = writeln!(s, "{:<10} {:<8} {:<8} {:<14}", r.operation, r.type_ab, r.type_cd, r.compute);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table3() {
+        let t = run();
+        assert_eq!(t.rows.len(), 3);
+        let row = |op: &str| t.rows.iter().find(|r| r.operation == op).unwrap();
+        let h = row("HGEMM");
+        assert_eq!((h.type_ab.as_str(), h.type_cd.as_str(), h.compute.as_str()), ("FP16", "FP16", "FP16"));
+        let hhs = row("HHS");
+        assert_eq!((hhs.type_ab.as_str(), hhs.type_cd.as_str(), hhs.compute.as_str()), ("FP16", "FP16", "FP32"));
+        let hss = row("HSS");
+        assert_eq!((hss.type_ab.as_str(), hss.type_cd.as_str(), hss.compute.as_str()), ("FP16", "FP32", "FP32"));
+    }
+}

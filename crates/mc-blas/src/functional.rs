@@ -1,0 +1,442 @@
+//! Host-side functional GEMM execution.
+//!
+//! Executes `D ← α·A·B + β·C` on real data with the same structure the
+//! device kernel uses: the Matrix Core path runs 16×16 tile MMAs through
+//! the [`mc_wmma`] fragment API (so its precision semantics are exactly
+//! the Matrix Core datapath's), and the SIMD path performs per-element
+//! MACs in the routine's compute type (FP16 for HGEMM — which is why
+//! HGEMM is not just slow but also *less accurate*). The α/β scaling is
+//! always applied in the compute type on the SIMD side, mirroring the
+//! paper's Fig. 9 decomposition.
+//!
+//! All matrices are row-major with leading dimension equal to their
+//! width (the experiment harnesses only need dense square problems).
+
+use mc_types::Real;
+use mc_wmma::{mma_sync, Accumulator, Fragment, MatrixA, MatrixB};
+
+use crate::planner::Strategy;
+use crate::types::{BlasError, GemmDesc};
+
+/// Index of `op(A)[i][p]` in A's stored row-major layout.
+#[inline]
+fn a_index(desc: &GemmDesc, i: usize, p: usize) -> usize {
+    match desc.trans_a {
+        crate::types::Transpose::None => i * desc.k + p,
+        crate::types::Transpose::Trans => p * desc.m + i,
+    }
+}
+
+/// Index of `op(B)[p][j]` in B's stored row-major layout.
+#[inline]
+fn b_index(desc: &GemmDesc, p: usize, j: usize) -> usize {
+    match desc.trans_b {
+        crate::types::Transpose::None => p * desc.n + j,
+        crate::types::Transpose::Trans => j * desc.k + p,
+    }
+}
+
+/// Computes the `f64` reference `D ← α·op(A)·op(B) + β·C` (no rounding
+/// between operations) for validation.
+pub fn gemm_reference_f64(
+    desc: &GemmDesc,
+    a: &[f64],
+    b: &[f64],
+    c: &[f64],
+    d: &mut [f64],
+) -> Result<(), BlasError> {
+    check_buffers(desc, a.len(), b.len(), c.len(), d.len())?;
+    let (m, n, k) = (desc.m, desc.n, desc.k);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[a_index(desc, i, p)] * b[b_index(desc, p, j)];
+            }
+            d[i * n + j] = desc.alpha * acc + desc.beta * c[i * n + j];
+        }
+    }
+    Ok(())
+}
+
+fn check_buffers(
+    desc: &GemmDesc,
+    a: usize,
+    b: usize,
+    c: usize,
+    d: usize,
+) -> Result<(), BlasError> {
+    desc.validate()?;
+    let need = [
+        ("A", desc.m * desc.k, a),
+        ("B", desc.k * desc.n, b),
+        ("C", desc.m * desc.n, c),
+        ("D", desc.m * desc.n, d),
+    ];
+    for (operand, required, provided) in need {
+        if provided < required {
+            return Err(BlasError::BufferTooSmall {
+                operand,
+                required,
+                provided,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs a GEMM functionally according to a planner [`Strategy`].
+///
+/// `AB` is the input element type, `CD` the output element type, and
+/// `CT` the compute type (Table III). The three are constrained by the
+/// caller; see [`crate::handle::BlasHandle`] for the typed entry points.
+pub fn run_functional<AB, CD, CT>(
+    desc: &GemmDesc,
+    strategy: &Strategy,
+    a: &[AB],
+    b: &[AB],
+    c: &[CD],
+    d: &mut [CD],
+) -> Result<(), BlasError>
+where
+    AB: Real,
+    CD: Real,
+    CT: Real,
+{
+    check_buffers(desc, a.len(), b.len(), c.len(), d.len())?;
+    match strategy {
+        Strategy::MatrixCore { .. } => run_matrix_core::<AB, CD, CT>(desc, a, b, c, d),
+        Strategy::SimdOnly { .. } => run_simd::<AB, CD, CT>(desc, a, b, c, d),
+    }
+    Ok(())
+}
+
+/// Matrix Core path: fragment MMAs over zero-padded 16×16 tiles using
+/// the same instruction shape the planner picks — `16×16×16` for FP16
+/// inputs, `16×16×4` for FP32/FP64 — accumulating in `CT`, then α/β
+/// scaling in `CT` on "SIMD".
+fn run_matrix_core<AB: Real, CD: Real, CT: Real>(
+    desc: &GemmDesc,
+    a: &[AB],
+    b: &[AB],
+    c: &[CD],
+    d: &mut [CD],
+) {
+    let (m, n) = (desc.m, desc.n);
+    let tiles_m = m.div_ceil(16);
+    let tiles_n = n.div_ceil(16);
+
+    for tm in 0..tiles_m {
+        for tn in 0..tiles_n {
+            let acc = match AB::DTYPE.size_bytes() {
+                2 => accumulate_tile::<AB, CT, 16>(desc, a, b, tm, tn),
+                _ => accumulate_tile::<AB, CT, 4>(desc, a, b, tm, tn),
+            };
+            // Epilogue: d = α·acc + β·c in the compute type, then cast.
+            for r in 0..16 {
+                for cc in 0..16 {
+                    let (gi, gj) = (tm * 16 + r, tn * 16 + cc);
+                    if gi < m && gj < n {
+                        let ab = CT::from_f64(desc.alpha * acc[r * 16 + cc].to_f64());
+                        let bc = CT::from_f64(desc.beta * c[gi * n + gj].to_f64());
+                        let val = CT::from_f64(ab.to_f64() + bc.to_f64());
+                        d[gi * n + gj] = CD::from_f64(val.to_f64());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Accumulates one 16×16 output tile over the whole k extent with
+/// `16×16×TK` fragment MMAs (real Matrix Core instructions: the catalog
+/// lookup inside `mma_sync` must succeed).
+fn accumulate_tile<AB: Real, CT: Real, const TK: usize>(
+    desc: &GemmDesc,
+    a: &[AB],
+    b: &[AB],
+    tm: usize,
+    tn: usize,
+) -> Vec<CT> {
+    let (m, n, k) = (desc.m, desc.n, desc.k);
+    let steps = k.div_ceil(TK);
+    let mut acc = Fragment::<Accumulator, CT, 16, 16, TK>::new();
+    for tk in 0..steps {
+        let mut fa = Fragment::<MatrixA, AB, 16, 16, TK>::new();
+        let mut fb = Fragment::<MatrixB, AB, 16, 16, TK>::new();
+        for r in 0..16 {
+            for cc in 0..TK {
+                let (gi, gk) = (tm * 16 + r, tk * TK + cc);
+                if gi < m && gk < k {
+                    fa.set(r, cc, a[a_index(desc, gi, gk)]);
+                }
+            }
+        }
+        for r in 0..TK {
+            for cc in 0..16 {
+                let (gk, gj) = (tk * TK + r, tn * 16 + cc);
+                if gk < k && gj < n {
+                    fb.set(r, cc, b[b_index(desc, gk, gj)]);
+                }
+            }
+        }
+        let c_in = acc.clone();
+        mma_sync(&mut acc, &fa, &fb, &c_in)
+            .expect("planner only selects catalogued Matrix Core instructions");
+    }
+    let mut out = vec![CT::zero(); 256];
+    for r in 0..16 {
+        for cc in 0..16 {
+            out[r * 16 + cc] = acc.get(r, cc);
+        }
+    }
+    out
+}
+
+/// SIMD path: sequential per-element MACs in the compute type.
+fn run_simd<AB: Real, CD: Real, CT: Real>(
+    desc: &GemmDesc,
+    a: &[AB],
+    b: &[AB],
+    c: &[CD],
+    d: &mut [CD],
+) {
+    let (m, n, k) = (desc.m, desc.n, desc.k);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = CT::zero();
+            for p in 0..k {
+                let prod =
+                    CT::from_f64(a[a_index(desc, i, p)].to_f64() * b[b_index(desc, p, j)].to_f64());
+                acc = CT::from_f64(acc.to_f64() + prod.to_f64());
+            }
+            let ab = CT::from_f64(desc.alpha * acc.to_f64());
+            let bc = CT::from_f64(desc.beta * c[i * n + j].to_f64());
+            d[i * n + j] = CD::from_f64(ab.to_f64() + bc.to_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::select_strategy;
+    use crate::types::GemmOp;
+    use mc_types::{ApproxEq, F16};
+
+    /// A = all ones, B = identity, C = all ones: D must be exactly
+    /// α + β everywhere — the paper's §IV-A verification pattern.
+    #[test]
+    fn ones_identity_pattern_all_ops() {
+        let n = 48;
+        let desc = GemmDesc {
+            alpha: 1.0,
+            beta: 1.0,
+            ..GemmDesc::square(GemmOp::Hss, n)
+        };
+        let a = vec![F16::ONE; n * n];
+        let mut b = vec![F16::ZERO; n * n];
+        for i in 0..n {
+            b[i * n + i] = F16::ONE;
+        }
+        let c = vec![1.0f32; n * n];
+        let mut d = vec![0.0f32; n * n];
+        let strategy = select_strategy(&desc);
+        assert!(strategy.uses_matrix_cores());
+        run_functional::<F16, f32, f32>(&desc, &strategy, &a, &b, &c, &mut d).unwrap();
+        assert!(d.iter().all(|&x| x == 2.0), "D must be filled with 2");
+    }
+
+    #[test]
+    fn dgemm_matches_f64_reference_exactly_for_small_ints() {
+        let n = 32;
+        let desc = GemmDesc {
+            alpha: 1.0,
+            beta: 2.0,
+            ..GemmDesc::square(GemmOp::Dgemm, n)
+        };
+        let a: Vec<f64> = (0..n * n).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let c: Vec<f64> = (0..n * n).map(|i| (i % 5) as f64).collect();
+        let mut d = vec![0.0; n * n];
+        let mut d_ref = vec![0.0; n * n];
+        let strategy = select_strategy(&desc);
+        run_functional::<f64, f64, f64>(&desc, &strategy, &a, &b, &c, &mut d).unwrap();
+        gemm_reference_f64(&desc, &a, &b, &c, &mut d_ref).unwrap();
+        // Small integers: every intermediate is exact, results identical.
+        assert_eq!(d, d_ref);
+    }
+
+    #[test]
+    fn sgemm_close_to_reference() {
+        let n = 64;
+        let desc = GemmDesc::square(GemmOp::Sgemm, n);
+        let a: Vec<f32> = (0..n * n).map(|i| ((i * 37 % 100) as f32) / 100.0 - 0.5).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| ((i * 53 % 100) as f32) / 100.0 - 0.5).collect();
+        let c: Vec<f32> = (0..n * n).map(|i| (i % 3) as f32).collect();
+        let mut d = vec![0.0f32; n * n];
+        let strategy = select_strategy(&desc);
+        run_functional::<f32, f32, f32>(&desc, &strategy, &a, &b, &c, &mut d).unwrap();
+
+        let af: Vec<f64> = a.iter().map(|&x| f64::from(x)).collect();
+        let bf: Vec<f64> = b.iter().map(|&x| f64::from(x)).collect();
+        let cf: Vec<f64> = c.iter().map(|&x| f64::from(x)).collect();
+        let mut df = vec![0.0; n * n];
+        gemm_reference_f64(&desc, &af, &bf, &cf, &mut df).unwrap();
+        for (got, want) in d.iter().zip(&df) {
+            assert!(got.approx_eq_tol(&(*want as f32), 1e-5, 1e-5), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn hgemm_loses_precision_relative_to_hss() {
+        // Same input data; HGEMM accumulates in f16, HSS in f32. With
+        // many accumulations of ~1.0 values, f16 saturates its 11-bit
+        // significand and drifts.
+        let n = 128;
+        let a: Vec<F16> = (0..n * n).map(|i| F16::from_f32(0.9 + 0.2 * ((i % 10) as f32) / 10.0)).collect();
+        let b = a.clone();
+
+        let hss_desc = GemmDesc {
+            alpha: 1.0,
+            beta: 0.0,
+            ..GemmDesc::square(GemmOp::Hss, n)
+        };
+        let c32 = vec![0.0f32; n * n];
+        let mut d_hss = vec![0.0f32; n * n];
+        run_functional::<F16, f32, f32>(
+            &hss_desc,
+            &select_strategy(&hss_desc),
+            &a,
+            &b,
+            &c32,
+            &mut d_hss,
+        )
+        .unwrap();
+
+        let hgemm_desc = GemmDesc {
+            alpha: 1.0,
+            beta: 0.0,
+            ..GemmDesc::square(GemmOp::Hgemm, n)
+        };
+        let c16 = vec![F16::ZERO; n * n];
+        let mut d_hgemm = vec![F16::ZERO; n * n];
+        run_functional::<F16, F16, F16>(
+            &hgemm_desc,
+            &select_strategy(&hgemm_desc),
+            &a,
+            &b,
+            &c16,
+            &mut d_hgemm,
+        )
+        .unwrap();
+
+        // Reference.
+        let af: Vec<f64> = a.iter().map(|x| x.to_f64()).collect();
+        let cf = vec![0.0f64; n * n];
+        let mut df = vec![0.0f64; n * n];
+        gemm_reference_f64(&hss_desc, &af, &af, &cf, &mut df).unwrap();
+
+        let err = |xs: &[f64]| -> f64 {
+            xs.iter()
+                .zip(&df)
+                .map(|(x, r)| ((x - r) / r).abs())
+                .fold(0.0, f64::max)
+        };
+        let hss_err = err(&d_hss.iter().map(|&x| f64::from(x)).collect::<Vec<_>>());
+        let hgemm_err = err(&d_hgemm.iter().map(|x| x.to_f64()).collect::<Vec<_>>());
+        assert!(hgemm_err > 10.0 * hss_err, "hgemm {hgemm_err} vs hss {hss_err}");
+        assert!(hss_err < 1e-3);
+    }
+
+    #[test]
+    fn non_square_and_padded_shapes() {
+        let desc = GemmDesc::new(GemmOp::Sgemm, 20, 35, 17, 0.5, 0.25);
+        let a: Vec<f32> = (0..desc.m * desc.k).map(|i| (i % 11) as f32 - 5.0).collect();
+        let b: Vec<f32> = (0..desc.k * desc.n).map(|i| (i % 13) as f32 - 6.0).collect();
+        let c: Vec<f32> = (0..desc.m * desc.n).map(|i| (i % 4) as f32).collect();
+        let mut d = vec![0.0f32; desc.m * desc.n];
+        run_functional::<f32, f32, f32>(&desc, &select_strategy(&desc), &a, &b, &c, &mut d)
+            .unwrap();
+        let af: Vec<f64> = a.iter().map(|&x| f64::from(x)).collect();
+        let bf: Vec<f64> = b.iter().map(|&x| f64::from(x)).collect();
+        let cf: Vec<f64> = c.iter().map(|&x| f64::from(x)).collect();
+        let mut df = vec![0.0; desc.m * desc.n];
+        gemm_reference_f64(&desc, &af, &bf, &cf, &mut df).unwrap();
+        for (got, want) in d.iter().zip(&df) {
+            // Quarter-integer arithmetic: exact.
+            assert_eq!(f64::from(*got), *want);
+        }
+    }
+
+    #[test]
+    fn transposed_operands_match_explicit_transpose() {
+        use crate::types::Transpose;
+        let (m, n, k) = (48, 40, 32);
+        let a_stored: Vec<f32> = (0..k * m).map(|i| ((i * 7 % 23) as f32) - 11.0).collect(); // k×m (A^T layout)
+        let b_stored: Vec<f32> = (0..n * k).map(|i| ((i * 5 % 19) as f32) - 9.0).collect(); // n×k (B^T layout)
+        let c: Vec<f32> = (0..m * n).map(|i| (i % 3) as f32).collect();
+
+        let desc = GemmDesc {
+            trans_a: Transpose::Trans,
+            trans_b: Transpose::Trans,
+            ..GemmDesc::new(GemmOp::Sgemm, m, n, k, 1.0, 1.0)
+        };
+        let mut d = vec![0.0f32; m * n];
+        run_functional::<f32, f32, f32>(&desc, &select_strategy(&desc), &a_stored, &b_stored, &c, &mut d)
+            .unwrap();
+
+        // Explicitly transpose and run the plain path.
+        let mut a_plain = vec![0.0f32; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                a_plain[i * k + p] = a_stored[p * m + i];
+            }
+        }
+        let mut b_plain = vec![0.0f32; k * n];
+        for p in 0..k {
+            for j in 0..n {
+                b_plain[p * n + j] = b_stored[j * k + p];
+            }
+        }
+        let plain = GemmDesc::new(GemmOp::Sgemm, m, n, k, 1.0, 1.0);
+        let mut d_plain = vec![0.0f32; m * n];
+        run_functional::<f32, f32, f32>(
+            &plain,
+            &select_strategy(&plain),
+            &a_plain,
+            &b_plain,
+            &c,
+            &mut d_plain,
+        )
+        .unwrap();
+        assert_eq!(d, d_plain);
+
+        // And both agree with the f64 reference for these exact inputs.
+        let af: Vec<f64> = a_stored.iter().map(|&x| f64::from(x)).collect();
+        let bf: Vec<f64> = b_stored.iter().map(|&x| f64::from(x)).collect();
+        let cf: Vec<f64> = c.iter().map(|&x| f64::from(x)).collect();
+        let mut df = vec![0.0f64; m * n];
+        gemm_reference_f64(&desc, &af, &bf, &cf, &mut df).unwrap();
+        for (got, want) in d.iter().zip(&df) {
+            assert_eq!(f64::from(*got), *want);
+        }
+    }
+
+    #[test]
+    fn buffer_validation() {
+        let desc = GemmDesc::square(GemmOp::Sgemm, 16);
+        let short = vec![0.0f32; 10];
+        let ok = vec![0.0f32; 256];
+        let mut d = vec![0.0f32; 256];
+        let e = run_functional::<f32, f32, f32>(
+            &desc,
+            &select_strategy(&desc),
+            &short,
+            &ok,
+            &ok,
+            &mut d,
+        );
+        assert!(matches!(e, Err(BlasError::BufferTooSmall { operand: "A", .. })));
+    }
+}

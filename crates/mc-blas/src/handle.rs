@@ -1,0 +1,371 @@
+//! The library handle: the `rocblas_handle` equivalent.
+//!
+//! A [`BlasHandle`] owns one simulated GCD (rocBLAS targets one HIP
+//! device, and each MI250X GCD is a device, paper §II). It offers:
+//!
+//! * typed functional entry points (`sgemm`, `dgemm`, `hgemm`, and the
+//!   generic `gemm_ex` variants) that compute real results on host data
+//!   *and* simulate the launch, like a device round-trip would;
+//! * [`BlasHandle::gemm_timed`] — plan and simulate a launch by
+//!   descriptor only (no host data), used by the large-N sweeps of
+//!   Fig. 6/7/8 where materializing 65000² matrices is pointless.
+
+use mc_sim::{Gpu, HwCounters, LaunchError, PackageResult, SimConfig};
+use mc_types::{Real, F16};
+
+use crate::functional::run_functional;
+use crate::planner::{plan_gemm, GemmPlan};
+use crate::types::{BlasError, GemmDesc, GemmOp};
+
+/// Performance report for one GEMM launch.
+#[derive(Clone, Debug)]
+pub struct GemmPerf {
+    /// The plan that ran.
+    pub plan: GemmPlan,
+    /// Kernel wall time in seconds.
+    pub time_s: f64,
+    /// Achieved throughput in TFLOPS, computed like the paper does:
+    /// useful problem FLOPs (`2mnk + 3mn`) over wall time.
+    pub tflops: f64,
+    /// Counter increments from the launch (rocprof's view).
+    pub counters: HwCounters,
+    /// Full package-level result (power, governor, clocks).
+    pub package: PackageResult,
+}
+
+/// A rocBLAS-style handle bound to one simulated GCD.
+#[derive(Debug)]
+pub struct BlasHandle {
+    gpu: Gpu,
+    die: usize,
+}
+
+impl BlasHandle {
+    /// Creates a handle on one GCD of a simulated MI250X.
+    pub fn new_mi250x_gcd() -> Self {
+        BlasHandle {
+            gpu: Gpu::mi250x(),
+            die: 0,
+        }
+    }
+
+    /// Creates a handle over an explicit simulator configuration.
+    pub fn with_config(cfg: SimConfig, die: usize) -> Self {
+        BlasHandle { gpu: Gpu::new(cfg), die }
+    }
+
+    /// The underlying simulated GPU (for profiler attachment).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Mutable access to the underlying GPU.
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+
+    /// The die this handle launches on.
+    pub fn die(&self) -> usize {
+        self.die
+    }
+
+    /// Plans and simulates a GEMM launch without host data.
+    ///
+    /// Returns [`BlasError::OutOfDeviceMemory`] when the problem exceeds
+    /// the GCD's HBM — the paper's sweep stops at the same boundary
+    /// ("until exhausting the GPU memory", §VII).
+    ///
+    /// ```
+    /// use mc_blas::{BlasHandle, GemmDesc, GemmOp};
+    ///
+    /// let mut handle = BlasHandle::new_mi250x_gcd();
+    /// let perf = handle.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 8192)).unwrap();
+    /// assert!((perf.tflops - 43.0).abs() < 3.0); // paper Fig. 6 peak
+    /// assert!(perf.counters.mfma_mops_f32 > 0);  // Matrix Cores used
+    /// ```
+    pub fn gemm_timed(&mut self, desc: &GemmDesc) -> Result<GemmPerf, BlasError> {
+        let capacity = u64::from(self.gpu.spec().die.hbm_gib) << 30;
+        if desc.footprint_bytes() > capacity {
+            return Err(BlasError::OutOfDeviceMemory {
+                required: desc.footprint_bytes(),
+                capacity,
+            });
+        }
+        let plan = plan_gemm(&self.gpu.spec().die, desc)?;
+        let package = self
+            .gpu
+            .launch(self.die, &plan.kernel)
+            .map_err(|e: LaunchError| BlasError::Launch(e.to_string()))?;
+        let time_s = package.time_s;
+        let counters = package.kernels[0].counters;
+        Ok(GemmPerf {
+            tflops: plan.useful_flops() as f64 / time_s / 1e12,
+            plan,
+            time_s,
+            counters,
+            package,
+        })
+    }
+
+    /// `rocblas_gemm_ex` equivalent: functional execution on host data
+    /// plus a simulated launch, generic over the datatype triple.
+    pub fn gemm_ex<AB, CD, CT>(
+        &mut self,
+        desc: &GemmDesc,
+        a: &[AB],
+        b: &[AB],
+        c: &[CD],
+        d: &mut [CD],
+    ) -> Result<GemmPerf, BlasError>
+    where
+        AB: Real,
+        CD: Real,
+        CT: Real,
+    {
+        let plan = plan_gemm(&self.gpu.spec().die, desc)?;
+        run_functional::<AB, CD, CT>(desc, &plan.strategy, a, b, c, d)?;
+        self.gemm_timed(desc)
+    }
+
+    /// `rocblas_sgemm`: single precision.
+    pub fn sgemm(
+        &mut self,
+        desc: &GemmDesc,
+        a: &[f32],
+        b: &[f32],
+        c: &[f32],
+        d: &mut [f32],
+    ) -> Result<GemmPerf, BlasError> {
+        debug_assert_eq!(desc.op, GemmOp::Sgemm);
+        self.gemm_ex::<f32, f32, f32>(desc, a, b, c, d)
+    }
+
+    /// `rocblas_dgemm`: double precision.
+    pub fn dgemm(
+        &mut self,
+        desc: &GemmDesc,
+        a: &[f64],
+        b: &[f64],
+        c: &[f64],
+        d: &mut [f64],
+    ) -> Result<GemmPerf, BlasError> {
+        debug_assert_eq!(desc.op, GemmOp::Dgemm);
+        self.gemm_ex::<f64, f64, f64>(desc, a, b, c, d)
+    }
+
+    /// `rocblas_hgemm`: half precision in, half out, **half compute** —
+    /// the routine that never touches Matrix Cores (§VII).
+    pub fn hgemm(
+        &mut self,
+        desc: &GemmDesc,
+        a: &[F16],
+        b: &[F16],
+        c: &[F16],
+        d: &mut [F16],
+    ) -> Result<GemmPerf, BlasError> {
+        debug_assert_eq!(desc.op, GemmOp::Hgemm);
+        self.gemm_ex::<F16, F16, F16>(desc, a, b, c, d)
+    }
+
+    /// HHS via `gemm_ex`: FP16 in/out, FP32 compute.
+    pub fn gemm_hhs(
+        &mut self,
+        desc: &GemmDesc,
+        a: &[F16],
+        b: &[F16],
+        c: &[F16],
+        d: &mut [F16],
+    ) -> Result<GemmPerf, BlasError> {
+        debug_assert_eq!(desc.op, GemmOp::Hhs);
+        self.gemm_ex::<F16, F16, f32>(desc, a, b, c, d)
+    }
+
+    /// BHS via `gemm_ex`: bfloat16 in/out, FP32 compute (ML workloads).
+    pub fn gemm_bhs(
+        &mut self,
+        desc: &GemmDesc,
+        a: &[mc_types::Bf16],
+        b: &[mc_types::Bf16],
+        c: &[mc_types::Bf16],
+        d: &mut [mc_types::Bf16],
+    ) -> Result<GemmPerf, BlasError> {
+        debug_assert_eq!(desc.op, GemmOp::Bhs);
+        self.gemm_ex::<mc_types::Bf16, mc_types::Bf16, f32>(desc, a, b, c, d)
+    }
+
+    /// BSS via `gemm_ex`: bfloat16 in, FP32 out, FP32 compute.
+    pub fn gemm_bss(
+        &mut self,
+        desc: &GemmDesc,
+        a: &[mc_types::Bf16],
+        b: &[mc_types::Bf16],
+        c: &[f32],
+        d: &mut [f32],
+    ) -> Result<GemmPerf, BlasError> {
+        debug_assert_eq!(desc.op, GemmOp::Bss);
+        self.gemm_ex::<mc_types::Bf16, f32, f32>(desc, a, b, c, d)
+    }
+
+    /// HSS via `gemm_ex`: FP16 in, FP32 out, FP32 compute.
+    pub fn gemm_hss(
+        &mut self,
+        desc: &GemmDesc,
+        a: &[F16],
+        b: &[F16],
+        c: &[f32],
+        d: &mut [f32],
+    ) -> Result<GemmPerf, BlasError> {
+        debug_assert_eq!(desc.op, GemmOp::Hss);
+        self.gemm_ex::<F16, f32, f32>(desc, a, b, c, d)
+    }
+
+    /// Largest square N for an operation that still fits in HBM (the
+    /// paper's sweep upper bound).
+    pub fn max_square_n(&self, op: GemmOp) -> usize {
+        let capacity = (u64::from(self.gpu.spec().die.hbm_gib) << 30) as f64;
+        let per_n2 = (2 * op.type_ab().size_bytes() + 2 * op.type_cd().size_bytes()) as f64;
+        (capacity / per_n2).sqrt() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgemm_timed_peaks_near_43_tflops() {
+        let mut h = BlasHandle::new_mi250x_gcd();
+        let perf = h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 8192)).unwrap();
+        // Paper Fig. 6: 43 TFLOPS at N=8192 (≈100% of the 43 plateau).
+        assert!((perf.tflops - 43.0).abs() < 3.0, "got {}", perf.tflops);
+    }
+
+    #[test]
+    fn dgemm_peaks_at_4096() {
+        let mut h = BlasHandle::new_mi250x_gcd();
+        let t2048 = h.gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 2048)).unwrap().tflops;
+        let t4096 = h.gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 4096)).unwrap().tflops;
+        let t8192 = h.gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 8192)).unwrap().tflops;
+        assert!(t4096 > t2048, "{t2048} -> {t4096}");
+        assert!(t4096 > t8192, "peak at 4096: {t4096} -> {t8192}");
+        assert!(t4096 > 28.0 && t4096 < 42.0, "got {t4096}");
+    }
+
+    #[test]
+    fn sgemm_dips_at_pow2_and_recovers_at_65000() {
+        let mut h = BlasHandle::new_mi250x_gcd();
+        let t8k = h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 8192)).unwrap().tflops;
+        let t16k = h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 16384)).unwrap().tflops;
+        let t65k = h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 65000)).unwrap().tflops;
+        assert!(t16k < 0.75 * t8k, "pow2 dip: {t8k} -> {t16k}");
+        assert!(t65k > 0.9 * t8k, "recovery: {t65k} vs {t8k}");
+    }
+
+    #[test]
+    fn hgemm_stays_on_simd_and_is_slow() {
+        let mut h = BlasHandle::new_mi250x_gcd();
+        let hgemm = h.gemm_timed(&GemmDesc::square(GemmOp::Hgemm, 8192)).unwrap();
+        let hhs = h.gemm_timed(&GemmDesc::square(GemmOp::Hhs, 8192)).unwrap();
+        assert_eq!(hgemm.counters.mfma_mops_f16, 0, "HGEMM must not touch Matrix Cores");
+        assert!(hhs.counters.mfma_mops_f16 > 0);
+        let speedup = hhs.tflops / hgemm.tflops;
+        // Paper §VII: 2.3–7.5× Matrix Core speedup over the SIMD path.
+        assert!(speedup > 4.0 && speedup < 10.0, "speedup {speedup}");
+        assert!((hgemm.tflops - 20.0).abs() < 5.0, "HGEMM plateau ~20 TF, got {}", hgemm.tflops);
+    }
+
+    #[test]
+    fn hhs_outperforms_hss_above_1024() {
+        let mut h = BlasHandle::new_mi250x_gcd();
+        for n in [2048usize, 8192] {
+            let hhs = h.gemm_timed(&GemmDesc::square(GemmOp::Hhs, n)).unwrap().tflops;
+            let hss = h.gemm_timed(&GemmDesc::square(GemmOp::Hss, n)).unwrap().tflops;
+            assert!(hhs >= hss * 0.99, "N={n}: hhs {hhs} vs hss {hss}");
+        }
+    }
+
+    #[test]
+    fn out_of_memory_at_the_papers_boundary() {
+        let mut h = BlasHandle::new_mi250x_gcd();
+        // 65000² singles fit in 64 GB (paper sweeps to 65000)...
+        assert!(h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 65000)).is_ok());
+        // ...but 65000² doubles do not.
+        assert!(matches!(
+            h.gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 65000)),
+            Err(BlasError::OutOfDeviceMemory { .. })
+        ));
+        let max_d = h.max_square_n(GemmOp::Dgemm);
+        assert!(max_d > 40000 && max_d < 65000, "{max_d}");
+    }
+
+    #[test]
+    fn functional_and_timed_agree_on_counters() {
+        let n = 64;
+        let mut h = BlasHandle::new_mi250x_gcd();
+        let desc = GemmDesc::square(GemmOp::Sgemm, n);
+        let a = vec![1.0f32; n * n];
+        let mut b = vec![0.0f32; n * n];
+        for i in 0..n {
+            b[i * n + i] = 1.0;
+        }
+        let c = vec![1.0f32; n * n];
+        let mut d = vec![0.0f32; n * n];
+        let perf = h.sgemm(&desc, &a, &b, &c, &mut d).unwrap();
+        // α·A·I + β·C = 0.1 + 0.1 = 0.2 everywhere.
+        assert!(d.iter().all(|&x| (x - 0.2).abs() < 1e-6));
+        // Counters match the plan's closed-form MFMA count.
+        assert_eq!(
+            perf.counters.mfma_mops_f32 * 512,
+            perf.plan.mfma_flops
+        );
+    }
+
+    #[test]
+    fn small_n_throughput_is_launch_bound() {
+        let mut h = BlasHandle::new_mi250x_gcd();
+        let t16 = h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 16)).unwrap();
+        // 2·16³ FLOPs over ≥8 µs: well under a GFLOP/s·1000.
+        assert!(t16.tflops < 0.01, "got {}", t16.tflops);
+        assert!(t16.time_s >= 8e-6);
+    }
+
+    #[test]
+    fn bf16_routines_use_matrix_cores_at_full_mixed_rate() {
+        use mc_types::Bf16;
+        let n = 64;
+        let mut h = BlasHandle::new_mi250x_gcd();
+        let desc = GemmDesc {
+            alpha: 1.0,
+            beta: 1.0,
+            ..GemmDesc::square(GemmOp::Bhs, n)
+        };
+        let a = vec![Bf16::ONE; n * n];
+        let mut b = vec![Bf16::ZERO; n * n];
+        for i in 0..n {
+            b[i * n + i] = Bf16::ONE;
+        }
+        let c = vec![Bf16::ONE; n * n];
+        let mut d = vec![Bf16::ZERO; n * n];
+        let perf = h.gemm_bhs(&desc, &a, &b, &c, &mut d).unwrap();
+        assert!(d.iter().all(|x| x.to_f32() == 2.0));
+        // bf16_1k runs at the FP16 mixed rate: MOPS land in the BF16 bank.
+        assert!(perf.counters.mfma_mops_bf16 > 0);
+        assert_eq!(perf.counters.mfma_mops_f16, 0);
+
+        // Large-N throughput matches the HHS class.
+        let bhs = h.gemm_timed(&GemmDesc::square(GemmOp::Bhs, 4096)).unwrap().tflops;
+        let hhs = h.gemm_timed(&GemmDesc::square(GemmOp::Hhs, 4096)).unwrap().tflops;
+        assert!((bhs - hhs).abs() / hhs < 0.02, "{bhs} vs {hhs}");
+    }
+
+    #[test]
+    fn throughput_rises_monotonically_to_mid_sizes() {
+        let mut h = BlasHandle::new_mi250x_gcd();
+        let mut last = 0.0;
+        for n in [64usize, 256, 1024, 4096, 8192] {
+            let t = h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, n)).unwrap().tflops;
+            assert!(t > last, "N={n}: {t} vs {last}");
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! A rocBLAS-style GEMM library over the simulated Matrix Cores.
+//!
+//! rocBLAS "tries to leverage Matrix Cores whenever they are available,
+//! with no option to opt-out at the user level" (paper §III), choosing at
+//! runtime a strategy that maps arbitrary-shaped GEMMs onto the
+//! fixed-shape MFMA instructions via two-level tiling (macro-tile per
+//! workgroup, micro-tile per wavefront). This crate implements that
+//! library design:
+//!
+//! * [`types`] — the GEMM operation descriptors, including the paper's
+//!   Table III mixed-precision variants (HGEMM / HSS / HHS);
+//! * [`planner`] — runtime strategy selection and kernel-plan emission
+//!   (the policy that leaves HGEMM on the SIMD units and skips Matrix
+//!   Cores for tiny mixed problems, Fig. 8);
+//! * [`functional`] — a host-side executor that really computes
+//!   `D ← α·A·B + β·C` with hardware-faithful precision, tile by tile,
+//!   through the [`mc_wmma`] fragment API;
+//! * [`handle`] — the `rocblas_handle` equivalent: owns a simulated
+//!   device, launches planned kernels, and reports timing/counters.
+
+#![deny(missing_docs)]
+
+pub mod batched;
+pub mod functional;
+pub mod gemv;
+pub mod handle;
+pub mod igemm;
+pub mod planner;
+pub mod syrk;
+pub mod types;
+
+pub use batched::BatchedGemmDesc;
+pub use gemv::{gemv_functional, plan_gemv, GemvDesc, GemvPerf};
+pub use functional::{gemm_reference_f64, run_functional};
+pub use igemm::{dequantize, quantize, quantized_gemm, Quantized};
+pub use handle::{BlasHandle, GemmPerf};
+pub use syrk::{plan_syrk, syrk_functional, SyrkDesc, SyrkPlan};
+pub use planner::{plan_gemm, select_strategy, GemmPlan, SimdReason, Strategy};
+pub use types::{BlasError, GemmDesc, GemmOp, Transpose};

@@ -1,0 +1,273 @@
+//! Kernel / wavefront instruction-stream representation.
+//!
+//! The WMMA layer and the BLAS library "compile" their computations into a
+//! [`KernelDesc`]: a per-wavefront program (prologue, a loop body with an
+//! iteration count, epilogue) plus a launch geometry. The simulator
+//! executes these programs. Keeping the representation at wavefront
+//! granularity — one [`SlotOp`] is one instruction issued by a whole
+//! wavefront — is what lets the 40-million-iteration microbenchmark loops
+//! of the paper (§IV-A) and 65000³ GEMMs run in closed form.
+
+use serde::{Deserialize, Serialize};
+
+use crate::instr::MatrixInstruction;
+use crate::valu::ValuOp;
+
+/// One instruction slot issued by a wavefront.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SlotOp {
+    /// A matrix fused multiply-add on the CU's Matrix Core (or SM tensor
+    /// core).
+    Mfma(MatrixInstruction),
+    /// A vector-ALU instruction on the CU's SIMD units.
+    Valu(ValuOp),
+    /// A global-memory (HBM via L2) load; `bytes_per_lane` bytes per lane.
+    GlobalLoad {
+        /// Bytes fetched per lane (wavefront traffic = 64×this on CDNA2).
+        bytes_per_lane: u32,
+    },
+    /// A global-memory store.
+    GlobalStore {
+        /// Bytes written per lane.
+        bytes_per_lane: u32,
+    },
+    /// A read from the CU's local data share (shared memory).
+    LdsRead {
+        /// Bytes read per lane.
+        bytes_per_lane: u32,
+    },
+    /// A write to the local data share.
+    LdsWrite {
+        /// Bytes written per lane.
+        bytes_per_lane: u32,
+    },
+    /// `S_NOP n` — the hardware-mandated independent cycles before MFMA
+    /// results may be read (paper §III "several no-op instructions might
+    /// be required").
+    SNop(u8),
+    /// Scalar-ALU work: loop counters, branches, address set-up. Free on
+    /// the vector pipelines but occupies an issue slot.
+    Scalar,
+    /// `S_WAITCNT` — wait for outstanding memory operations.
+    Waitcnt,
+    /// Workgroup barrier.
+    Barrier,
+}
+
+impl SlotOp {
+    /// FLOPs this slot contributes when executed once by a wavefront.
+    pub fn flops(&self) -> u64 {
+        match self {
+            SlotOp::Mfma(i) => i.flops(),
+            SlotOp::Valu(v) => v.flops_per_wavefront(),
+            _ => 0,
+        }
+    }
+
+    /// Global-memory bytes moved (load + store) by one execution.
+    pub fn global_bytes(&self, lanes: u64) -> u64 {
+        match self {
+            SlotOp::GlobalLoad { bytes_per_lane } | SlotOp::GlobalStore { bytes_per_lane } => {
+                u64::from(*bytes_per_lane) * lanes
+            }
+            _ => 0,
+        }
+    }
+
+    /// `true` if this is a Matrix-Core (tensor-core) instruction.
+    pub fn is_mfma(&self) -> bool {
+        matches!(self, SlotOp::Mfma(_))
+    }
+}
+
+/// A per-wavefront program: straight-line prologue, a loop body executed
+/// `body_iterations` times, and an epilogue.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WaveProgram {
+    /// Instructions executed once before the loop.
+    pub prologue: Vec<SlotOp>,
+    /// The loop body.
+    pub body: Vec<SlotOp>,
+    /// Number of loop iterations.
+    pub body_iterations: u64,
+    /// Instructions executed once after the loop.
+    pub epilogue: Vec<SlotOp>,
+}
+
+impl WaveProgram {
+    /// A program that is only a loop body.
+    pub fn looped(body: Vec<SlotOp>, iterations: u64) -> Self {
+        WaveProgram {
+            prologue: Vec::new(),
+            body,
+            body_iterations: iterations,
+            epilogue: Vec::new(),
+        }
+    }
+
+    /// Iterates every dynamic slot execution count as `(op, times)`.
+    pub fn dynamic_slots(&self) -> impl Iterator<Item = (&SlotOp, u64)> {
+        self.prologue
+            .iter()
+            .map(|op| (op, 1))
+            .chain(self.body.iter().map(move |op| (op, self.body_iterations)))
+            .chain(self.epilogue.iter().map(|op| (op, 1)))
+    }
+
+    /// Total FLOPs one wavefront performs executing this program.
+    pub fn flops(&self) -> u64 {
+        self.dynamic_slots().map(|(op, n)| op.flops() * n).sum()
+    }
+
+    /// FLOPs delivered by Matrix-Core instructions only.
+    pub fn mfma_flops(&self) -> u64 {
+        self.dynamic_slots()
+            .filter(|(op, _)| op.is_mfma())
+            .map(|(op, n)| op.flops() * n)
+            .sum()
+    }
+
+    /// Dynamic count of MFMA instructions.
+    pub fn mfma_instructions(&self) -> u64 {
+        self.dynamic_slots()
+            .filter(|(op, _)| op.is_mfma())
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Total global-memory traffic in bytes for one wavefront.
+    pub fn global_bytes(&self, lanes: u64) -> u64 {
+        self.dynamic_slots()
+            .map(|(op, n)| op.global_bytes(lanes) * n)
+            .sum()
+    }
+}
+
+/// Memory-system hints the planner attaches to a kernel so the simulator
+/// can model DRAM behaviour without re-deriving the blocking structure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemHints {
+    /// Estimated DRAM (HBM) traffic in bytes after L2 filtering — the
+    /// planner owns the tiling knowledge needed to estimate reuse.
+    pub hbm_bytes: u64,
+    /// Total working set touched by the kernel, in bytes.
+    pub working_set_bytes: u64,
+    /// `true` when row strides are large powers of two, which causes
+    /// channel/bank camping and degrades effective DRAM bandwidth (the
+    /// mechanism behind the paper's Fig. 6/7 dips at N = 2^k).
+    pub pow2_stride: bool,
+}
+
+/// A complete kernel launch: program + geometry + resource usage.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Human-readable kernel name (appears in profiler output).
+    pub name: String,
+    /// The per-wavefront program (all waves execute the same program; a
+    /// tail-workgroup correction can be expressed via `workgroups`
+    /// fractions at the caller's accounting level).
+    pub program: WaveProgram,
+    /// Wavefronts per workgroup.
+    pub waves_per_workgroup: u32,
+    /// Number of workgroups launched.
+    pub workgroups: u64,
+    /// Local-data-share bytes allocated per workgroup (occupancy limiter).
+    pub lds_bytes_per_workgroup: u32,
+    /// Architectural VGPRs per lane used by the kernel.
+    pub arch_vgprs: u32,
+    /// Accumulation VGPRs per lane used by the kernel.
+    pub acc_vgprs: u32,
+    /// Memory-system hints (see [`MemHints`]).
+    pub mem_hints: MemHints,
+}
+
+impl KernelDesc {
+    /// Creates a kernel with no LDS use and a default register footprint.
+    pub fn new(name: impl Into<String>, program: WaveProgram) -> Self {
+        KernelDesc {
+            name: name.into(),
+            program,
+            waves_per_workgroup: 1,
+            workgroups: 1,
+            lds_bytes_per_workgroup: 0,
+            arch_vgprs: 32,
+            acc_vgprs: 0,
+            mem_hints: MemHints::default(),
+        }
+    }
+
+    /// Total wavefronts in the launch.
+    pub fn total_waves(&self) -> u64 {
+        u64::from(self.waves_per_workgroup) * self.workgroups
+    }
+
+    /// Total FLOPs across the launch.
+    pub fn total_flops(&self) -> u64 {
+        self.program.flops() * self.total_waves()
+    }
+
+    /// Total Matrix-Core FLOPs across the launch.
+    pub fn total_mfma_flops(&self) -> u64 {
+        self.program.mfma_flops() * self.total_waves()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::cdna2_catalog;
+    use crate::valu::{ValuOp, ValuOpKind};
+    use mc_types::DType;
+
+    fn mixed_mfma() -> SlotOp {
+        SlotOp::Mfma(*cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap())
+    }
+
+    #[test]
+    fn microbenchmark_loop_flops() {
+        // Paper §V-A: 2mnk · N_iter FLOPs per wavefront, N_iter = 1e7.
+        let program = WaveProgram::looped(vec![mixed_mfma()], 10_000_000);
+        assert_eq!(program.flops(), 8192 * 10_000_000);
+        assert_eq!(program.mfma_flops(), program.flops());
+        assert_eq!(program.mfma_instructions(), 10_000_000);
+    }
+
+    #[test]
+    fn prologue_epilogue_counted_once() {
+        let p = WaveProgram {
+            prologue: vec![SlotOp::GlobalLoad { bytes_per_lane: 16 }],
+            body: vec![mixed_mfma(), SlotOp::Scalar],
+            body_iterations: 100,
+            epilogue: vec![SlotOp::GlobalStore { bytes_per_lane: 16 }],
+        };
+        assert_eq!(p.global_bytes(64), 2 * 16 * 64);
+        assert_eq!(p.mfma_instructions(), 100);
+    }
+
+    #[test]
+    fn valu_and_mixed_flops() {
+        let p = WaveProgram::looped(
+            vec![
+                SlotOp::Valu(ValuOp::new(ValuOpKind::Fma, DType::F32)),
+                mixed_mfma(),
+                SlotOp::SNop(2),
+            ],
+            10,
+        );
+        assert_eq!(p.flops(), (128 + 8192) * 10);
+        assert_eq!(p.mfma_flops(), 8192 * 10);
+    }
+
+    #[test]
+    fn kernel_totals() {
+        let program = WaveProgram::looped(vec![mixed_mfma()], 1000);
+        let k = KernelDesc {
+            waves_per_workgroup: 4,
+            workgroups: 110,
+            ..KernelDesc::new("test", program)
+        };
+        assert_eq!(k.total_waves(), 440);
+        assert_eq!(k.total_flops(), 8192 * 1000 * 440);
+        assert_eq!(k.total_mfma_flops(), k.total_flops());
+    }
+}

@@ -1,0 +1,274 @@
+//! MFMA block-broadcast modifiers: CBSZ, ABID, and BLGP.
+//!
+//! Multi-block MFMA instructions accept three modifiers (MI200 ISA,
+//! paper ref. \[8]; AMD's matrix calculator exposes them):
+//!
+//! * **CBSZ** (control broadcast size): blocks are grouped in sets of
+//!   `2^CBSZ`; within each group, every block consumes the *same* A
+//!   block instead of its own.
+//! * **ABID** (A block ID): which block within each group supplies the
+//!   broadcast A operand.
+//! * **BLGP** (B lane group pattern): rearranges which B data the
+//!   matrix units consume — at block granularity in this model:
+//!   identity, broadcast of the first/second half of the blocks,
+//!   rotations, or broadcast of a single block.
+//!
+//! Broadcasts let one operand feed several multiplications — e.g.
+//! multiplying one A panel against several B panels in a single
+//! instruction — a register-bandwidth optimization for small-shape
+//! batched kernels.
+
+use core::fmt;
+
+use crate::instr::MatrixInstruction;
+
+/// The BLGP patterns (3-bit field).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Blgp {
+    /// 0: identity — each block uses its own B data.
+    #[default]
+    Normal,
+    /// 1: the first half of the blocks is broadcast to all.
+    BroadcastFirstHalf,
+    /// 2: the second half of the blocks is broadcast to all.
+    BroadcastSecondHalf,
+    /// 3: halves are swapped.
+    SwapHalves,
+    /// 4: rotate blocks down by one.
+    RotateDown1,
+    /// 5: rotate blocks down by two.
+    RotateDown2,
+    /// 6: broadcast block 0 to all blocks.
+    BroadcastBlock0,
+    /// 7: broadcast the last block to all blocks.
+    BroadcastLastBlock,
+}
+
+impl Blgp {
+    /// The 3-bit field value.
+    pub const fn field(self) -> u8 {
+        match self {
+            Blgp::Normal => 0,
+            Blgp::BroadcastFirstHalf => 1,
+            Blgp::BroadcastSecondHalf => 2,
+            Blgp::SwapHalves => 3,
+            Blgp::RotateDown1 => 4,
+            Blgp::RotateDown2 => 5,
+            Blgp::BroadcastBlock0 => 6,
+            Blgp::BroadcastLastBlock => 7,
+        }
+    }
+
+    /// Decodes a 3-bit field value.
+    pub const fn from_field(v: u8) -> Option<Blgp> {
+        Some(match v {
+            0 => Blgp::Normal,
+            1 => Blgp::BroadcastFirstHalf,
+            2 => Blgp::BroadcastSecondHalf,
+            3 => Blgp::SwapHalves,
+            4 => Blgp::RotateDown1,
+            5 => Blgp::RotateDown2,
+            6 => Blgp::BroadcastBlock0,
+            7 => Blgp::BroadcastLastBlock,
+            _ => return None,
+        })
+    }
+}
+
+/// A validated modifier set for one instruction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MfmaModifiers {
+    /// Control broadcast size (group = `2^cbsz` blocks).
+    pub cbsz: u8,
+    /// A-block ID within each broadcast group.
+    pub abid: u8,
+    /// B lane-group pattern.
+    pub blgp: Blgp,
+}
+
+/// Modifier validation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModifierError {
+    /// CBSZ group exceeds the instruction's block count.
+    CbszTooLarge {
+        /// Requested CBSZ.
+        cbsz: u8,
+        /// Instruction block count.
+        blocks: u32,
+    },
+    /// ABID must address a block within the broadcast group.
+    AbidOutOfGroup {
+        /// Requested ABID.
+        abid: u8,
+        /// Group size (`2^cbsz`).
+        group: u32,
+    },
+    /// Broadcast modifiers need a multi-block instruction.
+    SingleBlockInstruction,
+}
+
+impl fmt::Display for ModifierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModifierError::CbszTooLarge { cbsz, blocks } => {
+                write!(f, "CBSZ {cbsz} groups exceed {blocks} blocks")
+            }
+            ModifierError::AbidOutOfGroup { abid, group } => {
+                write!(f, "ABID {abid} outside the {group}-block group")
+            }
+            ModifierError::SingleBlockInstruction => {
+                write!(f, "broadcast modifiers require a multi-block instruction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModifierError {}
+
+impl MfmaModifiers {
+    /// Validates this modifier set against an instruction.
+    pub fn validate(&self, instr: &MatrixInstruction) -> Result<(), ModifierError> {
+        let blocks = instr.shape.blocks;
+        if (self.cbsz > 0 || self.abid > 0 || self.blgp != Blgp::Normal) && blocks == 1 {
+            return Err(ModifierError::SingleBlockInstruction);
+        }
+        let group = 1u32 << self.cbsz;
+        if group > blocks {
+            return Err(ModifierError::CbszTooLarge {
+                cbsz: self.cbsz,
+                blocks,
+            });
+        }
+        if u32::from(self.abid) >= group {
+            return Err(ModifierError::AbidOutOfGroup {
+                abid: self.abid,
+                group,
+            });
+        }
+        Ok(())
+    }
+
+    /// The A block actually consumed by block `block` under CBSZ/ABID:
+    /// each `2^cbsz`-block group reads the group's `abid`-th block.
+    pub fn a_source_block(&self, block: u32) -> u32 {
+        let group = 1u32 << self.cbsz;
+        (block / group) * group + u32::from(self.abid)
+    }
+
+    /// The B block consumed by block `block` under BLGP.
+    pub fn b_source_block(&self, block: u32, blocks: u32) -> u32 {
+        let half = blocks / 2;
+        match self.blgp {
+            Blgp::Normal => block,
+            Blgp::BroadcastFirstHalf => block % half.max(1),
+            Blgp::BroadcastSecondHalf => half + block % half.max(1),
+            Blgp::SwapHalves => (block + half) % blocks.max(1),
+            Blgp::RotateDown1 => (block + 1) % blocks.max(1),
+            Blgp::RotateDown2 => (block + 2) % blocks.max(1),
+            Blgp::BroadcastBlock0 => 0,
+            Blgp::BroadcastLastBlock => blocks - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::cdna2_catalog;
+    use mc_types::DType;
+
+    fn multi_block() -> MatrixInstruction {
+        // 4x4x4 f16, 16 blocks.
+        *cdna2_catalog().find(DType::F32, DType::F16, 4, 4, 4).unwrap()
+    }
+
+    fn single_block() -> MatrixInstruction {
+        *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap()
+    }
+
+    #[test]
+    fn identity_modifiers_always_valid() {
+        let m = MfmaModifiers::default();
+        assert!(m.validate(&multi_block()).is_ok());
+        assert!(m.validate(&single_block()).is_ok());
+        for b in 0..16 {
+            assert_eq!(m.a_source_block(b), b);
+            assert_eq!(m.b_source_block(b, 16), b);
+        }
+    }
+
+    #[test]
+    fn cbsz_broadcast_groups() {
+        // CBSZ=2: groups of 4; ABID=1 selects the second block of each.
+        let m = MfmaModifiers {
+            cbsz: 2,
+            abid: 1,
+            blgp: Blgp::Normal,
+        };
+        m.validate(&multi_block()).unwrap();
+        assert_eq!(m.a_source_block(0), 1);
+        assert_eq!(m.a_source_block(3), 1);
+        assert_eq!(m.a_source_block(4), 5);
+        assert_eq!(m.a_source_block(15), 13);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let too_big = MfmaModifiers {
+            cbsz: 5, // 32-block groups > 16 blocks
+            ..Default::default()
+        };
+        assert!(matches!(
+            too_big.validate(&multi_block()),
+            Err(ModifierError::CbszTooLarge { .. })
+        ));
+        let bad_abid = MfmaModifiers {
+            cbsz: 1,
+            abid: 2,
+            ..Default::default()
+        };
+        assert!(matches!(
+            bad_abid.validate(&multi_block()),
+            Err(ModifierError::AbidOutOfGroup { abid: 2, group: 2 })
+        ));
+        let on_single = MfmaModifiers {
+            blgp: Blgp::BroadcastBlock0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            on_single.validate(&single_block()),
+            Err(ModifierError::SingleBlockInstruction)
+        ));
+    }
+
+    #[test]
+    fn blgp_patterns_are_permutations_or_broadcasts() {
+        let blocks = 16u32;
+        for field in 0..8u8 {
+            let blgp = Blgp::from_field(field).unwrap();
+            assert_eq!(blgp.field(), field);
+            let m = MfmaModifiers {
+                blgp,
+                ..Default::default()
+            };
+            for b in 0..blocks {
+                let src = m.b_source_block(b, blocks);
+                assert!(src < blocks, "{blgp:?} block {b} -> {src}");
+            }
+        }
+        // Swap is an involution.
+        let swap = MfmaModifiers { blgp: Blgp::SwapHalves, ..Default::default() };
+        for b in 0..blocks {
+            let once = swap.b_source_block(b, blocks);
+            assert_eq!(swap.b_source_block(once, blocks), b);
+        }
+        // Broadcasts collapse to a single source.
+        let b0 = MfmaModifiers { blgp: Blgp::BroadcastBlock0, ..Default::default() };
+        assert!((0..blocks).all(|b| b0.b_source_block(b, blocks) == 0));
+    }
+
+    #[test]
+    fn from_field_rejects_out_of_range() {
+        assert_eq!(Blgp::from_field(8), None);
+    }
+}

@@ -1,0 +1,441 @@
+//! Matrix-element ↔ register mapping for CDNA2 MFMA instructions.
+//!
+//! AMD publishes a Python tool (`amd_matrix_instruction_calculator`,
+//! paper ref. \[9]) that tells developers which lane and register holds
+//! each matrix element, enabling C-level programming of Matrix Cores via
+//! compiler intrinsics (paper §III). This module is a Rust port of that
+//! mapping logic for every CDNA2 MFMA instruction, with both directions
+//! (element → register, register → elements) and a formatted report.
+//!
+//! The layout rules, validated against the tool's output:
+//!
+//! * **A operand** (`m×k`, `blocks`): each lane holds `e = m·k·blocks/64`
+//!   elements, contiguous in `k`. With `g = k/e` column groups,
+//!   element `(block, i, k)` lives in lane `i + m·(block·g + ⌊k/e⌋)`,
+//!   packed slot `k mod e`.
+//! * **B operand** (`k×n`): symmetric, with `j` in place of `i`.
+//! * **C/D operands** (`m×n`): rows are processed four at a time.
+//!   For `m·n·blocks > 64`: lane `j + n·(⌊i/4⌋ mod (64/n))`, register
+//!   `(i mod 4) + 4·⌊⌊i/4⌋/(64/n)⌋ + block·(m·n/64)` — except the 4×4
+//!   multi-block shapes, where blocks spread across lanes
+//!   (lane `j + n·block`, register `i`). For `m·n·blocks = 64`
+//!   (the FP64 4×4×4 shape) each lane holds exactly one element:
+//!   lane `j + n·(block + blocks·i)`.
+//!
+//! Packed slots map to physical VGPRs by element size: two FP16/BF16
+//! slots per 32-bit VGPR; one FP32/INT32; FP64 occupies a VGPR pair.
+
+use core::fmt;
+
+use mc_types::DType;
+
+use crate::instr::{MatrixArch, MatrixInstruction};
+
+/// The four operand matrices of `D ← A·B + C`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// The `m×k` multiplicand (architectural VGPRs).
+    A,
+    /// The `k×n` multiplicand (architectural VGPRs).
+    B,
+    /// The `m×n` addend (accumulation VGPRs).
+    C,
+    /// The `m×n` result (accumulation VGPRs).
+    D,
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Operand::A => "A",
+            Operand::B => "B",
+            Operand::C => "C",
+            Operand::D => "D",
+        })
+    }
+}
+
+/// Where one matrix element lives inside the wavefront's register state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RegisterLocation {
+    /// Wavefront lane (0–63).
+    pub lane: u32,
+    /// First 32-bit register index holding the element (VGPR for A/B,
+    /// AccVGPR for C/D), relative to the operand's register block.
+    pub vgpr: u32,
+    /// Position within the 32-bit register for sub-word types
+    /// (0 = low half, 1 = high half); always 0 for 32-/64-bit elements.
+    pub half: u32,
+    /// Number of consecutive 32-bit registers the element spans
+    /// (2 for FP64, otherwise 1).
+    pub width: u32,
+}
+
+/// A matrix element coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ElementCoord {
+    /// Block index for multi-block instructions (0 for single-block).
+    pub block: u32,
+    /// Row within the block's matrix.
+    pub row: u32,
+    /// Column within the block's matrix.
+    pub col: u32,
+}
+
+/// Errors from the mapping calculator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegmapError {
+    /// The coordinate is outside the operand's shape.
+    OutOfRange {
+        /// The offending coordinate.
+        coord: ElementCoord,
+        /// The operand queried.
+        operand: Operand,
+    },
+    /// Register mapping is only modelled for CDNA2 (NVIDIA does not
+    /// document SASS-level mappings; paper §III).
+    UnsupportedArch(MatrixArch),
+}
+
+impl fmt::Display for RegmapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegmapError::OutOfRange { coord, operand } => write!(
+                f,
+                "element ({}, {}, {}) out of range for operand {operand}",
+                coord.block, coord.row, coord.col
+            ),
+            RegmapError::UnsupportedArch(a) => {
+                write!(f, "register mapping is not documented for {a}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegmapError {}
+
+/// Computes the register location of one element of `operand`.
+pub fn element_location(
+    instr: &MatrixInstruction,
+    operand: Operand,
+    coord: ElementCoord,
+) -> Result<RegisterLocation, RegmapError> {
+    if instr.arch != MatrixArch::Cdna2 {
+        return Err(RegmapError::UnsupportedArch(instr.arch));
+    }
+    let s = instr.shape;
+    let (rows, cols) = match operand {
+        Operand::A => (s.m, s.k),
+        Operand::B => (s.k, s.n),
+        Operand::C | Operand::D => (s.m, s.n),
+    };
+    if coord.block >= s.blocks || coord.row >= rows || coord.col >= cols {
+        return Err(RegmapError::OutOfRange { coord, operand });
+    }
+
+    let loc = match operand {
+        Operand::A => input_location(s.m, s.k, s.blocks, coord.block, coord.row, coord.col, instr.ab),
+        // B is the transpose-symmetric layout: lanes indexed by column.
+        Operand::B => input_location(s.n, s.k, s.blocks, coord.block, coord.col, coord.row, instr.ab),
+        Operand::C | Operand::D => accum_location(s.m, s.n, s.blocks, coord, instr.cd),
+    };
+    Ok(loc)
+}
+
+fn input_location(
+    m: u32,
+    k: u32,
+    blocks: u32,
+    block: u32,
+    row: u32,
+    kk: u32,
+    ty: DType,
+) -> RegisterLocation {
+    // Elements per lane, contiguous along k.
+    let e = (m * k * blocks) / 64;
+    debug_assert!(e >= 1 && k.is_multiple_of(e), "unsupported input layout");
+    let groups = k / e;
+    let lane = row + m * (block * groups + kk / e);
+    let slot = kk % e;
+    slot_to_register(slot, ty)
+        .with_lane(lane)
+}
+
+fn accum_location(m: u32, n: u32, blocks: u32, coord: ElementCoord, ty: DType) -> RegisterLocation {
+    let ElementCoord { block, row: i, col: j } = coord;
+    let (lane, slot) = if m * n * blocks == 64 {
+        // FP64 4x4x4 (4 blocks): one element per lane, no register freedom.
+        (j + n * (block + blocks * i), 0)
+    } else if m * n < 64 {
+        // 4x4 shapes with 16 blocks: blocks fill the lane dimension.
+        (j + n * block, i)
+    } else {
+        // Standard layout: four consecutive rows per register group,
+        // row groups round-robin over the lane dimension then registers.
+        let lanes_per_row_span = 64 / n;
+        let rg = i / 4;
+        let lane = j + n * (rg % lanes_per_row_span);
+        let slot = (i % 4) + 4 * (rg / lanes_per_row_span) + block * (m * n / 64);
+        (lane, slot)
+    };
+    slot_to_register(slot, ty).with_lane(lane)
+}
+
+fn slot_to_register(slot: u32, ty: DType) -> RegisterLocation {
+    match ty.size_bytes() {
+        2 => RegisterLocation {
+            lane: 0,
+            vgpr: slot / 2,
+            half: slot % 2,
+            width: 1,
+        },
+        4 => RegisterLocation {
+            lane: 0,
+            vgpr: slot,
+            half: 0,
+            width: 1,
+        },
+        8 => RegisterLocation {
+            lane: 0,
+            vgpr: slot * 2,
+            half: 0,
+            width: 2,
+        },
+        _ => RegisterLocation {
+            // INT8: four elements per VGPR; treat `half` as byte position.
+            lane: 0,
+            vgpr: slot / 4,
+            half: slot % 4,
+            width: 1,
+        },
+    }
+}
+
+impl RegisterLocation {
+    fn with_lane(mut self, lane: u32) -> Self {
+        self.lane = lane;
+        self
+    }
+}
+
+/// Enumerates every element coordinate of an operand.
+pub fn operand_coords(
+    instr: &MatrixInstruction,
+    operand: Operand,
+) -> impl Iterator<Item = ElementCoord> {
+    let s = instr.shape;
+    let (rows, cols) = match operand {
+        Operand::A => (s.m, s.k),
+        Operand::B => (s.k, s.n),
+        Operand::C | Operand::D => (s.m, s.n),
+    };
+    let blocks = s.blocks;
+    (0..blocks).flat_map(move |block| {
+        (0..rows).flat_map(move |row| (0..cols).map(move |col| ElementCoord { block, row, col }))
+    })
+}
+
+/// All elements held by one lane for an operand, with their locations —
+/// the inverse query the AMD tool answers with `--register-layout`.
+pub fn lane_contents(
+    instr: &MatrixInstruction,
+    operand: Operand,
+    lane: u32,
+) -> Result<Vec<(ElementCoord, RegisterLocation)>, RegmapError> {
+    let mut out = Vec::new();
+    for coord in operand_coords(instr, operand) {
+        let loc = element_location(instr, operand, coord)?;
+        if loc.lane == lane {
+            out.push((coord, loc));
+        }
+    }
+    out.sort_by_key(|(_, loc)| (loc.vgpr, loc.half));
+    Ok(out)
+}
+
+/// Renders a human-readable layout report for one operand, in the spirit
+/// of the AMD matrix-instruction-calculator output.
+pub fn layout_report(instr: &MatrixInstruction, operand: Operand) -> Result<String, RegmapError> {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{} — operand {operand}", instr.mnemonic());
+    let _ = writeln!(
+        s,
+        "shape {}x{}x{} blocks {}  element type {}",
+        instr.shape.m,
+        instr.shape.n,
+        instr.shape.k,
+        instr.shape.blocks,
+        match operand {
+            Operand::A | Operand::B => instr.ab,
+            _ => instr.cd,
+        }
+    );
+    for lane in 0..64 {
+        let contents = lane_contents(instr, operand, lane)?;
+        if contents.is_empty() {
+            continue;
+        }
+        let _ = write!(s, "lane {lane:2}: ");
+        for (coord, loc) in contents {
+            let _ = write!(
+                s,
+                "v{}[{}]={}({},{},{}) ",
+                loc.vgpr, loc.half, operand, coord.block, coord.row, coord.col
+            );
+        }
+        s.push('\n');
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::cdna2_catalog;
+    use std::collections::HashSet;
+
+    fn get(cd: DType, ab: DType, m: u32, n: u32, k: u32) -> MatrixInstruction {
+        *cdna2_catalog().find(cd, ab, m, n, k).unwrap()
+    }
+
+    #[test]
+    fn known_mapping_f32_16x16x4_a() {
+        // A[i][k] lives in lane i + 16k, VGPR 0 (one f32 per lane).
+        let i = get(DType::F32, DType::F32, 16, 16, 4);
+        for row in 0..16 {
+            for k in 0..4 {
+                let loc = element_location(
+                    &i,
+                    Operand::A,
+                    ElementCoord { block: 0, row, col: k },
+                )
+                .unwrap();
+                assert_eq!(loc.lane, row + 16 * k);
+                assert_eq!(loc.vgpr, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn known_mapping_mixed_16x16x16_a_packing() {
+        // A[i][k]: lane i + 16*(k/4), packed slot k%4 -> VGPR k%4/2, half k%2.
+        let i = get(DType::F32, DType::F16, 16, 16, 16);
+        let loc = element_location(&i, Operand::A, ElementCoord { block: 0, row: 3, col: 9 }).unwrap();
+        assert_eq!(loc.lane, 3 + 16 * 2);
+        assert_eq!(loc.vgpr, 0); // slot 1 -> vgpr 0 high half
+        assert_eq!(loc.half, 1);
+        let loc2 = element_location(&i, Operand::A, ElementCoord { block: 0, row: 0, col: 14 }).unwrap();
+        assert_eq!(loc2.vgpr, 1); // slot 2 -> vgpr 1 low half
+        assert_eq!(loc2.half, 0);
+    }
+
+    #[test]
+    fn known_mapping_f32_16x16x4_d() {
+        // D[i][j]: register i%4, lane j + 16*(i/4).
+        let i = get(DType::F32, DType::F32, 16, 16, 4);
+        for row in 0..16 {
+            for col in 0..16 {
+                let loc =
+                    element_location(&i, Operand::D, ElementCoord { block: 0, row, col }).unwrap();
+                assert_eq!(loc.vgpr, row % 4);
+                assert_eq!(loc.lane, col + 16 * (row / 4));
+            }
+        }
+    }
+
+    #[test]
+    fn known_mapping_f32_32x32x8_d_interleave() {
+        // 32x32 interleave: lane = j + 32*((i/4)%2), gpr = i%4 + 4*(i/8).
+        let i = get(DType::F32, DType::F16, 32, 32, 8);
+        let loc = element_location(&i, Operand::D, ElementCoord { block: 0, row: 13, col: 7 }).unwrap();
+        assert_eq!(loc.lane, 7 + 32); // 7 + 32
+        assert_eq!(loc.vgpr, (13 % 4) + 4); // 1 + 4
+    }
+
+    #[test]
+    fn fp64_elements_span_register_pairs() {
+        let i = get(DType::F64, DType::F64, 16, 16, 4);
+        let loc = element_location(&i, Operand::D, ElementCoord { block: 0, row: 5, col: 0 }).unwrap();
+        assert_eq!(loc.width, 2);
+        assert_eq!(loc.vgpr, 2);
+    }
+
+    #[test]
+    fn all_cdna2_mappings_are_bijective() {
+        // For every instruction and operand: every element maps to a
+        // distinct (lane, vgpr, half), lanes are within the wavefront,
+        // and registers are within the instruction's declared footprint.
+        for instr in cdna2_catalog().instructions() {
+            for operand in [Operand::A, Operand::B, Operand::C, Operand::D] {
+                let mut seen = HashSet::new();
+                let max_regs = match operand {
+                    Operand::A => instr.a_vgprs_per_lane(),
+                    Operand::B => instr.b_vgprs_per_lane(),
+                    Operand::C | Operand::D => instr.cd_agprs_per_lane(),
+                };
+                for coord in operand_coords(instr, operand) {
+                    let loc = element_location(instr, operand, coord).unwrap_or_else(|e| {
+                        panic!("{} {operand}: {e}", instr.mnemonic())
+                    });
+                    assert!(loc.lane < 64, "{} {operand} lane {}", instr.mnemonic(), loc.lane);
+                    assert!(
+                        loc.vgpr + loc.width <= max_regs,
+                        "{} {operand}: vgpr {}+{} exceeds {max_regs}",
+                        instr.mnemonic(),
+                        loc.vgpr,
+                        loc.width
+                    );
+                    assert!(
+                        seen.insert((loc.lane, loc.vgpr, loc.half)),
+                        "{} {operand}: collision at {:?} for {:?}",
+                        instr.mnemonic(),
+                        loc,
+                        coord
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let i = get(DType::F32, DType::F32, 16, 16, 4);
+        let err = element_location(&i, Operand::A, ElementCoord { block: 0, row: 16, col: 0 });
+        assert!(matches!(err, Err(RegmapError::OutOfRange { .. })));
+        let err = element_location(&i, Operand::A, ElementCoord { block: 1, row: 0, col: 0 });
+        assert!(matches!(err, Err(RegmapError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn ampere_mapping_is_unsupported() {
+        let i = *crate::catalog::ampere_catalog()
+            .find(DType::F32, DType::F16, 16, 8, 16)
+            .unwrap();
+        let err = element_location(&i, Operand::A, ElementCoord { block: 0, row: 0, col: 0 });
+        assert_eq!(err, Err(RegmapError::UnsupportedArch(MatrixArch::Ampere)));
+    }
+
+    #[test]
+    fn lane_contents_inverse_is_consistent() {
+        let i = get(DType::F32, DType::F16, 16, 16, 16);
+        // Each lane holds 4 halves of A (2 VGPRs) and 4 f32 of D.
+        let a = lane_contents(&i, Operand::A, 17).unwrap();
+        assert_eq!(a.len(), 4);
+        for (coord, loc) in &a {
+            assert_eq!(loc.lane, 17);
+            let direct = element_location(&i, Operand::A, *coord).unwrap();
+            assert_eq!(&direct, loc);
+        }
+        let d = lane_contents(&i, Operand::D, 0).unwrap();
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn report_renders() {
+        let i = get(DType::F64, DType::F64, 16, 16, 4);
+        let report = layout_report(&i, Operand::A).unwrap();
+        assert!(report.contains("v_mfma_f64_16x16x4f64"));
+        assert!(report.contains("lane  0:"));
+    }
+}

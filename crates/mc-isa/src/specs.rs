@@ -1,0 +1,276 @@
+//! Device specifications: the calibration constants for the simulated
+//! MI250X (CDNA2) and A100 (Ampere) devices.
+//!
+//! These are the single source of truth used by the simulator, the
+//! performance models, and the power models. Values come from the AMD
+//! CDNA2 whitepaper, the MI250X datasheet, the NVIDIA A100 datasheet,
+//! and the paper's own measurements (§IV, §VI).
+
+use serde::{Deserialize, Serialize};
+
+use crate::instr::MatrixArch;
+
+/// Specification of one compute die: a CDNA2 graphics compute die (GCD)
+/// or an Ampere GPU die.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DieSpec {
+    /// Architecture of this die.
+    pub arch: MatrixArch,
+    /// Compute units (CDNA2 CUs, or Ampere SMs).
+    pub compute_units: u32,
+    /// Matrix units per CU (4 Matrix Cores per CDNA2 CU; 4 tensor cores
+    /// per Ampere SM).
+    pub matrix_units_per_cu: u32,
+    /// SIMD/vector units per CU.
+    pub simd_units_per_cu: u32,
+    /// Lanes per wavefront/warp (64 on CDNA2, 32 on Ampere).
+    pub wavefront_size: u32,
+    /// Boost clock in MHz used for peak computations (paper: f = 1700 MHz
+    /// for MI250X, 1410 MHz for A100).
+    pub clock_mhz: u32,
+    /// HBM capacity in GiB.
+    pub hbm_gib: u32,
+    /// Peak HBM bandwidth in GB/s for this die.
+    pub hbm_bandwidth_gbs: f64,
+    /// Last-level (L2) cache in KiB.
+    pub l2_kib: u32,
+    /// Maximum wavefronts resident per SIMD unit (occupancy ceiling).
+    pub max_waves_per_simd: u32,
+    /// Architectural VGPRs per SIMD lane-slice (per-wave budget divisor).
+    pub vgprs_per_simd: u32,
+    /// LDS (shared memory) bytes per CU.
+    pub lds_bytes_per_cu: u32,
+}
+
+impl DieSpec {
+    /// Total matrix units on the die (440 Matrix Cores per MI250X GCD —
+    /// the saturation threshold in the paper's Eq. 2).
+    pub fn total_matrix_units(&self) -> u32 {
+        self.compute_units * self.matrix_units_per_cu
+    }
+
+    /// Clock frequency in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        f64::from(self.clock_mhz) * 1e6
+    }
+
+    /// Theoretical peak throughput in FLOPS for an instruction delivering
+    /// `flops_per_cu_per_cycle` (paper §V-A validation identity).
+    pub fn peak_flops(&self, flops_per_cu_per_cycle: f64) -> f64 {
+        flops_per_cu_per_cycle * f64::from(self.compute_units) * self.clock_hz()
+    }
+}
+
+/// Specification of a GPU package (possibly multiple dies).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PackageSpec {
+    /// Marketing name.
+    pub name: String,
+    /// Per-die specification.
+    pub die: DieSpec,
+    /// Number of dies in the package (2 GCDs on MI250X).
+    pub dies: u32,
+    /// Package power cap in Watts (560 W on MI250X; the paper's Fig. 5
+    /// horizontal line).
+    pub power_cap_w: f64,
+    /// Measured idle power of the whole package in Watts (88 W, §VI).
+    pub idle_power_w: f64,
+    /// Active baseline above idle while any kernel is resident, in Watts
+    /// per die — clock trees, scheduler, LDS. Chosen so the fitted Eq. 3
+    /// intercepts land near the paper's 123–130 W.
+    pub active_baseline_w_per_die: f64,
+    /// Dynamic energy per Matrix-Core FLOP in picojoules, by datatype
+    /// class, chosen so the fitted Eq. 3 slopes land near the paper's
+    /// 5.88 / 2.18 / 0.61 W per TFLOPS.
+    pub energy_pj: EnergyTable,
+}
+
+/// Per-datatype dynamic energy table (picojoules per FLOP).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTable {
+    /// FP64 matrix operations.
+    pub mfma_f64: f64,
+    /// FP32 matrix operations.
+    pub mfma_f32: f64,
+    /// Mixed-precision (FP16/BF16 input) matrix operations.
+    pub mfma_f16: f64,
+    /// INT8 matrix operations.
+    pub mfma_i8: f64,
+    /// Vector-ALU FLOPs (any type) — SIMDs are less efficient per FLOP.
+    pub valu: f64,
+    /// Energy per byte of HBM traffic (pJ/B).
+    pub hbm_per_byte: f64,
+}
+
+impl PackageSpec {
+    /// Peak package FLOPS for an instruction rate (`dies ×` die peak).
+    pub fn peak_flops(&self, flops_per_cu_per_cycle: f64) -> f64 {
+        self.die.peak_flops(flops_per_cu_per_cycle) * f64::from(self.dies)
+    }
+}
+
+/// The AMD MI250X package: two CDNA2 GCDs (paper §II, §IV).
+pub fn mi250x() -> PackageSpec {
+    PackageSpec {
+        name: "AMD Instinct MI250X".to_owned(),
+        die: DieSpec {
+            arch: MatrixArch::Cdna2,
+            compute_units: 110,
+            matrix_units_per_cu: 4,
+            simd_units_per_cu: 4,
+            wavefront_size: 64,
+            clock_mhz: 1700,
+            hbm_gib: 64,
+            hbm_bandwidth_gbs: 1638.0, // 3.2 TB/s per package
+            l2_kib: 8192,
+            max_waves_per_simd: 8,
+            vgprs_per_simd: 512,
+            lds_bytes_per_cu: 64 * 1024,
+        },
+        dies: 2,
+        power_cap_w: 560.0,
+        idle_power_w: 88.0,
+        active_baseline_w_per_die: 17.5,
+        energy_pj: EnergyTable {
+            mfma_f64: 5.88,
+            mfma_f32: 2.18,
+            mfma_f16: 0.61,
+            mfma_i8: 0.50,
+            valu: 7.5,
+            hbm_per_byte: 18.0,
+        },
+    }
+}
+
+/// The AMD MI100 package: one CDNA1 die — the first Matrix Core
+/// generation (paper ref. \[7]).
+pub fn mi100() -> PackageSpec {
+    PackageSpec {
+        name: "AMD Instinct MI100".to_owned(),
+        die: DieSpec {
+            arch: MatrixArch::Cdna1,
+            compute_units: 120,
+            matrix_units_per_cu: 4,
+            simd_units_per_cu: 4,
+            wavefront_size: 64,
+            clock_mhz: 1502,
+            hbm_gib: 32,
+            hbm_bandwidth_gbs: 1228.8,
+            l2_kib: 8192,
+            max_waves_per_simd: 8,
+            vgprs_per_simd: 512,
+            lds_bytes_per_cu: 64 * 1024,
+        },
+        dies: 1,
+        power_cap_w: 300.0,
+        idle_power_w: 40.0,
+        active_baseline_w_per_die: 25.0,
+        energy_pj: EnergyTable {
+            // First-generation 7 nm implementation: higher energy per
+            // FLOP than the refreshed CDNA2 units.
+            mfma_f64: 8.0, // unreachable: no FP64 MFMA on CDNA1
+            mfma_f32: 2.9,
+            mfma_f16: 0.85,
+            mfma_i8: 0.70,
+            valu: 9.0,
+            hbm_per_byte: 20.0,
+        },
+    }
+}
+
+/// The NVIDIA A100-SXM4-40GB package (single die).
+pub fn a100() -> PackageSpec {
+    PackageSpec {
+        name: "NVIDIA A100".to_owned(),
+        die: DieSpec {
+            arch: MatrixArch::Ampere,
+            compute_units: 108,
+            matrix_units_per_cu: 4,
+            simd_units_per_cu: 4,
+            wavefront_size: 32,
+            clock_mhz: 1410,
+            hbm_gib: 40,
+            hbm_bandwidth_gbs: 1555.0,
+            l2_kib: 40960,
+            max_waves_per_simd: 16,
+            vgprs_per_simd: 512,
+            lds_bytes_per_cu: 164 * 1024,
+        },
+        dies: 1,
+        power_cap_w: 400.0,
+        idle_power_w: 52.0,
+        active_baseline_w_per_die: 30.0,
+        energy_pj: EnergyTable {
+            mfma_f64: 9.0,
+            mfma_f32: 3.0,
+            mfma_f16: 0.60,
+            mfma_i8: 0.40,
+            valu: 8.0,
+            hbm_per_byte: 20.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ampere_catalog, cdna2_catalog};
+    use mc_types::DType;
+
+    #[test]
+    fn mi250x_matrix_core_count() {
+        // Paper Eq. 2: the 440 threshold is the Matrix Cores per GCD.
+        assert_eq!(mi250x().die.total_matrix_units(), 440);
+    }
+
+    #[test]
+    fn mi250x_theoretical_peaks_match_datasheet() {
+        let p = mi250x();
+        let cat = cdna2_catalog();
+        // FP64 matrix: 95.7 TFLOPS per package (§II).
+        let f64i = cat.find(DType::F64, DType::F64, 16, 16, 4).unwrap();
+        let peak = p.peak_flops(f64i.flops_per_cu_per_cycle());
+        assert!((peak / 1e12 - 95.7).abs() < 0.2, "FP64 peak {peak:e}");
+        // Mixed: 383 TFLOPS per package (§V-C).
+        let mixed = cat.find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let peak = p.peak_flops(mixed.flops_per_cu_per_cycle());
+        assert!((peak / 1e12 - 383.0).abs() < 1.0, "mixed peak {peak:e}");
+        // FP32 matrix: also 95.7 TFLOPS (§V-C: "theoretical peak for both
+        // single and double-precision is 95.7").
+        let f32i = cat.find(DType::F32, DType::F32, 16, 16, 4).unwrap();
+        let peak = p.peak_flops(f32i.flops_per_cu_per_cycle());
+        assert!((peak / 1e12 - 95.7).abs() < 0.2, "FP32 peak {peak:e}");
+    }
+
+    #[test]
+    fn a100_theoretical_peaks_match_datasheet() {
+        let p = a100();
+        let cat = ampere_catalog();
+        let mixed = cat.find(DType::F32, DType::F16, 16, 8, 16).unwrap();
+        let peak = p.peak_flops(mixed.flops_per_cu_per_cycle());
+        assert!((peak / 1e12 - 312.0).abs() < 1.0, "mixed peak {peak:e}");
+        let dmma = cat.find(DType::F64, DType::F64, 8, 8, 4).unwrap();
+        let peak = p.peak_flops(dmma.flops_per_cu_per_cycle());
+        assert!((peak / 1e12 - 19.5).abs() < 0.1, "FP64 peak {peak:e}");
+    }
+
+    #[test]
+    fn per_gcd_peaks() {
+        // One GCD: half the package peaks — 191.6 / 47.9 / 47.9 TFLOPS.
+        let die = mi250x().die;
+        let cat = cdna2_catalog();
+        let mixed = cat.find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        assert!((die.peak_flops(mixed.flops_per_cu_per_cycle()) / 1e12 - 191.5).abs() < 0.5);
+        let f64i = cat.find(DType::F64, DType::F64, 16, 16, 4).unwrap();
+        assert!((die.peak_flops(f64i.flops_per_cu_per_cycle()) / 1e12 - 47.9).abs() < 0.2);
+    }
+
+    #[test]
+    fn package_constants_match_paper() {
+        let p = mi250x();
+        assert_eq!(p.power_cap_w, 560.0); // §IV: vendor datasheet
+        assert_eq!(p.idle_power_w, 88.0); // §VI measurement
+        assert_eq!(p.die.clock_mhz, 1700); // §V-B model input
+        assert_eq!(p.die.hbm_gib * p.dies, 128); // §II: 128 GB per package
+    }
+}

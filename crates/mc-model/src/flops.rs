@@ -1,0 +1,130 @@
+//! Eq. 1: deriving floating-point operation counts from hardware
+//! counters (§IV-B).
+//!
+//! ```text
+//! TOTAL_FLOPS_F64 = 512·SQ_INSTS_VALU_MFMA_MOPS_F64
+//!                 +  64·SQ_INSTS_VALU_ADD_F64 + 64·SQ_INSTS_VALU_MUL_F64
+//!                 + 128·SQ_INSTS_VALU_FMA_F64
+//! ```
+//!
+//! and analogously for single and half precision.
+
+use mc_sim::HwCounters;
+use mc_types::DType;
+use serde::{Deserialize, Serialize};
+
+/// FLOP totals derived from one counter bank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DerivedFlops {
+    /// FLOPs delivered by Matrix Cores (the 512·MOPS terms).
+    pub matrix_core: u64,
+    /// FLOPs delivered by SIMD units (the VALU terms).
+    pub simd: u64,
+}
+
+impl DerivedFlops {
+    /// Total FLOPs.
+    pub fn total(&self) -> u64 {
+        self.matrix_core + self.simd
+    }
+
+    /// Fraction of FLOPs delivered by Matrix Cores (the paper's Fig. 8
+    /// metric); 0 when no FLOPs were recorded.
+    pub fn matrix_core_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.matrix_core as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Applies Eq. 1 for one datatype.
+pub fn derived_flops_for(counters: &HwCounters, dtype: DType) -> DerivedFlops {
+    let (mops, add, mul, fma) = match dtype {
+        DType::F64 => (
+            counters.mfma_mops_f64,
+            counters.valu_add_f64,
+            counters.valu_mul_f64,
+            counters.valu_fma_f64,
+        ),
+        DType::F32 => (
+            counters.mfma_mops_f32,
+            counters.valu_add_f32,
+            counters.valu_mul_f32,
+            counters.valu_fma_f32,
+        ),
+        DType::F16 => (
+            counters.mfma_mops_f16,
+            counters.valu_add_f16,
+            counters.valu_mul_f16,
+            counters.valu_fma_f16,
+        ),
+        DType::Bf16 => (counters.mfma_mops_bf16, 0, 0, 0),
+        DType::I8 | DType::I32 => (counters.mfma_mops_i8, 0, 0, 0),
+    };
+    DerivedFlops {
+        matrix_core: 512 * mops,
+        simd: 64 * add + 64 * mul + 128 * fma,
+    }
+}
+
+/// Applies Eq. 1 across all floating-point datatypes and sums.
+pub fn derived_total_flops(counters: &HwCounters) -> DerivedFlops {
+    let mut out = DerivedFlops::default();
+    for dt in [DType::F64, DType::F32, DType::F16, DType::Bf16, DType::I8] {
+        let d = derived_flops_for(counters, dt);
+        out.matrix_core += d.matrix_core;
+        out.simd += d.simd;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_formula_verbatim() {
+        let c = HwCounters {
+            mfma_mops_f64: 10,
+            valu_add_f64: 3,
+            valu_mul_f64: 5,
+            valu_fma_f64: 7,
+            ..HwCounters::default()
+        };
+        let d = derived_flops_for(&c, DType::F64);
+        assert_eq!(d.matrix_core, 512 * 10);
+        assert_eq!(d.simd, 64 * 3 + 64 * 5 + 128 * 7);
+        assert_eq!(d.total(), 512 * 10 + 64 * 8 + 128 * 7);
+    }
+
+    #[test]
+    fn ratio_bounds() {
+        let d = DerivedFlops {
+            matrix_core: 512,
+            simd: 0,
+        };
+        assert_eq!(d.matrix_core_ratio(), 1.0);
+        let d = DerivedFlops {
+            matrix_core: 0,
+            simd: 100,
+        };
+        assert_eq!(d.matrix_core_ratio(), 0.0);
+        assert_eq!(DerivedFlops::default().matrix_core_ratio(), 0.0);
+    }
+
+    #[test]
+    fn per_type_isolation() {
+        let c = HwCounters {
+            mfma_mops_f16: 100,
+            valu_fma_f32: 50,
+            ..HwCounters::default()
+        };
+        assert_eq!(derived_flops_for(&c, DType::F16).matrix_core, 51200);
+        assert_eq!(derived_flops_for(&c, DType::F16).simd, 0);
+        assert_eq!(derived_flops_for(&c, DType::F32).simd, 6400);
+        let total = derived_total_flops(&c);
+        assert_eq!(total.total(), 51200 + 6400);
+    }
+}

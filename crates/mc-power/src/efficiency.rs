@@ -1,0 +1,125 @@
+//! Power efficiency metrics (§VI).
+//!
+//! "Power efficiency is computed as the average number of floating-point
+//! operations per second divided by the average power consumption" —
+//! i.e. FLOPS/W, reported in GFLOPS/W.
+
+use mc_types::DType;
+use serde::{Deserialize, Serialize};
+
+/// Power efficiency in GFLOPS per watt.
+pub fn gflops_per_watt(tflops: f64, watts: f64) -> f64 {
+    tflops * 1000.0 / watts
+}
+
+/// One datatype's operating point and efficiency.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyPoint {
+    /// Datatype.
+    pub dtype: DType,
+    /// Sustained throughput in TFLOPS.
+    pub tflops: f64,
+    /// Average package power in watts.
+    pub watts: f64,
+    /// Efficiency in GFLOPS/W.
+    pub gflops_per_watt: f64,
+}
+
+impl EfficiencyPoint {
+    /// Builds a point, computing the efficiency.
+    pub fn new(dtype: DType, tflops: f64, watts: f64) -> Self {
+        EfficiencyPoint {
+            dtype,
+            tflops,
+            watts,
+            gflops_per_watt: gflops_per_watt(tflops, watts),
+        }
+    }
+}
+
+/// A cross-datatype efficiency comparison (the §VI analysis).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyReport {
+    /// Points, one per datatype.
+    pub points: Vec<EfficiencyPoint>,
+}
+
+impl EfficiencyReport {
+    /// Adds an operating point.
+    pub fn push(&mut self, p: EfficiencyPoint) {
+        self.points.push(p);
+    }
+
+    /// Efficiency for a datatype, if present.
+    pub fn for_dtype(&self, dtype: DType) -> Option<&EfficiencyPoint> {
+        self.points.iter().find(|p| p.dtype == dtype)
+    }
+
+    /// Ratio of one datatype's efficiency over another's (the paper's
+    /// "3.7× higher than single precision" style comparisons).
+    pub fn ratio(&self, a: DType, b: DType) -> Option<f64> {
+        Some(self.for_dtype(a)?.gflops_per_watt / self.for_dtype(b)?.gflops_per_watt)
+    }
+
+    /// The most efficient datatype in the report.
+    pub fn best(&self) -> Option<&EfficiencyPoint> {
+        self.points
+            .iter()
+            .max_by(|x, y| x.gflops_per_watt.total_cmp(&y.gflops_per_watt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_report() -> EfficiencyReport {
+        // §VI operating points: mixed 350 TF @ ~343 W, single 88 @ ~322,
+        // double 69 @ ~541 (values consistent with the published
+        // 1020 / 273 / 127 GFLOPS/W).
+        let mut r = EfficiencyReport::default();
+        r.push(EfficiencyPoint::new(DType::F16, 350.0, 343.0));
+        r.push(EfficiencyPoint::new(DType::F32, 88.0, 322.0));
+        r.push(EfficiencyPoint::new(DType::F64, 69.0, 541.0));
+        r
+    }
+
+    #[test]
+    fn paper_efficiency_values() {
+        let r = paper_report();
+        let mixed = r.for_dtype(DType::F16).unwrap().gflops_per_watt;
+        let single = r.for_dtype(DType::F32).unwrap().gflops_per_watt;
+        let double = r.for_dtype(DType::F64).unwrap().gflops_per_watt;
+        assert!((mixed - 1020.0).abs() < 15.0, "{mixed}");
+        assert!((single - 273.0).abs() < 5.0, "{single}");
+        assert!((double - 127.0).abs() < 2.0, "{double}");
+    }
+
+    #[test]
+    fn single_is_about_twice_double() {
+        // §VI: "approximately two times higher".
+        let r = paper_report();
+        let ratio = r.ratio(DType::F32, DType::F64).unwrap();
+        assert!(ratio > 1.9 && ratio < 2.4, "{ratio}");
+    }
+
+    #[test]
+    fn mixed_is_3_7x_single() {
+        let r = paper_report();
+        let ratio = r.ratio(DType::F16, DType::F32).unwrap();
+        assert!((ratio - 3.7).abs() < 0.2, "{ratio}");
+    }
+
+    #[test]
+    fn best_is_mixed() {
+        let r = paper_report();
+        assert_eq!(r.best().unwrap().dtype, DType::F16);
+    }
+
+    #[test]
+    fn missing_dtype_is_none() {
+        let r = paper_report();
+        assert!(r.for_dtype(DType::I8).is_none());
+        assert!(r.ratio(DType::I8, DType::F16).is_none());
+    }
+}

@@ -1,0 +1,20 @@
+//! rocprof-style profiling of the simulated device (paper §IV-B).
+//!
+//! The paper cannot observe rocBLAS's internal strategy directly, so it
+//! derives Matrix Core utilization from hardware counters: non-zero
+//! `SQ_INSTS_VALU_MFMA_MOPS_F*` indicates Matrix Core use, and Eq. 1
+//! turns the counter bank into exact FLOP counts split by execution
+//! unit. This crate reproduces that workflow:
+//!
+//! * [`session`] — counter capture around launches (`rocprof`'s
+//!   per-kernel counter deltas);
+//! * [`metrics`] — the derived metrics: per-datatype FLOPs, the
+//!   Matrix-Core ratio of Fig. 8, and the Fig. 9 split.
+
+#![deny(missing_docs)]
+
+pub mod metrics;
+pub mod session;
+
+pub use metrics::{matrix_core_ratio, uses_matrix_cores, FlopBreakdown};
+pub use session::{CounterReport, ProfilerSession};

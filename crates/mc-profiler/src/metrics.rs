@@ -1,0 +1,95 @@
+//! Derived metrics over captured counters.
+
+use mc_model::flops::{derived_flops_for, derived_total_flops};
+use mc_sim::HwCounters;
+use mc_types::DType;
+use serde::{Deserialize, Serialize};
+
+/// FLOPs split by execution unit and datatype — the measurement behind
+/// Fig. 8 and Fig. 9.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlopBreakdown {
+    /// Matrix Core FLOPs by input type: (f64, f32, f16-class).
+    pub matrix_core: (u64, u64, u64),
+    /// SIMD FLOPs by type: (f64, f32, f16).
+    pub simd: (u64, u64, u64),
+}
+
+impl FlopBreakdown {
+    /// Derives the breakdown from a counter bank via Eq. 1.
+    pub fn from_counters(c: &HwCounters) -> Self {
+        let f64d = derived_flops_for(c, DType::F64);
+        let f32d = derived_flops_for(c, DType::F32);
+        let f16d = derived_flops_for(c, DType::F16);
+        let bf = derived_flops_for(c, DType::Bf16);
+        FlopBreakdown {
+            matrix_core: (f64d.matrix_core, f32d.matrix_core, f16d.matrix_core + bf.matrix_core),
+            simd: (f64d.simd, f32d.simd, f16d.simd),
+        }
+    }
+
+    /// Total Matrix Core FLOPs.
+    pub fn total_matrix_core(&self) -> u64 {
+        self.matrix_core.0 + self.matrix_core.1 + self.matrix_core.2
+    }
+
+    /// Total SIMD FLOPs.
+    pub fn total_simd(&self) -> u64 {
+        self.simd.0 + self.simd.1 + self.simd.2
+    }
+}
+
+/// The Fig. 8 metric: fraction of floating-point operations delivered by
+/// Matrix Cores.
+pub fn matrix_core_ratio(c: &HwCounters) -> f64 {
+    derived_total_flops(c).matrix_core_ratio()
+}
+
+/// The paper's Matrix-Core-use test: "non-zero values returned from
+/// counters related to Matrix Cores would indicate that Matrix Cores are
+/// used in a rocBLAS-based application" (§IV-B).
+pub fn uses_matrix_cores(c: &HwCounters) -> bool {
+    c.mfma_mops_f64 + c.mfma_mops_f32 + c.mfma_mops_f16 + c.mfma_mops_bf16 + c.mfma_mops_i8 > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_breakdown_consistent() {
+        let c = HwCounters {
+            mfma_mops_f32: 1000, // 512000 MC FLOPs
+            valu_mul_f32: 100,   // 6400
+            valu_fma_f32: 100,   // 12800
+            ..HwCounters::default()
+        };
+        let b = FlopBreakdown::from_counters(&c);
+        assert_eq!(b.total_matrix_core(), 512_000);
+        assert_eq!(b.total_simd(), 19_200);
+        let r = matrix_core_ratio(&c);
+        assert!((r - 512_000.0 / 531_200.0).abs() < 1e-12);
+        assert!(uses_matrix_cores(&c));
+    }
+
+    #[test]
+    fn simd_only_kernel_has_zero_ratio() {
+        let c = HwCounters {
+            valu_fma_f16: 5000,
+            ..HwCounters::default()
+        };
+        assert_eq!(matrix_core_ratio(&c), 0.0);
+        assert!(!uses_matrix_cores(&c));
+    }
+
+    #[test]
+    fn bf16_counts_as_f16_class() {
+        let c = HwCounters {
+            mfma_mops_bf16: 10,
+            ..HwCounters::default()
+        };
+        let b = FlopBreakdown::from_counters(&c);
+        assert_eq!(b.matrix_core.2, 5120);
+        assert!(uses_matrix_cores(&c));
+    }
+}

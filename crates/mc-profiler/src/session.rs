@@ -1,0 +1,122 @@
+//! Counter-capture sessions.
+
+use mc_sim::{Gpu, HwCounters, LaunchError, COUNTER_NAMES};
+use serde::{Deserialize, Serialize};
+
+/// A profiling session: captures counter deltas on one die between
+/// `begin` and `end`, like `rocprof` wrapping a kernel launch.
+#[derive(Debug)]
+pub struct ProfilerSession {
+    die: usize,
+    baseline: HwCounters,
+}
+
+impl ProfilerSession {
+    /// Starts a session on one die, snapshotting current counters.
+    pub fn begin(gpu: &Gpu, die: usize) -> Result<Self, LaunchError> {
+        Ok(ProfilerSession {
+            die,
+            baseline: gpu.counters(die)?,
+        })
+    }
+
+    /// Ends the session, returning the counter delta since `begin`.
+    pub fn end(self, gpu: &Gpu) -> Result<HwCounters, LaunchError> {
+        Ok(gpu.counters(self.die)?.delta_from(&self.baseline))
+    }
+}
+
+/// A named-counter report, the `rocprof` CSV-row equivalent.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CounterReport {
+    /// `(counter name, value)` pairs in canonical order.
+    pub rows: Vec<(String, u64)>,
+}
+
+impl CounterReport {
+    /// Builds a report with every published counter.
+    pub fn from_counters(counters: &HwCounters) -> Self {
+        let rows = COUNTER_NAMES
+            .iter()
+            .map(|name| {
+                (
+                    (*name).to_owned(),
+                    counters.get(name).expect("published names resolve"),
+                )
+            })
+            .collect();
+        CounterReport { rows }
+    }
+
+    /// Value of one counter in the report.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.rows.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Renders the report as aligned text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let width = self.rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.rows {
+            let _ = writeln!(out, "{name:<width$}  {value}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_isa::{cdna2_catalog, KernelDesc, SlotOp, WaveProgram};
+    use mc_types::DType;
+
+    fn mixed_kernel(iters: u64) -> KernelDesc {
+        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        KernelDesc {
+            workgroups: 8,
+            waves_per_workgroup: 1,
+            ..KernelDesc::new("k", WaveProgram::looped(vec![SlotOp::Mfma(i)], iters))
+        }
+    }
+
+    #[test]
+    fn session_captures_only_the_wrapped_launch() {
+        let mut gpu = Gpu::mi250x();
+        gpu.launch(0, &mixed_kernel(50)).unwrap(); // pre-existing activity
+
+        let session = ProfilerSession::begin(&gpu, 0).unwrap();
+        gpu.launch(0, &mixed_kernel(100)).unwrap();
+        let delta = session.end(&gpu).unwrap();
+        assert_eq!(delta.mfma_mops_f16, 8 * 100 * 8192 / 512);
+        assert_eq!(delta.waves_launched, 8);
+    }
+
+    #[test]
+    fn sessions_are_per_die() {
+        let mut gpu = Gpu::mi250x();
+        let session = ProfilerSession::begin(&gpu, 1).unwrap();
+        gpu.launch(0, &mixed_kernel(100)).unwrap(); // other die
+        let delta = session.end(&gpu).unwrap();
+        assert_eq!(delta, HwCounters::default());
+    }
+
+    #[test]
+    fn report_contains_all_published_counters() {
+        let mut gpu = Gpu::mi250x();
+        gpu.launch(0, &mixed_kernel(4)).unwrap();
+        let report = CounterReport::from_counters(&gpu.counters(0).unwrap());
+        assert_eq!(report.rows.len(), COUNTER_NAMES.len());
+        assert!(report.get("SQ_INSTS_VALU_MFMA_MOPS_F16").unwrap() > 0);
+        assert_eq!(report.get("SQ_INSTS_VALU_MFMA_MOPS_F64"), Some(0));
+        assert!(report.get("NOPE").is_none());
+        let text = report.render();
+        assert!(text.contains("SQ_WAVES"));
+    }
+
+    #[test]
+    fn invalid_die_errors() {
+        let gpu = Gpu::mi250x();
+        assert!(ProfilerSession::begin(&gpu, 9).is_err());
+    }
+}

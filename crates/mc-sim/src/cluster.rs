@@ -1,0 +1,146 @@
+//! Multi-GPU aggregation: the paper's testbed (four MI250X, §IV) and
+//! the Frontier-scale framing of §II ("37,000 MI250X GPUs ... 1.1
+//! ExaFlops").
+//!
+//! Node- and system-level numbers are aggregates of independent package
+//! launches — the paper's benchmarks never communicate across GPUs — so
+//! the cluster model is embarrassingly parallel: per-GPU results plus
+//! aggregate throughput, power, and energy.
+
+use mc_isa::KernelDesc;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+use crate::device::{Gpu, PackageResult};
+use crate::engine::LaunchError;
+
+/// A set of identical GPU packages.
+#[derive(Debug)]
+pub struct Cluster {
+    gpus: Vec<Gpu>,
+}
+
+/// Aggregate result of a cluster-wide launch.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterResult {
+    /// Per-GPU results.
+    pub per_gpu: Vec<PackageResult>,
+    /// Makespan across the cluster (all GPUs start together).
+    pub time_s: f64,
+    /// Aggregate throughput in TFLOPS.
+    pub tflops: f64,
+    /// Aggregate average power in watts.
+    pub power_w: f64,
+    /// Aggregate energy in joules.
+    pub energy_j: f64,
+}
+
+impl Cluster {
+    /// Builds a cluster of `count` identical packages.
+    pub fn new(cfg: SimConfig, count: usize) -> Self {
+        Cluster {
+            gpus: (0..count).map(|_| Gpu::new(cfg.clone())).collect(),
+        }
+    }
+
+    /// The paper's AMD testbed: four MI250X packages (§IV).
+    pub fn testbed() -> Self {
+        Cluster::new(SimConfig::mi250x(), 4)
+    }
+
+    /// Number of GPUs.
+    pub fn len(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// `true` if the cluster has no GPUs.
+    pub fn is_empty(&self) -> bool {
+        self.gpus.is_empty()
+    }
+
+    /// Access one GPU.
+    pub fn gpu_mut(&mut self, idx: usize) -> Option<&mut Gpu> {
+        self.gpus.get_mut(idx)
+    }
+
+    /// Runs the same kernel on every die of every GPU (the paper's
+    /// one-process-per-GCD scaling methodology).
+    pub fn launch_everywhere(&mut self, kernel: &KernelDesc) -> Result<ClusterResult, LaunchError> {
+        let mut per_gpu = Vec::with_capacity(self.gpus.len());
+        for gpu in &mut self.gpus {
+            let dies = gpu.spec().dies as usize;
+            let launches: Vec<(usize, KernelDesc)> =
+                (0..dies).map(|d| (d, kernel.clone())).collect();
+            per_gpu.push(gpu.launch_parallel(&launches)?);
+        }
+        let time_s = per_gpu.iter().map(|r| r.time_s).fold(0.0_f64, f64::max);
+        let flops: f64 = per_gpu
+            .iter()
+            .map(|r| r.kernels.iter().map(|k| k.flops).sum::<u64>() as f64)
+            .sum();
+        let power_w = per_gpu.iter().map(|r| r.avg_power_w).sum();
+        let energy_j = per_gpu.iter().map(|r| r.energy_j).sum();
+        Ok(ClusterResult {
+            time_s,
+            tflops: flops / time_s / 1e12,
+            power_w,
+            energy_j,
+            per_gpu,
+        })
+    }
+}
+
+/// Projects a sustained per-package throughput to a Frontier-scale
+/// system (`gpus` packages), returning `(exaflops, megawatts)`.
+pub fn frontier_projection(per_package_tflops: f64, per_package_watts: f64, gpus: u64) -> (f64, f64) {
+    (
+        per_package_tflops * gpus as f64 / 1e6,
+        per_package_watts * gpus as f64 / 1e6,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_isa::{cdna2_catalog, SlotOp, WaveProgram};
+    use mc_types::DType;
+
+    fn kernel(iters: u64) -> KernelDesc {
+        let i = *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap();
+        KernelDesc {
+            workgroups: 440,
+            waves_per_workgroup: 1,
+            ..KernelDesc::new("k", WaveProgram::looped(vec![SlotOp::Mfma(i)], iters))
+        }
+    }
+
+    #[test]
+    fn testbed_scales_linearly_without_communication() {
+        let mut cluster = Cluster::testbed();
+        assert_eq!(cluster.len(), 4);
+        let r = cluster.launch_everywhere(&kernel(200_000)).unwrap();
+        // 4 packages × ~71 TFLOPS throttled FP64.
+        assert!((r.tflops - 4.0 * 71.0).abs() < 12.0, "{}", r.tflops);
+        // Per-GPU results are identical (no cross-GPU interference).
+        for w in r.per_gpu.windows(2) {
+            assert_eq!(w[0].time_s, w[1].time_s);
+        }
+        // Aggregate power: 4 × ~541 W.
+        assert!((r.power_w - 4.0 * 541.0).abs() < 20.0, "{}", r.power_w);
+    }
+
+    #[test]
+    fn frontier_scale_projection_lands_in_the_exaflops() {
+        // §II framing: 37,000 MI250X. Our sustained FP64 matrix point:
+        // ~71 TFLOPS at ~541 W -> ~2.6 EF and ~20 MW.
+        let (ef, mw) = frontier_projection(71.0, 541.0, 37_000);
+        assert!(ef > 2.0 && ef < 3.0, "{ef}");
+        assert!(mw > 15.0 && mw < 25.0, "{mw}");
+    }
+
+    #[test]
+    fn empty_cluster_behaviour() {
+        let cluster = Cluster::new(SimConfig::mi250x(), 0);
+        assert!(cluster.is_empty());
+    }
+}

@@ -1,0 +1,572 @@
+//! The execution engine: turns a [`KernelDesc`] into cycles, time,
+//! occupancy, and counter increments for one die.
+//!
+//! # Execution model
+//!
+//! The engine works at wavefront-instruction granularity with closed-form
+//! aggregation (DESIGN.md decision 1). Each CU pairs each of its four
+//! SIMD units with one Matrix Core. A wavefront executes its program
+//! in order; when `w` wavefronts are resident on one SIMD/Matrix-Core
+//! pair, each pipeline serializes their demands. The per-iteration time
+//! for one wave is therefore
+//!
+//! ```text
+//! T_iter(w) = max( self-serial latency,          — dependent-issue chain
+//!                  w · Σ matrix-unit cycles,     — Matrix Core occupancy
+//!                  w · Σ SIMD issue cycles,      — issue-port occupancy
+//!                  w · Σ LDS cycles / pair-share) — LDS bandwidth
+//! ```
+//!
+//! Workgroups are dispatched in rounds (as on hardware: waves do not
+//! migrate). The paper's own description of the >440-wavefront regime —
+//! "440 will execute immediately ... the remaining 220 will then execute
+//! in a second phase during which half the Matrix Cores are idle"
+//! (§V-B) — is exactly this round model.
+//!
+//! Clock behaviour follows the calibrated residency model in
+//! [`crate::config::ClockResidency`]: one wavefront measuring instruction
+//! latency sees the full boost clock (clean Table II numbers); a die full
+//! of MFMA traffic settles at the sustained plateau.
+
+use mc_isa::specs::DieSpec;
+use mc_isa::{KernelDesc, SlotOp, WaveProgram};
+use mc_types::DType;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+use crate::counters::HwCounters;
+use crate::memory;
+
+/// Aggregate pipeline demand of one pass over a slice of slots.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+struct SliceDemand {
+    /// Serial (dependent-chain) cycles: every op's latency back to back.
+    self_cycles: f64,
+    /// Matrix-unit busy cycles.
+    mc_cycles: f64,
+    /// SIMD issue-port cycles (VALU passes + one issue slot per other op).
+    simd_cycles: f64,
+    /// LDS bytes moved per wavefront.
+    lds_bytes: f64,
+    /// Matrix-unit cycles broken down by input datatype (for residency).
+    mc_cycles_f64: f64,
+    mc_cycles_f32: f64,
+    mc_cycles_f16: f64,
+}
+
+impl SliceDemand {
+    fn add(&mut self, op: &SlotOp, times: f64) {
+        match op {
+            SlotOp::Mfma(i) => {
+                let c = f64::from(i.latency_cycles) * times;
+                self.mc_cycles += c;
+                // Issuing an MFMA occupies the SIMD issue port for the
+                // four quarter-wave operand-read passes.
+                self.simd_cycles += 4.0 * times;
+                self.self_cycles += c;
+                match i.ab {
+                    DType::F64 => self.mc_cycles_f64 += c,
+                    DType::F32 => self.mc_cycles_f32 += c,
+                    _ => self.mc_cycles_f16 += c,
+                }
+            }
+            SlotOp::Valu(v) => {
+                let c = f64::from(v.issue_cycles()) * times;
+                self.simd_cycles += c;
+                self.self_cycles += c;
+            }
+            SlotOp::GlobalLoad { .. } | SlotOp::GlobalStore { .. } => {
+                // One issue slot; latency is modelled at kernel level via
+                // the DRAM time, double-buffering assumed by planners.
+                self.simd_cycles += times;
+                self.self_cycles += times;
+            }
+            SlotOp::LdsRead { bytes_per_lane } | SlotOp::LdsWrite { bytes_per_lane } => {
+                self.simd_cycles += times;
+                self.self_cycles += times;
+                self.lds_bytes += f64::from(*bytes_per_lane) * 64.0 * times;
+            }
+            SlotOp::SNop(n) => {
+                self.self_cycles += f64::from(*n) * times;
+            }
+            SlotOp::Scalar | SlotOp::Waitcnt | SlotOp::Barrier => {
+                // Scalar pipe work: free on the vector pipes, one issue slot.
+                self.self_cycles += times;
+            }
+        }
+    }
+
+    fn of_program(p: &WaveProgram) -> SliceDemand {
+        let mut d = SliceDemand::default();
+        for (op, times) in p.dynamic_slots() {
+            d.add(op, times as f64);
+        }
+        d
+    }
+}
+
+/// How many workgroups of this kernel fit on one CU simultaneously.
+///
+/// Returns `None` if a single workgroup exceeds CU resources.
+pub fn workgroups_per_cu(die: &DieSpec, k: &KernelDesc) -> Option<u32> {
+    if k.waves_per_workgroup == 0 {
+        return None;
+    }
+    // LDS limit.
+    let by_lds = die
+        .lds_bytes_per_cu
+        .checked_div(k.lds_bytes_per_workgroup)
+        .unwrap_or(u32::MAX);
+    // Register limits bound waves per SIMD.
+    let by_vgpr = die
+        .vgprs_per_simd
+        .checked_div(k.arch_vgprs)
+        .unwrap_or(die.max_waves_per_simd);
+    let by_agpr = die
+        .vgprs_per_simd
+        .checked_div(k.acc_vgprs)
+        .unwrap_or(die.max_waves_per_simd);
+    let waves_per_simd = die.max_waves_per_simd.min(by_vgpr).min(by_agpr);
+    let waves_per_cu = waves_per_simd * die.simd_units_per_cu;
+    let by_waves = waves_per_cu / k.waves_per_workgroup;
+    let limit = by_lds.min(by_waves);
+    (limit >= 1).then_some(limit)
+}
+
+/// What limited one dispatch round's duration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoundBound {
+    /// Matrix-unit occupancy was the bottleneck.
+    MatrixCore,
+    /// SIMD issue bandwidth was the bottleneck.
+    SimdIssue,
+    /// LDS bandwidth was the bottleneck.
+    Lds,
+    /// The serial dependent-instruction chain (low occupancy).
+    DependentChain,
+    /// No work.
+    Empty,
+}
+
+/// One dispatch round of a kernel execution (the unit of the paper's
+/// "first phase / second phase" description for >440 wavefronts, §V-B).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoundTrace {
+    /// Workgroups dispatched in this round.
+    pub workgroups: u64,
+    /// Wavefronts resident per SIMD/Matrix-Core pair (most-loaded CU).
+    pub waves_per_pair: f64,
+    /// Round makespan in cycles.
+    pub cycles: f64,
+    /// Fraction of the die's SIMD pairs that had work this round.
+    pub pair_utilization: f64,
+    /// The limiting pipeline.
+    pub bound: RoundBound,
+}
+
+/// The result of executing one kernel on one die (pre-governor).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelExec {
+    /// Compute-side cycles (makespan over all dispatch rounds).
+    pub compute_cycles: f64,
+    /// Effective clock in Hz after the residency model.
+    pub effective_clock_hz: f64,
+    /// DRAM transfer time in seconds.
+    pub dram_time_s: f64,
+    /// Total kernel time in seconds (max of compute/DRAM, plus launch
+    /// overhead) at the residency clock, before any governor action.
+    pub time_s: f64,
+    /// Total operations performed (FLOPs, or integer ops).
+    pub flops: u64,
+    /// Operations delivered by matrix units.
+    pub mfma_flops: u64,
+    /// Matrix-unit FLOPs by input datatype: (f64, f32, f16-class).
+    pub mfma_flops_by_type: (u64, u64, u64),
+    /// Vector-ALU FLOPs.
+    pub valu_flops: u64,
+    /// DRAM traffic in bytes.
+    pub hbm_bytes: u64,
+    /// Average matrix-unit occupancy across the kernel (0–1).
+    pub matrix_occupancy: f64,
+    /// Average SIMD issue occupancy (0–1).
+    pub simd_occupancy: f64,
+    /// Counter increments produced by this launch.
+    pub counters: HwCounters,
+    /// Fraction of compute time that is matrix-unit bound (diagnostic).
+    pub compute_bound_fraction: f64,
+    /// Per-dispatch-round execution trace.
+    pub rounds: Vec<RoundTrace>,
+}
+
+/// Errors from kernel validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The kernel requests more resources than one CU provides.
+    ResourceExhausted {
+        /// Explanation of the exceeded resource.
+        what: String,
+    },
+    /// The kernel has no work (zero workgroups or empty program).
+    EmptyLaunch,
+    /// Die index out of range for the package.
+    InvalidDie {
+        /// The requested die index.
+        die: usize,
+        /// Number of dies in the package.
+        dies: usize,
+    },
+}
+
+impl core::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LaunchError::ResourceExhausted { what } => write!(f, "kernel exceeds CU resources: {what}"),
+            LaunchError::EmptyLaunch => write!(f, "kernel has no work"),
+            LaunchError::InvalidDie { die, dies } => {
+                write!(f, "die index {die} out of range (package has {dies})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Executes one kernel on one die, returning timing, occupancy, and
+/// counters. Deterministic and closed-form.
+pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelExec, LaunchError> {
+    if k.workgroups == 0 || (k.program.body.is_empty() && k.program.prologue.is_empty() && k.program.epilogue.is_empty()) {
+        return Err(LaunchError::EmptyLaunch);
+    }
+    if k.lds_bytes_per_workgroup > die.lds_bytes_per_cu {
+        return Err(LaunchError::ResourceExhausted {
+            what: format!(
+                "LDS {} B per workgroup > {} B per CU",
+                k.lds_bytes_per_workgroup, die.lds_bytes_per_cu
+            ),
+        });
+    }
+    let wg_per_cu = workgroups_per_cu(die, k).ok_or_else(|| LaunchError::ResourceExhausted {
+        what: format!(
+            "workgroup of {} waves with {}v/{}a VGPRs does not fit a CU",
+            k.waves_per_workgroup, k.arch_vgprs, k.acc_vgprs
+        ),
+    })?;
+
+    let demand = SliceDemand::of_program(&k.program);
+    let simds = f64::from(die.simd_units_per_cu);
+    let cus = f64::from(die.compute_units);
+    let pairs_total = cus * simds;
+
+    // Dispatch rounds. Each round fills up to `wg_per_cu` workgroups on
+    // every CU; the most-loaded SIMD pair of the round sets its makespan.
+    let capacity_per_round = u64::from(wg_per_cu) * die.compute_units as u64;
+    let mut remaining = k.workgroups;
+    let mut total_cycles = 0.0_f64;
+    let mut mc_busy_weighted = 0.0_f64; // Σ round_cycles × occupancy
+    let mut simd_busy_weighted = 0.0_f64;
+
+    // LDS bandwidth share per SIMD pair, bytes per cycle.
+    let lds_share = cfg.lds_bytes_per_cycle_per_cu / simds;
+
+    let mut rounds = Vec::new();
+    while remaining > 0 {
+        let this_round = remaining.min(capacity_per_round);
+        remaining -= this_round;
+
+        // Workgroups per CU this round (ceil: the most-loaded CU governs).
+        let wg_cu = this_round.div_ceil(die.compute_units as u64);
+        let waves_cu = wg_cu * u64::from(k.waves_per_workgroup);
+        // Waves per SIMD pair on the most-loaded CU.
+        let w = (waves_cu as f64 / simds).ceil().max(1.0);
+
+        let mc = w * demand.mc_cycles;
+        let simd = w * demand.simd_cycles;
+        let lds = if lds_share > 0.0 { w * demand.lds_bytes / lds_share } else { 0.0 };
+        let t_wave = demand.self_cycles.max(mc).max(simd).max(lds);
+        total_cycles += t_wave;
+
+        // Occupancy bookkeeping: how busy matrix units and SIMDs are,
+        // averaged over all pairs on the die during this round.
+        let active_pairs = ((this_round * u64::from(k.waves_per_workgroup)) as f64).min(pairs_total * w);
+        let pair_fraction = (active_pairs / w).min(pairs_total) / pairs_total;
+        if t_wave > 0.0 {
+            mc_busy_weighted += t_wave * (mc / t_wave).min(1.0) * pair_fraction;
+            simd_busy_weighted += t_wave * (simd / t_wave).min(1.0) * pair_fraction;
+        }
+
+        // Trace entry: what bound this round.
+        let bound = if t_wave <= 0.0 {
+            RoundBound::Empty
+        } else if t_wave == mc {
+            RoundBound::MatrixCore
+        } else if t_wave == simd {
+            RoundBound::SimdIssue
+        } else if t_wave == lds {
+            RoundBound::Lds
+        } else {
+            RoundBound::DependentChain
+        };
+        rounds.push(RoundTrace {
+            workgroups: this_round,
+            waves_per_pair: w,
+            cycles: t_wave,
+            pair_utilization: pair_fraction,
+            bound,
+        });
+    }
+
+    let matrix_occupancy = if total_cycles > 0.0 { mc_busy_weighted / total_cycles } else { 0.0 };
+    let simd_occupancy = if total_cycles > 0.0 { simd_busy_weighted / total_cycles } else { 0.0 };
+
+    // Residency: weight each datatype's kappa by its share of matrix time.
+    let mc_all = demand.mc_cycles_f64 + demand.mc_cycles_f32 + demand.mc_cycles_f16;
+    let kappa_mc = if mc_all > 0.0 {
+        (cfg.residency.kappa_f64 * demand.mc_cycles_f64
+            + cfg.residency.kappa_f32 * demand.mc_cycles_f32
+            + cfg.residency.kappa_f16 * demand.mc_cycles_f16)
+            / mc_all
+    } else {
+        0.0
+    };
+    let clock_loss = kappa_mc * matrix_occupancy + cfg.residency.kappa_valu * simd_occupancy * (1.0 - matrix_occupancy);
+    let effective_clock_hz = die.clock_hz() * (1.0 - clock_loss).clamp(0.05, 1.0);
+
+    let compute_time_s = total_cycles / effective_clock_hz;
+    let dram_time_s = memory::dram_time_s(die, cfg, &k.mem_hints);
+    let time_s = compute_time_s.max(dram_time_s) + cfg.launch_overhead_s;
+
+    // FLOP and counter accounting.
+    let total_waves = k.total_waves();
+    let mut counters = HwCounters::default();
+    for (op, times) in k.program.dynamic_slots() {
+        counters.record(op, times * total_waves);
+    }
+    counters.waves_launched = total_waves;
+    counters.workgroups_launched = k.workgroups;
+
+    let flops = k.program.flops() * total_waves;
+    let mfma_flops = k.program.mfma_flops() * total_waves;
+    let mut by_type = (0u64, 0u64, 0u64);
+    for (op, times) in k.program.dynamic_slots() {
+        if let SlotOp::Mfma(i) = op {
+            let f = i.flops() * times * total_waves;
+            match i.ab {
+                DType::F64 => by_type.0 += f,
+                DType::F32 => by_type.1 += f,
+                _ => by_type.2 += f,
+            }
+        }
+    }
+
+    Ok(KernelExec {
+        compute_cycles: total_cycles,
+        effective_clock_hz,
+        dram_time_s,
+        time_s,
+        flops,
+        mfma_flops,
+        mfma_flops_by_type: by_type,
+        valu_flops: flops - mfma_flops,
+        hbm_bytes: k.mem_hints.hbm_bytes,
+        matrix_occupancy,
+        simd_occupancy,
+        counters,
+        compute_bound_fraction: if time_s > 0.0 {
+            compute_time_s / (compute_time_s + dram_time_s).max(f64::MIN_POSITIVE)
+        } else {
+            1.0
+        },
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_isa::{cdna2_catalog, KernelDesc, WaveProgram};
+
+    fn die() -> DieSpec {
+        mc_isa::specs::mi250x().die
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig::mi250x()
+    }
+
+    fn mfma_loop_kernel(n_waves: u64, iters: u64) -> KernelDesc {
+        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let program = WaveProgram::looped(vec![SlotOp::Mfma(i)], iters);
+        KernelDesc {
+            workgroups: n_waves,
+            waves_per_workgroup: 1,
+            ..KernelDesc::new("mfma_loop", program)
+        }
+    }
+
+    #[test]
+    fn single_wave_sees_pure_latency_and_boost_clock() {
+        let k = mfma_loop_kernel(1, 1_000_000);
+        let e = execute(&die(), &cfg(), &k).unwrap();
+        // 32 cycles per iteration, no contention.
+        assert!((e.compute_cycles - 32.0e6).abs() < 1.0);
+        // Occupancy 1/440: essentially full boost clock.
+        assert!(e.effective_clock_hz > 0.999 * die().clock_hz() * (1.0 - 0.087));
+        assert!(e.effective_clock_hz <= die().clock_hz());
+    }
+
+    #[test]
+    fn saturated_die_hits_calibrated_plateau() {
+        let k = mfma_loop_kernel(440, 100_000);
+        let e = execute(&die(), &cfg(), &k).unwrap();
+        let tflops = e.flops as f64 / e.time_s / 1e12;
+        // One-GCD mixed plateau: ~175 TFLOPS (paper §V-B), 91-92% of 191.6.
+        assert!((tflops - 175.0).abs() < 3.0, "got {tflops}");
+    }
+
+    #[test]
+    fn plateau_flat_beyond_saturation() {
+        let t = |waves| {
+            let k = mfma_loop_kernel(waves, 50_000);
+            let e = execute(&die(), &cfg(), &k).unwrap();
+            e.flops as f64 / e.time_s / 1e12
+        };
+        let t440 = t(440);
+        let t880 = t(880);
+        let t1320 = t(1320);
+        assert!((t880 - t440).abs() / t440 < 0.02, "{t440} vs {t880}");
+        assert!((t1320 - t440).abs() / t440 < 0.02);
+    }
+
+    #[test]
+    fn partial_saturation_penalized_as_paper_describes() {
+        // 660 waves: two phases, second at half utilization -> 75% of plateau.
+        let k660 = mfma_loop_kernel(660, 50_000);
+        let k440 = mfma_loop_kernel(440, 50_000);
+        let e660 = execute(&die(), &cfg(), &k660).unwrap();
+        let e440 = execute(&die(), &cfg(), &k440).unwrap();
+        let r = (e660.flops as f64 / e660.time_s) / (e440.flops as f64 / e440.time_s);
+        assert!((r - 0.75).abs() < 0.03, "ratio {r}");
+    }
+
+    #[test]
+    fn linear_region_scales_with_waves() {
+        let t = |waves| {
+            let k = mfma_loop_kernel(waves, 50_000);
+            let e = execute(&die(), &cfg(), &k).unwrap();
+            e.flops as f64 / e.time_s
+        };
+        let r = t(128) / t(64);
+        assert!((r - 2.0).abs() < 0.05, "doubling waves ~ doubles throughput, got {r}");
+    }
+
+    #[test]
+    fn fp64_plateau_is_85_percent() {
+        let i = *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap();
+        let program = WaveProgram::looped(vec![SlotOp::Mfma(i)], 100_000);
+        let k = KernelDesc {
+            workgroups: 440,
+            waves_per_workgroup: 1,
+            ..KernelDesc::new("f64", program)
+        };
+        let e = execute(&die(), &cfg(), &k).unwrap();
+        let tflops = e.flops as f64 / e.time_s / 1e12;
+        // ~41 TFLOPS = 85.6% of 47.9 (paper §V-B).
+        assert!((tflops - 41.0).abs() < 1.0, "got {tflops}");
+    }
+
+    #[test]
+    fn memory_bound_kernel_limited_by_dram() {
+        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let program = WaveProgram::looped(vec![SlotOp::Mfma(i)], 10);
+        let mut k = KernelDesc {
+            workgroups: 440,
+            waves_per_workgroup: 1,
+            ..KernelDesc::new("membound", program)
+        };
+        k.mem_hints.hbm_bytes = 10 << 30; // 10 GiB of traffic
+        let e = execute(&die(), &cfg(), &k).unwrap();
+        assert!(e.time_s > 6e-3, "10 GiB at ~1.4 TB/s takes ~7 ms, got {}", e.time_s);
+        assert!(e.compute_bound_fraction < 0.1);
+    }
+
+    #[test]
+    fn counters_accumulate_per_wave() {
+        let k = mfma_loop_kernel(10, 100);
+        let e = execute(&die(), &cfg(), &k).unwrap();
+        assert_eq!(e.counters.waves_launched, 10);
+        assert_eq!(e.counters.mfma_mops_f16, 10 * 100 * 8192 / 512);
+        assert_eq!(e.flops, 10 * 100 * 8192);
+    }
+
+    #[test]
+    fn empty_and_oversized_kernels_rejected() {
+        let k = KernelDesc::new("empty", WaveProgram::default());
+        assert!(matches!(execute(&die(), &cfg(), &k), Err(LaunchError::EmptyLaunch)));
+
+        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let program = WaveProgram::looped(vec![SlotOp::Mfma(i)], 1);
+        let k = KernelDesc {
+            lds_bytes_per_workgroup: 1 << 20,
+            ..KernelDesc::new("fat", program)
+        };
+        assert!(matches!(
+            execute(&die(), &cfg(), &k),
+            Err(LaunchError::ResourceExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn occupancy_limited_by_registers() {
+        let d = die();
+        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let program = WaveProgram::looped(vec![SlotOp::Mfma(i)], 1);
+        let k = KernelDesc {
+            arch_vgprs: 256, // only 2 waves per SIMD fit
+            waves_per_workgroup: 1,
+            ..KernelDesc::new("fatregs", program)
+        };
+        assert_eq!(workgroups_per_cu(&d, &k), Some(8));
+        let k2 = KernelDesc { arch_vgprs: 64, ..k };
+        assert_eq!(workgroups_per_cu(&d, &k2), Some(32)); // capped by max 8/SIMD
+    }
+
+    #[test]
+    fn round_trace_reflects_two_phase_dispatch() {
+        // 660 waves: phase 1 at full width, phase 2 half idle (§V-B).
+        let k = mfma_loop_kernel(660, 1000);
+        let e = execute(&die(), &cfg(), &k).unwrap();
+        // Single round model with ceil distribution: one round, 2 waves
+        // on the most-loaded pairs, 75% pair utilization.
+        assert_eq!(e.rounds.len(), 1);
+        assert_eq!(e.rounds[0].waves_per_pair, 2.0);
+        assert!((e.rounds[0].pair_utilization - 0.75).abs() < 0.01);
+        assert_eq!(e.rounds[0].bound, RoundBound::MatrixCore);
+
+        // A saturated single-wave-per-pair kernel is bound by the
+        // dependent chain and the matrix unit equally; we report MC.
+        let k440 = mfma_loop_kernel(440, 1000);
+        let e = execute(&die(), &cfg(), &k440).unwrap();
+        assert_eq!(e.rounds.len(), 1);
+        assert_eq!(e.rounds[0].bound, RoundBound::MatrixCore);
+    }
+
+    #[test]
+    fn multi_round_kernels_trace_every_round() {
+        // Occupancy cap is 32 waves/CU for this kernel: 110*32 = 3520
+        // per round; 8000 waves need 3 rounds.
+        let k = mfma_loop_kernel(8000, 100);
+        let e = execute(&die(), &cfg(), &k).unwrap();
+        assert_eq!(e.rounds.len(), 3);
+        let total: u64 = e.rounds.iter().map(|r| r.workgroups).sum();
+        assert_eq!(total, 8000);
+        assert!((e.rounds.iter().map(|r| r.cycles).sum::<f64>() - e.compute_cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let k = mfma_loop_kernel(1, 1);
+        let e = execute(&die(), &cfg(), &k).unwrap();
+        assert!(e.time_s >= cfg().launch_overhead_s);
+        assert!(e.time_s < cfg().launch_overhead_s * 1.01);
+    }
+}

@@ -1,0 +1,44 @@
+//! Event-driven, cycle-approximate simulator of the GPUs the paper
+//! characterizes: the AMD MI250X (two CDNA2 GCDs) and the NVIDIA A100.
+//!
+//! The simulator executes [`mc_isa::KernelDesc`] instruction streams at
+//! wavefront granularity with closed-form aggregation, modelling:
+//!
+//! - per-CU Matrix Core and SIMD pipelines with contention ([`engine`]);
+//! - dispatch rounds (wavefronts do not migrate), reproducing the
+//!   paper's partially-idle >440-wavefront phases;
+//! - a matrix-load-dependent clock-residency model calibrated to the
+//!   paper's sustained plateaus ([`config`]);
+//! - DRAM bandwidth with power-of-two channel-camping effects
+//!   ([`memory`]);
+//! - MI200-style hardware performance counters ([`counters`]);
+//! - physics-first power accounting with a package power-cap governor
+//!   ([`device`]), plus ROCm-SMI-style telemetry sampling ([`smi`]);
+//! - the paper's latency and throughput micro-benchmarks as reusable
+//!   harnesses ([`microbench`]).
+
+#![deny(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod counters;
+pub mod device;
+pub mod engine;
+pub mod memory;
+pub mod microbench;
+pub mod occupancy;
+pub mod shared;
+pub mod smi;
+
+pub use cluster::{frontier_projection, Cluster, ClusterResult};
+pub use config::{ClockResidency, SimConfig};
+pub use counters::{HwCounters, UnknownCounter, COUNTER_NAMES};
+pub use device::{dominant_mfma_type, Gpu, KernelResult, PackageResult, PowerProfile};
+pub use engine::{execute, workgroups_per_cu, KernelExec, LaunchError, RoundBound, RoundTrace};
+pub use occupancy::{occupancy, OccupancyLimit, OccupancyReport};
+pub use shared::SharedGpu;
+pub use microbench::{
+    fig3_wavefront_sweep, measure_latency, throughput_run, throughput_run_all_dies,
+    LatencyResult, ThroughputResult, LATENCY_LOOP_ITERS,
+};
+pub use smi::{sample_stats, PowerSample, SampleStats, Smi};

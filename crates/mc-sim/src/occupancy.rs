@@ -1,0 +1,189 @@
+//! Occupancy analysis: which CU resource limits a kernel's residency.
+//!
+//! The equivalent of ROCm's occupancy calculators: given a kernel's
+//! register/LDS footprint and workgroup shape, report the waves-per-CU
+//! ceiling and the binding resource. Occupancy is what determines how
+//! many of a GCD's 440 Matrix Cores a kernel can feed simultaneously —
+//! the `min(N_WF, 440)` term of the paper's Eq. 2 in practice.
+
+use mc_isa::specs::DieSpec;
+use mc_isa::KernelDesc;
+use serde::{Deserialize, Serialize};
+
+/// The resource that bounds occupancy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccupancyLimit {
+    /// The hardware wave-slot ceiling per SIMD.
+    WaveSlots,
+    /// Architectural VGPR file capacity.
+    ArchVgprs,
+    /// Accumulation VGPR file capacity.
+    AccVgprs,
+    /// Local data share capacity.
+    Lds,
+    /// Workgroup shape quantization (waves per workgroup granularity).
+    WorkgroupShape,
+}
+
+/// An occupancy report for one kernel on one die.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyReport {
+    /// Workgroups resident per CU.
+    pub workgroups_per_cu: u32,
+    /// Wavefronts resident per CU.
+    pub waves_per_cu: u32,
+    /// Wavefronts per SIMD (of the `max_waves_per_simd` ceiling).
+    pub waves_per_simd: u32,
+    /// Fraction of the wave-slot ceiling achieved (0–1).
+    pub fraction: f64,
+    /// The binding resource.
+    pub limited_by: OccupancyLimit,
+    /// Per-resource waves-per-SIMD ceilings, for diagnostics:
+    /// `(wave slots, arch VGPRs, acc VGPRs, LDS)`.
+    pub ceilings: (u32, u32, u32, u32),
+    /// Matrix Cores this kernel can feed simultaneously on the die.
+    pub matrix_cores_reachable: u32,
+}
+
+/// Computes the occupancy report for a kernel.
+pub fn occupancy(die: &DieSpec, k: &KernelDesc) -> OccupancyReport {
+    let slots = die.max_waves_per_simd;
+    let by_vgpr = die.vgprs_per_simd.checked_div(k.arch_vgprs).unwrap_or(slots);
+    let by_agpr = die.vgprs_per_simd.checked_div(k.acc_vgprs).unwrap_or(slots);
+    let by_lds_wg = die
+        .lds_bytes_per_cu
+        .checked_div(k.lds_bytes_per_workgroup)
+        .unwrap_or(u32::MAX);
+
+    let waves_per_simd_regs = slots.min(by_vgpr).min(by_agpr);
+    let waves_per_cu_regs = waves_per_simd_regs * die.simd_units_per_cu;
+    let wg_by_waves = waves_per_cu_regs.checked_div(k.waves_per_workgroup).unwrap_or(0);
+    let workgroups_per_cu = wg_by_waves.min(by_lds_wg);
+    let waves_per_cu = workgroups_per_cu * k.waves_per_workgroup;
+    let waves_per_simd = waves_per_cu / die.simd_units_per_cu;
+
+    // LDS expressed as a waves-per-SIMD ceiling for the diagnostics.
+    let lds_ceiling = if by_lds_wg == u32::MAX {
+        slots
+    } else {
+        (by_lds_wg * k.waves_per_workgroup / die.simd_units_per_cu).min(slots)
+    };
+
+    let limited_by = if workgroups_per_cu == by_lds_wg && by_lds_wg < wg_by_waves {
+        OccupancyLimit::Lds
+    } else if waves_per_simd_regs == by_agpr && by_agpr < slots && by_agpr <= by_vgpr {
+        OccupancyLimit::AccVgprs
+    } else if waves_per_simd_regs == by_vgpr && by_vgpr < slots {
+        OccupancyLimit::ArchVgprs
+    } else if waves_per_cu < waves_per_cu_regs {
+        OccupancyLimit::WorkgroupShape
+    } else {
+        OccupancyLimit::WaveSlots
+    };
+
+    OccupancyReport {
+        workgroups_per_cu,
+        waves_per_cu,
+        waves_per_simd,
+        fraction: f64::from(waves_per_cu) / f64::from(slots * die.simd_units_per_cu),
+        limited_by,
+        ceilings: (slots, by_vgpr.min(slots), by_agpr.min(slots), lds_ceiling),
+        matrix_cores_reachable: die
+            .total_matrix_units()
+            .min(die.compute_units * waves_per_cu.min(die.matrix_units_per_cu * slots)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_isa::{cdna2_catalog, SlotOp, WaveProgram};
+    use mc_types::DType;
+
+    fn die() -> DieSpec {
+        mc_isa::specs::mi250x().die
+    }
+
+    fn base_kernel() -> KernelDesc {
+        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        KernelDesc {
+            workgroups: 1000,
+            waves_per_workgroup: 4,
+            ..KernelDesc::new("k", WaveProgram::looped(vec![SlotOp::Mfma(i)], 10))
+        }
+    }
+
+    #[test]
+    fn light_kernel_hits_wave_slot_ceiling() {
+        let r = occupancy(&die(), &base_kernel());
+        assert_eq!(r.limited_by, OccupancyLimit::WaveSlots);
+        assert_eq!(r.waves_per_simd, 8);
+        assert_eq!(r.fraction, 1.0);
+        assert_eq!(r.matrix_cores_reachable, 440);
+    }
+
+    #[test]
+    fn fat_arch_vgprs_limit() {
+        let k = KernelDesc {
+            arch_vgprs: 200, // 512/200 = 2 waves/SIMD
+            ..base_kernel()
+        };
+        let r = occupancy(&die(), &k);
+        assert_eq!(r.limited_by, OccupancyLimit::ArchVgprs);
+        assert_eq!(r.waves_per_simd, 2);
+        assert_eq!(r.fraction, 0.25);
+    }
+
+    #[test]
+    fn accumulator_pressure_limit() {
+        // FP64 GEMM wave: 128 AccVGPRs -> 4 waves/SIMD.
+        let k = KernelDesc {
+            acc_vgprs: 128,
+            ..base_kernel()
+        };
+        let r = occupancy(&die(), &k);
+        assert_eq!(r.limited_by, OccupancyLimit::AccVgprs);
+        assert_eq!(r.waves_per_simd, 4);
+    }
+
+    #[test]
+    fn lds_limit() {
+        let k = KernelDesc {
+            lds_bytes_per_workgroup: 32 * 1024, // 2 workgroups per 64 KiB CU
+            ..base_kernel()
+        };
+        let r = occupancy(&die(), &k);
+        assert_eq!(r.limited_by, OccupancyLimit::Lds);
+        assert_eq!(r.workgroups_per_cu, 2);
+        assert_eq!(r.waves_per_cu, 8);
+    }
+
+    #[test]
+    fn workgroup_shape_quantization() {
+        // 5-wave workgroups into a 32-wave CU: 6 workgroups = 30 waves,
+        // quantization leaves 2 slots idle.
+        let k = KernelDesc {
+            waves_per_workgroup: 5,
+            ..base_kernel()
+        };
+        let r = occupancy(&die(), &k);
+        assert_eq!(r.workgroups_per_cu, 6);
+        assert_eq!(r.waves_per_cu, 30);
+        assert_eq!(r.limited_by, OccupancyLimit::WorkgroupShape);
+        assert!(r.fraction < 1.0);
+    }
+
+    #[test]
+    fn report_is_consistent_with_engine_admission() {
+        // The engine's workgroups_per_cu must agree with the report.
+        for k in [
+            base_kernel(),
+            KernelDesc { arch_vgprs: 200, ..base_kernel() },
+            KernelDesc { lds_bytes_per_workgroup: 16 * 1024, ..base_kernel() },
+        ] {
+            let r = occupancy(&die(), &k);
+            let engine = crate::engine::workgroups_per_cu(&die(), &k).unwrap();
+            assert_eq!(r.workgroups_per_cu, engine, "{k:?}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Triangular solves with multiple right-hand sides.
+//!
+//! These are the panel-level kernels of the blocked factorizations; like
+//! rocSOLVER's, they run on scalar/SIMD arithmetic (substitution has no
+//! `m×n×k` structure for Matrix Cores), which is precisely why the
+//! trailing-matrix GEMM dominates a factorization's Matrix Core share.
+
+use crate::matrix::Matrix;
+use crate::SolverError;
+
+/// Solves `L·X = B` for `X`, with `L` lower triangular (`unit_diag`
+/// selects implicit ones on the diagonal). `B` is overwritten by `X`.
+pub fn trsm_left_lower(
+    l: &Matrix<f64>,
+    b: &mut Matrix<f64>,
+    unit_diag: bool,
+) -> Result<(), SolverError> {
+    let n = l.rows();
+    if l.cols() != n || b.rows() != n {
+        return Err(SolverError::ShapeMismatch {
+            what: format!("L {}x{} vs B {}x{}", l.rows(), l.cols(), b.rows(), b.cols()),
+        });
+    }
+    for col in 0..b.cols() {
+        for i in 0..n {
+            let mut x = b.get(i, col);
+            for k in 0..i {
+                x -= l.get(i, k) * b.get(k, col);
+            }
+            if !unit_diag {
+                let d = l.get(i, i);
+                if d == 0.0 {
+                    return Err(SolverError::Singular { index: i });
+                }
+                x /= d;
+            }
+            b.set(i, col, x);
+        }
+    }
+    Ok(())
+}
+
+/// Solves `X·Lᵀ = B` for `X`, with `L` lower triangular (so `Lᵀ` is
+/// upper). `B` is `m×n`, `L` is `n×n`; `B` is overwritten by `X`.
+/// This is the Cholesky panel update `A₂₁ ← A₂₁·L₁₁⁻ᵀ`.
+pub fn trsm_right_lower_transpose(
+    l: &Matrix<f64>,
+    b: &mut Matrix<f64>,
+) -> Result<(), SolverError> {
+    let n = l.rows();
+    if l.cols() != n || b.cols() != n {
+        return Err(SolverError::ShapeMismatch {
+            what: format!("L {}x{} vs B {}x{}", l.rows(), l.cols(), b.rows(), b.cols()),
+        });
+    }
+    for row in 0..b.rows() {
+        for j in 0..n {
+            // X[row][j] = (B[row][j] - sum_{k<j} X[row][k] * L[j][k]) / L[j][j]
+            let mut x = b.get(row, j);
+            for k in 0..j {
+                x -= b.get(row, k) * l.get(j, k);
+            }
+            let d = l.get(j, j);
+            if d == 0.0 {
+                return Err(SolverError::Singular { index: j });
+            }
+            b.set(row, j, x / d);
+        }
+    }
+    Ok(())
+}
+
+/// Solves `U·X = B` with `U` upper triangular (back substitution).
+pub fn trsm_left_upper(u: &Matrix<f64>, b: &mut Matrix<f64>) -> Result<(), SolverError> {
+    let n = u.rows();
+    if u.cols() != n || b.rows() != n {
+        return Err(SolverError::ShapeMismatch {
+            what: format!("U {}x{} vs B {}x{}", u.rows(), u.cols(), b.rows(), b.cols()),
+        });
+    }
+    for col in 0..b.cols() {
+        for i in (0..n).rev() {
+            let mut x = b.get(i, col);
+            for k in i + 1..n {
+                x -= u.get(i, k) * b.get(k, col);
+            }
+            let d = u.get(i, i);
+            if d == 0.0 {
+                return Err(SolverError::Singular { index: i });
+            }
+            b.set(i, col, x / d);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower3() -> Matrix<f64> {
+        Matrix::from_slice(3, 3, &[2.0, 0.0, 0.0, 1.0, 3.0, 0.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn left_lower_solves() {
+        let l = lower3();
+        // Choose X, compute B = L X, recover X.
+        let x_true = Matrix::from_slice(3, 2, &[1.0, 2.0, -1.0, 0.5, 3.0, -2.0]);
+        let mut b = Matrix::zeros(3, 2);
+        for i in 0..3 {
+            for j in 0..2 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += l.get(i, k) * x_true.get(k, j);
+                }
+                b.set(i, j, s);
+            }
+        }
+        trsm_left_lower(&l, &mut b, false).unwrap();
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((b.get(i, j) - x_true.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_diagonal_ignores_stored_diagonal() {
+        let mut l = lower3();
+        l.set(0, 0, 999.0); // must be ignored with unit_diag
+        l.set(1, 1, 999.0);
+        l.set(2, 2, 999.0);
+        let mut b = Matrix::from_slice(3, 1, &[1.0, 2.0, 3.0]);
+        trsm_left_lower(&l, &mut b, true).unwrap();
+        // Forward substitution with unit diagonal:
+        // x0 = 1; x1 = 2 - 1*1 = 1; x2 = 3 - 4*1 - 5*1 = -6.
+        assert_eq!(b.get(0, 0), 1.0);
+        assert_eq!(b.get(1, 0), 1.0);
+        assert_eq!(b.get(2, 0), -6.0);
+    }
+
+    #[test]
+    fn right_lower_transpose_solves() {
+        let l = lower3();
+        let x_true = Matrix::from_slice(2, 3, &[1.0, -2.0, 0.5, 2.0, 1.0, -1.0]);
+        // B = X * L^T.
+        let mut b = Matrix::zeros(2, 3);
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += x_true.get(i, k) * l.get(j, k);
+                }
+                b.set(i, j, s);
+            }
+        }
+        trsm_right_lower_transpose(&l, &mut b).unwrap();
+        for i in 0..2 {
+            for j in 0..3 {
+                assert!((b.get(i, j) - x_true.get(i, j)).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn upper_back_substitution() {
+        let u = Matrix::from_slice(2, 2, &[2.0, 1.0, 0.0, 4.0]);
+        let mut b = Matrix::from_slice(2, 1, &[5.0, 8.0]);
+        trsm_left_upper(&u, &mut b).unwrap();
+        assert_eq!(b.get(1, 0), 2.0);
+        assert_eq!(b.get(0, 0), 1.5);
+    }
+
+    #[test]
+    fn singular_and_mismatch_rejected() {
+        let mut z = lower3();
+        z.set(1, 1, 0.0);
+        let mut b = Matrix::zeros(3, 1);
+        assert!(matches!(
+            trsm_left_lower(&z, &mut b, false),
+            Err(SolverError::Singular { index: 1 })
+        ));
+        let mut wrong = Matrix::zeros(2, 1);
+        assert!(matches!(
+            trsm_left_lower(&lower3(), &mut wrong, false),
+            Err(SolverError::ShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,222 @@
+//! bfloat16 ("brain float") implemented in software.
+//!
+//! Layout: 1 sign bit, 8 exponent bits (bias 127, same as `f32`), 7
+//! mantissa bits — i.e. a truncated `f32`. Matrix Cores support bf16 inputs
+//! for machine-learning workloads (`V_MFMA_F32_*_BF16` instructions); the
+//! paper focuses on the IEEE types but the ISA model still needs the type.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A bfloat16 floating-point number (truncated-f32 format).
+///
+/// ```
+/// use mc_types::Bf16;
+/// let x = Bf16::from_f32(3.0);
+/// assert_eq!(x.to_f32(), 3.0);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct Bf16(u16);
+
+const SIGN_MASK: u16 = 0x8000;
+const EXP_MASK: u16 = 0x7F80;
+const MAN_MASK: u16 = 0x007F;
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0x0000);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Positive infinity.
+    pub const INFINITY: Bf16 = Bf16(0x7F80);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Bf16 = Bf16(0xFF80);
+    /// A quiet NaN.
+    pub const NAN: Bf16 = Bf16(0x7FC0);
+    /// Largest finite value, approximately 3.39e38.
+    pub const MAX: Bf16 = Bf16(0x7F7F);
+    /// Machine epsilon, 2^-7.
+    pub const EPSILON: Bf16 = Bf16(0x3C00);
+
+    /// Creates a bfloat16 from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        if value.is_nan() {
+            // Quiet the NaN, keep sign and top payload bits.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        let round_bit = 0x0000_8000u32;
+        let lower = bits & 0x0000_FFFF;
+        let mut upper = (bits >> 16) as u16;
+        if lower > round_bit || (lower == round_bit && (upper & 1) == 1) {
+            upper = upper.wrapping_add(1); // may round a large finite to +inf, correctly
+        }
+        Bf16(upper)
+    }
+
+    /// Converts an `f64` (via `f32`).
+    pub fn from_f64(value: f64) -> Self {
+        Self::from_f32(value as f32)
+    }
+
+    /// Converts to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(u32::from(self.0) << 16)
+    }
+
+    /// Converts to `f64` exactly.
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.to_f32())
+    }
+
+    /// Returns `true` if this value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// Returns `true` for infinities.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) == 0
+    }
+
+    /// Returns `true` if neither infinite nor NaN.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// Returns `true` if the sign bit is set.
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        (self.0 & SIGN_MASK) != 0
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Self {
+        Bf16(self.0 & !SIGN_MASK)
+    }
+}
+
+impl fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bf16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl PartialOrd for Bf16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(x: Bf16) -> f32 {
+        x.to_f32()
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        impl $trait for Bf16 {
+            type Output = Bf16;
+            fn $method(self, rhs: Bf16) -> Bf16 {
+                Bf16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+        impl $assign_trait for Bf16 {
+            fn $assign_method(&mut self, rhs: Bf16) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, AddAssign, add_assign, +);
+impl_binop!(Sub, sub, SubAssign, sub_assign, -);
+impl_binop!(Mul, mul, MulAssign, mul_assign, *);
+impl_binop!(Div, div, DivAssign, div_assign, /);
+
+impl Neg for Bf16 {
+    type Output = Bf16;
+    fn neg(self) -> Bf16 {
+        Bf16(self.0 ^ SIGN_MASK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, -3.0, 128.0] {
+            assert_eq!(Bf16::from_f32(v).to_f32(), v);
+        }
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-8 is halfway between 1 and 1 + 2^-7: ties-to-even -> 1.
+        assert_eq!(Bf16::from_f32(1.0 + 2.0f32.powi(-8)).to_f32(), 1.0);
+        // 1 + 3*2^-8 is halfway, ties up to even mantissa.
+        assert_eq!(
+            Bf16::from_f32(1.0 + 3.0 * 2.0f32.powi(-8)).to_f32(),
+            1.0 + 2.0f32.powi(-6)
+        );
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        assert!(Bf16::from_f32(f32::MAX).is_infinite());
+        assert!(Bf16::from_f32(f32::MAX).to_f32().is_infinite());
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert!(Bf16::NAN.to_f32().is_nan());
+        assert!((-Bf16::NAN).is_nan());
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_through_f32() {
+        for bits in 0..=u16::MAX {
+            let h = Bf16::from_bits(bits);
+            let back = Bf16::from_f32(h.to_f32());
+            if h.is_nan() {
+                assert!(back.is_nan());
+            } else {
+                assert_eq!(back.to_bits(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_truncates_precision() {
+        let a = Bf16::from_f32(256.0);
+        // ulp at 256 is 2: 256 + 1 ties to even -> 256.
+        assert_eq!((a + Bf16::ONE).to_f32(), 256.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! A numeric trait unifying the element types used by the functional
+//! GEMM executor and the WMMA fragment API.
+
+use crate::{Bf16, DType, F16};
+
+/// A scalar element type usable in simulated matrix operations.
+///
+/// All arithmetic in the functional executors is routed through `f64`
+/// "compute precision" and rounded back per-type, except where a kernel
+/// explicitly models a lower-precision accumulator. This matches how the
+/// Matrix Core datapath is specified (exact products, wide accumulate,
+/// single rounding on writeback).
+pub trait Real: Copy + Default + PartialEq + core::fmt::Debug + Send + Sync + 'static {
+    /// The [`DType`] tag for this element type.
+    const DTYPE: DType;
+
+    /// Converts from an `f64` compute value (with this type's rounding).
+    fn from_f64(value: f64) -> Self;
+
+    /// Converts to an `f64` compute value (exact for all our types).
+    fn to_f64(self) -> f64;
+
+    /// The additive identity.
+    fn zero() -> Self {
+        Self::from_f64(0.0)
+    }
+
+    /// The multiplicative identity.
+    fn one() -> Self {
+        Self::from_f64(1.0)
+    }
+}
+
+impl Real for F16 {
+    const DTYPE: DType = DType::F16;
+
+    fn from_f64(value: f64) -> Self {
+        F16::from_f64(value)
+    }
+
+    fn to_f64(self) -> f64 {
+        F16::to_f64(self)
+    }
+}
+
+impl Real for Bf16 {
+    const DTYPE: DType = DType::Bf16;
+
+    fn from_f64(value: f64) -> Self {
+        Bf16::from_f64(value)
+    }
+
+    fn to_f64(self) -> f64 {
+        Bf16::to_f64(self)
+    }
+}
+
+impl Real for f32 {
+    const DTYPE: DType = DType::F32;
+
+    fn from_f64(value: f64) -> Self {
+        value as f32
+    }
+
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+impl Real for f64 {
+    const DTYPE: DType = DType::F64;
+
+    fn from_f64(value: f64) -> Self {
+        value
+    }
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Real>(v: f64) -> f64 {
+        T::from_f64(v).to_f64()
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(F16::zero().to_f64(), 0.0);
+        assert_eq!(F16::one().to_f64(), 1.0);
+        assert_eq!(f64::one(), 1.0);
+        assert_eq!(Bf16::one().to_f64(), 1.0);
+    }
+
+    #[test]
+    fn dtype_tags() {
+        assert_eq!(<F16 as Real>::DTYPE, DType::F16);
+        assert_eq!(<f32 as Real>::DTYPE, DType::F32);
+        assert_eq!(<f64 as Real>::DTYPE, DType::F64);
+        assert_eq!(<Bf16 as Real>::DTYPE, DType::Bf16);
+    }
+
+    #[test]
+    fn conversion_precision_ladder() {
+        // A value representable in f32 but not f16 loses precision only
+        // where expected.
+        let v = 1.0 + 2f64.powi(-12);
+        assert_eq!(roundtrip::<f64>(v), v);
+        assert_eq!(roundtrip::<f32>(v), v);
+        assert_eq!(roundtrip::<F16>(v), 1.0); // below half ulp of f16
+    }
+}

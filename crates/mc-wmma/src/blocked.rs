@@ -1,0 +1,273 @@
+//! Multi-block MMA: the CDNA2 small-shape instructions.
+//!
+//! "AMD CDNA2 also supports smaller shapes, where a Matrix Core can
+//! execute up to four parallel MFMA operations on independent
+//! (A, B, C, D) matrices. For example, with the shape 16×16×4, one can
+//! execute four parallel matrix FMA operations for the datatypes
+//! FP32 ← FP16" (paper §II — sixteen for the 4×4 shapes). This module
+//! exposes those instructions: a [`BlockedFragments`] bundle holds `B`
+//! independent fragments, and [`mma_sync_blocked`] executes all blocks
+//! with a *single* Matrix Core instruction.
+
+use mc_isa::modifiers::MfmaModifiers;
+use mc_isa::{cdna2_catalog, MatrixInstruction};
+use mc_types::Real;
+
+use crate::error::WmmaError;
+use crate::fragment::{Accumulator, Fragment, FragmentUse, MatrixA, MatrixB};
+use crate::mma::mma_sync;
+
+/// `B` independent operand fragments for a multi-block instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockedFragments<Use: FragmentUse, T: Real, const M: usize, const N: usize, const K: usize, const B: usize> {
+    blocks: Vec<Fragment<Use, T, M, N, K>>,
+}
+
+impl<Use: FragmentUse, T: Real, const M: usize, const N: usize, const K: usize, const B: usize>
+    Default for BlockedFragments<Use, T, M, N, K, B>
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Use: FragmentUse, T: Real, const M: usize, const N: usize, const K: usize, const B: usize>
+    BlockedFragments<Use, T, M, N, K, B>
+{
+    /// Creates `B` zeroed fragments.
+    pub fn new() -> Self {
+        BlockedFragments {
+            blocks: (0..B).map(|_| Fragment::new()).collect(),
+        }
+    }
+
+    /// Number of blocks.
+    pub const fn num_blocks() -> usize {
+        B
+    }
+
+    /// Immutable block access.
+    ///
+    /// # Panics
+    /// Panics if `block >= B`.
+    pub fn block(&self, block: usize) -> &Fragment<Use, T, M, N, K> {
+        &self.blocks[block]
+    }
+
+    /// Mutable block access.
+    ///
+    /// # Panics
+    /// Panics if `block >= B`.
+    pub fn block_mut(&mut self, block: usize) -> &mut Fragment<Use, T, M, N, K> {
+        &mut self.blocks[block]
+    }
+
+    /// Fills every block with `value`.
+    pub fn fill(&mut self, value: T) {
+        for b in &mut self.blocks {
+            b.fill(value);
+        }
+    }
+}
+
+/// Executes `D_i ← A_i·B_i + C_i` for all `B` blocks with one CDNA2
+/// multi-block MFMA instruction. Fails when no instruction with exactly
+/// this shape, type pair, *and block count* exists.
+pub fn mma_sync_blocked<AB, CD, const M: usize, const N: usize, const K: usize, const B: usize>(
+    d: &mut BlockedFragments<Accumulator, CD, M, N, K, B>,
+    a: &BlockedFragments<MatrixA, AB, M, N, K, B>,
+    b: &BlockedFragments<MatrixB, AB, M, N, K, B>,
+    c: &BlockedFragments<Accumulator, CD, M, N, K, B>,
+) -> Result<&'static MatrixInstruction, WmmaError>
+where
+    AB: Real,
+    CD: Real,
+{
+    mma_sync_blocked_with(MfmaModifiers::default(), d, a, b, c)
+}
+
+/// [`mma_sync_blocked`] with CBSZ/ABID/BLGP broadcast modifiers: block
+/// `i` consumes `A[mods.a_source_block(i)]` and
+/// `B[mods.b_source_block(i)]` (see [`mc_isa::modifiers`]).
+pub fn mma_sync_blocked_with<AB, CD, const M: usize, const N: usize, const K: usize, const B: usize>(
+    mods: MfmaModifiers,
+    d: &mut BlockedFragments<Accumulator, CD, M, N, K, B>,
+    a: &BlockedFragments<MatrixA, AB, M, N, K, B>,
+    b: &BlockedFragments<MatrixB, AB, M, N, K, B>,
+    c: &BlockedFragments<Accumulator, CD, M, N, K, B>,
+) -> Result<&'static MatrixInstruction, WmmaError>
+where
+    AB: Real,
+    CD: Real,
+{
+    let instr = cdna2_catalog()
+        .find(CD::DTYPE, AB::DTYPE, M as u32, N as u32, K as u32)
+        .filter(|i| i.shape.blocks as usize == B)
+        .ok_or(WmmaError::Unsupported {
+            arch: mc_isa::MatrixArch::Cdna2,
+            cd: CD::DTYPE,
+            ab: AB::DTYPE,
+            shape: (M, N, K),
+        })?;
+    mods.validate(instr).map_err(|_| WmmaError::Unsupported {
+        arch: mc_isa::MatrixArch::Cdna2,
+        cd: CD::DTYPE,
+        ab: AB::DTYPE,
+        shape: (M, N, K),
+    })?;
+
+    // Each block is an independent single-block MMA with the same
+    // datapath semantics; the modifiers redirect operand sourcing.
+    for i in 0..B {
+        let a_src = mods.a_source_block(i as u32) as usize;
+        let b_src = mods.b_source_block(i as u32, B as u32) as usize;
+        compute_one_block(d.block_mut(i), a.block(a_src), b.block(b_src), c.block(i));
+    }
+    Ok(instr)
+}
+
+fn compute_one_block<AB, CD, const M: usize, const N: usize, const K: usize>(
+    d: &mut Fragment<Accumulator, CD, M, N, K>,
+    a: &Fragment<MatrixA, AB, M, N, K>,
+    b: &Fragment<MatrixB, AB, M, N, K>,
+    c: &Fragment<Accumulator, CD, M, N, K>,
+) where
+    AB: Real,
+    CD: Real,
+{
+    // Reuse mma_sync when a single-block twin exists; otherwise compute
+    // with identical semantics (exact products, sequential accumulate).
+    if mma_sync(d, a, b, c).is_ok() {
+        return;
+    }
+    for i in 0..M {
+        for j in 0..N {
+            let mut acc = c.get(i, j);
+            for kk in 0..K {
+                let prod = CD::from_f64(a.get(i, kk).to_f64() * b.get(kk, j).to_f64());
+                acc = CD::from_f64(acc.to_f64() + prod.to_f64());
+            }
+            d.set(i, j, acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_types::F16;
+
+    #[test]
+    fn four_parallel_16x16x4_mixed_blocks() {
+        // The paper's §II example: four parallel FP32 <- FP16 MFMAs.
+        let mut a = BlockedFragments::<MatrixA, F16, 16, 16, 4, 4>::new();
+        let mut b = BlockedFragments::<MatrixB, F16, 16, 16, 4, 4>::new();
+        let c = BlockedFragments::<Accumulator, f32, 16, 16, 4, 4>::new();
+        let mut d = BlockedFragments::<Accumulator, f32, 16, 16, 4, 4>::new();
+        for blk in 0..4 {
+            a.block_mut(blk).fill(F16::from_f32((blk + 1) as f32));
+            for k in 0..4 {
+                b.block_mut(blk).set(k, k, F16::ONE);
+            }
+        }
+        let instr = mma_sync_blocked(&mut d, &a, &b, &c).unwrap();
+        assert_eq!(instr.mnemonic(), "v_mfma_f32_16x16x4f16");
+        assert_eq!(instr.shape.blocks, 4);
+        // Block i: row of (i+1)'s times identity columns -> (i+1) in the
+        // first 4 columns, 0 beyond.
+        for blk in 0..4 {
+            assert_eq!(d.block(blk).get(0, 0), (blk + 1) as f32);
+            assert_eq!(d.block(blk).get(5, 3), (blk + 1) as f32);
+            assert_eq!(d.block(blk).get(0, 4), 0.0);
+        }
+    }
+
+    #[test]
+    fn sixteen_parallel_4x4_blocks() {
+        let mut a = BlockedFragments::<MatrixA, f32, 4, 4, 1, 16>::new();
+        let mut b = BlockedFragments::<MatrixB, f32, 4, 4, 1, 16>::new();
+        let mut c = BlockedFragments::<Accumulator, f32, 4, 4, 1, 16>::new();
+        let mut d = BlockedFragments::<Accumulator, f32, 4, 4, 1, 16>::new();
+        for blk in 0..16 {
+            a.block_mut(blk).set(2, 0, 3.0);
+            b.block_mut(blk).set(0, 1, blk as f32);
+            c.block_mut(blk).set(2, 1, 1.0);
+        }
+        let instr = mma_sync_blocked(&mut d, &a, &b, &c).unwrap();
+        assert_eq!(instr.shape.blocks, 16);
+        for blk in 0..16 {
+            assert_eq!(d.block(blk).get(2, 1), 3.0 * blk as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn wrong_block_count_is_rejected() {
+        // 16x16x4 mixed exists with 4 blocks, not 2.
+        let mut d = BlockedFragments::<Accumulator, f32, 16, 16, 4, 2>::new();
+        let a = BlockedFragments::<MatrixA, F16, 16, 16, 4, 2>::new();
+        let b = BlockedFragments::<MatrixB, F16, 16, 16, 4, 2>::new();
+        let c = BlockedFragments::<Accumulator, f32, 16, 16, 4, 2>::new();
+        assert!(matches!(
+            mma_sync_blocked(&mut d, &a, &b, &c),
+            Err(WmmaError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn fp64_small_shape_four_blocks() {
+        let mut a = BlockedFragments::<MatrixA, f64, 4, 4, 4, 4>::new();
+        let mut b = BlockedFragments::<MatrixB, f64, 4, 4, 4, 4>::new();
+        let c = BlockedFragments::<Accumulator, f64, 4, 4, 4, 4>::new();
+        let mut d = BlockedFragments::<Accumulator, f64, 4, 4, 4, 4>::new();
+        a.fill(1.0);
+        b.fill(1.0);
+        let instr = mma_sync_blocked(&mut d, &a, &b, &c).unwrap();
+        assert_eq!(instr.mnemonic(), "v_mfma_f64_4x4x4f64");
+        for blk in 0..4 {
+            assert_eq!(d.block(blk).get(3, 3), 4.0); // row·col of ones, k=4
+        }
+    }
+
+    #[test]
+    fn broadcast_modifiers_redirect_operands() {
+        use mc_isa::modifiers::{Blgp, MfmaModifiers};
+        let mut a = BlockedFragments::<MatrixA, F16, 4, 4, 4, 16>::new();
+        let mut b = BlockedFragments::<MatrixB, F16, 4, 4, 4, 16>::new();
+        let c = BlockedFragments::<Accumulator, f32, 4, 4, 4, 16>::new();
+        let mut d = BlockedFragments::<Accumulator, f32, 4, 4, 4, 16>::new();
+        // Distinct A per block; identity-ish B per block.
+        for blk in 0..16 {
+            a.block_mut(blk).set(0, 0, F16::from_f32(blk as f32));
+            b.block_mut(blk).set(0, 0, F16::ONE);
+        }
+        // CBSZ=2/ABID=1: groups of 4 read A block (group*4 + 1);
+        // BLGP broadcast block 0 of B everywhere.
+        let mods = MfmaModifiers {
+            cbsz: 2,
+            abid: 1,
+            blgp: Blgp::BroadcastBlock0,
+        };
+        mma_sync_blocked_with(mods, &mut d, &a, &b, &c).unwrap();
+        for blk in 0..16 {
+            let expected_a = (blk / 4) * 4 + 1;
+            assert_eq!(
+                d.block(blk).get(0, 0),
+                expected_a as f32,
+                "block {blk}"
+            );
+        }
+        // Invalid modifiers surface as Unsupported.
+        let bad = MfmaModifiers { cbsz: 7, ..Default::default() };
+        assert!(mma_sync_blocked_with(bad, &mut d, &a, &b, &c).is_err());
+    }
+
+    #[test]
+    fn blocked_flops_match_instruction_accounting() {
+        let instr = cdna2_catalog()
+            .find(mc_types::DType::F32, mc_types::DType::F16, 4, 4, 4)
+            .unwrap();
+        // 2·4·4·4·16 = 2048 FLOPs from one instruction.
+        assert_eq!(instr.flops(), 2048);
+        assert_eq!(instr.shape.blocks, 16);
+    }
+}

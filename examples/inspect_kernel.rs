@@ -1,0 +1,55 @@
+//! Inspect what the GEMM planner "compiles" — the `-S` workflow the
+//! paper uses to verify Matrix Core usage (§IV-A), applied to the
+//! library's own kernels.
+//!
+//! ```sh
+//! cargo run --example inspect_kernel -- hhs 4096
+//! cargo run --example inspect_kernel -- hgemm 4096   # the SIMD path
+//! ```
+
+use amd_matrix_cores::blas::{plan_gemm, GemmDesc, GemmOp};
+use amd_matrix_cores::isa::disasm::{disassemble, kernel_stats};
+use amd_matrix_cores::sim::{occupancy, Gpu};
+
+fn main() {
+    let routine = std::env::args().nth(1).unwrap_or_else(|| "hhs".into());
+    let n: usize = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("N must be an integer"))
+        .unwrap_or(4096);
+
+    let op = match routine.as_str() {
+        "sgemm" => GemmOp::Sgemm,
+        "dgemm" => GemmOp::Dgemm,
+        "hgemm" => GemmOp::Hgemm,
+        "hhs" => GemmOp::Hhs,
+        "hss" => GemmOp::Hss,
+        "quant8" => GemmOp::Quant8,
+        other => {
+            eprintln!("unknown routine `{other}`");
+            std::process::exit(2);
+        }
+    };
+
+    let gpu = Gpu::mi250x();
+    let plan = plan_gemm(&gpu.spec().die, &GemmDesc::square(op, n)).expect("plannable");
+
+    println!("{}", disassemble(&plan.kernel));
+
+    let stats = kernel_stats(&plan.kernel);
+    let occ = occupancy(&gpu.spec().die, &plan.kernel);
+    println!("static verification ({}x{n}x{n} {routine}):", n);
+    println!(
+        "  {} matrix instructions per k-iteration; strategy {}",
+        stats.mfma_per_iteration,
+        if plan.strategy.uses_matrix_cores() { "MatrixCore" } else { "SimdOnly" }
+    );
+    println!(
+        "  occupancy: {} waves/CU ({:?}-limited), {} Matrix Cores reachable",
+        occ.waves_per_cu, occ.limited_by, occ.matrix_cores_reachable
+    );
+    println!(
+        "  planned FLOPs: {} on Matrix Cores, {} on SIMD units",
+        plan.mfma_flops, plan.simd_flops
+    );
+}

@@ -1,0 +1,77 @@
+//! A command-line port of AMD's `amd_matrix_instruction_calculator`
+//! (paper ref. [9]): look up any CDNA2 MFMA instruction and print its
+//! properties and the matrix-element ↔ register layout that makes
+//! C-level Matrix Core programming possible (paper §III).
+//!
+//! ```sh
+//! cargo run --example matrix_calculator -- --list
+//! cargo run --example matrix_calculator -- v_mfma_f32_16x16x16f16 A
+//! ```
+
+use amd_matrix_cores::isa::regmap::{layout_report, Operand};
+use amd_matrix_cores::isa::{cdna2_catalog, MatrixInstruction};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let catalog = cdna2_catalog();
+
+    if args.is_empty() || args[0] == "--list" {
+        println!("CDNA2 V_MFMA_* instruction catalog:");
+        println!(
+            "{:<36} {:>8} {:>9} {:>14} {:>6} {:>6} {:>6}",
+            "mnemonic", "blocks", "cycles", "FLOPs/CU/cyc", "vA", "vB", "aCD"
+        );
+        for i in catalog.instructions() {
+            println!(
+                "{:<36} {:>8} {:>9} {:>14.0} {:>6} {:>6} {:>6}",
+                i.mnemonic(),
+                i.shape.blocks,
+                i.latency_cycles,
+                i.flops_per_cu_per_cycle(),
+                i.a_vgprs_per_lane(),
+                i.b_vgprs_per_lane(),
+                i.cd_agprs_per_lane(),
+            );
+        }
+        println!("\nusage: matrix_calculator <mnemonic> [A|B|C|D]  — print register layout");
+        return;
+    }
+
+    let mnemonic = &args[0];
+    let Some(instr) = catalog.by_mnemonic(mnemonic) else {
+        eprintln!("unknown instruction `{mnemonic}`");
+        if let Ok(parsed) = MatrixInstruction::parse_cdna2_mnemonic(mnemonic) {
+            eprintln!(
+                "(parses as {} <- {} {}x{}x{}, but CDNA2 has no such opcode)",
+                parsed.cd, parsed.ab, parsed.shape.m, parsed.shape.n, parsed.shape.k
+            );
+        }
+        std::process::exit(1);
+    };
+
+    println!("{instr}");
+    if let Some(builtin) = instr.builtin() {
+        println!("compiler intrinsic: {builtin}");
+    }
+    println!(
+        "registers per lane: A {} VGPRs, B {} VGPRs, C/D {} AccVGPRs\n",
+        instr.a_vgprs_per_lane(),
+        instr.b_vgprs_per_lane(),
+        instr.cd_agprs_per_lane()
+    );
+
+    let operand = match args.get(1).map(String::as_str) {
+        Some("A") | None => Operand::A,
+        Some("B") => Operand::B,
+        Some("C") => Operand::C,
+        Some("D") => Operand::D,
+        Some(other) => {
+            eprintln!("unknown operand `{other}` (use A, B, C, or D)");
+            std::process::exit(1);
+        }
+    };
+    match layout_report(instr, operand) {
+        Ok(report) => println!("{report}"),
+        Err(e) => eprintln!("cannot compute layout: {e}"),
+    }
+}

@@ -1,0 +1,57 @@
+//! The paper's §V micro-benchmark workflow, end to end:
+//!
+//! * sweep wavefront counts for one datatype and print measured vs
+//!   Eq. 2-model throughput (Fig. 3 for a single series);
+//! * compare against the other datatypes' sustained plateaus;
+//! * show what happens at a non-multiple of 440 (the partially-idle
+//!   phase the paper explains in §V-B).
+//!
+//! ```sh
+//! cargo run --example wmma_microbench [mixed|float|double]
+//! ```
+
+use amd_matrix_cores::isa::cdna2_catalog;
+use amd_matrix_cores::model::ThroughputModel;
+use amd_matrix_cores::sim::{fig3_wavefront_sweep, throughput_run, Gpu};
+use amd_matrix_cores::types::DType;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "mixed".into());
+    let (cd, ab, m, n, k) = match which.as_str() {
+        "mixed" => (DType::F32, DType::F16, 16, 16, 16),
+        "float" => (DType::F32, DType::F32, 16, 16, 4),
+        "double" => (DType::F64, DType::F64, 16, 16, 4),
+        other => {
+            eprintln!("unknown series `{other}`; use mixed|float|double");
+            std::process::exit(2);
+        }
+    };
+
+    let instr = *cdna2_catalog().find(cd, ab, m, n, k).expect("paper instruction");
+    let mut gpu = Gpu::mi250x();
+    let model = ThroughputModel::new(&instr, &gpu.spec().die);
+    const ITERS: u64 = 1_000_000;
+
+    println!("{} on one MI250X GCD ({ITERS} iterations/wave)", instr.mnemonic());
+    println!("{:>8} {:>14} {:>14} {:>9}", "waves", "measured TF", "Eq.2 model", "ratio");
+    for wf in fig3_wavefront_sweep() {
+        let r = throughput_run(&mut gpu, 0, &instr, wf, ITERS).expect("launch");
+        let model_tf = model.tflops(wf);
+        println!(
+            "{wf:>8} {:>14.2} {:>14.2} {:>8.1}%",
+            r.tflops,
+            model_tf,
+            100.0 * r.tflops / model_tf
+        );
+    }
+
+    // The partially-idle case: 660 waves = 1.5x the Matrix Core count.
+    let r660 = throughput_run(&mut gpu, 0, &instr, 660, ITERS).expect("launch");
+    let r440 = throughput_run(&mut gpu, 0, &instr, 440, ITERS).expect("launch");
+    println!(
+        "\n660 waves: {:.1} TFLOPS = {:.0}% of the 440-wave plateau — \
+         the second dispatch phase leaves half the Matrix Cores idle (§V-B)",
+        r660.tflops,
+        100.0 * r660.tflops / r440.tflops
+    );
+}

@@ -1,0 +1,26 @@
+//! Umbrella crate for the AMD Matrix Cores characterization reproduction.
+//!
+//! This crate re-exports the public APIs of the workspace crates so that
+//! examples and downstream users can depend on a single package:
+//!
+//! - [`types`] — software FP16/BF16 and datatype metadata
+//! - [`isa`] — the CDNA2 / Ampere matrix-instruction model
+//! - [`sim`] — the event-driven GPU simulator (devices, counters, power)
+//! - [`wmma`] — the rocWMMA-style fragment API
+//! - [`blas`] — the rocBLAS-style GEMM library
+//! - [`model`] — performance models (throughput, FLOP distribution)
+//! - [`power`] — power sampling, modelling, and efficiency metrics
+//! - [`profiler`] — rocprof-style counter collection and derived metrics
+//!
+//! See the repository README for a quickstart and DESIGN.md for the
+//! system inventory and per-experiment index.
+
+pub use mc_blas as blas;
+pub use mc_isa as isa;
+pub use mc_model as model;
+pub use mc_power as power;
+pub use mc_profiler as profiler;
+pub use mc_sim as sim;
+pub use mc_solver as solver;
+pub use mc_types as types;
+pub use mc_wmma as wmma;

@@ -1,0 +1,167 @@
+//! Simulator behaviour under varied workload mixes: the governor, the
+//! memory system, dispatch traces, occupancy, and telemetry must stay
+//! mutually consistent in regimes the headline experiments don't visit.
+
+use amd_matrix_cores::isa::{cdna2_catalog, KernelDesc, MemHints, SlotOp, ValuOp, WaveProgram};
+use amd_matrix_cores::isa::ValuOpKind;
+use amd_matrix_cores::power::EnergyBreakdown;
+use amd_matrix_cores::sim::{occupancy, Gpu, RoundBound, SimConfig};
+use amd_matrix_cores::types::DType;
+
+fn mfma_kernel(cd: DType, ab: DType, m: u32, n: u32, k: u32, waves: u64, iters: u64) -> KernelDesc {
+    let i = *cdna2_catalog().find(cd, ab, m, n, k).unwrap();
+    KernelDesc {
+        workgroups: waves,
+        waves_per_workgroup: 1,
+        ..KernelDesc::new("t", WaveProgram::looped(vec![SlotOp::Mfma(i)], iters))
+    }
+}
+
+#[test]
+fn governor_engages_smoothly_across_the_mix() {
+    // Sweep the FP64 fraction of a mixed workload on both dies; power
+    // must be continuous and capped, throughput monotone in the mix.
+    let mut gpu = Gpu::mi250x();
+    let mut last_power = 0.0;
+    for f64_waves in [110u64, 220, 330, 440] {
+        let k = mfma_kernel(DType::F64, DType::F64, 16, 16, 4, f64_waves, 500_000);
+        let r = gpu.launch_parallel(&[(0, k.clone()), (1, k)]).unwrap();
+        assert!(r.peak_power_w <= gpu.spec().power_cap_w);
+        assert!(r.peak_power_w >= gpu.spec().idle_power_w);
+        // Power grows monotonically with FP64 occupancy and only the
+        // saturated point throttles.
+        assert!(r.peak_power_w > last_power, "{} -> {}", last_power, r.peak_power_w);
+        if f64_waves < 440 {
+            assert!((r.governor_scale - 1.0).abs() < 1e-12, "waves {f64_waves}");
+        } else {
+            assert!(r.governor_scale < 1.0);
+        }
+        last_power = r.peak_power_w;
+    }
+    // An asymmetric pair (FP64 on one die, mixed on the other) also
+    // respects the cap without throttling: ~(88/2+17.5+241) + ~(17.5+107).
+    let f64k = mfma_kernel(DType::F64, DType::F64, 16, 16, 4, 440, 500_000);
+    let mixk = mfma_kernel(DType::F32, DType::F16, 16, 16, 16, 440, 500_000);
+    let r = gpu.launch_parallel(&[(0, f64k), (1, mixk)]).unwrap();
+    assert!(r.peak_power_w < gpu.spec().power_cap_w);
+    assert!((r.governor_scale - 1.0).abs() < 1e-12, "{}", r.governor_scale);
+}
+
+#[test]
+fn mixed_body_kernels_split_energy_by_type() {
+    // A body with both FP64 MFMA and mixed MFMA: energy must be split
+    // between the two MFMA banks in proportion to their FLOPs.
+    let f64i = *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap();
+    let f16i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+    let k = KernelDesc {
+        workgroups: 440,
+        waves_per_workgroup: 1,
+        ..KernelDesc::new(
+            "blend",
+            WaveProgram::looped(vec![SlotOp::Mfma(f64i), SlotOp::Mfma(f16i)], 100_000),
+        )
+    };
+    let mut gpu = Gpu::mi250x();
+    let r = gpu.launch(0, &k).unwrap();
+    let b = EnergyBreakdown::of_result(gpu.spec(), &r);
+    assert!(b.mfma_j.0 > 0.0 && b.mfma_j.2 > 0.0);
+    // FP64 part: 2048 FLOPs at 5.88 pJ vs mixed 8192 at 0.61:
+    // energy ratio = (2048*5.88)/(8192*0.61) ≈ 2.41.
+    let ratio = b.mfma_j.0 / b.mfma_j.2;
+    assert!((ratio - 2.41).abs() < 0.05, "{ratio}");
+    // Counters landed in both banks.
+    let c = r.kernels[0].counters;
+    assert!(c.mfma_mops_f64 > 0 && c.mfma_mops_f16 > 0);
+}
+
+#[test]
+fn valu_heavy_kernels_respect_the_simd_roof() {
+    // Pure packed-FP16 FMA kernel at full occupancy: throughput must sit
+    // at (not above) the 47.9 TFLOPS packed-SIMD roof, modulo residency.
+    let body = vec![SlotOp::Valu(ValuOp::new(ValuOpKind::PackedFma, DType::F16))];
+    let k = KernelDesc {
+        workgroups: 3520, // 8 waves per SIMD
+        waves_per_workgroup: 1,
+        ..KernelDesc::new("pkfma", WaveProgram::looped(body, 100_000))
+    };
+    let mut gpu = Gpu::mi250x();
+    let r = gpu.launch(0, &k).unwrap();
+    let tflops = r.tflops();
+    let roof = 110.0 * 256.0 * 1.7e-3; // 48.1 TF at boost
+    assert!(tflops < roof, "{tflops} vs {roof}");
+    assert!(tflops > 0.9 * roof, "{tflops} vs {roof}");
+}
+
+#[test]
+fn dram_bound_kernel_reports_memory_rounds() {
+    let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+    let mut k = KernelDesc {
+        workgroups: 880,
+        waves_per_workgroup: 1,
+        ..KernelDesc::new("io", WaveProgram::looped(vec![SlotOp::Mfma(i)], 100))
+    };
+    k.mem_hints = MemHints {
+        hbm_bytes: 8 << 30,
+        working_set_bytes: 16 << 30,
+        pow2_stride: false,
+    };
+    let mut gpu = Gpu::mi250x();
+    let r = gpu.launch(0, &k).unwrap();
+    let exec = &r.kernels[0].exec;
+    assert!(exec.compute_bound_fraction < 0.2, "{}", exec.compute_bound_fraction);
+    assert!(exec.dram_time_s > exec.compute_cycles / exec.effective_clock_hz);
+}
+
+#[test]
+fn lds_bound_kernel_is_classified_as_such() {
+    // Huge LDS traffic per iteration dominates both MFMA and issue.
+    let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+    let body = vec![
+        SlotOp::Mfma(i),
+        SlotOp::LdsRead { bytes_per_lane: 128 },
+        SlotOp::LdsRead { bytes_per_lane: 128 },
+    ];
+    let k = KernelDesc {
+        workgroups: 440,
+        waves_per_workgroup: 1,
+        ..KernelDesc::new("lds", WaveProgram::looped(body, 10_000))
+    };
+    let mut gpu = Gpu::mi250x();
+    let r = gpu.launch(0, &k).unwrap();
+    let rounds = &r.kernels[0].exec.rounds;
+    assert!(rounds.iter().all(|t| t.bound == RoundBound::Lds), "{rounds:?}");
+}
+
+#[test]
+fn occupancy_report_matches_dispatch_behaviour() {
+    // An AGPR-limited kernel: the occupancy report's waves/CU must match
+    // the number of rounds the engine needs.
+    let i = *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap();
+    let k = KernelDesc {
+        workgroups: 880,
+        waves_per_workgroup: 1,
+        acc_vgprs: 256, // 2 waves per SIMD -> 8 per CU -> 880 resident
+        ..KernelDesc::new("agpr", WaveProgram::looped(vec![SlotOp::Mfma(i)], 1000))
+    };
+    let gpu = Gpu::mi250x();
+    let occ = occupancy(&gpu.spec().die, &k);
+    assert_eq!(occ.waves_per_cu, 8);
+    let mut gpu = Gpu::mi250x();
+    let r = gpu.launch(0, &k).unwrap();
+    assert_eq!(r.kernels[0].exec.rounds.len(), 1, "880 waves fit one round at 8/CU");
+}
+
+#[test]
+fn custom_device_configs_validate_and_run() {
+    // Build a cut-down custom die and run the standard microbenchmark.
+    let mut cfg = SimConfig::mi250x();
+    cfg.package.die.compute_units = 16;
+    cfg.package.dies = 1;
+    cfg.validate().unwrap();
+    let mut gpu = Gpu::new(cfg);
+    let k = mfma_kernel(DType::F32, DType::F16, 16, 16, 16, 64, 100_000);
+    let r = gpu.launch(0, &k).unwrap();
+    // 64 Matrix Cores' worth of mixed MFMA: 64 × 256 FLOP/cycle.
+    let expect = 64.0 * 256.0 * 1.7e9 * (1.0 - 0.087) / 1e12;
+    assert!((r.tflops() - expect).abs() < 1.0, "{} vs {expect}", r.tflops());
+}

@@ -1,0 +1,138 @@
+//! ISA-model conformance: the catalog, the encoder, the register
+//! mapper, the naming schemes, and the device specs must all describe
+//! the same machine.
+
+use amd_matrix_cores::isa::encoding::{encode_instance, opcode_of, MfmaEncoding, Reg, OPCODE_TABLE};
+use amd_matrix_cores::isa::regmap::{element_location, operand_coords, Operand};
+use amd_matrix_cores::isa::specs::{a100, mi250x};
+use amd_matrix_cores::isa::{ampere_catalog, cdna2_catalog, MatrixInstruction};
+use amd_matrix_cores::model::ThroughputModel;
+use proptest::prelude::*;
+
+#[test]
+fn catalog_encoding_and_parser_are_one_to_one() {
+    let catalog = cdna2_catalog();
+    for instr in catalog.instructions() {
+        // mnemonic -> parse -> same structure.
+        let parsed = MatrixInstruction::parse_cdna2_mnemonic(&instr.mnemonic()).unwrap();
+        assert_eq!((parsed.cd, parsed.ab), (instr.cd, instr.ab));
+        assert_eq!(
+            (parsed.shape.m, parsed.shape.n, parsed.shape.k),
+            (instr.shape.m, instr.shape.n, instr.shape.k)
+        );
+        // mnemonic -> opcode -> encode -> decode -> same mnemonic.
+        let op = opcode_of(instr).unwrap();
+        let enc = encode_instance(instr, Reg::A(0), Reg::V(0), Reg::V(8), Reg::A(0)).unwrap();
+        assert_eq!(enc.opcode, op);
+        let back = MfmaEncoding::from_u64(enc.to_u64()).unwrap();
+        assert_eq!(back.mnemonic(), instr.mnemonic());
+    }
+    // The opcode table covers the catalog exactly.
+    assert_eq!(OPCODE_TABLE.len(), catalog.instructions().len());
+}
+
+#[test]
+fn register_footprints_bound_the_mapping() {
+    // The declared VGPR/AccVGPR footprints are tight: the register map
+    // must touch every register index below the footprint.
+    for instr in cdna2_catalog().instructions() {
+        for (operand, regs) in [
+            (Operand::A, instr.a_vgprs_per_lane()),
+            (Operand::B, instr.b_vgprs_per_lane()),
+            (Operand::D, instr.cd_agprs_per_lane()),
+        ] {
+            let mut touched = vec![false; regs as usize];
+            for coord in operand_coords(instr, operand) {
+                let loc = element_location(instr, operand, coord).unwrap();
+                for r in loc.vgpr..loc.vgpr + loc.width {
+                    touched[r as usize] = true;
+                }
+            }
+            assert!(
+                touched.iter().all(|&t| t),
+                "{} {operand:?}: unused registers in footprint {regs}",
+                instr.mnemonic()
+            );
+        }
+    }
+}
+
+#[test]
+fn eq2_model_peak_equals_specs_peak_for_every_instruction() {
+    // Two independent derivations of the same peak: Eq. 2 saturated at
+    // the Matrix Core count, and the per-CU-rate × CUs × clock identity.
+    let die = mi250x().die;
+    for instr in cdna2_catalog().instructions() {
+        let model = ThroughputModel::new(instr, &die);
+        let spec_peak = die.peak_flops(instr.flops_per_cu_per_cycle());
+        assert!(
+            (model.peak_flops() - spec_peak).abs() / spec_peak < 1e-12,
+            "{}",
+            instr.mnemonic()
+        );
+    }
+}
+
+#[test]
+fn vendor_catalogs_do_not_cross() {
+    for i in cdna2_catalog().instructions() {
+        assert_eq!(i.arch, amd_matrix_cores::isa::MatrixArch::Cdna2);
+        assert!(i.mnemonic().starts_with("v_mfma"));
+    }
+    for i in ampere_catalog().instructions() {
+        assert_eq!(i.arch, amd_matrix_cores::isa::MatrixArch::Ampere);
+        assert!(i.mnemonic().starts_with("mma.sync"));
+        assert!(i.builtin().is_none(), "no official C interface on NVIDIA (§III)");
+    }
+}
+
+#[test]
+fn die_specs_are_internally_consistent() {
+    for spec in [mi250x(), a100()] {
+        let die = &spec.die;
+        assert_eq!(die.matrix_units_per_cu, die.simd_units_per_cu);
+        assert!(die.clock_mhz > 0 && die.compute_units > 0);
+        assert!(spec.idle_power_w < spec.power_cap_w);
+        // Wavefront size is a power of two and at least a SIMD width.
+        assert!(die.wavefront_size.is_power_of_two());
+        assert!(die.wavefront_size >= 16);
+    }
+}
+
+proptest! {
+    /// Any encodable register assignment round-trips through the
+    /// 64-bit word.
+    #[test]
+    fn encoding_roundtrips_random_registers(
+        instr_idx in 0usize..27,
+        vdst in 0u8..=255,
+        s0 in 0u8..=255,
+        s1 in 0u8..=255,
+        s2 in 0u8..=255,
+        accs in 0u8..16,
+    ) {
+        let catalog = cdna2_catalog();
+        let instr = &catalog.instructions()[instr_idx % catalog.instructions().len()];
+        let reg = |n: u8, acc: bool| if acc { Reg::A(n) } else { Reg::V(n) };
+        let enc = encode_instance(
+            instr,
+            reg(vdst, accs & 1 != 0),
+            Reg::V(s0),
+            reg(s1, accs & 4 != 0),
+            reg(s2, accs & 8 != 0),
+        ).unwrap();
+        let back = MfmaEncoding::from_u64(enc.to_u64()).unwrap();
+        prop_assert_eq!(back, enc);
+    }
+
+    /// Parsing is total over well-formed mnemonics and rejects noise.
+    #[test]
+    fn parser_rejects_random_noise(s in "[a-z0-9_x]{1,24}") {
+        // Either parses into a structurally-valid instruction or errors;
+        // never panics.
+        if let Ok(i) = MatrixInstruction::parse_cdna2_mnemonic(&s) {
+            prop_assert!(i.shape.m > 0 && i.shape.n > 0 && i.shape.k > 0);
+            prop_assert!(s.starts_with("v_mfma_"));
+        }
+    }
+}

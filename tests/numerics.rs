@@ -1,0 +1,186 @@
+//! Numerical-behaviour validation across the precision ladder — the
+//! kind of analysis the paper's precision-focused references ([2], [3])
+//! perform on real tensor/matrix units, run against our functional
+//! models.
+
+use amd_matrix_cores::blas::{
+    gemm_reference_f64, quantize, run_functional, select_strategy, GemmDesc, GemmOp,
+};
+use amd_matrix_cores::types::{F16};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Max relative error of a GEMM routine against the f64 reference, over
+/// a shared random problem of size n (inputs chosen in [-1, 1]).
+fn gemm_error(op: GemmOp, n: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a64: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b64: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let desc = GemmDesc {
+        alpha: 1.0,
+        beta: 0.0,
+        ..GemmDesc::square(op, n)
+    };
+    let c64 = vec![0.0f64; n * n];
+    let mut d_ref = vec![0.0f64; n * n];
+    gemm_reference_f64(&desc, &a64, &b64, &c64, &mut d_ref).unwrap();
+    let scale = d_ref.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+
+    let strategy = select_strategy(&desc);
+    let err = |d: &[f64]| -> f64 {
+        d.iter()
+            .zip(&d_ref)
+            .map(|(x, r)| (x - r).abs())
+            .fold(0.0, f64::max)
+            / scale
+    };
+
+    match op {
+        GemmOp::Dgemm => {
+            let mut d = vec![0.0f64; n * n];
+            run_functional::<f64, f64, f64>(&desc, &strategy, &a64, &b64, &c64, &mut d).unwrap();
+            err(&d)
+        }
+        GemmOp::Sgemm => {
+            let a: Vec<f32> = a64.iter().map(|&x| x as f32).collect();
+            let b: Vec<f32> = b64.iter().map(|&x| x as f32).collect();
+            let c = vec![0.0f32; n * n];
+            let mut d = vec![0.0f32; n * n];
+            run_functional::<f32, f32, f32>(&desc, &strategy, &a, &b, &c, &mut d).unwrap();
+            err(&d.iter().map(|&x| f64::from(x)).collect::<Vec<_>>())
+        }
+        GemmOp::Hss => {
+            let a: Vec<F16> = a64.iter().map(|&x| F16::from_f64(x)).collect();
+            let b: Vec<F16> = b64.iter().map(|&x| F16::from_f64(x)).collect();
+            let c = vec![0.0f32; n * n];
+            let mut d = vec![0.0f32; n * n];
+            run_functional::<F16, f32, f32>(&desc, &strategy, &a, &b, &c, &mut d).unwrap();
+            err(&d.iter().map(|&x| f64::from(x)).collect::<Vec<_>>())
+        }
+        GemmOp::Hgemm => {
+            let a: Vec<F16> = a64.iter().map(|&x| F16::from_f64(x)).collect();
+            let b: Vec<F16> = b64.iter().map(|&x| F16::from_f64(x)).collect();
+            let c = vec![F16::ZERO; n * n];
+            let mut d = vec![F16::ZERO; n * n];
+            run_functional::<F16, F16, F16>(&desc, &strategy, &a, &b, &c, &mut d).unwrap();
+            err(&d.iter().map(|x| x.to_f64()).collect::<Vec<_>>())
+        }
+        _ => unreachable!("not exercised here"),
+    }
+}
+
+#[test]
+fn precision_ladder_orders_correctly() {
+    // For the same data: DGEMM < SGEMM < HSS < HGEMM error, with clear
+    // separation at every rung.
+    let n = 128;
+    let d = gemm_error(GemmOp::Dgemm, n, 1);
+    let s = gemm_error(GemmOp::Sgemm, n, 1);
+    let hss = gemm_error(GemmOp::Hss, n, 1);
+    let hgemm = gemm_error(GemmOp::Hgemm, n, 1);
+    assert!(d < 1e-14, "{d}");
+    assert!(s > d && s < 1e-5, "{s}");
+    assert!(hss > s && hss < 1e-2, "{hss}");
+    assert!(hgemm > 3.0 * hss, "{hgemm} vs {hss}");
+}
+
+#[test]
+fn hss_error_stays_flat_with_k_but_hgemm_grows() {
+    // HSS error is input-quantization dominated (flat in k); HGEMM's
+    // FP16 accumulation error grows with the reduction length.
+    let hss_small = gemm_error(GemmOp::Hss, 32, 2);
+    let hss_big = gemm_error(GemmOp::Hss, 256, 2);
+    let hgemm_small = gemm_error(GemmOp::Hgemm, 32, 2);
+    let hgemm_big = gemm_error(GemmOp::Hgemm, 256, 2);
+    assert!(hss_big < hss_small * 4.0, "{hss_small} -> {hss_big}");
+    assert!(hgemm_big > hgemm_small * 2.0, "{hgemm_small} -> {hgemm_big}");
+}
+
+#[test]
+fn int8_quantized_error_comparable_to_fp16_inputs() {
+    // Symmetric int8 with per-tensor scales has ~2^-8 relative input
+    // error vs fp16's ~2^-11: quantized GEMM error should land within
+    // an order of magnitude of HSS on the same data.
+    let n = 128;
+    let mut rng = StdRng::seed_from_u64(3);
+    let af: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let bf: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let a = quantize(&af);
+    let b = quantize(&bf);
+    let c = vec![0.0f32; n * n];
+    let mut d = vec![0.0f32; n * n];
+    amd_matrix_cores::blas::quantized_gemm(n, n, n, &a, &b, 0.0, &c, &mut d).unwrap();
+
+    let mut max_err = 0.0f64;
+    let mut scale = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let mut exact = 0.0f64;
+            for p in 0..n {
+                exact += f64::from(af[i * n + p]) * f64::from(bf[p * n + j]);
+            }
+            max_err = max_err.max((f64::from(d[i * n + j]) - exact).abs());
+            scale = scale.max(exact.abs());
+        }
+    }
+    let rel = max_err / scale;
+    assert!(rel < 0.05, "{rel}");
+    let hss = gemm_error(GemmOp::Hss, n, 3);
+    assert!(rel < hss * 30.0, "int8 {rel} vs hss {hss}");
+}
+
+#[test]
+fn fragment_mma_is_invariant_to_tiling() {
+    // The tiled Matrix Core path must give identical results regardless
+    // of where tile boundaries fall (pure function of the data): compare
+    // N=96 (6 tiles/dim with 16-tiles) against the SIMD path in f64
+    // (exact), which is tiling-free.
+    let n = 96;
+    let mut rng = StdRng::seed_from_u64(4);
+    let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let b: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let c: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let desc = GemmDesc {
+        alpha: 1.0,
+        beta: 1.0,
+        ..GemmDesc::square(GemmOp::Dgemm, n)
+    };
+    let strategy = select_strategy(&desc);
+    assert!(strategy.uses_matrix_cores());
+    let mut d_mc = vec![0.0f64; n * n];
+    run_functional::<f64, f64, f64>(&desc, &strategy, &a, &b, &c, &mut d_mc).unwrap();
+
+    let simd = amd_matrix_cores::blas::Strategy::SimdOnly {
+        reason: amd_matrix_cores::blas::SimdReason::NoMatrixInstruction,
+    };
+    let mut d_simd = vec![0.0f64; n * n];
+    run_functional::<f64, f64, f64>(&desc, &simd, &a, &b, &c, &mut d_simd).unwrap();
+    // Sequential-in-k order in both paths, f64: bitwise identical.
+    assert_eq!(d_mc, d_simd);
+}
+
+#[test]
+fn alpha_beta_scaling_precision() {
+    // The α/β epilogue is applied in the compute type: for HHS the f16
+    // output rounds once at the end, not per term.
+    let n = 16;
+    let desc = GemmDesc {
+        alpha: 0.1,
+        beta: 0.1,
+        ..GemmDesc::square(GemmOp::Hhs, n)
+    };
+    let a = vec![F16::ONE; n * n];
+    let mut b = vec![F16::ZERO; n * n];
+    for i in 0..n {
+        b[i * n + i] = F16::ONE;
+    }
+    let c = vec![F16::ONE; n * n];
+    let mut d = vec![F16::ZERO; n * n];
+    let strategy = select_strategy(&desc);
+    run_functional::<F16, F16, f32>(&desc, &strategy, &a, &b, &c, &mut d).unwrap();
+    // Exact: 0.1·1 + 0.1·1 computed in f32 then rounded once to f16.
+    let expect = F16::from_f32(0.1f32 + 0.1f32);
+    for x in &d {
+        assert_eq!(x.to_bits(), expect.to_bits());
+    }
+}

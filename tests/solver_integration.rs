@@ -1,0 +1,171 @@
+//! Integration tests for the LAPACK layer: numerics against the BLAS
+//! stack, utilization against the profiler, and power over a whole
+//! factorization's launch sequence.
+
+use amd_matrix_cores::blas::{BlasHandle, GemmDesc, GemmOp};
+use amd_matrix_cores::power::PmCounters;
+use amd_matrix_cores::sim::Gpu;
+use amd_matrix_cores::solver::{
+    factor_timed, getrf, potrf, refine, Factorization, Matrix, RefineOptions,
+};
+
+fn spd(n: usize) -> Matrix<f64> {
+    // Symmetric, strongly diagonally dominant => positive definite.
+    Matrix::from_fn(n, n, |i, j| {
+        let (lo, hi) = (i.min(j), i.max(j));
+        let base = (((lo * 31 + hi * 17) % 13) as f64) / 13.0 - 0.5;
+        if i == j {
+            n as f64 + base
+        } else {
+            base
+        }
+    })
+}
+
+#[test]
+fn cholesky_solves_through_the_full_stack() {
+    let n = 160;
+    let a = spd(n);
+    let l = potrf(&a, 64).unwrap();
+    // Residual of the reconstruction, relative to ||A||.
+    let mut max = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += l.get(i, k) * l.get(j, k);
+            }
+            max = max.max((s - a.get(i, j)).abs());
+        }
+    }
+    assert!(max / a.max_abs() < 1e-12, "{max}");
+}
+
+#[test]
+fn lu_beats_unpivoted_instability() {
+    // A matrix needing pivoting: tiny leading pivot.
+    let n = 64;
+    let mut a = Matrix::from_fn(n, n, |i, j| {
+        let h = ((i * n + j) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+        let noise = (h as f64) / (1u64 << 24) as f64 - 0.5;
+        if i == j {
+            6.0 + noise
+        } else {
+            noise
+        }
+    });
+    a.set(0, 0, 1e-14);
+    let lu = getrf(&a, 16).unwrap();
+    assert_ne!(lu.ipiv[0], 0, "must pivot away from the tiny element");
+    // Solve and check.
+    let x_true = Matrix::from_fn(n, 1, |i, _| ((i % 5) as f64) - 2.0);
+    let mut b = Matrix::zeros(n, 1);
+    for i in 0..n {
+        let mut s = 0.0;
+        for k in 0..n {
+            s += a.get(i, k) * x_true.get(k, 0);
+        }
+        b.set(i, 0, s);
+    }
+    let x = lu.solve(&b).unwrap();
+    for i in 0..n {
+        assert!((x.get(i, 0) - x_true.get(i, 0)).abs() < 1e-6, "row {i}");
+    }
+}
+
+#[test]
+fn refinement_converges_where_f32_alone_is_insufficient() {
+    let n = 200;
+    let a = spd(n);
+    let x_true = Matrix::from_fn(n, 1, |i, _| ((i * 37 % 101) as f64) / 101.0);
+    let mut b = Matrix::zeros(n, 1);
+    for i in 0..n {
+        let mut s = 0.0;
+        for k in 0..n {
+            s += a.get(i, k) * x_true.get(k, 0);
+        }
+        b.set(i, 0, s);
+    }
+    let report = refine(&a, &b, RefineOptions::default()).unwrap();
+    let final_err = (0..n)
+        .map(|i| (report.x.get(i, 0) - x_true.get(i, 0)).abs())
+        .fold(0.0f64, f64::max);
+    assert!(final_err < 1e-10, "{final_err}");
+    assert!(report.residual_history[0] / report.residual_history.last().unwrap() > 1e2);
+}
+
+#[test]
+fn factorization_gemm_counters_match_blas_accounting() {
+    // The timed factorization's MFMA counters must equal the sum of its
+    // individual GEMM plans' counters.
+    let mut handle = BlasHandle::new_mi250x_gcd();
+    let n = 1024;
+    let nb = 128;
+    let perf = factor_timed(&mut handle, Factorization::Potrf, n, nb).unwrap();
+
+    let mut expected_mfma = 0u64;
+    let mut k = 0;
+    while k < n {
+        let b = nb.min(n - k);
+        let rest = n - k - b;
+        if rest > 0 {
+            // POTRF trailing updates run as SYRK (lower-triangle tiles).
+            let plan = amd_matrix_cores::blas::plan_syrk(
+                &handle.gpu().spec().die,
+                &amd_matrix_cores::blas::SyrkDesc {
+                    op: GemmOp::Dgemm,
+                    n: rest,
+                    k: b,
+                    alpha: -1.0,
+                    beta: 1.0,
+                },
+            )
+            .unwrap();
+            expected_mfma += plan.kernel.total_mfma_flops();
+        }
+        k += b;
+    }
+    assert_eq!(perf.counters.mfma_mops_f64 * 512, expected_mfma);
+}
+
+#[test]
+fn factorization_power_profile_integrates_consistently() {
+    // Replay the factorization's GEMM schedule as a launch sequence and
+    // cross-check SMI-style telemetry against pm_counters energy.
+    let mut gpu = Gpu::mi250x();
+    let die = gpu.spec().die.clone();
+    let mut kernels = Vec::new();
+    let (n, nb) = (2048usize, 128usize);
+    let mut k = 0;
+    while k < n {
+        let b = nb.min(n - k);
+        let rest = n - k - b;
+        if rest > 0 {
+            let plan = amd_matrix_cores::blas::plan_gemm(
+                &die,
+                &GemmDesc::new(GemmOp::Dgemm, rest, rest, b, -1.0, 1.0),
+            )
+            .unwrap();
+            kernels.push(plan.kernel);
+        }
+        k += b;
+    }
+    let seq = gpu.launch_sequence(0, &kernels).unwrap();
+    let pm = PmCounters::attach(seq.profile.clone());
+    let mean_from_energy = pm.mean_power_w(0.0, seq.time_s);
+    assert!((mean_from_energy - seq.avg_power_w).abs() < 1e-6);
+    // Power must stay between idle and cap throughout.
+    for &(_, _, w) in &seq.profile.segments {
+        assert!(w >= gpu.spec().idle_power_w && w < gpu.spec().power_cap_w);
+    }
+}
+
+#[test]
+fn gemm_dominance_grows_with_block_ratio() {
+    // Classic LAPACK analysis: panel work is O(n·nb²), GEMM is O(n³).
+    let mut handle = BlasHandle::new_mi250x_gcd();
+    let small = factor_timed(&mut handle, Factorization::Getrf, 2048, 256).unwrap();
+    let large = factor_timed(&mut handle, Factorization::Getrf, 8192, 256).unwrap();
+    assert!(large.matrix_core_ratio > small.matrix_core_ratio);
+    assert!(large.matrix_core_ratio > 0.96, "{}", large.matrix_core_ratio);
+}
