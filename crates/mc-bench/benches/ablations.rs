@@ -11,20 +11,22 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mc_isa::cdna2_catalog;
 use mc_power::sampler::BackgroundSampler;
 use mc_power::SamplerConfig;
-use mc_sim::{throughput_run_all_dies, Gpu, SimConfig, Smi};
+use mc_sim::{throughput_run_all_dies, DeviceId, DeviceRegistry, Gpu, Smi};
 use mc_types::DType;
 use std::hint::black_box;
 
 fn ablation_granularity(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_granularity");
     g.sample_size(20);
-    let instr = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+    let instr = *cdna2_catalog()
+        .find(DType::F32, DType::F16, 16, 16, 16)
+        .unwrap();
     // Simulation cost must not scale with loop length: 10^5 vs 10^9
     // iterations should take the same host time (closed-form per-wave
     // aggregation, DESIGN.md decision 1).
     for iters in [100_000u64, 1_000_000_000] {
         g.bench_with_input(BenchmarkId::new("iters", iters), &iters, |b, &iters| {
-            let mut gpu = Gpu::mi250x();
+            let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
             b.iter(|| {
                 black_box(
                     mc_sim::throughput_run(&mut gpu, 0, &instr, 440, iters)
@@ -40,13 +42,16 @@ fn ablation_granularity(c: &mut Criterion) {
 fn ablation_governor(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_governor");
     g.sample_size(20);
-    let instr = *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap();
+    let instr = *cdna2_catalog()
+        .find(DType::F64, DType::F64, 16, 16, 4)
+        .unwrap();
     for (label, governor) in [("governor_on", true), ("governor_off", false)] {
         g.bench_function(label, |b| {
+            let base = DeviceRegistry::builtin().config(DeviceId::Mi250x).clone();
             let cfg = if governor {
-                SimConfig::mi250x()
+                base
             } else {
-                SimConfig::mi250x().without_governor()
+                base.without_governor()
             };
             let mut gpu = Gpu::new(cfg);
             b.iter(|| {
@@ -62,8 +67,10 @@ fn ablation_governor(c: &mut Criterion) {
 fn ablation_sampling(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_sampling");
     g.sample_size(10);
-    let instr = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
-    let mut gpu = Gpu::mi250x();
+    let instr = *cdna2_catalog()
+        .find(DType::F32, DType::F16, 16, 16, 16)
+        .unwrap();
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let result = throughput_run_all_dies(&mut gpu, &instr, 440, 6_000_000_000).unwrap();
     let noise = gpu.config().telemetry_noise;
     for (label, period) in [("period_100ms", 0.1), ("period_10ms", 0.01)] {

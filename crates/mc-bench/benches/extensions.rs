@@ -11,17 +11,29 @@ fn bench_extensions(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function("solver_utilization_sweep", |b| {
-        b.iter(|| black_box(mc_bench::solver_ext::run()))
+        b.iter(|| black_box(mc_bench::solver_ext::run(&mc_sim::DeviceRegistry::builtin())))
     });
 
     g.bench_function("ml_dtypes_survey", |b| {
-        b.iter(|| black_box(mc_bench::ml_dtypes::run(black_box(100_000))))
+        b.iter(|| {
+            black_box(mc_bench::ml_dtypes::run(
+                &mc_sim::DeviceRegistry::builtin(),
+                black_box(100_000),
+            ))
+        })
     });
 
     g.bench_function("potrf_8192", |b| {
-        let mut handle = BlasHandle::new_mi250x_gcd();
+        let mut handle = BlasHandle::from_registry(
+            &mc_sim::DeviceRegistry::builtin(),
+            mc_sim::DeviceId::Mi250xGcd,
+        );
         b.iter(|| {
-            black_box(factor_timed(&mut handle, Factorization::Potrf, 8192, 128).unwrap().tflops)
+            black_box(
+                factor_timed(&mut handle, Factorization::Potrf, 8192, 128)
+                    .unwrap()
+                    .tflops,
+            )
         })
     });
 

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mc_isa::cdna2_catalog;
-use mc_sim::{throughput_run, Gpu};
+use mc_sim::{throughput_run, DeviceId, DeviceRegistry};
 use mc_types::DType;
 use std::hint::black_box;
 
@@ -13,7 +13,12 @@ fn bench_fig3(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function("full_sweep_three_dtypes", |b| {
-        b.iter(|| black_box(mc_bench::fig3::run(black_box(100_000))))
+        b.iter(|| {
+            black_box(mc_bench::fig3::run(
+                &DeviceRegistry::builtin(),
+                black_box(100_000),
+            ))
+        })
     });
 
     for (label, cd, ab, m, n, k) in [
@@ -23,9 +28,13 @@ fn bench_fig3(c: &mut Criterion) {
     ] {
         let instr = *cdna2_catalog().find(cd, ab, m, n, k).unwrap();
         g.bench_function(label, |b| {
-            let mut gpu = Gpu::mi250x();
+            let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
             b.iter(|| {
-                black_box(throughput_run(&mut gpu, 0, &instr, 440, 100_000).unwrap().tflops)
+                black_box(
+                    throughput_run(&mut gpu, 0, &instr, 440, 100_000)
+                        .unwrap()
+                        .tflops,
+                )
             })
         });
     }

@@ -8,7 +8,12 @@ fn bench_fig4(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_vendor_comparison");
     g.sample_size(10);
     g.bench_function("four_type_combos_both_vendors", |b| {
-        b.iter(|| black_box(mc_bench::fig4::run(black_box(100_000))))
+        b.iter(|| {
+            black_box(mc_bench::fig4::run(
+                &mc_sim::DeviceRegistry::builtin(),
+                black_box(100_000),
+            ))
+        })
     });
     g.finish();
 }

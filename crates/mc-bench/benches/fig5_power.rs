@@ -11,6 +11,7 @@ fn bench_fig5(c: &mut Criterion) {
     g.bench_function("three_dtype_power_sweep_with_sampling", |b| {
         b.iter(|| {
             black_box(mc_bench::fig5::run(
+                &mc_sim::DeviceRegistry::builtin(),
                 black_box(6_000_000_000),
                 SamplerConfig::default(),
             ))

@@ -11,10 +11,10 @@ fn bench_sweeps(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function("fig6_sgemm_dgemm_sweep", |b| {
-        b.iter(|| black_box(mc_bench::fig6::run()))
+        b.iter(|| black_box(mc_bench::fig6::run(&mc_sim::DeviceRegistry::builtin())))
     });
     g.bench_function("fig7_mixed_precision_sweep", |b| {
-        b.iter(|| black_box(mc_bench::fig7::run()))
+        b.iter(|| black_box(mc_bench::fig7::run(&mc_sim::DeviceRegistry::builtin())))
     });
     g.finish();
 }
@@ -33,7 +33,10 @@ fn bench_peak_points(c: &mut Criterion) {
             BenchmarkId::new(op.routine(), n),
             &(op, n),
             |b, &(op, n)| {
-                let mut handle = BlasHandle::new_mi250x_gcd();
+                let mut handle = BlasHandle::from_registry(
+                    &mc_sim::DeviceRegistry::builtin(),
+                    mc_sim::DeviceId::Mi250xGcd,
+                );
                 b.iter(|| {
                     black_box(
                         handle

@@ -8,10 +8,10 @@ fn bench_profiling(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8_fig9_profiling");
     g.sample_size(10);
     g.bench_function("fig8_matrix_core_ratio_sweep", |b| {
-        b.iter(|| black_box(mc_bench::fig8::run()))
+        b.iter(|| black_box(mc_bench::fig8::run(&mc_sim::DeviceRegistry::builtin())))
     });
     g.bench_function("fig9_flop_distribution", |b| {
-        b.iter(|| black_box(mc_bench::fig9::run()))
+        b.iter(|| black_box(mc_bench::fig9::run(&mc_sim::DeviceRegistry::builtin())))
     });
     g.finish();
 }

@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mc_blas::{plan_gemm, GemmDesc, GemmOp};
-use mc_isa::regmap::{element_location, ElementCoord, Operand};
 use mc_isa::cdna2_catalog;
+use mc_isa::regmap::{element_location, ElementCoord, Operand};
 use mc_types::{DType, F16};
 use mc_wmma::{mma_sync, Accumulator, Fragment, MatrixA, MatrixB};
 use std::hint::black_box;
@@ -48,7 +48,11 @@ fn bench_isa_queries(c: &mut Criterion) {
             black_box(element_location(
                 &instr,
                 Operand::D,
-                ElementCoord { block: 0, row: 7, col: 9 },
+                ElementCoord {
+                    block: 0,
+                    row: 7,
+                    col: 9,
+                },
             ))
         })
     });

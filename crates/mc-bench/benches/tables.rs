@@ -16,7 +16,12 @@ fn bench_tables(c: &mut Criterion) {
     });
 
     g.bench_function("table2_mfma_latencies", |b| {
-        b.iter(|| black_box(mc_bench::table2::run(black_box(1_000_000))))
+        b.iter(|| {
+            black_box(mc_bench::table2::run(
+                &mc_sim::DeviceRegistry::builtin(),
+                black_box(1_000_000),
+            ))
+        })
     });
 
     g.bench_function("table3_gemm_datatypes", |b| {

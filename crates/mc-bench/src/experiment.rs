@@ -1,0 +1,407 @@
+//! The experiment abstraction: one registry, one run context, one
+//! record format for every artifact in the suite.
+//!
+//! Each table/figure/extension module implements [`Experiment`]; the
+//! `experiments` driver, the [`crate::report`] aggregator, and the
+//! integration tests all consume the same [`registry`]. A run produces
+//! an [`ExperimentRecord`] — a schema-versioned serde envelope carrying
+//! the payload plus evaluated [`Check`] outcomes — which serializes to
+//! one JSON file per experiment under `results/`.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use mc_power::SamplerConfig;
+use mc_sim::DeviceRegistry;
+use serde::{Deserialize, Serialize, Value};
+
+/// Version stamped into every [`ExperimentRecord`]; bump when the
+/// envelope layout changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Iteration budgets for the three micro-benchmark harness classes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IterBudgets {
+    /// Latency micro-benchmark loop iterations (Table II).
+    pub micro_iters: u64,
+    /// Throughput sweep iterations per wavefront (Figs. 3–4, extensions).
+    pub tput_iters: u64,
+    /// Power sweep iterations per point (Fig. 5) — controls how long the
+    /// sampler observes each kernel.
+    pub power_iters: u64,
+}
+
+impl IterBudgets {
+    /// The paper's full budgets: 40 M latency loops, 10⁷ throughput
+    /// iterations, and ≥110 s of sampled kernel per power point (≥1000
+    /// samples at the 100 ms period, §IV-C).
+    pub fn paper() -> Self {
+        IterBudgets {
+            micro_iters: 40_000_000,
+            tput_iters: 10_000_000,
+            power_iters: 6_000_000_000,
+        }
+    }
+
+    /// Reduced budgets for interactive runs; the simulator is
+    /// iteration-exact for latency/throughput, and the power sweep keeps
+    /// enough samples for stable fits.
+    pub fn reduced() -> Self {
+        IterBudgets {
+            micro_iters: 1_000_000,
+            tput_iters: 200_000,
+            power_iters: 600_000_000,
+        }
+    }
+
+    /// Minimal budgets for tests that only exercise plumbing.
+    pub fn smoke() -> Self {
+        IterBudgets {
+            micro_iters: 100_000,
+            tput_iters: 50_000,
+            power_iters: 60_000_000,
+        }
+    }
+
+    /// Budgets for a `--paper-iters` flag value.
+    pub fn for_flag(paper_iters: bool) -> Self {
+        if paper_iters {
+            IterBudgets::paper()
+        } else {
+            IterBudgets::reduced()
+        }
+    }
+}
+
+/// Everything an experiment needs to run: the device registry, the
+/// iteration budgets, the power-sampler configuration, and an optional
+/// JSON sink directory for record envelopes.
+#[derive(Clone, Debug)]
+pub struct RunContext {
+    /// Device constructor path (single source of `Gpu`s / `BlasHandle`s).
+    pub devices: DeviceRegistry,
+    /// Iteration budgets.
+    pub budgets: IterBudgets,
+    /// Power sampler configuration (Fig. 5).
+    pub sampler: SamplerConfig,
+    /// Directory record envelopes are written to (`results/` by
+    /// convention); `None` disables persistence.
+    pub json_sink: Option<PathBuf>,
+}
+
+impl RunContext {
+    /// A context with the built-in devices and the given budgets.
+    pub fn new(budgets: IterBudgets) -> Self {
+        RunContext {
+            devices: DeviceRegistry::builtin(),
+            budgets,
+            sampler: SamplerConfig::default(),
+            json_sink: None,
+        }
+    }
+
+    /// Reduced-budget context (the driver's default).
+    pub fn reduced() -> Self {
+        RunContext::new(IterBudgets::reduced())
+    }
+
+    /// Full paper-budget context (`--paper-iters`).
+    pub fn paper() -> Self {
+        RunContext::new(IterBudgets::paper())
+    }
+
+    /// Sets the JSON sink directory.
+    pub fn with_sink(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.json_sink = Some(dir.into());
+        self
+    }
+
+    /// Writes a record envelope to `<sink>/<experiment id>.json`,
+    /// creating the directory. Returns the path written, or `None` when
+    /// no sink is configured.
+    pub fn persist(&self, record: &ExperimentRecord) -> std::io::Result<Option<PathBuf>> {
+        let Some(dir) = &self.json_sink else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", record.experiment));
+        let json = serde_json::to_string_pretty(record)
+            .expect("experiment records are always serializable");
+        std::fs::write(&path, json)?;
+        Ok(Some(path))
+    }
+}
+
+/// One compared quantity: a measured value against the paper's
+/// published value with a relative pass band.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// What is being compared.
+    pub metric: String,
+    /// The paper's published value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Acceptable relative deviation for a "pass".
+    pub band: f64,
+}
+
+impl Comparison {
+    /// Relative deviation from the paper value.
+    pub fn deviation(&self) -> f64 {
+        (self.measured - self.paper).abs() / self.paper.abs().max(f64::MIN_POSITIVE)
+    }
+
+    /// Whether the measurement is within the band.
+    pub fn pass(&self) -> bool {
+        self.deviation() <= self.band
+    }
+}
+
+/// A declarative paper pass-band: where to find the measured value in
+/// an experiment's JSON payload, and what the paper says it should be.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Check {
+    /// Metric label (stable; `report` groups by the `<id>/` prefix).
+    pub metric: &'static str,
+    /// The paper's published value.
+    pub paper: f64,
+    /// Acceptable relative deviation.
+    pub band: f64,
+    /// RFC 6901 JSON pointer into the experiment payload.
+    pub pointer: &'static str,
+}
+
+impl Check {
+    /// Declares a check.
+    pub const fn new(metric: &'static str, paper: f64, band: f64, pointer: &'static str) -> Self {
+        Check {
+            metric,
+            paper,
+            band,
+            pointer,
+        }
+    }
+
+    /// Evaluates the check against a payload. A missing or non-numeric
+    /// pointer target yields `measured = NaN`, which never passes — a
+    /// wiring bug surfaces as a failed comparison rather than a panic.
+    pub fn evaluate(&self, payload: &Value) -> Comparison {
+        let measured = payload
+            .pointer(self.pointer)
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::NAN);
+        Comparison {
+            metric: self.metric.to_owned(),
+            paper: self.paper,
+            measured,
+            band: self.band,
+        }
+    }
+}
+
+/// The versioned envelope one experiment run produces.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Envelope layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Stable experiment id (`table2`, `fig5`, …).
+    pub experiment: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Device(s) the experiment ran on (registry names).
+    pub device: String,
+    /// Iteration budgets the run used.
+    pub config: IterBudgets,
+    /// Wall-clock runtime of the experiment in seconds.
+    pub wall_time_s: f64,
+    /// Evaluated paper pass-bands.
+    pub checks: Vec<Comparison>,
+    /// Rendered text artifact (what the CLI prints).
+    pub rendered: String,
+    /// The full result structure as a JSON value.
+    pub payload: Value,
+}
+
+/// One registered experiment: a table, figure, or extension artifact.
+pub trait Experiment: Send + Sync {
+    /// Stable identifier; doubles as the CLI artifact name and the
+    /// record filename.
+    fn id(&self) -> &'static str;
+
+    /// Human-readable title.
+    fn title(&self) -> &'static str;
+
+    /// Registry name(s) of the device(s) this experiment models.
+    fn device(&self) -> &'static str;
+
+    /// Declarative paper pass-bands over the payload.
+    fn checks(&self) -> Vec<Check> {
+        Vec::new()
+    }
+
+    /// Runs the experiment, returning its JSON payload and rendered text.
+    fn execute(&self, ctx: &RunContext) -> (Value, String);
+
+    /// Runs and wraps the result in a versioned [`ExperimentRecord`],
+    /// evaluating this experiment's checks against the payload.
+    fn run(&self, ctx: &RunContext) -> ExperimentRecord {
+        let start = Instant::now();
+        let (payload, rendered) = self.execute(ctx);
+        let wall_time_s = start.elapsed().as_secs_f64();
+        let checks = self.checks().iter().map(|c| c.evaluate(&payload)).collect();
+        ExperimentRecord {
+            schema_version: SCHEMA_VERSION,
+            experiment: self.id().to_owned(),
+            title: self.title().to_owned(),
+            device: self.device().to_owned(),
+            config: ctx.budgets,
+            wall_time_s,
+            checks,
+            rendered,
+            payload,
+        }
+    }
+}
+
+/// Every experiment in the suite, in canonical presentation order.
+///
+/// `report` is last by construction: it aggregates the other
+/// experiments' recorded envelopes instead of re-running them.
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(crate::table1::Table1Experiment),
+        Box::new(crate::table2::Table2Experiment),
+        Box::new(crate::table3::Table3Experiment),
+        Box::new(crate::fig2::Fig2Experiment),
+        Box::new(crate::fig3::Fig3Experiment),
+        Box::new(crate::fig4::Fig4Experiment),
+        Box::new(crate::fig5::Fig5Experiment),
+        Box::new(crate::fig6::Fig6Experiment),
+        Box::new(crate::fig7::Fig7Experiment),
+        Box::new(crate::fig8::Fig8Experiment),
+        Box::new(crate::fig9::Fig9Experiment),
+        Box::new(crate::solver_ext::SolverExtExperiment),
+        Box::new(crate::ml_dtypes::MlDtypesExperiment),
+        Box::new(crate::generations::GenerationsExperiment),
+        Box::new(crate::saturation::SaturationExperiment),
+        Box::new(crate::report::ReportExperiment),
+    ]
+}
+
+/// Parses record envelopes from a sink directory (one `.json` per
+/// experiment). Unreadable or foreign JSON files are skipped; records
+/// with a different schema version are reported as errors.
+pub fn load_records(dir: &Path) -> Result<Vec<ExperimentRecord>, String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return Ok(Vec::new()), // no recordings yet
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    let mut records = Vec::new();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let Ok(record) = serde_json::from_str::<ExperimentRecord>(&text) else {
+            continue; // not an experiment envelope
+        };
+        if record.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "{}: schema version {} (this binary reads {SCHEMA_VERSION})",
+                path.display(),
+                record.schema_version
+            ));
+        }
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_honor_the_paper_flag() {
+        assert_eq!(IterBudgets::for_flag(true), IterBudgets::paper());
+        assert_eq!(IterBudgets::for_flag(false), IterBudgets::reduced());
+        // The satellite fix: --paper-iters must scale the power sweep too.
+        assert!(IterBudgets::paper().power_iters > IterBudgets::reduced().power_iters);
+    }
+
+    #[test]
+    fn check_evaluates_by_pointer() {
+        let payload = Value::Object(vec![(
+            "series".into(),
+            Value::Array(vec![Value::Object(vec![(
+                "plateau_tflops".into(),
+                Value::F64(172.0),
+            )])]),
+        )]);
+        let check = Check::new(
+            "fig3/mixed plateau (TFLOPS)",
+            175.0,
+            0.03,
+            "/series/0/plateau_tflops",
+        );
+        let cmp = check.evaluate(&payload);
+        assert!(cmp.pass());
+        assert!((cmp.measured - 172.0).abs() < 1e-12);
+
+        // A broken pointer fails loudly instead of panicking.
+        let broken = Check::new("x", 1.0, 0.5, "/missing").evaluate(&payload);
+        assert!(broken.measured.is_nan());
+        assert!(!broken.pass());
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_report_is_last() {
+        let experiments = registry();
+        let ids: Vec<&str> = experiments.iter().map(|e| e.id()).collect();
+        let mut deduped = ids.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(
+            deduped.len(),
+            ids.len(),
+            "duplicate experiment ids: {ids:?}"
+        );
+        assert_eq!(ids.last(), Some(&"report"));
+    }
+
+    #[test]
+    fn persist_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "mc-bench-experiment-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let record = ExperimentRecord {
+            schema_version: SCHEMA_VERSION,
+            experiment: "table1".into(),
+            title: "t".into(),
+            device: "mi250x".into(),
+            config: IterBudgets::smoke(),
+            wall_time_s: 0.5,
+            checks: vec![Comparison {
+                metric: "m".into(),
+                paper: 1.0,
+                measured: 1.01,
+                band: 0.05,
+            }],
+            rendered: "text".into(),
+            payload: Value::Object(vec![("x".into(), Value::U64(3))]),
+        };
+        let ctx = RunContext::new(IterBudgets::smoke()).with_sink(&dir);
+        let path = ctx.persist(&record).unwrap().unwrap();
+        assert!(path.ends_with("table1.json"));
+        let loaded = load_records(&dir).unwrap();
+        assert_eq!(loaded, vec![record]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -15,8 +15,9 @@
 //!    carry the same instruction (verified through counters).
 
 use mc_blas::{plan_gemm, BlasHandle, GemmDesc, GemmOp, Strategy};
-use mc_isa::encoding::{encode_instance, opcode_of, Reg};
 use mc_isa::cdna2_catalog;
+use mc_isa::encoding::{encode_instance, opcode_of, Reg};
+use mc_sim::{DeviceId, DeviceRegistry};
 use mc_solver::{factor_timed, Factorization};
 use mc_types::{DType, F16};
 use mc_wmma::{mma_sync, Accumulator, Fragment, MatrixA, MatrixB};
@@ -43,7 +44,7 @@ pub struct Fig2 {
 }
 
 /// Walks the stack for the mixed-precision (FP32 ← FP16) operation.
-pub fn run() -> Fig2 {
+pub fn run(devices: &DeviceRegistry) -> Fig2 {
     let instr = *cdna2_catalog()
         .find(DType::F32, DType::F16, 16, 16, 16)
         .expect("mixed 16x16x16");
@@ -83,9 +84,12 @@ pub fn run() -> Fig2 {
     });
 
     // 4. rocBLAS.
-    let handle = BlasHandle::new_mi250x_gcd();
-    let plan = plan_gemm(&handle.gpu().spec().die, &GemmDesc::square(GemmOp::Hhs, 1024))
-        .expect("plannable");
+    let handle = BlasHandle::from_registry(devices, DeviceId::Mi250xGcd);
+    let plan = plan_gemm(
+        &handle.gpu().spec().die,
+        &GemmDesc::square(GemmOp::Hhs, 1024),
+    )
+    .expect("plannable");
     let blas_instr = match plan.strategy {
         Strategy::MatrixCore { instr, .. } => instr.mnemonic(),
         Strategy::SimdOnly { .. } => "simd".into(),
@@ -118,14 +122,41 @@ pub fn run() -> Fig2 {
     Fig2 { rows, consistent }
 }
 
+/// Fig. 2 as a registered experiment.
+pub struct Fig2Experiment;
+
+impl crate::experiment::Experiment for Fig2Experiment {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 2 — interface hierarchy, walked and verified"
+    }
+
+    fn device(&self) -> &'static str {
+        "mi250x-gcd"
+    }
+
+    fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let f = run(&ctx.devices);
+        (serde_json::to_value(&f), render(&f))
+    }
+}
+
 /// Renders the stack walk as text.
 pub fn render(f: &Fig2) -> String {
     use std::fmt::Write as _;
-    let mut s = String::from("Fig. 2: programming-interface hierarchy (one op walked down the stack)\n");
+    let mut s =
+        String::from("Fig. 2: programming-interface hierarchy (one op walked down the stack)\n");
     for r in &f.rows {
         let _ = writeln!(s, "{:<20} {:<50} -> {}", r.layer, r.interface, r.lowered_to);
     }
-    let _ = writeln!(s, "consistent lowering: {}", if f.consistent { "yes" } else { "NO" });
+    let _ = writeln!(
+        s,
+        "consistent lowering: {}",
+        if f.consistent { "yes" } else { "NO" }
+    );
     s
 }
 
@@ -135,21 +166,25 @@ mod tests {
 
     #[test]
     fn every_layer_lowers_to_the_same_instruction() {
-        let f = run();
+        let f = run(&DeviceRegistry::builtin());
         assert!(f.consistent, "{f:?}");
         assert_eq!(f.rows.len(), 5);
     }
 
     #[test]
     fn isa_row_carries_real_encoding() {
-        let f = run();
-        assert!(f.rows[0].interface.contains("0x4d"), "{}", f.rows[0].interface);
+        let f = run(&DeviceRegistry::builtin());
+        assert!(
+            f.rows[0].interface.contains("0x4d"),
+            "{}",
+            f.rows[0].interface
+        );
         assert!(f.rows[1].interface.starts_with("__builtin_amdgcn_mfma"));
     }
 
     #[test]
     fn solver_layer_reports_high_utilization() {
-        let f = run();
+        let f = run(&DeviceRegistry::builtin());
         let pct: f64 = f.rows[4]
             .interface
             .split(": ")

@@ -4,7 +4,7 @@
 
 use mc_isa::cdna2_catalog;
 use mc_model::ThroughputModel;
-use mc_sim::{fig3_wavefront_sweep, throughput_run, Gpu};
+use mc_sim::{fig3_wavefront_sweep, throughput_run, DeviceId, DeviceRegistry};
 use mc_types::DType;
 use serde::{Deserialize, Serialize};
 
@@ -53,8 +53,8 @@ pub fn paper_series() -> Vec<(&'static str, DType, DType, u32, u32, u32)> {
 }
 
 /// Regenerates Fig. 3. The paper uses 10⁷ iterations per wavefront.
-pub fn run(iterations: u64) -> Fig3 {
-    let mut gpu = Gpu::mi250x();
+pub fn run(devices: &DeviceRegistry, iterations: u64) -> Fig3 {
+    let mut gpu = devices.gpu(DeviceId::Mi250x);
     let sweep = fig3_wavefront_sweep();
     let catalog = cdna2_catalog();
     let die = gpu.spec().die.clone();
@@ -95,10 +95,70 @@ pub fn run(iterations: u64) -> Fig3 {
     Fig3 { series, iterations }
 }
 
+/// Fig. 3 as a registered experiment.
+pub struct Fig3Experiment;
+
+impl crate::experiment::Experiment for Fig3Experiment {
+    fn id(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 3 — throughput vs wavefronts + Eq. 2 model"
+    }
+
+    fn device(&self) -> &'static str {
+        "mi250x-gcd"
+    }
+
+    fn checks(&self) -> Vec<crate::experiment::Check> {
+        use crate::experiment::Check;
+        vec![
+            Check::new(
+                "fig3/mixed plateau (TFLOPS)",
+                175.0,
+                0.03,
+                "/series/0/plateau_tflops",
+            ),
+            Check::new(
+                "fig3/float plateau (TFLOPS)",
+                43.0,
+                0.03,
+                "/series/1/plateau_tflops",
+            ),
+            Check::new(
+                "fig3/double plateau (TFLOPS)",
+                41.0,
+                0.03,
+                "/series/2/plateau_tflops",
+            ),
+            Check::new(
+                "fig3/mixed fraction of peak",
+                0.92,
+                0.02,
+                "/series/0/fraction_of_peak",
+            ),
+            Check::new(
+                "fig3/double fraction of peak",
+                0.85,
+                0.02,
+                "/series/2/fraction_of_peak",
+            ),
+        ]
+    }
+
+    fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let f = run(&ctx.devices, ctx.budgets.tput_iters);
+        (serde_json::to_value(&f), render(&f))
+    }
+}
+
 /// Renders the figure data as text.
 pub fn render(f: &Fig3) -> String {
     use std::fmt::Write as _;
-    let mut s = String::from("Fig. 3: throughput vs wavefronts, one GCD (measured | Eq. 2 model), TFLOPS\n");
+    let mut s = String::from(
+        "Fig. 3: throughput vs wavefronts, one GCD (measured | Eq. 2 model), TFLOPS\n",
+    );
     let _ = write!(s, "{:>10}", "waves");
     for series in &f.series {
         let _ = write!(s, " {:>22}", series.label);
@@ -152,11 +212,15 @@ pub fn render(f: &Fig3) -> String {
 mod tests {
     use super::*;
 
+    fn devices() -> DeviceRegistry {
+        DeviceRegistry::builtin()
+    }
+
     #[test]
     fn plateaus_match_paper() {
         // §V-B: 175 mixed / 43 float / 41 double TFLOPS sustained, at
         // 92 / 90 / 85 % of the theoretical peak.
-        let f = run(100_000);
+        let f = run(&devices(), 100_000);
         let by = |l: &str| f.series.iter().find(|s| s.label == l).unwrap();
         assert!((by("mixed").plateau_tflops - 175.0).abs() < 4.0);
         assert!((by("float").plateau_tflops - 43.0).abs() < 1.0);
@@ -168,7 +232,7 @@ mod tests {
 
     #[test]
     fn linear_region_tracks_model() {
-        let f = run(100_000);
+        let f = run(&devices(), 100_000);
         for series in &f.series {
             for p in series.points.iter().filter(|p| p.wavefronts <= 128) {
                 let rel = (p.measured_tflops - p.model_tflops).abs() / p.model_tflops;
@@ -179,7 +243,7 @@ mod tests {
 
     #[test]
     fn plateau_is_flat_beyond_saturation() {
-        let f = run(100_000);
+        let f = run(&devices(), 100_000);
         for series in &f.series {
             let sat: Vec<f64> = series
                 .points
@@ -187,14 +251,16 @@ mod tests {
                 .filter(|p| p.wavefronts >= 440)
                 .map(|p| p.measured_tflops)
                 .collect();
-            let (min, max) = sat.iter().fold((f64::MAX, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            let (min, max) = sat
+                .iter()
+                .fold((f64::MAX, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
             assert!((max - min) / max < 0.03, "{}: {min}..{max}", series.label);
         }
     }
 
     #[test]
     fn render_mentions_all_series() {
-        let text = render(&run(10_000));
+        let text = render(&run(&devices(), 10_000));
         for label in ["mixed", "float", "double"] {
             assert!(text.contains(label));
         }

@@ -3,7 +3,7 @@
 //! four type combinations of Table I.
 
 use mc_isa::{ampere_catalog, cdna2_catalog};
-use mc_sim::{throughput_run_all_dies, Gpu};
+use mc_sim::{throughput_run_all_dies, DeviceId, DeviceRegistry};
 use mc_types::DType;
 use serde::{Deserialize, Serialize};
 
@@ -32,9 +32,9 @@ pub struct Fig4 {
 }
 
 /// Regenerates Fig. 4.
-pub fn run(iterations: u64) -> Fig4 {
-    let mut amd = Gpu::mi250x();
-    let mut nv = Gpu::a100();
+pub fn run(devices: &DeviceRegistry, iterations: u64) -> Fig4 {
+    let mut amd = devices.gpu(DeviceId::Mi250x);
+    let mut nv = devices.gpu(DeviceId::A100);
     let amd_cat = cdna2_catalog();
     let nv_cat = ampere_catalog();
 
@@ -53,8 +53,8 @@ pub fn run(iterations: u64) -> Fig4 {
         let (mi250x_tflops, mi250x_peak) = match amd_instr {
             Some(i) => {
                 let waves = u64::from(amd.spec().die.total_matrix_units());
-                let r = throughput_run_all_dies(&mut amd, i, waves, iterations)
-                    .expect("AMD launch");
+                let r =
+                    throughput_run_all_dies(&mut amd, i, waves, iterations).expect("AMD launch");
                 (
                     Some(r.tflops),
                     Some(amd.spec().peak_flops(i.flops_per_cu_per_cycle()) / 1e12),
@@ -65,8 +65,7 @@ pub fn run(iterations: u64) -> Fig4 {
         let (a100_tflops, a100_peak) = match nv_instr {
             Some(i) => {
                 let waves = u64::from(nv.spec().die.total_matrix_units());
-                let r = throughput_run_all_dies(&mut nv, i, waves, iterations)
-                    .expect("NV launch");
+                let r = throughput_run_all_dies(&mut nv, i, waves, iterations).expect("NV launch");
                 (
                     Some(r.tflops),
                     Some(nv.spec().peak_flops(i.flops_per_cu_per_cycle()) / 1e12),
@@ -85,7 +84,69 @@ pub fn run(iterations: u64) -> Fig4 {
 
     let fp64 = &rows[0];
     let fp64_advantage = fp64.mi250x_tflops.unwrap() / fp64.a100_tflops.unwrap();
-    Fig4 { rows, fp64_advantage }
+    Fig4 {
+        rows,
+        fp64_advantage,
+    }
+}
+
+/// Fig. 4 as a registered experiment.
+pub struct Fig4Experiment;
+
+impl crate::experiment::Experiment for Fig4Experiment {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 4 — MI250X vs A100 peak throughput"
+    }
+
+    fn device(&self) -> &'static str {
+        "mi250x+a100"
+    }
+
+    fn checks(&self) -> Vec<crate::experiment::Check> {
+        use crate::experiment::Check;
+        vec![
+            Check::new(
+                "fig4/MI250X mixed (TFLOPS)",
+                350.0,
+                0.03,
+                "/rows/2/mi250x_tflops",
+            ),
+            Check::new(
+                "fig4/MI250X float (TFLOPS)",
+                88.0,
+                0.04,
+                "/rows/1/mi250x_tflops",
+            ),
+            Check::new(
+                "fig4/MI250X double (TFLOPS)",
+                69.0,
+                0.05,
+                "/rows/0/mi250x_tflops",
+            ),
+            Check::new(
+                "fig4/A100 mixed (TFLOPS)",
+                290.0,
+                0.02,
+                "/rows/2/a100_tflops",
+            ),
+            Check::new(
+                "fig4/A100 double (TFLOPS)",
+                19.4,
+                0.02,
+                "/rows/0/a100_tflops",
+            ),
+            Check::new("fig4/FP64 advantage (x)", 3.5, 0.08, "/fp64_advantage"),
+        ]
+    }
+
+    fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let f = run(&ctx.devices, ctx.budgets.tput_iters);
+        (serde_json::to_value(&f), render(&f))
+    }
 }
 
 /// Renders the figure data as text.
@@ -109,7 +170,11 @@ pub fn render(f: &Fig4) -> String {
             fmt(r.a100_peak)
         );
     }
-    let _ = writeln!(s, "FP64 Matrix-Core advantage: {:.1}x (paper: 3.5x)", f.fp64_advantage);
+    let _ = writeln!(
+        s,
+        "FP64 Matrix-Core advantage: {:.1}x (paper: 3.5x)",
+        f.fp64_advantage
+    );
     s
 }
 
@@ -117,10 +182,14 @@ pub fn render(f: &Fig4) -> String {
 mod tests {
     use super::*;
 
+    fn devices() -> DeviceRegistry {
+        DeviceRegistry::builtin()
+    }
+
     #[test]
     fn headline_numbers_match_paper() {
         // §V-C: AMD 350/88/69 TFLOPS (mixed/float/double), A100 290/19.4.
-        let f = run(100_000);
+        let f = run(&devices(), 100_000);
         let row = |t: &str| f.rows.iter().find(|r| r.types == t).unwrap();
 
         let mixed = row("FP32 <- FP16");
@@ -128,7 +197,11 @@ mod tests {
         assert!((mixed.a100_tflops.unwrap() - 290.0).abs() < 5.0);
 
         let double = row("FP64 <- FP64");
-        assert!((double.mi250x_tflops.unwrap() - 69.0).abs() < 3.0, "got {:?}", double.mi250x_tflops);
+        assert!(
+            (double.mi250x_tflops.unwrap() - 69.0).abs() < 3.0,
+            "got {:?}",
+            double.mi250x_tflops
+        );
         assert!((double.a100_tflops.unwrap() - 19.4).abs() < 0.4);
 
         let single = row("FP32 <- FP32");
@@ -142,13 +215,17 @@ mod tests {
 
     #[test]
     fn fp64_advantage_about_3_5x() {
-        let f = run(100_000);
-        assert!((f.fp64_advantage - 3.55).abs() < 0.3, "got {}", f.fp64_advantage);
+        let f = run(&devices(), 100_000);
+        assert!(
+            (f.fp64_advantage - 3.55).abs() < 0.3,
+            "got {}",
+            f.fp64_advantage
+        );
     }
 
     #[test]
-    fn amd_wins_three_of_four(){
-        let f = run(50_000);
+    fn amd_wins_three_of_four() {
+        let f = run(&devices(), 50_000);
         let amd_wins = f
             .rows
             .iter()

@@ -7,9 +7,9 @@
 //! at 100 ms over the kernel lifetime, ≥1000 samples per point.
 
 use mc_isa::cdna2_catalog;
-use mc_power::{gflops_per_watt, PowerModel, SamplerConfig};
 use mc_power::sampler::BackgroundSampler;
-use mc_sim::{throughput_run_all_dies, Gpu, Smi};
+use mc_power::{gflops_per_watt, PowerModel, SamplerConfig};
+use mc_sim::{throughput_run_all_dies, DeviceId, DeviceRegistry, Smi};
 use mc_types::DType;
 use serde::{Deserialize, Serialize};
 
@@ -60,8 +60,8 @@ pub struct Fig5 {
 
 /// Regenerates Fig. 5. `iterations` controls kernel duration (the paper
 /// runs each point long enough for ≥1000 samples at 100 ms).
-pub fn run(iterations: u64, sampler: SamplerConfig) -> Fig5 {
-    let mut gpu = Gpu::mi250x();
+pub fn run(devices: &DeviceRegistry, iterations: u64, sampler: SamplerConfig) -> Fig5 {
+    let mut gpu = devices.gpu(DeviceId::Mi250x);
     let idle_w = gpu.spec().idle_power_w;
     let power_cap_w = gpu.spec().power_cap_w;
     let noise = gpu.config().telemetry_noise;
@@ -94,8 +94,7 @@ pub fn run(iterations: u64, sampler: SamplerConfig) -> Fig5 {
                 });
             }
             let fit_pts: Vec<(f64, f64)> = points.iter().map(|p| (p.tflops, p.watts)).collect();
-            let (model, fit) =
-                PowerModel::fit(ab, &fit_pts).expect("enough points for a fit");
+            let (model, fit) = PowerModel::fit(ab, &fit_pts).expect("enough points for a fit");
             let top = points.last().expect("non-empty sweep");
             Fig5Series {
                 label: label.to_owned(),
@@ -117,6 +116,77 @@ pub fn run(iterations: u64, sampler: SamplerConfig) -> Fig5 {
     }
 }
 
+/// Fig. 5 as a registered experiment.
+pub struct Fig5Experiment;
+
+impl crate::experiment::Experiment for Fig5Experiment {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 5 — power vs throughput + Eq. 3 + efficiency"
+    }
+
+    fn device(&self) -> &'static str {
+        "mi250x"
+    }
+
+    fn checks(&self) -> Vec<crate::experiment::Check> {
+        use crate::experiment::Check;
+        vec![
+            Check::new(
+                "fig5/double slope (W/TFLOPS)",
+                5.88,
+                0.08,
+                "/series/2/fitted_slope_w_per_tflops",
+            ),
+            Check::new(
+                "fig5/float slope (W/TFLOPS)",
+                2.18,
+                0.08,
+                "/series/1/fitted_slope_w_per_tflops",
+            ),
+            Check::new(
+                "fig5/mixed slope (W/TFLOPS)",
+                0.61,
+                0.10,
+                "/series/0/fitted_slope_w_per_tflops",
+            ),
+            Check::new("fig5/idle power (W)", 88.0, 0.001, "/idle_w"),
+            Check::new(
+                "fig5/double peak power (W)",
+                541.0,
+                0.02,
+                "/series/2/peak_watts",
+            ),
+            Check::new(
+                "fig5/mixed efficiency (GFLOPS/W)",
+                1020.0,
+                0.10,
+                "/series/0/peak_gflops_per_watt",
+            ),
+            Check::new(
+                "fig5/float efficiency (GFLOPS/W)",
+                273.0,
+                0.10,
+                "/series/1/peak_gflops_per_watt",
+            ),
+            Check::new(
+                "fig5/double efficiency (GFLOPS/W)",
+                127.0,
+                0.10,
+                "/series/2/peak_gflops_per_watt",
+            ),
+        ]
+    }
+
+    fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let f = run(&ctx.devices, ctx.budgets.power_iters, ctx.sampler);
+        (serde_json::to_value(&f), render(&f))
+    }
+}
+
 /// Renders the figure data and §VI summary as text.
 pub fn render(f: &Fig5) -> String {
     use std::fmt::Write as _;
@@ -126,7 +196,11 @@ pub fn render(f: &Fig5) -> String {
     );
     for series in &f.series {
         let _ = writeln!(s, "-- {} --", series.label);
-        let _ = writeln!(s, "{:>10} {:>10} {:>10} {:>9}", "waves/die", "TFLOPS", "watts", "samples");
+        let _ = writeln!(
+            s,
+            "{:>10} {:>10} {:>10} {:>9}",
+            "waves/die", "TFLOPS", "watts", "samples"
+        );
         for p in &series.points {
             let _ = writeln!(
                 s,
@@ -154,7 +228,11 @@ mod tests {
     fn quick() -> Fig5 {
         // Long simulated kernels are free; keep ≥1000 samples authentic
         // (~113 s of simulated kernel time per point at 100 ms period).
-        run(6_000_000_000, SamplerConfig::default())
+        run(
+            &DeviceRegistry::builtin(),
+            6_000_000_000,
+            SamplerConfig::default(),
+        )
     }
 
     #[test]
@@ -163,12 +241,28 @@ mod tests {
         let by = |l: &str| f.series.iter().find(|s| s.label == l).unwrap();
         // Paper Eq. 3: 5.88/2.18/0.61 slopes, 123–130 W intercepts.
         let d = by("double");
-        assert!((d.fitted_slope_w_per_tflops - 5.88).abs() < 0.45, "{}", d.fitted_slope_w_per_tflops);
-        assert!((d.fitted_intercept_w - 126.0).abs() < 8.0, "{}", d.fitted_intercept_w);
+        assert!(
+            (d.fitted_slope_w_per_tflops - 5.88).abs() < 0.45,
+            "{}",
+            d.fitted_slope_w_per_tflops
+        );
+        assert!(
+            (d.fitted_intercept_w - 126.0).abs() < 8.0,
+            "{}",
+            d.fitted_intercept_w
+        );
         let s = by("float");
-        assert!((s.fitted_slope_w_per_tflops - 2.18).abs() < 0.2, "{}", s.fitted_slope_w_per_tflops);
+        assert!(
+            (s.fitted_slope_w_per_tflops - 2.18).abs() < 0.2,
+            "{}",
+            s.fitted_slope_w_per_tflops
+        );
         let m = by("mixed");
-        assert!((m.fitted_slope_w_per_tflops - 0.61).abs() < 0.08, "{}", m.fitted_slope_w_per_tflops);
+        assert!(
+            (m.fitted_slope_w_per_tflops - 0.61).abs() < 0.08,
+            "{}",
+            m.fitted_slope_w_per_tflops
+        );
         assert!(d.r_squared > 0.99 && s.r_squared > 0.99 && m.r_squared > 0.99);
     }
 
@@ -178,7 +272,11 @@ mod tests {
         let by = |l: &str| f.series.iter().find(|s| s.label == l).unwrap();
         // §VI: double reaches 541 W, near the 560 W cap; float/mixed
         // stay around 320-340 W.
-        assert!((by("double").peak_watts - 541.0).abs() < 8.0, "{}", by("double").peak_watts);
+        assert!(
+            (by("double").peak_watts - 541.0).abs() < 8.0,
+            "{}",
+            by("double").peak_watts
+        );
         assert!(by("float").peak_watts < 360.0);
         assert!(by("mixed").peak_watts < 360.0);
         assert!(f.series.iter().all(|s| s.peak_watts < f.power_cap_w));
@@ -189,9 +287,21 @@ mod tests {
         let f = quick();
         let by = |l: &str| f.series.iter().find(|s| s.label == l).unwrap();
         // 1020 / 273 / 127 GFLOPS/W (±10%).
-        assert!((by("mixed").peak_gflops_per_watt - 1020.0).abs() < 100.0, "{}", by("mixed").peak_gflops_per_watt);
-        assert!((by("float").peak_gflops_per_watt - 273.0).abs() < 27.0, "{}", by("float").peak_gflops_per_watt);
-        assert!((by("double").peak_gflops_per_watt - 127.0).abs() < 13.0, "{}", by("double").peak_gflops_per_watt);
+        assert!(
+            (by("mixed").peak_gflops_per_watt - 1020.0).abs() < 100.0,
+            "{}",
+            by("mixed").peak_gflops_per_watt
+        );
+        assert!(
+            (by("float").peak_gflops_per_watt - 273.0).abs() < 27.0,
+            "{}",
+            by("float").peak_gflops_per_watt
+        );
+        assert!(
+            (by("double").peak_gflops_per_watt - 127.0).abs() < 13.0,
+            "{}",
+            by("double").peak_gflops_per_watt
+        );
     }
 
     #[test]
@@ -199,7 +309,13 @@ mod tests {
         let f = quick();
         for series in &f.series {
             for p in &series.points {
-                assert!(p.samples >= 1000, "{} at {} waves: {}", series.label, p.wavefronts_per_die, p.samples);
+                assert!(
+                    p.samples >= 1000,
+                    "{} at {} waves: {}",
+                    series.label,
+                    p.wavefronts_per_die,
+                    p.samples
+                );
             }
         }
     }

@@ -2,6 +2,7 @@
 //! `N×N×N` problems, N from 16 to the memory boundary (§VII).
 
 use mc_blas::{BlasHandle, GemmDesc, GemmOp};
+use mc_sim::{DeviceId, DeviceRegistry};
 use serde::{Deserialize, Serialize};
 
 use crate::gemm_sweep_sizes;
@@ -65,17 +66,52 @@ pub fn sweep(handle: &mut BlasHandle, op: GemmOp) -> GemmSeries {
 }
 
 /// Regenerates Fig. 6.
-pub fn run() -> Fig6 {
-    let mut handle = BlasHandle::new_mi250x_gcd();
+pub fn run(devices: &DeviceRegistry) -> Fig6 {
+    let mut handle = BlasHandle::from_registry(devices, DeviceId::Mi250xGcd);
     Fig6 {
         sgemm: sweep(&mut handle, GemmOp::Sgemm),
         dgemm: sweep(&mut handle, GemmOp::Dgemm),
     }
 }
 
+/// Fig. 6 as a registered experiment.
+pub struct Fig6Experiment;
+
+impl crate::experiment::Experiment for Fig6Experiment {
+    fn id(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 6 — rocBLAS SGEMM/DGEMM vs N"
+    }
+
+    fn device(&self) -> &'static str {
+        "mi250x-gcd"
+    }
+
+    fn checks(&self) -> Vec<crate::experiment::Check> {
+        use crate::experiment::Check;
+        vec![
+            Check::new("fig6/SGEMM peak (TFLOPS)", 43.0, 0.05, "/sgemm/peak/tflops"),
+            Check::new("fig6/SGEMM peak location (N)", 8192.0, 0.0, "/sgemm/peak/n"),
+            Check::new("fig6/DGEMM peak location (N)", 4096.0, 0.0, "/dgemm/peak/n"),
+            Check::new("fig6/DGEMM peak (TFLOPS)", 37.0, 0.15, "/dgemm/peak/tflops"),
+        ]
+    }
+
+    fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let f = run(&ctx.devices);
+        (serde_json::to_value(&f), render(&f))
+    }
+}
+
 /// Renders the figure data as text.
 pub fn render(f: &Fig6) -> String {
-    render_series("Fig. 6: rocBLAS GEMM throughput (TFLOPS)", &[&f.sgemm, &f.dgemm])
+    render_series(
+        "Fig. 6: rocBLAS GEMM throughput (TFLOPS)",
+        &[&f.sgemm, &f.dgemm],
+    )
 }
 
 /// Shared renderer for GEMM sweeps (also used by Fig. 7).
@@ -108,7 +144,11 @@ pub fn render_series(title: &str, series: &[&GemmSeries]) -> String {
         s.push('\n');
     }
     for g in series {
-        let _ = writeln!(s, "peak {:<6} {:.1} TFLOPS at N = {}", g.routine, g.peak.tflops, g.peak.n);
+        let _ = writeln!(
+            s,
+            "peak {:<6} {:.1} TFLOPS at N = {}",
+            g.routine, g.peak.tflops, g.peak.n
+        );
     }
     let chart = crate::plot::Chart {
         title: "(measured)".to_owned(),
@@ -138,16 +178,24 @@ mod tests {
     fn peaks_match_paper() {
         // §VII: "a maximum of 43 TFLOPS in single-precision at N = 8192,
         // and 37 TFLOPS in double-precision at N = 4096".
-        let f = run();
+        let f = run(&DeviceRegistry::builtin());
         assert_eq!(f.sgemm.peak.n, 8192, "SGEMM peak location");
-        assert!((f.sgemm.peak.tflops - 43.0).abs() < 3.0, "{}", f.sgemm.peak.tflops);
+        assert!(
+            (f.sgemm.peak.tflops - 43.0).abs() < 3.0,
+            "{}",
+            f.sgemm.peak.tflops
+        );
         assert_eq!(f.dgemm.peak.n, 4096, "DGEMM peak location");
-        assert!(f.dgemm.peak.tflops > 28.0 && f.dgemm.peak.tflops < 41.0, "{}", f.dgemm.peak.tflops);
+        assert!(
+            f.dgemm.peak.tflops > 28.0 && f.dgemm.peak.tflops < 41.0,
+            "{}",
+            f.dgemm.peak.tflops
+        );
     }
 
     #[test]
     fn drops_after_peak_then_sgemm_recovers() {
-        let f = run();
+        let f = run(&DeviceRegistry::builtin());
         let at = |s: &GemmSeries, n: usize| s.points.iter().find(|p| p.n == n).unwrap().tflops;
         // SGEMM drops at 16384 and recovers by 65000 (§VII).
         assert!(at(&f.sgemm, 16384) < 0.8 * at(&f.sgemm, 8192));
@@ -160,7 +208,7 @@ mod tests {
     fn dgemm_sweep_stops_before_65000() {
         // 65000² doubles exceed one GCD's 64 GB (§VII sweeps "until
         // exhausting the GPU memory").
-        let f = run();
+        let f = run(&DeviceRegistry::builtin());
         let last = f.dgemm.points.last().unwrap().n;
         assert_eq!(last, 32768, "largest grid point fitting 64 GB of doubles");
         assert_eq!(f.sgemm.points.last().unwrap().n, 65000);
@@ -170,14 +218,14 @@ mod tests {
     fn near_peak_fraction_of_microbench_plateau() {
         // §VII: rocBLAS reaches ~100% (SGEMM) and ~90% (DGEMM) of the
         // Matrix Core peaks measured in §V (43 / 41 TFLOPS).
-        let f = run();
+        let f = run(&DeviceRegistry::builtin());
         assert!(f.sgemm.peak.tflops / 43.0 > 0.9);
         assert!(f.dgemm.peak.tflops / 41.0 > 0.7);
     }
 
     #[test]
     fn small_n_is_slow() {
-        let f = run();
+        let f = run(&DeviceRegistry::builtin());
         assert!(f.sgemm.points[0].tflops < 0.01, "N=16 is launch-bound");
     }
 }

@@ -4,6 +4,7 @@
 
 use mc_blas::{BlasHandle, GemmDesc, GemmOp};
 use mc_profiler::{matrix_core_ratio, ProfilerSession};
+use mc_sim::{DeviceId, DeviceRegistry};
 use serde::{Deserialize, Serialize};
 
 use crate::gemm_sweep_sizes;
@@ -25,8 +26,8 @@ pub struct Fig8 {
 }
 
 /// Regenerates Fig. 8 using counter-capture sessions around each launch.
-pub fn run() -> Fig8 {
-    let mut handle = BlasHandle::new_mi250x_gcd();
+pub fn run(devices: &DeviceRegistry) -> Fig8 {
+    let mut handle = BlasHandle::from_registry(devices, DeviceId::Mi250xGcd);
     let series = GemmOp::PAPER
         .iter()
         .map(|&op| {
@@ -34,8 +35,8 @@ pub fn run() -> Fig8 {
             let points = gemm_sweep_sizes(max_n)
                 .into_iter()
                 .map(|n| {
-                    let session = ProfilerSession::begin(handle.gpu(), handle.die())
-                        .expect("valid die");
+                    let session =
+                        ProfilerSession::begin(handle.gpu(), handle.die()).expect("valid die");
                     handle
                         .gemm_timed(&GemmDesc::square(op, n))
                         .expect("problem fits");
@@ -52,10 +53,33 @@ pub fn run() -> Fig8 {
     Fig8 { series }
 }
 
+/// Fig. 8 as a registered experiment.
+pub struct Fig8Experiment;
+
+impl crate::experiment::Experiment for Fig8Experiment {
+    fn id(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 8 — Matrix Core FLOP ratio vs N"
+    }
+
+    fn device(&self) -> &'static str {
+        "mi250x-gcd"
+    }
+
+    fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let f = run(&ctx.devices);
+        (serde_json::to_value(&f), render(&f))
+    }
+}
+
 /// Renders the figure data as text.
 pub fn render(f: &Fig8) -> String {
     use std::fmt::Write as _;
-    let mut s = String::from("Fig. 8: fraction of FLOPs delivered by Matrix Cores (from Eq. 1 counters)\n");
+    let mut s =
+        String::from("Fig. 8: fraction of FLOPs delivered by Matrix Cores (from Eq. 1 counters)\n");
     let _ = write!(s, "{:>8}", "N");
     for g in &f.series {
         let _ = write!(s, " {:>8}", g.routine);
@@ -91,7 +115,7 @@ mod tests {
     #[test]
     fn hgemm_ratio_is_zero_everywhere() {
         // §VII: "HGEMM does not utilize Matrix Cores at all".
-        let f = run();
+        let f = run(&DeviceRegistry::builtin());
         assert!(series(&f, "hgemm").points.iter().all(|(_, r)| *r == 0.0));
     }
 
@@ -99,7 +123,7 @@ mod tests {
     fn mixed_ops_skip_matrix_cores_only_at_16() {
         // §VII: "HHS and HSS do not utilize Matrix Cores for the
         // smallest N = 16 matrix".
-        let f = run();
+        let f = run(&DeviceRegistry::builtin());
         for routine in ["hhs", "hss"] {
             let s = series(&f, routine);
             assert_eq!(s.points[0], (16, 0.0), "{routine} at 16");
@@ -113,7 +137,7 @@ mod tests {
     fn ratios_exceed_90_then_99_percent() {
         // Fig. 8: >90% for N>16 and >99% sustained for N>256, for
         // DGEMM/SGEMM/HHS/HSS.
-        let f = run();
+        let f = run(&DeviceRegistry::builtin());
         for routine in ["sgemm", "dgemm", "hhs", "hss"] {
             let s = series(&f, routine);
             for (n, r) in &s.points {
@@ -129,7 +153,7 @@ mod tests {
 
     #[test]
     fn sgemm_dgemm_use_matrix_cores_at_16() {
-        let f = run();
+        let f = run(&DeviceRegistry::builtin());
         for routine in ["sgemm", "dgemm"] {
             let (n, r) = series(&f, routine).points[0];
             assert_eq!(n, 16);
@@ -140,13 +164,17 @@ mod tests {
     #[test]
     fn counter_presence_test_matches_ratio() {
         // §IV-B: non-zero MFMA counters <=> Matrix Cores used.
-        let mut handle = BlasHandle::new_mi250x_gcd();
+        let mut handle = BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd);
         let session = ProfilerSession::begin(handle.gpu(), handle.die()).unwrap();
-        handle.gemm_timed(&GemmDesc::square(GemmOp::Hgemm, 512)).unwrap();
+        handle
+            .gemm_timed(&GemmDesc::square(GemmOp::Hgemm, 512))
+            .unwrap();
         let c = session.end(handle.gpu()).unwrap();
         assert!(!uses_matrix_cores(&c));
         let session = ProfilerSession::begin(handle.gpu(), handle.die()).unwrap();
-        handle.gemm_timed(&GemmDesc::square(GemmOp::Hss, 512)).unwrap();
+        handle
+            .gemm_timed(&GemmDesc::square(GemmOp::Hss, 512))
+            .unwrap();
         let c = session.end(handle.gpu()).unwrap();
         assert!(uses_matrix_cores(&c));
     }

@@ -5,6 +5,7 @@
 use mc_blas::{BlasHandle, GemmDesc, GemmOp};
 use mc_model::FlopDistribution;
 use mc_profiler::{FlopBreakdown, ProfilerSession};
+use mc_sim::{DeviceId, DeviceRegistry};
 use serde::{Deserialize, Serialize};
 
 /// One measured/modelled point.
@@ -40,8 +41,8 @@ pub struct Fig9 {
 
 /// Regenerates Fig. 9 over the paper's N range (16 … 8192 suffices to
 /// validate the polynomial; larger N only extends the same lines).
-pub fn run() -> Fig9 {
-    let mut handle = BlasHandle::new_mi250x_gcd();
+pub fn run(devices: &DeviceRegistry) -> Fig9 {
+    let mut handle = BlasHandle::from_registry(devices, DeviceId::Mi250xGcd);
     let sizes = [16usize, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
     let series = [GemmOp::Sgemm, GemmOp::Dgemm]
         .into_iter()
@@ -72,10 +73,34 @@ pub fn run() -> Fig9 {
     Fig9 { series }
 }
 
+/// Fig. 9 as a registered experiment.
+pub struct Fig9Experiment;
+
+impl crate::experiment::Experiment for Fig9Experiment {
+    fn id(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 9 — FLOP distribution vs the 2N³/3N² model"
+    }
+
+    fn device(&self) -> &'static str {
+        "mi250x-gcd"
+    }
+
+    fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let f = run(&ctx.devices);
+        (serde_json::to_value(&f), render(&f))
+    }
+}
+
 /// Renders the figure data as text.
 pub fn render(f: &Fig9) -> String {
     use std::fmt::Write as _;
-    let mut s = String::from("Fig. 9: FLOPs on Matrix Cores vs SIMD units (measured | 2N^3 / 3N^2 model)\n");
+    let mut s = String::from(
+        "Fig. 9: FLOPs on Matrix Cores vs SIMD units (measured | 2N^3 / 3N^2 model)\n",
+    );
     for g in &f.series {
         let _ = writeln!(s, "-- {} --", g.routine);
         let _ = writeln!(
@@ -102,7 +127,7 @@ mod tests {
     fn model_overlaps_measurement_for_n_ge_32() {
         // §VII: "The overlapping of the model and experimental values
         // for N ≥ 32 validates our model".
-        let f = run();
+        let f = run(&DeviceRegistry::builtin());
         for g in &f.series {
             for p in g.points.iter().filter(|p| p.n >= 32) {
                 assert_eq!(p.measured_mfma, p.model_mfma, "{} N={}", g.routine, p.n);
@@ -113,19 +138,24 @@ mod tests {
 
     #[test]
     fn mc_to_simd_ratio_is_two_thirds_n() {
-        let f = run();
+        let f = run(&DeviceRegistry::builtin());
         for g in &f.series {
             for p in g.points.iter().filter(|p| p.n >= 64) {
                 let ratio = p.measured_mfma as f64 / p.measured_simd as f64;
                 let expect = 2.0 * p.n as f64 / 3.0;
-                assert!((ratio - expect).abs() / expect < 0.01, "{} N={}", g.routine, p.n);
+                assert!(
+                    (ratio - expect).abs() / expect < 0.01,
+                    "{} N={}",
+                    g.routine,
+                    p.n
+                );
             }
         }
     }
 
     #[test]
     fn cubic_term_dominates_quickly() {
-        let f = run();
+        let f = run(&DeviceRegistry::builtin());
         let p = f.series[0].points.iter().find(|p| p.n == 1024).unwrap();
         assert!(p.measured_mfma > 600 * p.measured_simd);
     }

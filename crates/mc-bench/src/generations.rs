@@ -9,7 +9,7 @@
 //! reports the per-generation gains.
 
 use mc_isa::{ampere_catalog, cdna1_catalog, cdna2_catalog, IsaCatalog};
-use mc_sim::{throughput_run_all_dies, Gpu, SimConfig};
+use mc_sim::{throughput_run_all_dies, DeviceId, DeviceRegistry, Gpu};
 use mc_types::DType;
 use serde::{Deserialize, Serialize};
 
@@ -53,10 +53,10 @@ fn best_peak(gpu: &mut Gpu, catalog: &IsaCatalog, cd: DType, ab: DType, iters: u
 }
 
 /// Runs the generations survey.
-pub fn run(iterations: u64) -> Generations {
-    let mut mi100 = Gpu::new(SimConfig::for_package(mc_isa::specs::mi100()));
-    let mut mi250x = Gpu::mi250x();
-    let mut a100 = Gpu::a100();
+pub fn run(devices: &DeviceRegistry, iterations: u64) -> Generations {
+    let mut mi100 = devices.gpu(DeviceId::Mi100);
+    let mut mi250x = devices.gpu(DeviceId::Mi250x);
+    let mut a100 = devices.gpu(DeviceId::A100);
 
     let combos = [
         ("FP64 <- FP64", DType::F64, DType::F64),
@@ -81,13 +81,38 @@ pub fn run(iterations: u64) -> Generations {
     Generations { rows, mixed_gain }
 }
 
+/// The generation survey as a registered experiment.
+pub struct GenerationsExperiment;
+
+impl crate::experiment::Experiment for GenerationsExperiment {
+    fn id(&self) -> &'static str {
+        "generations"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension — MI100→MI250X generation survey"
+    }
+
+    fn device(&self) -> &'static str {
+        "mi100+mi250x+a100"
+    }
+
+    fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let g = run(&ctx.devices, ctx.budgets.tput_iters);
+        (serde_json::to_value(&g), render(&g))
+    }
+}
+
 /// Renders the survey as text.
 pub fn render(g: &Generations) -> String {
     use std::fmt::Write as _;
-    let mut s = String::from(
-        "Extension: the rise of AMD Matrix Cores — generation survey (T(FL)OPS)\n",
+    let mut s =
+        String::from("Extension: the rise of AMD Matrix Cores — generation survey (T(FL)OPS)\n");
+    let _ = writeln!(
+        s,
+        "{:<16} {:>10} {:>10} {:>10}",
+        "types", "MI100", "MI250X", "A100"
     );
-    let _ = writeln!(s, "{:<16} {:>10} {:>10} {:>10}", "types", "MI100", "MI250X", "A100");
     let fmt = |x: Option<f64>| x.map_or("x".to_owned(), |v| format!("{v:.1}"));
     for r in &g.rows {
         let _ = writeln!(
@@ -113,7 +138,7 @@ mod tests {
 
     #[test]
     fn fp64_matrix_cores_are_new_in_cdna2() {
-        let g = run(100_000);
+        let g = run(&DeviceRegistry::builtin(), 100_000);
         let fp64 = g.rows.iter().find(|r| r.types == "FP64 <- FP64").unwrap();
         assert!(fp64.mi100.is_none(), "MI100 has no FP64 MFMA");
         assert!(fp64.mi250x.unwrap() > 65.0);
@@ -123,15 +148,19 @@ mod tests {
     fn mixed_gain_matches_datasheet_ratio() {
         // MI100: 184.6 TF peak; MI250X: 383 — both at ~91% sustained:
         // gain ≈ 383/184.6 ≈ 2.07.
-        let g = run(100_000);
+        let g = run(&DeviceRegistry::builtin(), 100_000);
         assert!((g.mixed_gain - 2.07).abs() < 0.1, "{}", g.mixed_gain);
         let mixed = g.rows.iter().find(|r| r.types == "FP32 <- FP16").unwrap();
-        assert!((mixed.mi100.unwrap() - 168.0).abs() < 5.0, "{:?}", mixed.mi100);
+        assert!(
+            (mixed.mi100.unwrap() - 168.0).abs() < 5.0,
+            "{:?}",
+            mixed.mi100
+        );
     }
 
     #[test]
     fn bf16_full_rate_is_generational() {
-        let g = run(100_000);
+        let g = run(&DeviceRegistry::builtin(), 100_000);
         let bf = g.rows.iter().find(|r| r.types == "FP32 <- BF16").unwrap();
         // CDNA1 bf16 runs at half the fp16 rate; CDNA2 at full rate.
         let mixed = g.rows.iter().find(|r| r.types == "FP32 <- FP16").unwrap();
@@ -143,7 +172,7 @@ mod tests {
 
     #[test]
     fn nvidia_column_only_where_supported() {
-        let g = run(50_000);
+        let g = run(&DeviceRegistry::builtin(), 50_000);
         let f32row = g.rows.iter().find(|r| r.types == "FP32 <- FP32").unwrap();
         assert!(f32row.a100.is_none());
         assert!(f32row.mi100.is_some() && f32row.mi250x.is_some());

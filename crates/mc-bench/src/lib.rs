@@ -2,9 +2,14 @@
 //! paper's evaluation on the simulated devices.
 //!
 //! Each module owns one artifact, exposes a `run()` returning a
-//! serializable result struct, and a `render()` producing the
-//! paper-style text table. The `experiments` binary dispatches on the
-//! artifact name; EXPERIMENTS.md records paper-vs-measured for each.
+//! serializable result struct and a `render()` producing the
+//! paper-style text table, and registers an [`experiment::Experiment`]
+//! implementation in [`experiment::registry`]. The `experiments` binary
+//! is a thin driver over the registry; every run can be captured as a
+//! schema-versioned [`experiment::ExperimentRecord`] envelope, and
+//! [`report`] evaluates the paper pass-bands ([`experiment::Check`])
+//! from those envelopes. EXPERIMENTS.md records paper-vs-measured for
+//! each artifact.
 //!
 //! | Module | Paper artifact |
 //! |--------|----------------|
@@ -26,8 +31,8 @@
 
 #![deny(missing_docs)]
 
+pub mod experiment;
 pub mod fig2;
-pub mod generations;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
@@ -35,6 +40,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod generations;
 pub mod ml_dtypes;
 pub mod plot;
 pub mod report;

@@ -1,156 +1,133 @@
 //! `experiments` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments <artifact> [--json DIR]
-//!   artifact: table1 | table2 | table3 | fig3 | fig4 | fig5 | fig6 |
-//!             fig7 | fig8 | fig9 | all
-//!   --json DIR  also write the result as JSON into DIR
+//! experiments <artifact|all> [--json DIR] [--paper-iters]
+//!   artifact: any id from the experiment registry (table1 … report)
+//!   all         run every registered experiment once, in parallel
+//!   --json DIR  also write each result as a schema-versioned JSON
+//!               envelope into DIR (one file per experiment)
+//!   --paper-iters  full 40 M / 10⁷ / 110 s-sampling budgets instead of
+//!                  the reduced defaults (results are iteration-exact on
+//!                  the simulator)
 //! ```
 //!
-//! Throughput/latency experiments use reduced loop iterations by default
-//! (results on the simulator are iteration-exact); pass `--paper-iters`
-//! to run the full 40 M / 10⁷ / 100 s-sampling configurations.
+//! The artifact list and usage text are generated from
+//! [`mc_bench::experiment::registry`], so a newly registered experiment
+//! shows up everywhere without touching this driver.
 
-use std::io::Write as _;
+use std::process::exit;
 
-use mc_bench::{
-    fig2, fig3, fig4, generations, fig5, fig6, fig7, fig8, fig9, ml_dtypes, report, saturation, solver_ext, table1, table2, table3,
-};
-use mc_power::SamplerConfig;
-
-struct Options {
-    json_dir: Option<String>,
-    paper_iters: bool,
-}
+use mc_bench::experiment::{registry, Experiment, ExperimentRecord, IterBudgets, RunContext};
+use mc_bench::report;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut artifact = None;
-    let mut opts = Options {
-        json_dir: None,
-        paper_iters: false,
-    };
+    let mut json_dir: Option<String> = None;
+    let mut paper_iters = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => {
-                opts.json_dir = Some(
+                json_dir = Some(
                     it.next()
                         .unwrap_or_else(|| usage("--json needs a directory"))
                         .clone(),
                 );
             }
-            "--paper-iters" => opts.paper_iters = true,
+            "--paper-iters" => paper_iters = true,
             name if artifact.is_none() => artifact = Some(name.to_owned()),
             other => usage(&format!("unexpected argument `{other}`")),
         }
     }
     let artifact = artifact.unwrap_or_else(|| usage("missing artifact name"));
 
-    let list: Vec<&str> = if artifact == "all" {
-        vec![
-            "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "solver", "mldtypes", "generations", "saturation", "saturation",
-        ]
+    let mut ctx = RunContext::new(IterBudgets::for_flag(paper_iters));
+    if let Some(dir) = &json_dir {
+        ctx = ctx.with_sink(dir);
+    }
+
+    let experiments = registry();
+    if artifact == "all" {
+        run_all(&experiments, &ctx);
     } else {
-        vec![artifact.as_str()]
-    };
-
-    for name in list {
-        let (text, json) = run_one(name, &opts);
-        println!("{text}");
-        if let Some(dir) = &opts.json_dir {
-            std::fs::create_dir_all(dir).expect("create json dir");
-            let path = format!("{dir}/{name}.json");
-            let mut f = std::fs::File::create(&path).expect("create json file");
-            f.write_all(json.as_bytes()).expect("write json");
-            eprintln!("wrote {path}");
-        }
+        let Some(exp) = experiments.iter().find(|e| e.id() == artifact) else {
+            usage(&format!("unknown artifact `{artifact}`"))
+        };
+        let record = exp.run(&ctx);
+        println!("{}", record.rendered);
+        persist(&ctx, &record);
     }
 }
 
-fn run_one(name: &str, opts: &Options) -> (String, String) {
-    let micro_iters = if opts.paper_iters { 40_000_000 } else { 1_000_000 };
-    let tput_iters = if opts.paper_iters { 10_000_000 } else { 200_000 };
-    let power_iters = 6_000_000_000; // ≥110 s simulated per point
-    match name {
-        "table1" => {
-            let r = table1::run();
-            (table1::render(&r), to_json(&r))
-        }
-        "table2" => {
-            let r = table2::run(micro_iters);
-            (table2::render(&r), to_json(&r))
-        }
-        "table3" => {
-            let r = table3::run();
-            (table3::render(&r), to_json(&r))
-        }
-        "fig2" => {
-            let r = fig2::run();
-            (fig2::render(&r), to_json(&r))
-        }
-        "fig3" => {
-            let r = fig3::run(tput_iters);
-            (fig3::render(&r), to_json(&r))
-        }
-        "fig4" => {
-            let r = fig4::run(tput_iters);
-            (fig4::render(&r), to_json(&r))
-        }
-        "fig5" => {
-            let r = fig5::run(power_iters, SamplerConfig::default());
-            (fig5::render(&r), to_json(&r))
-        }
-        "fig6" => {
-            let r = fig6::run();
-            (fig6::render(&r), to_json(&r))
-        }
-        "fig7" => {
-            let r = fig7::run();
-            (fig7::render(&r), to_json(&r))
-        }
-        "fig8" => {
-            let r = fig8::run();
-            (fig8::render(&r), to_json(&r))
-        }
-        "fig9" => {
-            let r = fig9::run();
-            (fig9::render(&r), to_json(&r))
-        }
-        "solver" => {
-            let r = solver_ext::run();
-            (solver_ext::render(&r), to_json(&r))
-        }
-        "saturation" => {
-            let r = saturation::run(0.9);
-            (saturation::render(&r), to_json(&r))
-        }
-        "report" => {
-            let r = report::run();
-            (report::render(&r), to_json(&r))
-        }
-        "generations" => {
-            let r = generations::run(tput_iters);
-            (generations::render(&r), to_json(&r))
-        }
-        "mldtypes" => {
-            let r = ml_dtypes::run(tput_iters);
-            (ml_dtypes::render(&r), to_json(&r))
-        }
-        other => usage(&format!("unknown artifact `{other}`")),
+/// Runs every registered experiment exactly once: the independent ones
+/// in parallel on worker threads, then `report` from their in-memory
+/// records. Output is printed in registry order regardless of which
+/// thread finishes first.
+fn run_all(experiments: &[Box<dyn Experiment>], ctx: &RunContext) {
+    let independent: Vec<&Box<dyn Experiment>> =
+        experiments.iter().filter(|e| e.id() != "report").collect();
+    let records: Vec<ExperimentRecord> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = independent
+            .iter()
+            .map(|exp| s.spawn(move |_| exp.run(ctx)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
+    })
+    .expect("worker scope");
+
+    for record in &records {
+        println!("{}", record.rendered);
+        persist(ctx, record);
+    }
+
+    // `report` aggregates the records just produced — no re-running.
+    if let Some(report_exp) = experiments.iter().find(|e| e.id() == "report") {
+        let paper_report = report::from_records(&records);
+        let rendered = format!(
+            "{}(from this run's {} records)\n",
+            report::render(&paper_report),
+            records.len()
+        );
+        let record = ExperimentRecord {
+            schema_version: mc_bench::experiment::SCHEMA_VERSION,
+            experiment: report_exp.id().to_owned(),
+            title: report_exp.title().to_owned(),
+            device: report_exp.device().to_owned(),
+            config: ctx.budgets,
+            wall_time_s: records.iter().map(|r| r.wall_time_s).sum(),
+            checks: Vec::new(),
+            rendered,
+            payload: serde_json::to_value(&paper_report),
+        };
+        println!("{}", record.rendered);
+        persist(ctx, &record);
     }
 }
 
-fn to_json<T: serde::Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("serializable results")
+fn persist(ctx: &RunContext, record: &ExperimentRecord) {
+    match ctx.persist(record) {
+        Ok(Some(path)) => eprintln!("wrote {}", path.display()),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!(
+                "error: could not write record for `{}`: {e}",
+                record.experiment
+            );
+            exit(1);
+        }
+    }
 }
 
 fn usage(msg: &str) -> ! {
+    let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <table1|table2|table3|fig3..fig9|solver|mldtypes|report|all> \
-         [--json DIR] [--paper-iters]"
+        "usage: experiments <{}|all> [--json DIR] [--paper-iters]",
+        ids.join("|")
     );
-    std::process::exit(2)
+    exit(2)
 }

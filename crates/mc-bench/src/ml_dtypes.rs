@@ -9,7 +9,7 @@
 //! rate), using the same §V micro-benchmark.
 
 use mc_isa::cdna2_catalog;
-use mc_sim::{throughput_run_all_dies, Gpu};
+use mc_sim::{throughput_run_all_dies, DeviceId, DeviceRegistry};
 use mc_types::DType;
 use serde::{Deserialize, Serialize};
 
@@ -34,8 +34,8 @@ pub struct MlDtypes {
 }
 
 /// Runs the ML-datatype throughput survey on the whole MI250X package.
-pub fn run(iterations: u64) -> MlDtypes {
-    let mut gpu = Gpu::mi250x();
+pub fn run(devices: &DeviceRegistry, iterations: u64) -> MlDtypes {
+    let mut gpu = devices.gpu(DeviceId::Mi250x);
     let catalog = cdna2_catalog();
     let picks = [
         ("v_mfma_i32_16x16x16i8", DType::I32, DType::I8),
@@ -60,11 +60,37 @@ pub fn run(iterations: u64) -> MlDtypes {
     MlDtypes { rows }
 }
 
+/// The ML-datatype extension as a registered experiment.
+pub struct MlDtypesExperiment;
+
+impl crate::experiment::Experiment for MlDtypesExperiment {
+    fn id(&self) -> &'static str {
+        "mldtypes"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension — INT8/BF16 instruction throughput"
+    }
+
+    fn device(&self) -> &'static str {
+        "mi250x"
+    }
+
+    fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let m = run(&ctx.devices, ctx.budgets.tput_iters);
+        (serde_json::to_value(&m), render(&m))
+    }
+}
+
 /// Renders the experiment as text.
 pub fn render(m: &MlDtypes) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("Extension: ML datatypes (INT8, BF16) on the MI250X package\n");
-    let _ = writeln!(s, "{:<30} {:>10} {:>10} {:>8}", "instruction", "T(FL)OPS", "peak", "%");
+    let _ = writeln!(
+        s,
+        "{:<30} {:>10} {:>10} {:>8}",
+        "instruction", "T(FL)OPS", "peak", "%"
+    );
     for r in &m.rows {
         let _ = writeln!(
             s,
@@ -84,7 +110,7 @@ mod tests {
 
     #[test]
     fn int8_hits_the_383_tops_class() {
-        let m = run(100_000);
+        let m = run(&DeviceRegistry::builtin(), 100_000);
         let i8row = &m.rows[0];
         // Same per-cycle rate family as FP16: ~383 TOPS peak, ~350 achieved.
         assert!((i8row.peak_tops - 383.0).abs() < 1.0);
@@ -93,7 +119,7 @@ mod tests {
 
     #[test]
     fn bf16_1k_matches_fp16_and_legacy_is_half_rate() {
-        let m = run(100_000);
+        let m = run(&DeviceRegistry::builtin(), 100_000);
         let bf = &m.rows[1];
         let legacy = &m.rows[2];
         assert!((bf.tops - 350.0).abs() < 7.0, "{}", bf.tops);
@@ -103,9 +129,14 @@ mod tests {
 
     #[test]
     fn all_rows_achieve_high_fraction_of_peak() {
-        let m = run(50_000);
+        let m = run(&DeviceRegistry::builtin(), 50_000);
         for r in &m.rows {
-            assert!(r.fraction > 0.88 && r.fraction < 1.0, "{}: {}", r.mnemonic, r.fraction);
+            assert!(
+                r.fraction > 0.88 && r.fraction < 1.0,
+                "{}: {}",
+                r.mnemonic,
+                r.fraction
+            );
         }
     }
 }

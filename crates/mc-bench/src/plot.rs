@@ -63,14 +63,21 @@ fn transform(v: f64, scale: Scale) -> f64 {
 /// Renders the chart with its series into a text block.
 pub fn render(chart: &Chart, series: &[Series]) -> String {
     use std::fmt::Write as _;
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return format!("{} (no data)\n", chart.title);
     }
     let xs: Vec<f64> = all.iter().map(|p| transform(p.0, chart.x_scale)).collect();
     let ys: Vec<f64> = all.iter().map(|p| p.1).collect();
-    let (x_min, x_max) = xs.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
-    let (y_min, y_max) = ys.iter().fold((0.0f64, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let (x_min, x_max) = xs
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let (y_min, y_max) = ys
+        .iter()
+        .fold((0.0f64, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
     let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
     let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
 
@@ -87,7 +94,7 @@ pub fn render(chart: &Chart, series: &[Series]) -> String {
 
     let mut out = String::new();
     let _ = writeln!(out, "{}", chart.title);
-    let _ = writeln!(out, "{} ({})", chart.y_label, "max at top");
+    let _ = writeln!(out, "{} (max at top)", chart.y_label);
     for (i, row) in grid.iter().enumerate() {
         let y_val = y_max - (i as f64 / (chart.height - 1) as f64) * y_span;
         let line: String = row.iter().collect();
@@ -101,7 +108,10 @@ pub fn render(chart: &Chart, series: &[Series]) -> String {
         chart.x_label,
         chart.x_scale
     );
-    let legend: Vec<String> = series.iter().map(|s| format!("{} {}", s.glyph, s.label)).collect();
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| format!("{} {}", s.glyph, s.label))
+        .collect();
     let _ = writeln!(out, "{:>11}{}", "", legend.join("   "));
     out
 }
@@ -155,8 +165,16 @@ mod tests {
 
     #[test]
     fn multiple_series_keep_distinct_glyphs() {
-        let a = Series { label: "a".into(), glyph: 'a', points: vec![(1.0, 1.0), (10.0, 2.0)] };
-        let b = Series { label: "b".into(), glyph: 'b', points: vec![(1.0, 3.0), (10.0, 4.0)] };
+        let a = Series {
+            label: "a".into(),
+            glyph: 'a',
+            points: vec![(1.0, 1.0), (10.0, 2.0)],
+        };
+        let b = Series {
+            label: "b".into(),
+            glyph: 'b',
+            points: vec![(1.0, 3.0), (10.0, 4.0)],
+        };
         let text = render(&chart(), &[a, b]);
         assert!(text.contains('a') && text.contains('b'));
     }
@@ -169,7 +187,12 @@ mod tests {
 
     #[test]
     fn linear_scale_spaces_evenly() {
-        let c = Chart { x_scale: Scale::Linear, width: 11, height: 3, ..chart() };
+        let c = Chart {
+            x_scale: Scale::Linear,
+            width: 11,
+            height: 3,
+            ..chart()
+        };
         let s = Series {
             label: "l".into(),
             glyph: 'x',

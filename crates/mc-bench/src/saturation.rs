@@ -8,6 +8,7 @@
 //! application developers need.
 
 use mc_blas::{BlasHandle, GemmDesc, GemmOp};
+use mc_sim::{DeviceId, DeviceRegistry};
 use serde::{Deserialize, Serialize};
 
 /// One routine's saturation measurement.
@@ -33,8 +34,8 @@ pub struct Saturation {
 }
 
 /// Runs the survey at a target fraction of each routine's peak.
-pub fn run(target: f64) -> Saturation {
-    let mut handle = BlasHandle::new_mi250x_gcd();
+pub fn run(devices: &DeviceRegistry, target: f64) -> Saturation {
+    let mut handle = BlasHandle::from_registry(devices, DeviceId::Mi250xGcd);
     let sizes: Vec<usize> = (4..=13).map(|p| 1usize << p).collect(); // 16..8192
 
     let rows = GemmOp::PAPER
@@ -43,7 +44,13 @@ pub fn run(target: f64) -> Saturation {
             let points: Vec<(usize, f64)> = sizes
                 .iter()
                 .map(|&n| {
-                    (n, handle.gemm_timed(&GemmDesc::square(op, n)).expect("fits").tflops)
+                    (
+                        n,
+                        handle
+                            .gemm_timed(&GemmDesc::square(op, n))
+                            .expect("fits")
+                            .tflops,
+                    )
                 })
                 .collect();
             let peak = points.iter().map(|p| p.1).fold(0.0, f64::max);
@@ -67,6 +74,28 @@ pub fn run(target: f64) -> Saturation {
         .collect();
 
     Saturation { target, rows }
+}
+
+/// The saturation survey as a registered experiment (90% target).
+pub struct SaturationExperiment;
+
+impl crate::experiment::Experiment for SaturationExperiment {
+    fn id(&self) -> &'static str {
+        "saturation"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension — empirical saturation size"
+    }
+
+    fn device(&self) -> &'static str {
+        "mi250x-gcd"
+    }
+
+    fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let s = run(&ctx.devices, 0.9);
+        (serde_json::to_value(&s), render(&s))
+    }
 }
 
 /// Renders the survey as text.
@@ -100,7 +129,7 @@ mod tests {
 
     #[test]
     fn saturation_sizes_are_reasonable() {
-        let s = run(0.9);
+        let s = run(&DeviceRegistry::builtin(), 0.9);
         let row = |r: &str| s.rows.iter().find(|x| x.routine == r).unwrap();
         // The 90%-of-peak points for the matrix-core routines land in
         // the multi-thousand range (Fig. 6/7's rising flanks).
@@ -113,7 +142,7 @@ mod tests {
     #[test]
     fn hgemm_saturates_earlier_at_a_lower_peak() {
         // The SIMD path has a far lower roof, so it saturates sooner.
-        let s = run(0.9);
+        let s = run(&DeviceRegistry::builtin(), 0.9);
         let hgemm = s.rows.iter().find(|x| x.routine == "hgemm").unwrap();
         let hhs = s.rows.iter().find(|x| x.routine == "hhs").unwrap();
         assert!(hgemm.peak_tflops < hhs.peak_tflops / 4.0);
@@ -122,10 +151,15 @@ mod tests {
 
     #[test]
     fn ramp_is_steep_below_saturation() {
-        let s = run(0.9);
+        let s = run(&DeviceRegistry::builtin(), 0.9);
         for r in &s.rows {
             // At half the saturation size, throughput is well below target.
-            assert!(r.half_size_fraction < 0.9, "{}: {}", r.routine, r.half_size_fraction);
+            assert!(
+                r.half_size_fraction < 0.9,
+                "{}: {}",
+                r.routine,
+                r.half_size_fraction
+            );
         }
     }
 }

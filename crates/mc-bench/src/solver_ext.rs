@@ -9,6 +9,7 @@
 //! toward 100 % as the GEMM trailing updates dominate.
 
 use mc_blas::BlasHandle;
+use mc_sim::{DeviceId, DeviceRegistry};
 use mc_solver::{factor_timed, Factorization};
 use serde::{Deserialize, Serialize};
 
@@ -42,8 +43,8 @@ pub struct SolverExt {
 }
 
 /// Runs the solver-layer utilization sweep.
-pub fn run() -> SolverExt {
-    let mut handle = BlasHandle::new_mi250x_gcd();
+pub fn run(devices: &DeviceRegistry) -> SolverExt {
+    let mut handle = BlasHandle::from_registry(devices, DeviceId::Mi250xGcd);
     let sizes = [256usize, 512, 1024, 2048, 4096, 8192];
     let block = 128;
     let series = [Factorization::Potrf, Factorization::Getrf]
@@ -73,12 +74,33 @@ pub fn run() -> SolverExt {
     SolverExt { series }
 }
 
+/// The solver extension as a registered experiment.
+pub struct SolverExtExperiment;
+
+impl crate::experiment::Experiment for SolverExtExperiment {
+    fn id(&self) -> &'static str {
+        "solver"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension — Matrix Core utilization at the LAPACK layer"
+    }
+
+    fn device(&self) -> &'static str {
+        "mi250x-gcd"
+    }
+
+    fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let s = run(&ctx.devices);
+        (serde_json::to_value(&s), render(&s))
+    }
+}
+
 /// Renders the experiment as text.
 pub fn render(s: &SolverExt) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from(
-        "Extension: Matrix Core utilization at the LAPACK (rocSOLVER) layer\n",
-    );
+    let mut out =
+        String::from("Extension: Matrix Core utilization at the LAPACK (rocSOLVER) layer\n");
     for series in &s.series {
         let _ = writeln!(out, "-- {} (nb = {}) --", series.routine, series.block);
         let _ = writeln!(out, "{:>8} {:>10} {:>12}", "N", "TFLOPS", "MC share");
@@ -101,7 +123,7 @@ mod tests {
 
     #[test]
     fn matrix_core_share_grows_toward_one() {
-        let s = run();
+        let s = run(&DeviceRegistry::builtin());
         for series in &s.series {
             let ratios: Vec<f64> = series.points.iter().map(|p| p.matrix_core_ratio).collect();
             assert!(
@@ -109,23 +131,31 @@ mod tests {
                 "{}: {ratios:?}",
                 series.routine
             );
-            assert!(*ratios.last().unwrap() > 0.97, "{}: {ratios:?}", series.routine);
+            assert!(
+                *ratios.last().unwrap() > 0.97,
+                "{}: {ratios:?}",
+                series.routine
+            );
         }
     }
 
     #[test]
     fn throughput_grows_with_n() {
-        let s = run();
+        let s = run(&DeviceRegistry::builtin());
         for series in &s.series {
             let t: Vec<f64> = series.points.iter().map(|p| p.tflops).collect();
-            assert!(t.last().unwrap() > t.first().unwrap(), "{}: {t:?}", series.routine);
+            assert!(
+                t.last().unwrap() > t.first().unwrap(),
+                "{}: {t:?}",
+                series.routine
+            );
         }
     }
 
     #[test]
     fn lu_does_twice_the_work_of_cholesky() {
         // Same trailing-update structure; LU's useful-FLOP count is 2x.
-        let s = run();
+        let s = run(&DeviceRegistry::builtin());
         let potrf = &s.series[0].points;
         let getrf = &s.series[1].points;
         let p = potrf.last().unwrap();

@@ -56,14 +56,52 @@ pub fn run() -> Table1 {
     Table1 { rows }
 }
 
+/// Table I as a registered experiment.
+pub struct Table1Experiment;
+
+impl crate::experiment::Experiment for Table1Experiment {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table I — supported MFMA datatypes/shapes"
+    }
+
+    fn device(&self) -> &'static str {
+        "mi250x+a100"
+    }
+
+    fn execute(&self, _ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let t = run();
+        (serde_json::to_value(&t), render(&t))
+    }
+}
+
 /// Renders the table as text.
 pub fn render(t: &Table1) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("Table I: supported MFMA/MMA shapes (D <- A*B + C)\n");
-    let _ = writeln!(s, "{:<16} {:<24} {:<24}", "types", "AMD CDNA2", "Nvidia Ampere");
+    let _ = writeln!(
+        s,
+        "{:<16} {:<24} {:<24}",
+        "types", "AMD CDNA2", "Nvidia Ampere"
+    );
     for r in &t.rows {
-        let fmt = |v: &Vec<String>| if v.is_empty() { "x".to_owned() } else { v.join(", ") };
-        let _ = writeln!(s, "{:<16} {:<24} {:<24}", r.types, fmt(&r.cdna2), fmt(&r.ampere));
+        let fmt = |v: &Vec<String>| {
+            if v.is_empty() {
+                "x".to_owned()
+            } else {
+                v.join(", ")
+            }
+        };
+        let _ = writeln!(
+            s,
+            "{:<16} {:<24} {:<24}",
+            r.types,
+            fmt(&r.cdna2),
+            fmt(&r.ampere)
+        );
     }
     s
 }
@@ -98,6 +136,8 @@ mod tests {
     fn renders_crosses_for_unsupported() {
         let text = render(&run());
         assert!(text.contains("FP16 <- FP16"));
-        assert!(text.lines().any(|l| l.starts_with("FP16 <- FP16") && l.contains('x')));
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("FP16 <- FP16") && l.contains('x')));
     }
 }

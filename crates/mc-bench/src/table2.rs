@@ -1,7 +1,7 @@
 //! Table II: measured latency of Matrix Core MFMA instructions,
 //! regenerated with the single-wavefront loop micro-benchmark (§IV-A).
 
-use mc_sim::{measure_latency, Gpu};
+use mc_sim::{measure_latency, DeviceId, DeviceRegistry};
 use mc_types::DType;
 use serde::{Deserialize, Serialize};
 
@@ -38,8 +38,8 @@ pub const PAPER_ROWS: [(DType, DType, u32, u32, u32); 5] = [
 
 /// Regenerates Table II. `iterations` of 40 million matches the paper;
 /// smaller values give identical results on the simulator.
-pub fn run(iterations: u64) -> Table2 {
-    let mut gpu = Gpu::mi250x();
+pub fn run(devices: &DeviceRegistry, iterations: u64) -> Table2 {
+    let mut gpu = devices.gpu(DeviceId::Mi250x);
     let catalog = mc_isa::cdna2_catalog();
     let rows = PAPER_ROWS
         .into_iter()
@@ -57,6 +57,64 @@ pub fn run(iterations: u64) -> Table2 {
     Table2 { rows, iterations }
 }
 
+/// Table II as a registered experiment.
+pub struct Table2Experiment;
+
+impl crate::experiment::Experiment for Table2Experiment {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table II — measured MFMA instruction latencies"
+    }
+
+    fn device(&self) -> &'static str {
+        "mi250x"
+    }
+
+    fn checks(&self) -> Vec<crate::experiment::Check> {
+        use crate::experiment::Check;
+        vec![
+            Check::new(
+                "table2/FP32 <- FP32 32x32x2 latency (cycles)",
+                64.0,
+                0.01,
+                "/rows/0/latency_cycles",
+            ),
+            Check::new(
+                "table2/FP32 <- FP32 16x16x4 latency (cycles)",
+                32.0,
+                0.01,
+                "/rows/1/latency_cycles",
+            ),
+            Check::new(
+                "table2/FP32 <- FP16 32x32x8 latency (cycles)",
+                64.0,
+                0.01,
+                "/rows/2/latency_cycles",
+            ),
+            Check::new(
+                "table2/FP32 <- FP16 16x16x16 latency (cycles)",
+                32.0,
+                0.01,
+                "/rows/3/latency_cycles",
+            ),
+            Check::new(
+                "table2/FP64 <- FP64 16x16x4 latency (cycles)",
+                32.0,
+                0.01,
+                "/rows/4/latency_cycles",
+            ),
+        ]
+    }
+
+    fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let t = run(&ctx.devices, ctx.budgets.micro_iters);
+        (serde_json::to_value(&t), render(&t))
+    }
+}
+
 /// Renders the table as text.
 pub fn render(t: &Table2) -> String {
     use std::fmt::Write as _;
@@ -64,7 +122,11 @@ pub fn render(t: &Table2) -> String {
         "Table II: measured MFMA latency ({} loop iterations, 1 wavefront)\n",
         t.iterations
     );
-    let _ = writeln!(s, "{:<16} {:<10} {:>16} {:>20}", "types", "m x n x k", "latency (cycles)", "FLOPs/CU/cycle");
+    let _ = writeln!(
+        s,
+        "{:<16} {:<10} {:>16} {:>20}",
+        "types", "m x n x k", "latency (cycles)", "FLOPs/CU/cycle"
+    );
     for r in &t.rows {
         let _ = writeln!(
             s,
@@ -79,9 +141,13 @@ pub fn render(t: &Table2) -> String {
 mod tests {
     use super::*;
 
+    fn devices() -> DeviceRegistry {
+        DeviceRegistry::builtin()
+    }
+
     #[test]
     fn reproduces_paper_latencies() {
-        let t = run(1_000_000);
+        let t = run(&devices(), 1_000_000);
         let expected = [64.0, 32.0, 64.0, 32.0, 32.0];
         assert_eq!(t.rows.len(), 5);
         for (row, want) in t.rows.iter().zip(expected) {
@@ -98,16 +164,20 @@ mod tests {
     #[test]
     fn implied_rates_match_cdna2_whitepaper() {
         // §V-A: 8mnk/c must equal the documented FLOPs/CU/cycle.
-        let t = run(100_000);
+        let t = run(&devices(), 100_000);
         for row in &t.rows {
-            let want = if row.types.contains("FP16") { 1024.0 } else { 256.0 };
+            let want = if row.types.contains("FP16") {
+                1024.0
+            } else {
+                256.0
+            };
             assert!((row.flops_per_cu_per_cycle - want).abs() < 1.0, "{row:?}");
         }
     }
 
     #[test]
     fn render_contains_all_rows() {
-        let t = run(10_000);
+        let t = run(&devices(), 10_000);
         let text = render(&t);
         assert!(text.contains("16x16x16"));
         assert!(text.contains("FP64 <- FP64"));

@@ -38,13 +38,43 @@ pub fn run() -> Table3 {
     Table3 { rows }
 }
 
+/// Table III as a registered experiment.
+pub struct Table3Experiment;
+
+impl crate::experiment::Experiment for Table3Experiment {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table III — mixed-precision GEMM datatype combos"
+    }
+
+    fn device(&self) -> &'static str {
+        "mi250x-gcd"
+    }
+
+    fn execute(&self, _ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let t = run();
+        (serde_json::to_value(&t), render(&t))
+    }
+}
+
 /// Renders the table as text.
 pub fn render(t: &Table3) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("Table III: rocBLAS half/mixed-precision GEMM datatypes\n");
-    let _ = writeln!(s, "{:<10} {:<8} {:<8} {:<14}", "Operation", "typeAB", "typeCD", "Compute type");
+    let _ = writeln!(
+        s,
+        "{:<10} {:<8} {:<8} {:<14}",
+        "Operation", "typeAB", "typeCD", "Compute type"
+    );
     for r in &t.rows {
-        let _ = writeln!(s, "{:<10} {:<8} {:<8} {:<14}", r.operation, r.type_ab, r.type_cd, r.compute);
+        let _ = writeln!(
+            s,
+            "{:<10} {:<8} {:<8} {:<14}",
+            r.operation, r.type_ab, r.type_cd, r.compute
+        );
     }
     s
 }
@@ -59,10 +89,27 @@ mod tests {
         assert_eq!(t.rows.len(), 3);
         let row = |op: &str| t.rows.iter().find(|r| r.operation == op).unwrap();
         let h = row("HGEMM");
-        assert_eq!((h.type_ab.as_str(), h.type_cd.as_str(), h.compute.as_str()), ("FP16", "FP16", "FP16"));
+        assert_eq!(
+            (h.type_ab.as_str(), h.type_cd.as_str(), h.compute.as_str()),
+            ("FP16", "FP16", "FP16")
+        );
         let hhs = row("HHS");
-        assert_eq!((hhs.type_ab.as_str(), hhs.type_cd.as_str(), hhs.compute.as_str()), ("FP16", "FP16", "FP32"));
+        assert_eq!(
+            (
+                hhs.type_ab.as_str(),
+                hhs.type_cd.as_str(),
+                hhs.compute.as_str()
+            ),
+            ("FP16", "FP16", "FP32")
+        );
         let hss = row("HSS");
-        assert_eq!((hss.type_ab.as_str(), hss.type_cd.as_str(), hss.compute.as_str()), ("FP16", "FP32", "FP32"));
+        assert_eq!(
+            (
+                hss.type_ab.as_str(),
+                hss.type_cd.as_str(),
+                hss.compute.as_str()
+            ),
+            ("FP16", "FP32", "FP32")
+        );
     }
 }

@@ -191,7 +191,11 @@ mod tests {
         );
         // 128³ tiles are I/O-bound (C/D traffic dominates at this size),
         // so the batch lands near the DRAM roof, not the compute roof.
-        assert!(batched.tflops > 50.0 && batched.tflops < 120.0, "{}", batched.tflops);
+        assert!(
+            batched.tflops > 50.0 && batched.tflops < 120.0,
+            "{}",
+            batched.tflops
+        );
     }
 
     #[test]
@@ -254,7 +258,10 @@ mod tests {
         };
         assert!(matches!(
             undersized.validate(),
-            Err(BlasError::BufferTooSmall { operand: "stride", .. })
+            Err(BlasError::BufferTooSmall {
+                operand: "stride",
+                ..
+            })
         ));
         // Batch that exceeds memory.
         let mut h = BlasHandle::new_mi250x_gcd();

@@ -59,13 +59,7 @@ pub fn gemm_reference_f64(
     Ok(())
 }
 
-fn check_buffers(
-    desc: &GemmDesc,
-    a: usize,
-    b: usize,
-    c: usize,
-    d: usize,
-) -> Result<(), BlasError> {
+fn check_buffers(desc: &GemmDesc, a: usize, b: usize, c: usize, d: usize) -> Result<(), BlasError> {
     desc.validate()?;
     let need = [
         ("A", desc.m * desc.k, a),
@@ -271,8 +265,12 @@ mod tests {
     fn sgemm_close_to_reference() {
         let n = 64;
         let desc = GemmDesc::square(GemmOp::Sgemm, n);
-        let a: Vec<f32> = (0..n * n).map(|i| ((i * 37 % 100) as f32) / 100.0 - 0.5).collect();
-        let b: Vec<f32> = (0..n * n).map(|i| ((i * 53 % 100) as f32) / 100.0 - 0.5).collect();
+        let a: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 37 % 100) as f32) / 100.0 - 0.5)
+            .collect();
+        let b: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 53 % 100) as f32) / 100.0 - 0.5)
+            .collect();
         let c: Vec<f32> = (0..n * n).map(|i| (i % 3) as f32).collect();
         let mut d = vec![0.0f32; n * n];
         let strategy = select_strategy(&desc);
@@ -284,7 +282,10 @@ mod tests {
         let mut df = vec![0.0; n * n];
         gemm_reference_f64(&desc, &af, &bf, &cf, &mut df).unwrap();
         for (got, want) in d.iter().zip(&df) {
-            assert!(got.approx_eq_tol(&(*want as f32), 1e-5, 1e-5), "{got} vs {want}");
+            assert!(
+                got.approx_eq_tol(&(*want as f32), 1e-5, 1e-5),
+                "{got} vs {want}"
+            );
         }
     }
 
@@ -294,7 +295,9 @@ mod tests {
         // many accumulations of ~1.0 values, f16 saturates its 11-bit
         // significand and drifts.
         let n = 128;
-        let a: Vec<F16> = (0..n * n).map(|i| F16::from_f32(0.9 + 0.2 * ((i % 10) as f32) / 10.0)).collect();
+        let a: Vec<F16> = (0..n * n)
+            .map(|i| F16::from_f32(0.9 + 0.2 * ((i % 10) as f32) / 10.0))
+            .collect();
         let b = a.clone();
 
         let hss_desc = GemmDesc {
@@ -345,15 +348,22 @@ mod tests {
         };
         let hss_err = err(&d_hss.iter().map(|&x| f64::from(x)).collect::<Vec<_>>());
         let hgemm_err = err(&d_hgemm.iter().map(|x| x.to_f64()).collect::<Vec<_>>());
-        assert!(hgemm_err > 10.0 * hss_err, "hgemm {hgemm_err} vs hss {hss_err}");
+        assert!(
+            hgemm_err > 10.0 * hss_err,
+            "hgemm {hgemm_err} vs hss {hss_err}"
+        );
         assert!(hss_err < 1e-3);
     }
 
     #[test]
     fn non_square_and_padded_shapes() {
         let desc = GemmDesc::new(GemmOp::Sgemm, 20, 35, 17, 0.5, 0.25);
-        let a: Vec<f32> = (0..desc.m * desc.k).map(|i| (i % 11) as f32 - 5.0).collect();
-        let b: Vec<f32> = (0..desc.k * desc.n).map(|i| (i % 13) as f32 - 6.0).collect();
+        let a: Vec<f32> = (0..desc.m * desc.k)
+            .map(|i| (i % 11) as f32 - 5.0)
+            .collect();
+        let b: Vec<f32> = (0..desc.k * desc.n)
+            .map(|i| (i % 13) as f32 - 6.0)
+            .collect();
         let c: Vec<f32> = (0..desc.m * desc.n).map(|i| (i % 4) as f32).collect();
         let mut d = vec![0.0f32; desc.m * desc.n];
         run_functional::<f32, f32, f32>(&desc, &select_strategy(&desc), &a, &b, &c, &mut d)
@@ -383,8 +393,15 @@ mod tests {
             ..GemmDesc::new(GemmOp::Sgemm, m, n, k, 1.0, 1.0)
         };
         let mut d = vec![0.0f32; m * n];
-        run_functional::<f32, f32, f32>(&desc, &select_strategy(&desc), &a_stored, &b_stored, &c, &mut d)
-            .unwrap();
+        run_functional::<f32, f32, f32>(
+            &desc,
+            &select_strategy(&desc),
+            &a_stored,
+            &b_stored,
+            &c,
+            &mut d,
+        )
+        .unwrap();
 
         // Explicitly transpose and run the plain path.
         let mut a_plain = vec![0.0f32; m * k];
@@ -437,6 +454,9 @@ mod tests {
             &ok,
             &mut d,
         );
-        assert!(matches!(e, Err(BlasError::BufferTooSmall { operand: "A", .. })));
+        assert!(matches!(
+            e,
+            Err(BlasError::BufferTooSmall { operand: "A", .. })
+        ));
     }
 }

@@ -196,10 +196,22 @@ mod tests {
         // f16 variant is at most ~2x (bytes), never the compute ratio.
         let mut h = BlasHandle::new_mi250x_gcd();
         let s = h
-            .gemv_timed(&GemvDesc { op: GemmOp::Sgemm, m: 16384, n: 16384, alpha: 1.0, beta: 0.0 })
+            .gemv_timed(&GemvDesc {
+                op: GemmOp::Sgemm,
+                m: 16384,
+                n: 16384,
+                alpha: 1.0,
+                beta: 0.0,
+            })
             .unwrap();
         let hslf = h
-            .gemv_timed(&GemvDesc { op: GemmOp::Hss, m: 16384, n: 16384, alpha: 1.0, beta: 0.0 })
+            .gemv_timed(&GemvDesc {
+                op: GemmOp::Hss,
+                m: 16384,
+                n: 16384,
+                alpha: 1.0,
+                beta: 0.0,
+            })
             .unwrap();
         let ratio = hslf.tflops / s.tflops;
         assert!(ratio < 2.5, "{ratio}");

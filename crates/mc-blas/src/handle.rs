@@ -10,7 +10,7 @@
 //!   descriptor only (no host data), used by the large-N sweeps of
 //!   Fig. 6/7/8 where materializing 65000² matrices is pointless.
 
-use mc_sim::{Gpu, HwCounters, LaunchError, PackageResult, SimConfig};
+use mc_sim::{DeviceId, DeviceRegistry, Gpu, HwCounters, LaunchError, PackageResult, SimConfig};
 use mc_types::{Real, F16};
 
 use crate::functional::run_functional;
@@ -42,16 +42,26 @@ pub struct BlasHandle {
 
 impl BlasHandle {
     /// Creates a handle on one GCD of a simulated MI250X.
+    ///
+    /// Prefer [`BlasHandle::from_registry`] with
+    /// [`DeviceId::Mi250xGcd`]; this shorthand remains for doctests and
+    /// backward compatibility and is equivalent to it.
     pub fn new_mi250x_gcd() -> Self {
-        BlasHandle {
-            gpu: Gpu::mi250x(),
-            die: 0,
-        }
+        BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd)
+    }
+
+    /// Creates a handle for a registered device, pinned to that device
+    /// view's default die (die 0 — the "one HIP device per GCD" model).
+    pub fn from_registry(devices: &DeviceRegistry, id: DeviceId) -> Self {
+        BlasHandle::with_config(devices.config(id).clone(), id.default_die())
     }
 
     /// Creates a handle over an explicit simulator configuration.
     pub fn with_config(cfg: SimConfig, die: usize) -> Self {
-        BlasHandle { gpu: Gpu::new(cfg), die }
+        BlasHandle {
+            gpu: Gpu::new(cfg),
+            die,
+        }
     }
 
     /// The underlying simulated GPU (for profiler attachment).
@@ -235,7 +245,9 @@ mod tests {
     #[test]
     fn sgemm_timed_peaks_near_43_tflops() {
         let mut h = BlasHandle::new_mi250x_gcd();
-        let perf = h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 8192)).unwrap();
+        let perf = h
+            .gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 8192))
+            .unwrap();
         // Paper Fig. 6: 43 TFLOPS at N=8192 (≈100% of the 43 plateau).
         assert!((perf.tflops - 43.0).abs() < 3.0, "got {}", perf.tflops);
     }
@@ -243,9 +255,18 @@ mod tests {
     #[test]
     fn dgemm_peaks_at_4096() {
         let mut h = BlasHandle::new_mi250x_gcd();
-        let t2048 = h.gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 2048)).unwrap().tflops;
-        let t4096 = h.gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 4096)).unwrap().tflops;
-        let t8192 = h.gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 8192)).unwrap().tflops;
+        let t2048 = h
+            .gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 2048))
+            .unwrap()
+            .tflops;
+        let t4096 = h
+            .gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 4096))
+            .unwrap()
+            .tflops;
+        let t8192 = h
+            .gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 8192))
+            .unwrap()
+            .tflops;
         assert!(t4096 > t2048, "{t2048} -> {t4096}");
         assert!(t4096 > t8192, "peak at 4096: {t4096} -> {t8192}");
         assert!(t4096 > 28.0 && t4096 < 42.0, "got {t4096}");
@@ -254,9 +275,18 @@ mod tests {
     #[test]
     fn sgemm_dips_at_pow2_and_recovers_at_65000() {
         let mut h = BlasHandle::new_mi250x_gcd();
-        let t8k = h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 8192)).unwrap().tflops;
-        let t16k = h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 16384)).unwrap().tflops;
-        let t65k = h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 65000)).unwrap().tflops;
+        let t8k = h
+            .gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 8192))
+            .unwrap()
+            .tflops;
+        let t16k = h
+            .gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 16384))
+            .unwrap()
+            .tflops;
+        let t65k = h
+            .gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 65000))
+            .unwrap()
+            .tflops;
         assert!(t16k < 0.75 * t8k, "pow2 dip: {t8k} -> {t16k}");
         assert!(t65k > 0.9 * t8k, "recovery: {t65k} vs {t8k}");
     }
@@ -264,22 +294,37 @@ mod tests {
     #[test]
     fn hgemm_stays_on_simd_and_is_slow() {
         let mut h = BlasHandle::new_mi250x_gcd();
-        let hgemm = h.gemm_timed(&GemmDesc::square(GemmOp::Hgemm, 8192)).unwrap();
+        let hgemm = h
+            .gemm_timed(&GemmDesc::square(GemmOp::Hgemm, 8192))
+            .unwrap();
         let hhs = h.gemm_timed(&GemmDesc::square(GemmOp::Hhs, 8192)).unwrap();
-        assert_eq!(hgemm.counters.mfma_mops_f16, 0, "HGEMM must not touch Matrix Cores");
+        assert_eq!(
+            hgemm.counters.mfma_mops_f16, 0,
+            "HGEMM must not touch Matrix Cores"
+        );
         assert!(hhs.counters.mfma_mops_f16 > 0);
         let speedup = hhs.tflops / hgemm.tflops;
         // Paper §VII: 2.3–7.5× Matrix Core speedup over the SIMD path.
         assert!(speedup > 4.0 && speedup < 10.0, "speedup {speedup}");
-        assert!((hgemm.tflops - 20.0).abs() < 5.0, "HGEMM plateau ~20 TF, got {}", hgemm.tflops);
+        assert!(
+            (hgemm.tflops - 20.0).abs() < 5.0,
+            "HGEMM plateau ~20 TF, got {}",
+            hgemm.tflops
+        );
     }
 
     #[test]
     fn hhs_outperforms_hss_above_1024() {
         let mut h = BlasHandle::new_mi250x_gcd();
         for n in [2048usize, 8192] {
-            let hhs = h.gemm_timed(&GemmDesc::square(GemmOp::Hhs, n)).unwrap().tflops;
-            let hss = h.gemm_timed(&GemmDesc::square(GemmOp::Hss, n)).unwrap().tflops;
+            let hhs = h
+                .gemm_timed(&GemmDesc::square(GemmOp::Hhs, n))
+                .unwrap()
+                .tflops;
+            let hss = h
+                .gemm_timed(&GemmDesc::square(GemmOp::Hss, n))
+                .unwrap()
+                .tflops;
             assert!(hhs >= hss * 0.99, "N={n}: hhs {hhs} vs hss {hss}");
         }
     }
@@ -288,7 +333,9 @@ mod tests {
     fn out_of_memory_at_the_papers_boundary() {
         let mut h = BlasHandle::new_mi250x_gcd();
         // 65000² singles fit in 64 GB (paper sweeps to 65000)...
-        assert!(h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 65000)).is_ok());
+        assert!(h
+            .gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 65000))
+            .is_ok());
         // ...but 65000² doubles do not.
         assert!(matches!(
             h.gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 65000)),
@@ -314,10 +361,7 @@ mod tests {
         // α·A·I + β·C = 0.1 + 0.1 = 0.2 everywhere.
         assert!(d.iter().all(|&x| (x - 0.2).abs() < 1e-6));
         // Counters match the plan's closed-form MFMA count.
-        assert_eq!(
-            perf.counters.mfma_mops_f32 * 512,
-            perf.plan.mfma_flops
-        );
+        assert_eq!(perf.counters.mfma_mops_f32 * 512, perf.plan.mfma_flops);
     }
 
     #[test]
@@ -353,8 +397,14 @@ mod tests {
         assert_eq!(perf.counters.mfma_mops_f16, 0);
 
         // Large-N throughput matches the HHS class.
-        let bhs = h.gemm_timed(&GemmDesc::square(GemmOp::Bhs, 4096)).unwrap().tflops;
-        let hhs = h.gemm_timed(&GemmDesc::square(GemmOp::Hhs, 4096)).unwrap().tflops;
+        let bhs = h
+            .gemm_timed(&GemmDesc::square(GemmOp::Bhs, 4096))
+            .unwrap()
+            .tflops;
+        let hhs = h
+            .gemm_timed(&GemmDesc::square(GemmOp::Hhs, 4096))
+            .unwrap()
+            .tflops;
         assert!((bhs - hhs).abs() / hhs < 0.02, "{bhs} vs {hhs}");
     }
 
@@ -363,7 +413,10 @@ mod tests {
         let mut h = BlasHandle::new_mi250x_gcd();
         let mut last = 0.0;
         for n in [64usize, 256, 1024, 4096, 8192] {
-            let t = h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, n)).unwrap().tflops;
+            let t = h
+                .gemm_timed(&GemmDesc::square(GemmOp::Sgemm, n))
+                .unwrap()
+                .tflops;
             assert!(t > last, "N={n}: {t} vs {last}");
             last = t;
         }

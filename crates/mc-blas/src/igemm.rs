@@ -115,7 +115,10 @@ mod tests {
         let q = quantize(&values);
         let back = dequantize(&q);
         for (orig, rec) in values.iter().zip(&back) {
-            assert!((orig - rec).abs() <= q.scale / 2.0 + 1e-6, "{orig} vs {rec}");
+            assert!(
+                (orig - rec).abs() <= q.scale / 2.0 + 1e-6,
+                "{orig} vs {rec}"
+            );
         }
     }
 
@@ -170,11 +173,19 @@ mod tests {
         // INT8 runs at the FP16-mixed rate (1024 ops/CU/cycle): the
         // quantized GEMM should land near the HHS curve.
         let mut h = BlasHandle::new_mi250x_gcd();
-        let q8 = h.gemm_timed(&GemmDesc::square(GemmOp::Quant8, 8192)).unwrap().tflops;
-        let hhs = h.gemm_timed(&GemmDesc::square(GemmOp::Hhs, 8192)).unwrap().tflops;
+        let q8 = h
+            .gemm_timed(&GemmDesc::square(GemmOp::Quant8, 8192))
+            .unwrap()
+            .tflops;
+        let hhs = h
+            .gemm_timed(&GemmDesc::square(GemmOp::Hhs, 8192))
+            .unwrap()
+            .tflops;
         assert!((q8 - hhs).abs() / hhs < 0.15, "{q8} vs {hhs}");
         // And the counters land in the INT8 MFMA bank.
-        let perf = h.gemm_timed(&GemmDesc::square(GemmOp::Quant8, 512)).unwrap();
+        let perf = h
+            .gemm_timed(&GemmDesc::square(GemmOp::Quant8, 512))
+            .unwrap();
         assert!(perf.counters.mfma_mops_i8 > 0);
         assert_eq!(perf.counters.mfma_mops_f16, 0);
     }
@@ -184,8 +195,12 @@ mod tests {
         // Random-ish f32 problem: quantized result within quantization
         // error of the exact f32 product.
         let (m, n, k) = (64, 64, 64);
-        let af: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 100) as f32) / 50.0 - 1.0).collect();
-        let bf: Vec<f32> = (0..k * n).map(|i| ((i * 53 % 100) as f32) / 50.0 - 1.0).collect();
+        let af: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 37 % 100) as f32) / 50.0 - 1.0)
+            .collect();
+        let bf: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 53 % 100) as f32) / 50.0 - 1.0)
+            .collect();
         let a = quantize(&af);
         let b = quantize(&bf);
         let c = vec![0.0f32; m * n];

@@ -30,10 +30,10 @@ pub mod syrk;
 pub mod types;
 
 pub use batched::BatchedGemmDesc;
-pub use gemv::{gemv_functional, plan_gemv, GemvDesc, GemvPerf};
 pub use functional::{gemm_reference_f64, run_functional};
-pub use igemm::{dequantize, quantize, quantized_gemm, Quantized};
+pub use gemv::{gemv_functional, plan_gemv, GemvDesc, GemvPerf};
 pub use handle::{BlasHandle, GemmPerf};
-pub use syrk::{plan_syrk, syrk_functional, SyrkDesc, SyrkPlan};
+pub use igemm::{dequantize, quantize, quantized_gemm, Quantized};
 pub use planner::{plan_gemm, select_strategy, GemmPlan, SimdReason, Strategy};
+pub use syrk::{plan_syrk, syrk_functional, SyrkDesc, SyrkPlan};
 pub use types::{BlasError, GemmDesc, GemmOp, Transpose};

@@ -23,7 +23,9 @@
 //! output element) on SIMD units.
 
 use mc_isa::specs::DieSpec;
-use mc_isa::{cdna2_catalog, KernelDesc, MatrixInstruction, MemHints, SlotOp, ValuOp, ValuOpKind, WaveProgram};
+use mc_isa::{
+    cdna2_catalog, KernelDesc, MatrixInstruction, MemHints, SlotOp, ValuOp, ValuOpKind, WaveProgram,
+};
 use mc_types::DType;
 
 use crate::types::{BlasError, GemmDesc, GemmOp};
@@ -159,7 +161,9 @@ pub fn plan_gemm(die: &DieSpec, desc: &GemmDesc) -> Result<GemmPlan, BlasError> 
             macro_tile,
             wave_tile,
             k_step,
-        } => Ok(plan_matrix_core(die, desc, strategy, &instr, macro_tile, wave_tile, k_step)),
+        } => Ok(plan_matrix_core(
+            die, desc, strategy, &instr, macro_tile, wave_tile, k_step,
+        )),
         Strategy::SimdOnly { .. } => Ok(plan_simd(die, desc, strategy)),
     }
 }
@@ -224,12 +228,21 @@ fn plan_matrix_core(
     let read_bpl = (read_bytes / 64).max(1) as u32;
 
     let mut body = vec![
-        SlotOp::GlobalLoad { bytes_per_lane: stage_bpl },
-        SlotOp::LdsWrite { bytes_per_lane: stage_bpl },
+        SlotOp::GlobalLoad {
+            bytes_per_lane: stage_bpl,
+        },
+        SlotOp::LdsWrite {
+            bytes_per_lane: stage_bpl,
+        },
         SlotOp::Barrier,
-        SlotOp::LdsRead { bytes_per_lane: read_bpl },
+        SlotOp::LdsRead {
+            bytes_per_lane: read_bpl,
+        },
     ];
-    body.extend(std::iter::repeat_n(SlotOp::Mfma(*instr), mfma_per_iter as usize));
+    body.extend(std::iter::repeat_n(
+        SlotOp::Mfma(*instr),
+        mfma_per_iter as usize,
+    ));
     body.push(SlotOp::Scalar);
 
     // Epilogue: β·C read, α/β scaling on SIMD (one V_MUL + one V_FMA per
@@ -237,7 +250,12 @@ fn plan_matrix_core(
     let scale_insts = ((wt_m * wt_n) / 64).max(1) as u64;
     let compute = desc.op.compute_type();
     let cd_bpl = ((wt_m * wt_n * cd_bytes) / 64).max(1) as u32;
-    let mut epilogue = vec![SlotOp::GlobalLoad { bytes_per_lane: cd_bpl }, SlotOp::SNop(4)];
+    let mut epilogue = vec![
+        SlotOp::GlobalLoad {
+            bytes_per_lane: cd_bpl,
+        },
+        SlotOp::SNop(4),
+    ];
     // HHS stores FP16 C/D around an FP32 compute pipeline; Quant8
     // dequantizes INT32 accumulators to FP32: cast traffic either way.
     let needs_cast = desc.op.type_cd() != compute || desc.op.mfma_pair().0 != compute;
@@ -261,7 +279,9 @@ fn plan_matrix_core(
             scale_insts as usize,
         ));
     }
-    epilogue.push(SlotOp::GlobalStore { bytes_per_lane: cd_bpl });
+    epilogue.push(SlotOp::GlobalStore {
+        bytes_per_lane: cd_bpl,
+    });
 
     let program = WaveProgram {
         prologue: vec![SlotOp::Scalar],
@@ -278,8 +298,7 @@ fn plan_matrix_core(
     let lds = (stage_bytes * 2) as u32; // double-buffered panel stage
 
     let mfma_flops = workgroups * u64::from(waves_per_wg) * k_iters * mfma_per_iter * instr.flops();
-    let simd_flops =
-        workgroups * u64::from(waves_per_wg) * scale_insts * (64 + 128);
+    let simd_flops = workgroups * u64::from(waves_per_wg) * scale_insts * (64 + 128);
 
     let kernel = KernelDesc {
         waves_per_workgroup: waves_per_wg,
@@ -336,10 +355,16 @@ fn plan_simd(die: &DieSpec, desc: &GemmDesc, strategy: Strategy) -> GemmPlan {
     let stage_bpl = (stage_bytes / waves_per_wg as usize / 64).max(1) as u32;
 
     let mut body = vec![
-        SlotOp::GlobalLoad { bytes_per_lane: stage_bpl },
-        SlotOp::LdsWrite { bytes_per_lane: stage_bpl },
+        SlotOp::GlobalLoad {
+            bytes_per_lane: stage_bpl,
+        },
+        SlotOp::LdsWrite {
+            bytes_per_lane: stage_bpl,
+        },
         SlotOp::Barrier,
-        SlotOp::LdsRead { bytes_per_lane: stage_bpl },
+        SlotOp::LdsRead {
+            bytes_per_lane: stage_bpl,
+        },
     ];
     body.extend(std::iter::repeat_n(SlotOp::Valu(fma_op), fma_insts));
     body.extend(std::iter::repeat_n(
@@ -350,7 +375,9 @@ fn plan_simd(die: &DieSpec, desc: &GemmDesc, strategy: Strategy) -> GemmPlan {
 
     let scale_insts = elems_per_lane as u64;
     let cd_bpl = ((wt_m * wt_n * cd_bytes) / 64).max(1) as u32;
-    let mut epilogue = vec![SlotOp::GlobalLoad { bytes_per_lane: cd_bpl }];
+    let mut epilogue = vec![SlotOp::GlobalLoad {
+        bytes_per_lane: cd_bpl,
+    }];
     epilogue.extend(std::iter::repeat_n(
         SlotOp::Valu(ValuOp::new(ValuOpKind::Mul, compute)),
         scale_insts as usize,
@@ -359,7 +386,9 @@ fn plan_simd(die: &DieSpec, desc: &GemmDesc, strategy: Strategy) -> GemmPlan {
         SlotOp::Valu(ValuOp::new(ValuOpKind::Fma, compute)),
         scale_insts as usize,
     ));
-    epilogue.push(SlotOp::GlobalStore { bytes_per_lane: cd_bpl });
+    epilogue.push(SlotOp::GlobalStore {
+        bytes_per_lane: cd_bpl,
+    });
 
     let program = WaveProgram {
         prologue: vec![SlotOp::Scalar],
@@ -373,16 +402,14 @@ fn plan_simd(die: &DieSpec, desc: &GemmDesc, strategy: Strategy) -> GemmPlan {
     } else {
         fma_insts as u64 * 128
     };
-    let simd_flops = workgroups
-        * u64::from(waves_per_wg)
-        * (k_iters * macs_flops + scale_insts * (64 + 128));
+    let simd_flops =
+        workgroups * u64::from(waves_per_wg) * (k_iters * macs_flops + scale_insts * (64 + 128));
 
     let kernel = KernelDesc {
         waves_per_workgroup: waves_per_wg,
         workgroups,
         lds_bytes_per_workgroup: (stage_bytes * waves_per_wg as usize) as u32,
-        arch_vgprs: 64
-            + ((elems_per_lane * compute.vgprs_per_element()).min(192)) as u32,
+        arch_vgprs: 64 + ((elems_per_lane * compute.vgprs_per_element()).min(192)) as u32,
         acc_vgprs: 0,
         mem_hints: mem_hints(die, desc, (mt_m, mt_n)),
         ..KernelDesc::new(format!("gemm_{}_simd", desc.op), program)
@@ -427,7 +454,12 @@ mod tests {
         for n in [16, 256, 4096, 16384] {
             let s = select_strategy(&GemmDesc::square(GemmOp::Hgemm, n));
             assert!(
-                matches!(s, Strategy::SimdOnly { reason: SimdReason::NoMatrixInstruction }),
+                matches!(
+                    s,
+                    Strategy::SimdOnly {
+                        reason: SimdReason::NoMatrixInstruction
+                    }
+                ),
                 "N={n}"
             );
         }
@@ -438,7 +470,15 @@ mod tests {
         // Paper Fig. 8: HHS and HSS do not use Matrix Cores at N=16.
         for op in [GemmOp::Hhs, GemmOp::Hss] {
             let s = select_strategy(&GemmDesc::square(op, 16));
-            assert!(matches!(s, Strategy::SimdOnly { reason: SimdReason::TinyProblem }), "{op}");
+            assert!(
+                matches!(
+                    s,
+                    Strategy::SimdOnly {
+                        reason: SimdReason::TinyProblem
+                    }
+                ),
+                "{op}"
+            );
             // ... but do at N=32.
             let s = select_strategy(&GemmDesc::square(op, 32));
             assert!(s.uses_matrix_cores(), "{op}");
@@ -483,13 +523,21 @@ mod tests {
     fn flop_accounting_matches_fig9_model() {
         // For N a multiple of the macro-tile: exactly 2N³ on Matrix
         // Cores and 3N² on SIMD units.
-        for (op, n) in [(GemmOp::Sgemm, 1024), (GemmOp::Hhs, 2048), (GemmOp::Dgemm, 1024)] {
+        for (op, n) in [
+            (GemmOp::Sgemm, 1024),
+            (GemmOp::Hhs, 2048),
+            (GemmOp::Dgemm, 1024),
+        ] {
             let plan = plan_gemm(&die(), &GemmDesc::square(op, n)).unwrap();
             let n = n as u64;
             assert_eq!(plan.mfma_flops, 2 * n.pow(3), "{op} mfma");
             assert_eq!(plan.simd_flops, 3 * n.pow(2), "{op} simd");
             // The kernel program must agree with the closed-form count.
-            assert_eq!(plan.kernel.total_mfma_flops(), plan.mfma_flops, "{op} kernel");
+            assert_eq!(
+                plan.kernel.total_mfma_flops(),
+                plan.mfma_flops,
+                "{op} kernel"
+            );
         }
     }
 
@@ -526,7 +574,10 @@ mod tests {
         let p = plan_gemm(&d, &GemmDesc::square(GemmOp::Sgemm, 16384)).unwrap();
         assert!(p.kernel.mem_hints.pow2_stride);
         let p = plan_gemm(&d, &GemmDesc::square(GemmOp::Sgemm, 8192)).unwrap();
-        assert!(!p.kernel.mem_hints.pow2_stride, "32 KiB rows stay under the camping threshold");
+        assert!(
+            !p.kernel.mem_hints.pow2_stride,
+            "32 KiB rows stay under the camping threshold"
+        );
         let p = plan_gemm(&d, &GemmDesc::square(GemmOp::Dgemm, 8192)).unwrap();
         assert!(p.kernel.mem_hints.pow2_stride, "64 KiB f64 rows collide");
         let p = plan_gemm(&d, &GemmDesc::square(GemmOp::Sgemm, 65000)).unwrap();
@@ -537,8 +588,11 @@ mod tests {
     fn dram_traffic_grows_superlinearly_past_l2() {
         let d = die();
         let t = |n: usize| {
-            plan_gemm(&d, &GemmDesc::square(GemmOp::Sgemm, n)).unwrap().kernel.mem_hints.hbm_bytes
-                as f64
+            plan_gemm(&d, &GemmDesc::square(GemmOp::Sgemm, n))
+                .unwrap()
+                .kernel
+                .mem_hints
+                .hbm_bytes as f64
         };
         // Panel-miss factor saturates: traffic/N³ rises then plateaus.
         let r4k = t(4096) / 4096f64.powi(3);

@@ -154,7 +154,9 @@ mod tests {
             alpha: -1.0,
             beta: 1.0,
         };
-        let a: Vec<f64> = (0..48 * 24).map(|i| ((i * 13 % 17) as f64) / 17.0 - 0.5).collect();
+        let a: Vec<f64> = (0..48 * 24)
+            .map(|i| ((i * 13 % 17) as f64) / 17.0 - 0.5)
+            .collect();
         let c0: Vec<f64> = (0..48 * 48).map(|i| (i % 5) as f64).collect();
 
         let mut c_syrk = c0.clone();
@@ -165,9 +167,16 @@ mod tests {
         for i in 0..48 {
             for j in 0..48 {
                 if j <= i {
-                    assert!((c_syrk[i * 48 + j] - c_gemm[i * 48 + j]).abs() < 1e-12, "({i},{j})");
+                    assert!(
+                        (c_syrk[i * 48 + j] - c_gemm[i * 48 + j]).abs() < 1e-12,
+                        "({i},{j})"
+                    );
                 } else {
-                    assert_eq!(c_syrk[i * 48 + j], c0[i * 48 + j], "upper untouched ({i},{j})");
+                    assert_eq!(
+                        c_syrk[i * 48 + j],
+                        c0[i * 48 + j],
+                        "upper untouched ({i},{j})"
+                    );
                 }
             }
         }
@@ -187,7 +196,10 @@ mod tests {
         // Lower triangle of a t×t grid: t(t+1)/2 of t² tiles.
         let t = 4096u64 / 256;
         assert_eq!(plan.kernel.workgroups, t * (t + 1) / 2);
-        assert!(plan.kernel.workgroups * 2 > full, "more than half with diagonal");
+        assert!(
+            plan.kernel.workgroups * 2 > full,
+            "more than half with diagonal"
+        );
         assert!(plan.kernel.workgroups < full * 3 / 5);
         assert!(plan.mfma_flops < plan.gemm_plan.mfma_flops * 3 / 5);
     }
@@ -217,7 +229,10 @@ mod tests {
         let plan = plan_syrk(&handle.gpu().spec().die, &desc).unwrap();
         let die = handle.die();
         let syrk_r = handle.gpu_mut().launch(die, &plan.kernel).unwrap();
-        let gemm_r = handle.gpu_mut().launch(die, &plan.gemm_plan.kernel).unwrap();
+        let gemm_r = handle
+            .gpu_mut()
+            .launch(die, &plan.gemm_plan.kernel)
+            .unwrap();
         assert!(
             syrk_r.time_s < 0.7 * gemm_r.time_s,
             "{} vs {}",

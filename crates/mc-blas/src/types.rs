@@ -259,7 +259,10 @@ impl fmt::Display for BlasError {
                 operand,
                 required,
                 provided,
-            } => write!(f, "operand {operand}: need {required} elements, got {provided}"),
+            } => write!(
+                f,
+                "operand {operand}: need {required} elements, got {provided}"
+            ),
             BlasError::OutOfDeviceMemory { required, capacity } => {
                 write!(f, "problem needs {required} B, device has {capacity} B")
             }

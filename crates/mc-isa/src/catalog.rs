@@ -43,9 +43,9 @@ impl IsaCatalog {
 
     /// Finds the instruction with an exact shape and type signature.
     pub fn find(&self, cd: DType, ab: DType, m: u32, n: u32, k: u32) -> Option<&MatrixInstruction> {
-        self.instructions
-            .iter()
-            .find(|i| i.cd == cd && i.ab == ab && i.shape.m == m && i.shape.n == n && i.shape.k == k)
+        self.instructions.iter().find(|i| {
+            i.cd == cd && i.ab == ab && i.shape.m == m && i.shape.n == n && i.shape.k == k
+        })
     }
 
     /// Finds an instruction by its mnemonic (case-insensitive).
@@ -382,7 +382,8 @@ mod tests {
         let c2 = cdna2_catalog();
         for i in c1.instructions() {
             assert!(
-                c2.find(i.cd, i.ab, i.shape.m, i.shape.n, i.shape.k).is_some(),
+                c2.find(i.cd, i.ab, i.shape.m, i.shape.n, i.shape.k)
+                    .is_some(),
                 "{} dropped in CDNA2",
                 i.mnemonic()
             );

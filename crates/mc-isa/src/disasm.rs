@@ -29,22 +29,25 @@ pub struct KernelStats {
 /// Counts per-iteration instruction classes, like inspecting `-S` output.
 pub fn kernel_stats(k: &KernelDesc) -> KernelStats {
     let count = |ops: &[SlotOp]| {
-        ops.iter().fold((0usize, 0usize, 0usize), |(m, v, mem), op| match op {
-            SlotOp::Mfma(_) => (m + 1, v, mem),
-            SlotOp::Valu(_) => (m, v + 1, mem),
-            SlotOp::GlobalLoad { .. }
-            | SlotOp::GlobalStore { .. }
-            | SlotOp::LdsRead { .. }
-            | SlotOp::LdsWrite { .. } => (m, v, mem + 1),
-            _ => (m, v, mem),
-        })
+        ops.iter()
+            .fold((0usize, 0usize, 0usize), |(m, v, mem), op| match op {
+                SlotOp::Mfma(_) => (m + 1, v, mem),
+                SlotOp::Valu(_) => (m, v + 1, mem),
+                SlotOp::GlobalLoad { .. }
+                | SlotOp::GlobalStore { .. }
+                | SlotOp::LdsRead { .. }
+                | SlotOp::LdsWrite { .. } => (m, v, mem + 1),
+                _ => (m, v, mem),
+            })
     };
     let (m, v, mem) = count(&k.program.body);
     KernelStats {
         mfma_per_iteration: m,
         valu_per_iteration: v,
         mem_per_iteration: mem,
-        static_instructions: k.program.prologue.len() + k.program.body.len() + k.program.epilogue.len(),
+        static_instructions: k.program.prologue.len()
+            + k.program.body.len()
+            + k.program.epilogue.len(),
     }
 }
 
@@ -59,7 +62,9 @@ fn render_op(out: &mut String, op: &SlotOp) {
             writeln!(out, "    global_store_b{}", bytes_per_lane * 8)
         }
         SlotOp::LdsRead { bytes_per_lane } => writeln!(out, "    ds_read_b{}", bytes_per_lane * 8),
-        SlotOp::LdsWrite { bytes_per_lane } => writeln!(out, "    ds_write_b{}", bytes_per_lane * 8),
+        SlotOp::LdsWrite { bytes_per_lane } => {
+            writeln!(out, "    ds_write_b{}", bytes_per_lane * 8)
+        }
         SlotOp::SNop(n) => writeln!(out, "    s_nop {n}"),
         SlotOp::Scalar => writeln!(out, "    s_alu"),
         SlotOp::Waitcnt => writeln!(out, "    s_waitcnt vmcnt(0)"),
@@ -117,7 +122,9 @@ mod tests {
     use mc_types::DType;
 
     fn sample_kernel() -> KernelDesc {
-        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
         let program = WaveProgram {
             prologue: vec![SlotOp::GlobalLoad { bytes_per_lane: 16 }, SlotOp::Waitcnt],
             body: vec![
@@ -160,7 +167,9 @@ mod tests {
         // one MFMA and nothing else.
         let params = crate::kernel::WaveProgram::looped(
             vec![SlotOp::Mfma(
-                *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap(),
+                *cdna2_catalog()
+                    .find(DType::F64, DType::F64, 16, 16, 4)
+                    .unwrap(),
             )],
             40_000_000,
         );

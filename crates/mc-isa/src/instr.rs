@@ -70,7 +70,11 @@ impl ParseMnemonicError {
 
 impl fmt::Display for ParseMnemonicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cannot parse mnemonic `{}`: {}", self.mnemonic, self.reason)
+        write!(
+            f,
+            "cannot parse mnemonic `{}`: {}",
+            self.mnemonic, self.reason
+        )
     }
 }
 
@@ -172,7 +176,8 @@ impl MatrixInstruction {
             .next()
             .ok_or_else(|| ParseMnemonicError::new(s, "missing shape"))?;
 
-        let cd = parse_dtype(cd_tok).ok_or_else(|| ParseMnemonicError::new(s, "bad output type"))?;
+        let cd =
+            parse_dtype(cd_tok).ok_or_else(|| ParseMnemonicError::new(s, "bad output type"))?;
 
         // tail looks like `16x16x16f16`: split digits/x from the trailing type.
         let type_start = tail

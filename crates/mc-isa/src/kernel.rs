@@ -220,7 +220,11 @@ mod tests {
     use mc_types::DType;
 
     fn mixed_mfma() -> SlotOp {
-        SlotOp::Mfma(*cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap())
+        SlotOp::Mfma(
+            *cdna2_catalog()
+                .find(DType::F32, DType::F16, 16, 16, 16)
+                .unwrap(),
+        )
     }
 
     #[test]

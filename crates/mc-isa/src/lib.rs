@@ -33,7 +33,7 @@ mod shape;
 mod valu;
 
 pub use catalog::{ampere_catalog, cdna1_catalog, cdna2_catalog, IsaCatalog};
-pub use kernel::{KernelDesc, MemHints, SlotOp, WaveProgram};
 pub use instr::{MatrixArch, MatrixInstruction, ParseMnemonicError};
+pub use kernel::{KernelDesc, MemHints, SlotOp, WaveProgram};
 pub use shape::MfmaShape;
 pub use valu::{ValuOp, ValuOpKind};

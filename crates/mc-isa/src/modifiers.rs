@@ -179,11 +179,15 @@ mod tests {
 
     fn multi_block() -> MatrixInstruction {
         // 4x4x4 f16, 16 blocks.
-        *cdna2_catalog().find(DType::F32, DType::F16, 4, 4, 4).unwrap()
+        *cdna2_catalog()
+            .find(DType::F32, DType::F16, 4, 4, 4)
+            .unwrap()
     }
 
     fn single_block() -> MatrixInstruction {
-        *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap()
+        *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap()
     }
 
     #[test]
@@ -257,13 +261,19 @@ mod tests {
             }
         }
         // Swap is an involution.
-        let swap = MfmaModifiers { blgp: Blgp::SwapHalves, ..Default::default() };
+        let swap = MfmaModifiers {
+            blgp: Blgp::SwapHalves,
+            ..Default::default()
+        };
         for b in 0..blocks {
             let once = swap.b_source_block(b, blocks);
             assert_eq!(swap.b_source_block(once, blocks), b);
         }
         // Broadcasts collapse to a single source.
-        let b0 = MfmaModifiers { blgp: Blgp::BroadcastBlock0, ..Default::default() };
+        let b0 = MfmaModifiers {
+            blgp: Blgp::BroadcastBlock0,
+            ..Default::default()
+        };
         assert!((0..blocks).all(|b| b0.b_source_block(b, blocks) == 0));
     }
 

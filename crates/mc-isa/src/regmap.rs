@@ -134,9 +134,25 @@ pub fn element_location(
     }
 
     let loc = match operand {
-        Operand::A => input_location(s.m, s.k, s.blocks, coord.block, coord.row, coord.col, instr.ab),
+        Operand::A => input_location(
+            s.m,
+            s.k,
+            s.blocks,
+            coord.block,
+            coord.row,
+            coord.col,
+            instr.ab,
+        ),
         // B is the transpose-symmetric layout: lanes indexed by column.
-        Operand::B => input_location(s.n, s.k, s.blocks, coord.block, coord.col, coord.row, instr.ab),
+        Operand::B => input_location(
+            s.n,
+            s.k,
+            s.blocks,
+            coord.block,
+            coord.col,
+            coord.row,
+            instr.ab,
+        ),
         Operand::C | Operand::D => accum_location(s.m, s.n, s.blocks, coord, instr.cd),
     };
     Ok(loc)
@@ -157,12 +173,15 @@ fn input_location(
     let groups = k / e;
     let lane = row + m * (block * groups + kk / e);
     let slot = kk % e;
-    slot_to_register(slot, ty)
-        .with_lane(lane)
+    slot_to_register(slot, ty).with_lane(lane)
 }
 
 fn accum_location(m: u32, n: u32, blocks: u32, coord: ElementCoord, ty: DType) -> RegisterLocation {
-    let ElementCoord { block, row: i, col: j } = coord;
+    let ElementCoord {
+        block,
+        row: i,
+        col: j,
+    } = coord;
     let (lane, slot) = if m * n * blocks == 64 {
         // FP64 4x4x4 (4 blocks): one element per lane, no register freedom.
         (j + n * (block + blocks * i), 0)
@@ -308,7 +327,11 @@ mod tests {
                 let loc = element_location(
                     &i,
                     Operand::A,
-                    ElementCoord { block: 0, row, col: k },
+                    ElementCoord {
+                        block: 0,
+                        row,
+                        col: k,
+                    },
                 )
                 .unwrap();
                 assert_eq!(loc.lane, row + 16 * k);
@@ -321,11 +344,29 @@ mod tests {
     fn known_mapping_mixed_16x16x16_a_packing() {
         // A[i][k]: lane i + 16*(k/4), packed slot k%4 -> VGPR k%4/2, half k%2.
         let i = get(DType::F32, DType::F16, 16, 16, 16);
-        let loc = element_location(&i, Operand::A, ElementCoord { block: 0, row: 3, col: 9 }).unwrap();
+        let loc = element_location(
+            &i,
+            Operand::A,
+            ElementCoord {
+                block: 0,
+                row: 3,
+                col: 9,
+            },
+        )
+        .unwrap();
         assert_eq!(loc.lane, 3 + 16 * 2);
         assert_eq!(loc.vgpr, 0); // slot 1 -> vgpr 0 high half
         assert_eq!(loc.half, 1);
-        let loc2 = element_location(&i, Operand::A, ElementCoord { block: 0, row: 0, col: 14 }).unwrap();
+        let loc2 = element_location(
+            &i,
+            Operand::A,
+            ElementCoord {
+                block: 0,
+                row: 0,
+                col: 14,
+            },
+        )
+        .unwrap();
         assert_eq!(loc2.vgpr, 1); // slot 2 -> vgpr 1 low half
         assert_eq!(loc2.half, 0);
     }
@@ -348,7 +389,16 @@ mod tests {
     fn known_mapping_f32_32x32x8_d_interleave() {
         // 32x32 interleave: lane = j + 32*((i/4)%2), gpr = i%4 + 4*(i/8).
         let i = get(DType::F32, DType::F16, 32, 32, 8);
-        let loc = element_location(&i, Operand::D, ElementCoord { block: 0, row: 13, col: 7 }).unwrap();
+        let loc = element_location(
+            &i,
+            Operand::D,
+            ElementCoord {
+                block: 0,
+                row: 13,
+                col: 7,
+            },
+        )
+        .unwrap();
         assert_eq!(loc.lane, 7 + 32); // 7 + 32
         assert_eq!(loc.vgpr, (13 % 4) + 4); // 1 + 4
     }
@@ -356,7 +406,16 @@ mod tests {
     #[test]
     fn fp64_elements_span_register_pairs() {
         let i = get(DType::F64, DType::F64, 16, 16, 4);
-        let loc = element_location(&i, Operand::D, ElementCoord { block: 0, row: 5, col: 0 }).unwrap();
+        let loc = element_location(
+            &i,
+            Operand::D,
+            ElementCoord {
+                block: 0,
+                row: 5,
+                col: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(loc.width, 2);
         assert_eq!(loc.vgpr, 2);
     }
@@ -375,10 +434,14 @@ mod tests {
                     Operand::C | Operand::D => instr.cd_agprs_per_lane(),
                 };
                 for coord in operand_coords(instr, operand) {
-                    let loc = element_location(instr, operand, coord).unwrap_or_else(|e| {
-                        panic!("{} {operand}: {e}", instr.mnemonic())
-                    });
-                    assert!(loc.lane < 64, "{} {operand} lane {}", instr.mnemonic(), loc.lane);
+                    let loc = element_location(instr, operand, coord)
+                        .unwrap_or_else(|e| panic!("{} {operand}: {e}", instr.mnemonic()));
+                    assert!(
+                        loc.lane < 64,
+                        "{} {operand} lane {}",
+                        instr.mnemonic(),
+                        loc.lane
+                    );
                     assert!(
                         loc.vgpr + loc.width <= max_regs,
                         "{} {operand}: vgpr {}+{} exceeds {max_regs}",
@@ -401,9 +464,25 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let i = get(DType::F32, DType::F32, 16, 16, 4);
-        let err = element_location(&i, Operand::A, ElementCoord { block: 0, row: 16, col: 0 });
+        let err = element_location(
+            &i,
+            Operand::A,
+            ElementCoord {
+                block: 0,
+                row: 16,
+                col: 0,
+            },
+        );
         assert!(matches!(err, Err(RegmapError::OutOfRange { .. })));
-        let err = element_location(&i, Operand::A, ElementCoord { block: 1, row: 0, col: 0 });
+        let err = element_location(
+            &i,
+            Operand::A,
+            ElementCoord {
+                block: 1,
+                row: 0,
+                col: 0,
+            },
+        );
         assert!(matches!(err, Err(RegmapError::OutOfRange { .. })));
     }
 
@@ -412,7 +491,15 @@ mod tests {
         let i = *crate::catalog::ampere_catalog()
             .find(DType::F32, DType::F16, 16, 8, 16)
             .unwrap();
-        let err = element_location(&i, Operand::A, ElementCoord { block: 0, row: 0, col: 0 });
+        let err = element_location(
+            &i,
+            Operand::A,
+            ElementCoord {
+                block: 0,
+                row: 0,
+                col: 0,
+            },
+        );
         assert_eq!(err, Err(RegmapError::UnsupportedArch(MatrixArch::Ampere)));
     }
 

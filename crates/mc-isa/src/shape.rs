@@ -81,7 +81,11 @@ impl fmt::Display for MfmaShape {
         if self.blocks == 1 {
             write!(f, "{}x{}x{}", self.m, self.n, self.k)
         } else {
-            write!(f, "{}x{}x{} ({} blocks)", self.m, self.n, self.k, self.blocks)
+            write!(
+                f,
+                "{}x{}x{} ({} blocks)",
+                self.m, self.n, self.k, self.blocks
+            )
         }
     }
 }

@@ -96,10 +96,22 @@ mod tests {
     #[test]
     fn eq1_flop_factors() {
         // Paper Eq. 1: 64·ADD + 64·MUL + 128·FMA.
-        assert_eq!(ValuOp::new(ValuOpKind::Add, DType::F64).flops_per_wavefront(), 64);
-        assert_eq!(ValuOp::new(ValuOpKind::Mul, DType::F64).flops_per_wavefront(), 64);
-        assert_eq!(ValuOp::new(ValuOpKind::Fma, DType::F64).flops_per_wavefront(), 128);
-        assert_eq!(ValuOp::new(ValuOpKind::Move, DType::F32).flops_per_wavefront(), 0);
+        assert_eq!(
+            ValuOp::new(ValuOpKind::Add, DType::F64).flops_per_wavefront(),
+            64
+        );
+        assert_eq!(
+            ValuOp::new(ValuOpKind::Mul, DType::F64).flops_per_wavefront(),
+            64
+        );
+        assert_eq!(
+            ValuOp::new(ValuOpKind::Fma, DType::F64).flops_per_wavefront(),
+            128
+        );
+        assert_eq!(
+            ValuOp::new(ValuOpKind::Move, DType::F32).flops_per_wavefront(),
+            0
+        );
     }
 
     #[test]
@@ -111,9 +123,18 @@ mod tests {
 
     #[test]
     fn mnemonics() {
-        assert_eq!(ValuOp::new(ValuOpKind::Fma, DType::F64).mnemonic(), "v_fma_f64");
-        assert_eq!(ValuOp::new(ValuOpKind::Add, DType::F32).mnemonic(), "v_add_f32");
-        assert_eq!(ValuOp::new(ValuOpKind::Move, DType::F32).mnemonic(), "v_mov_b32");
+        assert_eq!(
+            ValuOp::new(ValuOpKind::Fma, DType::F64).mnemonic(),
+            "v_fma_f64"
+        );
+        assert_eq!(
+            ValuOp::new(ValuOpKind::Add, DType::F32).mnemonic(),
+            "v_add_f32"
+        );
+        assert_eq!(
+            ValuOp::new(ValuOpKind::Move, DType::F32).mnemonic(),
+            "v_mov_b32"
+        );
     }
 
     #[test]

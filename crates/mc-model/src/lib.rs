@@ -24,8 +24,8 @@ pub mod throughput;
 pub mod validation;
 
 pub use distribution::FlopDistribution;
-pub use roofline::{OperatingPoint, Regime, Roofline};
 pub use flops::{derived_total_flops, DerivedFlops};
 pub use regression::{fit_linear, LinearFit};
+pub use roofline::{OperatingPoint, Regime, Roofline};
 pub use throughput::ThroughputModel;
 pub use validation::{max_relative_error, plateau_value, relative_error};

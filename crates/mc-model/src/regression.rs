@@ -51,7 +51,11 @@ pub fn fit_linear(points: &[(f64, f64)]) -> Option<LinearFit> {
         .iter()
         .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
 
     Some(LinearFit {
         slope,
@@ -67,7 +71,9 @@ mod tests {
 
     #[test]
     fn exact_line_recovered() {
-        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 5.88 * i as f64 + 130.0)).collect();
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64, 5.88 * i as f64 + 130.0))
+            .collect();
         let fit = fit_linear(&pts).unwrap();
         assert!((fit.slope - 5.88).abs() < 1e-12);
         assert!((fit.intercept - 130.0).abs() < 1e-9);

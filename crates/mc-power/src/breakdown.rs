@@ -95,7 +95,9 @@ mod tests {
 
     fn loop_result(waves: u64, iters: u64) -> (Gpu, PackageResult) {
         let mut gpu = Gpu::mi250x();
-        let i = *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F64, DType::F64, 16, 16, 4)
+            .unwrap();
         let k = KernelDesc {
             workgroups: waves,
             waves_per_workgroup: 1,
@@ -109,8 +111,12 @@ mod tests {
     fn breakdown_reconciles_with_package_energy() {
         let (gpu, r) = loop_result(440, 1_000_000);
         let b = EnergyBreakdown::of_result(gpu.spec(), &r);
-        assert!((b.total_j() - r.energy_j).abs() / r.energy_j < 1e-9,
-            "{} vs {}", b.total_j(), r.energy_j);
+        assert!(
+            (b.total_j() - r.energy_j).abs() / r.energy_j < 1e-9,
+            "{} vs {}",
+            b.total_j(),
+            r.energy_j
+        );
     }
 
     #[test]
@@ -131,7 +137,9 @@ mod tests {
     #[test]
     fn dram_energy_appears_for_memory_kernels() {
         let mut gpu = Gpu::mi250x();
-        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
         let mut k = KernelDesc {
             workgroups: 440,
             waves_per_workgroup: 1,

@@ -124,7 +124,13 @@ mod tests {
     fn sysfs_style_reads() {
         let pm = PmCounters::attach(stepped_profile());
         let e = pm.read("accel0_energy", 10.0).unwrap();
-        assert_eq!(e, PmReading { value: 1000.0, unit: "J" });
+        assert_eq!(
+            e,
+            PmReading {
+                value: 1000.0,
+                unit: "J"
+            }
+        );
         let p = pm.read("accel0_power", 15.0).unwrap();
         assert_eq!(p.value, 400.0);
         assert!(pm.read("cpu_power", 1.0).is_none());

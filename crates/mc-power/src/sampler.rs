@@ -124,21 +124,38 @@ mod tests {
         let p = profile(60.0, 350.0);
         let fast = BackgroundSampler::spawn(
             Smi::attach(p.clone(), 0.015, 3),
-            SamplerConfig { period_s: 0.01, min_samples: 100 },
+            SamplerConfig {
+                period_s: 0.01,
+                min_samples: 100,
+            },
         );
         let slow = BackgroundSampler::spawn(
             Smi::attach(p, 0.015, 3),
-            SamplerConfig { period_s: 0.1, min_samples: 100 },
+            SamplerConfig {
+                period_s: 0.1,
+                min_samples: 100,
+            },
         );
         let f = fast.join_stats().unwrap();
         let s = slow.join_stats().unwrap();
-        assert!((f.mean_w - s.mean_w).abs() < 2.0, "{} vs {}", f.mean_w, s.mean_w);
+        assert!(
+            (f.mean_w - s.mean_w).abs() < 2.0,
+            "{} vs {}",
+            f.mean_w,
+            s.mean_w
+        );
     }
 
     #[test]
     fn samples_arrive_in_order() {
         let smi = Smi::attach(profile(5.0, 100.0), 0.0, 4);
-        let sampler = BackgroundSampler::spawn(smi, SamplerConfig { period_s: 0.1, min_samples: 1 });
+        let sampler = BackgroundSampler::spawn(
+            smi,
+            SamplerConfig {
+                period_s: 0.1,
+                min_samples: 1,
+            },
+        );
         let samples = sampler.join();
         assert!(samples.windows(2).all(|w| w[0].t_s < w[1].t_s));
     }

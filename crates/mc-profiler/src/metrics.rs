@@ -23,7 +23,11 @@ impl FlopBreakdown {
         let f16d = derived_flops_for(c, DType::F16);
         let bf = derived_flops_for(c, DType::Bf16);
         FlopBreakdown {
-            matrix_core: (f64d.matrix_core, f32d.matrix_core, f16d.matrix_core + bf.matrix_core),
+            matrix_core: (
+                f64d.matrix_core,
+                f32d.matrix_core,
+                f16d.matrix_core + bf.matrix_core,
+            ),
             simd: (f64d.simd, f32d.simd, f16d.simd),
         }
     }

@@ -72,7 +72,9 @@ mod tests {
     use mc_types::DType;
 
     fn mixed_kernel(iters: u64) -> KernelDesc {
-        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
         KernelDesc {
             workgroups: 8,
             waves_per_workgroup: 1,

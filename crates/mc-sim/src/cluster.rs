@@ -92,7 +92,11 @@ impl Cluster {
 
 /// Projects a sustained per-package throughput to a Frontier-scale
 /// system (`gpus` packages), returning `(exaflops, megawatts)`.
-pub fn frontier_projection(per_package_tflops: f64, per_package_watts: f64, gpus: u64) -> (f64, f64) {
+pub fn frontier_projection(
+    per_package_tflops: f64,
+    per_package_watts: f64,
+    gpus: u64,
+) -> (f64, f64) {
     (
         per_package_tflops * gpus as f64 / 1e6,
         per_package_watts * gpus as f64 / 1e6,
@@ -106,7 +110,9 @@ mod tests {
     use mc_types::DType;
 
     fn kernel(iters: u64) -> KernelDesc {
-        let i = *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F64, DType::F64, 16, 16, 4)
+            .unwrap();
         KernelDesc {
             workgroups: 440,
             waves_per_workgroup: 1,

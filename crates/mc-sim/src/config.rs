@@ -186,7 +186,9 @@ mod tests {
     fn stock_configurations_validate() {
         SimConfig::mi250x().validate().unwrap();
         SimConfig::a100().validate().unwrap();
-        SimConfig::for_package(mc_isa::specs::mi100()).validate().unwrap();
+        SimConfig::for_package(mc_isa::specs::mi100())
+            .validate()
+            .unwrap();
     }
 
     #[test]

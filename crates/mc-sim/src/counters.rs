@@ -238,7 +238,9 @@ mod tests {
     #[test]
     fn mfma_mops_increments_every_512_ops() {
         let mut c = HwCounters::default();
-        let f64i = *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap();
+        let f64i = *cdna2_catalog()
+            .find(DType::F64, DType::F64, 16, 16, 4)
+            .unwrap();
         // One FP64 16x16x4 = 2048 FLOPs = 4 MOPS ticks.
         c.record(&SlotOp::Mfma(f64i), 1);
         assert_eq!(c.mfma_mops_f64, 4);
@@ -260,16 +262,24 @@ mod tests {
     #[test]
     fn packed_fma_advances_counter_by_packing_factor() {
         let mut c = HwCounters::default();
-        c.record(&SlotOp::Valu(ValuOp::new(ValuOpKind::PackedFma, DType::F16)), 3);
+        c.record(
+            &SlotOp::Valu(ValuOp::new(ValuOpKind::PackedFma, DType::F16)),
+            3,
+        );
         assert_eq!(c.valu_fma_f16, 6);
     }
 
     #[test]
     fn named_lookup_and_errors() {
         let mut c = HwCounters::default();
-        let mixed = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let mixed = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
         c.record(&SlotOp::Mfma(mixed), 64);
-        assert_eq!(c.get("SQ_INSTS_VALU_MFMA_MOPS_F16").unwrap(), 64 * 8192 / 512);
+        assert_eq!(
+            c.get("SQ_INSTS_VALU_MFMA_MOPS_F16").unwrap(),
+            64 * 8192 / 512
+        );
         assert_eq!(c.get("SQ_INSTS_VALU_MFMA_MOPS_F64").unwrap(), 0);
         assert!(c.get("NOT_A_COUNTER").is_err());
         // Every published name resolves.

@@ -48,7 +48,11 @@ impl PowerProfile {
         if d == 0.0 {
             return 0.0;
         }
-        self.segments.iter().map(|&(a, b, w)| (b - a) * w).sum::<f64>() / d
+        self.segments
+            .iter()
+            .map(|&(a, b, w)| (b - a) * w)
+            .sum::<f64>()
+            / d
     }
 
     /// Total energy in joules.
@@ -181,7 +185,11 @@ impl Gpu {
     /// let tflops = result.tflops();
     /// assert!((tflops - 175.0).abs() < 4.0); // the paper's one-GCD mixed plateau
     /// ```
-    pub fn launch(&mut self, die: usize, kernel: &KernelDesc) -> Result<PackageResult, LaunchError> {
+    pub fn launch(
+        &mut self,
+        die: usize,
+        kernel: &KernelDesc,
+    ) -> Result<PackageResult, LaunchError> {
         self.launch_parallel(&[(die, kernel.clone())])
     }
 
@@ -232,8 +240,7 @@ impl Gpu {
         for (die, k, e) in &execs {
             let time = Self::scaled_time(e, scale, self.cfg.launch_overhead_s);
             let dyn_e = self.dynamic_energy_j(e);
-            let power_while_running =
-                self.cfg.package.active_baseline_w_per_die + dyn_e / time;
+            let power_while_running = self.cfg.package.active_baseline_w_per_die + dyn_e / time;
             events.push((time, power_while_running));
             makespan = makespan.max(time);
             let counters = e.counters;
@@ -271,11 +278,7 @@ impl Gpu {
         }
         let profile = PowerProfile { segments };
         let avg_power_w = profile.average_w();
-        let peak_power_w = profile
-            .segments
-            .iter()
-            .map(|s| s.2)
-            .fold(0.0_f64, f64::max);
+        let peak_power_w = profile.segments.iter().map(|s| s.2).fold(0.0_f64, f64::max);
 
         Ok(PackageResult {
             kernels,
@@ -375,7 +378,11 @@ mod tests {
     use mc_isa::{cdna2_catalog, KernelDesc, SlotOp, WaveProgram};
 
     fn loop_kernel(ab: DType, m: u32, n: u32, k: u32, waves: u64, iters: u64) -> KernelDesc {
-        let cd = if ab == DType::F64 { DType::F64 } else { DType::F32 };
+        let cd = if ab == DType::F64 {
+            DType::F64
+        } else {
+            DType::F32
+        };
         let i = *cdna2_catalog().find(cd, ab, m, n, k).unwrap();
         let program = WaveProgram::looped(vec![SlotOp::Mfma(i)], iters);
         KernelDesc {
@@ -392,7 +399,10 @@ mod tests {
         let r = gpu.launch_parallel(&[(0, k.clone()), (1, k)]).unwrap();
         let t = r.tflops();
         assert!((t - 350.0).abs() < 6.0, "got {t}");
-        assert!((r.governor_scale - 1.0).abs() < 1e-9, "mixed must not throttle");
+        assert!(
+            (r.governor_scale - 1.0).abs() < 1e-9,
+            "mixed must not throttle"
+        );
     }
 
     #[test]
@@ -404,7 +414,11 @@ mod tests {
         // Paper: 69 TFLOPS (72% of 95.7) at 541 W, vs 2×41=82 unthrottled.
         assert!(t < 75.0 && t > 65.0, "got {t}");
         assert!(r.governor_scale < 0.95);
-        assert!((r.peak_power_w - 541.0).abs() < 3.0, "power {}", r.peak_power_w);
+        assert!(
+            (r.peak_power_w - 541.0).abs() < 3.0,
+            "power {}",
+            r.peak_power_w
+        );
     }
 
     #[test]
@@ -424,7 +438,11 @@ mod tests {
         let r = gpu.launch_parallel(&[(0, k.clone()), (1, k)]).unwrap();
         let t = r.tflops();
         assert!((t - 82.0).abs() < 2.0, "got {t}");
-        assert!(r.peak_power_w > 560.0, "would exceed the cap: {}", r.peak_power_w);
+        assert!(
+            r.peak_power_w > 560.0,
+            "would exceed the cap: {}",
+            r.peak_power_w
+        );
     }
 
     #[test]
@@ -508,7 +526,9 @@ mod tests {
     #[test]
     fn a100_mixed_reaches_290_tflops() {
         let mut gpu = Gpu::a100();
-        let i = *mc_isa::ampere_catalog().find(DType::F32, DType::F16, 16, 8, 16).unwrap();
+        let i = *mc_isa::ampere_catalog()
+            .find(DType::F32, DType::F16, 16, 8, 16)
+            .unwrap();
         let program = WaveProgram::looped(vec![SlotOp::Mfma(i)], 200_000);
         let k = KernelDesc {
             workgroups: 432, // 108 SMs × 4 tensor cores
@@ -524,7 +544,9 @@ mod tests {
     #[test]
     fn a100_fp64_reaches_19_4_tflops() {
         let mut gpu = Gpu::a100();
-        let i = *mc_isa::ampere_catalog().find(DType::F64, DType::F64, 8, 8, 4).unwrap();
+        let i = *mc_isa::ampere_catalog()
+            .find(DType::F64, DType::F64, 8, 8, 4)
+            .unwrap();
         let program = WaveProgram::looped(vec![SlotOp::Mfma(i)], 200_000);
         let k = KernelDesc {
             workgroups: 432,

@@ -220,7 +220,9 @@ pub enum LaunchError {
 impl core::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            LaunchError::ResourceExhausted { what } => write!(f, "kernel exceeds CU resources: {what}"),
+            LaunchError::ResourceExhausted { what } => {
+                write!(f, "kernel exceeds CU resources: {what}")
+            }
             LaunchError::EmptyLaunch => write!(f, "kernel has no work"),
             LaunchError::InvalidDie { die, dies } => {
                 write!(f, "die index {die} out of range (package has {dies})")
@@ -234,7 +236,11 @@ impl std::error::Error for LaunchError {}
 /// Executes one kernel on one die, returning timing, occupancy, and
 /// counters. Deterministic and closed-form.
 pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelExec, LaunchError> {
-    if k.workgroups == 0 || (k.program.body.is_empty() && k.program.prologue.is_empty() && k.program.epilogue.is_empty()) {
+    if k.workgroups == 0
+        || (k.program.body.is_empty()
+            && k.program.prologue.is_empty()
+            && k.program.epilogue.is_empty())
+    {
         return Err(LaunchError::EmptyLaunch);
     }
     if k.lds_bytes_per_workgroup > die.lds_bytes_per_cu {
@@ -281,13 +287,18 @@ pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelE
 
         let mc = w * demand.mc_cycles;
         let simd = w * demand.simd_cycles;
-        let lds = if lds_share > 0.0 { w * demand.lds_bytes / lds_share } else { 0.0 };
+        let lds = if lds_share > 0.0 {
+            w * demand.lds_bytes / lds_share
+        } else {
+            0.0
+        };
         let t_wave = demand.self_cycles.max(mc).max(simd).max(lds);
         total_cycles += t_wave;
 
         // Occupancy bookkeeping: how busy matrix units and SIMDs are,
         // averaged over all pairs on the die during this round.
-        let active_pairs = ((this_round * u64::from(k.waves_per_workgroup)) as f64).min(pairs_total * w);
+        let active_pairs =
+            ((this_round * u64::from(k.waves_per_workgroup)) as f64).min(pairs_total * w);
         let pair_fraction = (active_pairs / w).min(pairs_total) / pairs_total;
         if t_wave > 0.0 {
             mc_busy_weighted += t_wave * (mc / t_wave).min(1.0) * pair_fraction;
@@ -315,8 +326,16 @@ pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelE
         });
     }
 
-    let matrix_occupancy = if total_cycles > 0.0 { mc_busy_weighted / total_cycles } else { 0.0 };
-    let simd_occupancy = if total_cycles > 0.0 { simd_busy_weighted / total_cycles } else { 0.0 };
+    let matrix_occupancy = if total_cycles > 0.0 {
+        mc_busy_weighted / total_cycles
+    } else {
+        0.0
+    };
+    let simd_occupancy = if total_cycles > 0.0 {
+        simd_busy_weighted / total_cycles
+    } else {
+        0.0
+    };
 
     // Residency: weight each datatype's kappa by its share of matrix time.
     let mc_all = demand.mc_cycles_f64 + demand.mc_cycles_f32 + demand.mc_cycles_f16;
@@ -328,7 +347,8 @@ pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelE
     } else {
         0.0
     };
-    let clock_loss = kappa_mc * matrix_occupancy + cfg.residency.kappa_valu * simd_occupancy * (1.0 - matrix_occupancy);
+    let clock_loss = kappa_mc * matrix_occupancy
+        + cfg.residency.kappa_valu * simd_occupancy * (1.0 - matrix_occupancy);
     let effective_clock_hz = die.clock_hz() * (1.0 - clock_loss).clamp(0.05, 1.0);
 
     let compute_time_s = total_cycles / effective_clock_hz;
@@ -394,7 +414,9 @@ mod tests {
     }
 
     fn mfma_loop_kernel(n_waves: u64, iters: u64) -> KernelDesc {
-        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
         let program = WaveProgram::looped(vec![SlotOp::Mfma(i)], iters);
         KernelDesc {
             workgroups: n_waves,
@@ -456,12 +478,17 @@ mod tests {
             e.flops as f64 / e.time_s
         };
         let r = t(128) / t(64);
-        assert!((r - 2.0).abs() < 0.05, "doubling waves ~ doubles throughput, got {r}");
+        assert!(
+            (r - 2.0).abs() < 0.05,
+            "doubling waves ~ doubles throughput, got {r}"
+        );
     }
 
     #[test]
     fn fp64_plateau_is_85_percent() {
-        let i = *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F64, DType::F64, 16, 16, 4)
+            .unwrap();
         let program = WaveProgram::looped(vec![SlotOp::Mfma(i)], 100_000);
         let k = KernelDesc {
             workgroups: 440,
@@ -476,7 +503,9 @@ mod tests {
 
     #[test]
     fn memory_bound_kernel_limited_by_dram() {
-        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
         let program = WaveProgram::looped(vec![SlotOp::Mfma(i)], 10);
         let mut k = KernelDesc {
             workgroups: 440,
@@ -485,7 +514,11 @@ mod tests {
         };
         k.mem_hints.hbm_bytes = 10 << 30; // 10 GiB of traffic
         let e = execute(&die(), &cfg(), &k).unwrap();
-        assert!(e.time_s > 6e-3, "10 GiB at ~1.4 TB/s takes ~7 ms, got {}", e.time_s);
+        assert!(
+            e.time_s > 6e-3,
+            "10 GiB at ~1.4 TB/s takes ~7 ms, got {}",
+            e.time_s
+        );
         assert!(e.compute_bound_fraction < 0.1);
     }
 
@@ -501,9 +534,14 @@ mod tests {
     #[test]
     fn empty_and_oversized_kernels_rejected() {
         let k = KernelDesc::new("empty", WaveProgram::default());
-        assert!(matches!(execute(&die(), &cfg(), &k), Err(LaunchError::EmptyLaunch)));
+        assert!(matches!(
+            execute(&die(), &cfg(), &k),
+            Err(LaunchError::EmptyLaunch)
+        ));
 
-        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
         let program = WaveProgram::looped(vec![SlotOp::Mfma(i)], 1);
         let k = KernelDesc {
             lds_bytes_per_workgroup: 1 << 20,
@@ -518,7 +556,9 @@ mod tests {
     #[test]
     fn occupancy_limited_by_registers() {
         let d = die();
-        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
         let program = WaveProgram::looped(vec![SlotOp::Mfma(i)], 1);
         let k = KernelDesc {
             arch_vgprs: 256, // only 2 waves per SIMD fit
@@ -526,7 +566,10 @@ mod tests {
             ..KernelDesc::new("fatregs", program)
         };
         assert_eq!(workgroups_per_cu(&d, &k), Some(8));
-        let k2 = KernelDesc { arch_vgprs: 64, ..k };
+        let k2 = KernelDesc {
+            arch_vgprs: 64,
+            ..k
+        };
         assert_eq!(workgroups_per_cu(&d, &k2), Some(32)); // capped by max 8/SIMD
     }
 

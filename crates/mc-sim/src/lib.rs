@@ -27,6 +27,7 @@ pub mod engine;
 pub mod memory;
 pub mod microbench;
 pub mod occupancy;
+pub mod registry;
 pub mod shared;
 pub mod smi;
 
@@ -35,10 +36,11 @@ pub use config::{ClockResidency, SimConfig};
 pub use counters::{HwCounters, UnknownCounter, COUNTER_NAMES};
 pub use device::{dominant_mfma_type, Gpu, KernelResult, PackageResult, PowerProfile};
 pub use engine::{execute, workgroups_per_cu, KernelExec, LaunchError, RoundBound, RoundTrace};
-pub use occupancy::{occupancy, OccupancyLimit, OccupancyReport};
-pub use shared::SharedGpu;
 pub use microbench::{
-    fig3_wavefront_sweep, measure_latency, throughput_run, throughput_run_all_dies,
-    LatencyResult, ThroughputResult, LATENCY_LOOP_ITERS,
+    fig3_wavefront_sweep, measure_latency, throughput_run, throughput_run_all_dies, LatencyResult,
+    ThroughputResult, LATENCY_LOOP_ITERS,
 };
+pub use occupancy::{occupancy, OccupancyLimit, OccupancyReport};
+pub use registry::{DeviceId, DeviceRegistry, RegistryError};
+pub use shared::SharedGpu;
 pub use smi::{sample_stats, PowerSample, SampleStats, Smi};

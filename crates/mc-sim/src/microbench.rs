@@ -176,7 +176,9 @@ mod tests {
     #[test]
     fn latency_implies_datasheet_rate() {
         let mut gpu = Gpu::mi250x();
-        let i = *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F64, DType::F64, 16, 16, 4)
+            .unwrap();
         let r = measure_latency(&mut gpu, 0, &i, 100_000).unwrap();
         assert!((r.flops_per_cu_per_cycle - 256.0).abs() < 0.1);
     }
@@ -184,19 +186,30 @@ mod tests {
     #[test]
     fn throughput_scales_then_plateaus() {
         let mut gpu = Gpu::mi250x();
-        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
         let t64 = throughput_run(&mut gpu, 0, &i, 64, 100_000).unwrap().tflops;
-        let t440 = throughput_run(&mut gpu, 0, &i, 440, 100_000).unwrap().tflops;
-        let t880 = throughput_run(&mut gpu, 0, &i, 880, 100_000).unwrap().tflops;
+        let t440 = throughput_run(&mut gpu, 0, &i, 440, 100_000)
+            .unwrap()
+            .tflops;
+        let t880 = throughput_run(&mut gpu, 0, &i, 880, 100_000)
+            .unwrap()
+            .tflops;
         assert!(t440 > 6.0 * t64);
         assert!((t880 - t440).abs() / t440 < 0.02);
-        assert!((t440 - 175.0).abs() < 3.0, "one-GCD mixed plateau, got {t440}");
+        assert!(
+            (t440 - 175.0).abs() < 3.0,
+            "one-GCD mixed plateau, got {t440}"
+        );
     }
 
     #[test]
     fn whole_package_run_doubles_mixed_throughput() {
         let mut gpu = Gpu::mi250x();
-        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
         let r = throughput_run_all_dies(&mut gpu, &i, 440, 100_000).unwrap();
         assert_eq!(r.wavefronts, 880);
         assert!((r.tflops - 350.0).abs() < 6.0, "got {}", r.tflops);

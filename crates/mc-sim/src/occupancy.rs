@@ -48,7 +48,10 @@ pub struct OccupancyReport {
 /// Computes the occupancy report for a kernel.
 pub fn occupancy(die: &DieSpec, k: &KernelDesc) -> OccupancyReport {
     let slots = die.max_waves_per_simd;
-    let by_vgpr = die.vgprs_per_simd.checked_div(k.arch_vgprs).unwrap_or(slots);
+    let by_vgpr = die
+        .vgprs_per_simd
+        .checked_div(k.arch_vgprs)
+        .unwrap_or(slots);
     let by_agpr = die.vgprs_per_simd.checked_div(k.acc_vgprs).unwrap_or(slots);
     let by_lds_wg = die
         .lds_bytes_per_cu
@@ -57,7 +60,9 @@ pub fn occupancy(die: &DieSpec, k: &KernelDesc) -> OccupancyReport {
 
     let waves_per_simd_regs = slots.min(by_vgpr).min(by_agpr);
     let waves_per_cu_regs = waves_per_simd_regs * die.simd_units_per_cu;
-    let wg_by_waves = waves_per_cu_regs.checked_div(k.waves_per_workgroup).unwrap_or(0);
+    let wg_by_waves = waves_per_cu_regs
+        .checked_div(k.waves_per_workgroup)
+        .unwrap_or(0);
     let workgroups_per_cu = wg_by_waves.min(by_lds_wg);
     let waves_per_cu = workgroups_per_cu * k.waves_per_workgroup;
     let waves_per_simd = waves_per_cu / die.simd_units_per_cu;
@@ -105,7 +110,9 @@ mod tests {
     }
 
     fn base_kernel() -> KernelDesc {
-        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
         KernelDesc {
             workgroups: 1000,
             waves_per_workgroup: 4,
@@ -178,8 +185,14 @@ mod tests {
         // The engine's workgroups_per_cu must agree with the report.
         for k in [
             base_kernel(),
-            KernelDesc { arch_vgprs: 200, ..base_kernel() },
-            KernelDesc { lds_bytes_per_workgroup: 16 * 1024, ..base_kernel() },
+            KernelDesc {
+                arch_vgprs: 200,
+                ..base_kernel()
+            },
+            KernelDesc {
+                lds_bytes_per_workgroup: 16 * 1024,
+                ..base_kernel()
+            },
         ] {
             let r = occupancy(&die(), &k);
             let engine = crate::engine::workgroups_per_cu(&die(), &k).unwrap();

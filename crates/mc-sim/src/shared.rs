@@ -59,7 +59,9 @@ mod tests {
     use mc_types::DType;
 
     fn kernel(iters: u64) -> KernelDesc {
-        let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let i = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
         KernelDesc {
             workgroups: 64,
             waves_per_workgroup: 1,

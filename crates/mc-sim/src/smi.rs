@@ -100,11 +100,18 @@ pub fn sample_stats(samples: &[PowerSample]) -> SampleStats {
     }
     let n = samples.len() as f64;
     let mean = samples.iter().map(|s| s.watts).sum::<f64>() / n;
-    let var = samples.iter().map(|s| (s.watts - mean).powi(2)).sum::<f64>() / n;
+    let var = samples
+        .iter()
+        .map(|s| (s.watts - mean).powi(2))
+        .sum::<f64>()
+        / n;
     SampleStats {
         count: samples.len(),
         mean_w: mean,
-        min_w: samples.iter().map(|s| s.watts).fold(f64::INFINITY, f64::min),
+        min_w: samples
+            .iter()
+            .map(|s| s.watts)
+            .fold(f64::INFINITY, f64::min),
         max_w: samples.iter().map(|s| s.watts).fold(0.0, f64::max),
         stddev_w: var.sqrt(),
     }

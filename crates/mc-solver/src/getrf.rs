@@ -232,6 +232,9 @@ mod tests {
         let a = test_matrix(8);
         let lu = getrf(&a, 4).unwrap();
         let bad = Matrix::<f64>::zeros(5, 1);
-        assert!(matches!(lu.solve(&bad), Err(SolverError::ShapeMismatch { .. })));
+        assert!(matches!(
+            lu.solve(&bad),
+            Err(SolverError::ShapeMismatch { .. })
+        ));
     }
 }

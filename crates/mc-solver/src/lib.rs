@@ -75,8 +75,14 @@ impl core::fmt::Display for SolverError {
             }
             SolverError::Singular { index } => write!(f, "matrix is singular (pivot {index})"),
             SolverError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
-            SolverError::NoConvergence { iterations, residual } => {
-                write!(f, "no convergence after {iterations} iterations (residual {residual:e})")
+            SolverError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (residual {residual:e})"
+                )
             }
             SolverError::Blas(msg) => write!(f, "BLAS error: {msg}"),
         }

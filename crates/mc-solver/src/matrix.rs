@@ -89,7 +89,10 @@ impl<T: Real> Matrix<T> {
 
     /// Copies the block `[r0, r0+h) × [c0, c0+w)` into a new matrix.
     pub fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Matrix<T> {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "block out of range");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "block out of range"
+        );
         Matrix::from_fn(h, w, |i, j| self.get(r0 + i, c0 + j))
     }
 
@@ -131,7 +134,10 @@ impl<T: Real> Matrix<T> {
 
     /// Maximum absolute element (in f64).
     pub fn max_abs(&self) -> f64 {
-        self.data.iter().map(|x| x.to_f64().abs()).fold(0.0, f64::max)
+        self.data
+            .iter()
+            .map(|x| x.to_f64().abs())
+            .fold(0.0, f64::max)
     }
 }
 

@@ -202,7 +202,10 @@ mod tests {
     #[test]
     fn rejects_non_square() {
         let a = Matrix::<f64>::zeros(4, 5);
-        assert!(matches!(potrf(&a, 4), Err(SolverError::ShapeMismatch { .. })));
+        assert!(matches!(
+            potrf(&a, 4),
+            Err(SolverError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

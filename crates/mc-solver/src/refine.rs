@@ -210,7 +210,10 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, SolverError::NoConvergence { iterations: 2, .. }));
+        assert!(matches!(
+            err,
+            SolverError::NoConvergence { iterations: 2, .. }
+        ));
     }
 
     #[test]

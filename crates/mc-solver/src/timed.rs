@@ -205,7 +205,12 @@ mod tests {
         let mut handle = BlasHandle::new_mi250x_gcd();
         let small = factor_timed(&mut handle, Factorization::Potrf, 2048, 16).unwrap();
         let big = factor_timed(&mut handle, Factorization::Potrf, 2048, 128).unwrap();
-        assert!(big.tflops > small.tflops, "{} vs {}", big.tflops, small.tflops);
+        assert!(
+            big.tflops > small.tflops,
+            "{} vs {}",
+            big.tflops,
+            small.tflops
+        );
     }
 
     #[test]

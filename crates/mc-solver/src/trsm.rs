@@ -43,10 +43,7 @@ pub fn trsm_left_lower(
 /// Solves `X·Lᵀ = B` for `X`, with `L` lower triangular (so `Lᵀ` is
 /// upper). `B` is `m×n`, `L` is `n×n`; `B` is overwritten by `X`.
 /// This is the Cholesky panel update `A₂₁ ← A₂₁·L₁₁⁻ᵀ`.
-pub fn trsm_right_lower_transpose(
-    l: &Matrix<f64>,
-    b: &mut Matrix<f64>,
-) -> Result<(), SolverError> {
+pub fn trsm_right_lower_transpose(l: &Matrix<f64>, b: &mut Matrix<f64>) -> Result<(), SolverError> {
     let n = l.rows();
     if l.cols() != n || b.cols() != n {
         return Err(SolverError::ShapeMismatch {

@@ -90,7 +90,11 @@ impl DType {
 
     /// Number of elements of this type that fit in one 32-bit VGPR lane.
     pub const fn elements_per_vgpr(self) -> usize {
-        4 / if self.size_bytes() > 4 { 4 } else { self.size_bytes() }
+        4 / if self.size_bytes() > 4 {
+            4
+        } else {
+            self.size_bytes()
+        }
     }
 
     /// Number of 32-bit VGPRs one element occupies (1 for <=32-bit types,

@@ -19,7 +19,14 @@ use crate::mma::mma_sync;
 
 /// `B` independent operand fragments for a multi-block instruction.
 #[derive(Clone, Debug, PartialEq)]
-pub struct BlockedFragments<Use: FragmentUse, T: Real, const M: usize, const N: usize, const K: usize, const B: usize> {
+pub struct BlockedFragments<
+    Use: FragmentUse,
+    T: Real,
+    const M: usize,
+    const N: usize,
+    const K: usize,
+    const B: usize,
+> {
     blocks: Vec<Fragment<Use, T, M, N, K>>,
 }
 
@@ -89,7 +96,14 @@ where
 /// [`mma_sync_blocked`] with CBSZ/ABID/BLGP broadcast modifiers: block
 /// `i` consumes `A[mods.a_source_block(i)]` and
 /// `B[mods.b_source_block(i)]` (see [`mc_isa::modifiers`]).
-pub fn mma_sync_blocked_with<AB, CD, const M: usize, const N: usize, const K: usize, const B: usize>(
+pub fn mma_sync_blocked_with<
+    AB,
+    CD,
+    const M: usize,
+    const N: usize,
+    const K: usize,
+    const B: usize,
+>(
     mods: MfmaModifiers,
     d: &mut BlockedFragments<Accumulator, CD, M, N, K, B>,
     a: &BlockedFragments<MatrixA, AB, M, N, K, B>,
@@ -250,14 +264,13 @@ mod tests {
         mma_sync_blocked_with(mods, &mut d, &a, &b, &c).unwrap();
         for blk in 0..16 {
             let expected_a = (blk / 4) * 4 + 1;
-            assert_eq!(
-                d.block(blk).get(0, 0),
-                expected_a as f32,
-                "block {blk}"
-            );
+            assert_eq!(d.block(blk).get(0, 0), expected_a as f32, "block {blk}");
         }
         // Invalid modifiers surface as Unsupported.
-        let bad = MfmaModifiers { cbsz: 7, ..Default::default() };
+        let bad = MfmaModifiers {
+            cbsz: 7,
+            ..Default::default()
+        };
         assert!(mma_sync_blocked_with(bad, &mut d, &a, &b, &c).is_err());
     }
 

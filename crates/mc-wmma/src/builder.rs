@@ -64,16 +64,20 @@ pub fn mma_loop_kernel(params: LoopKernelParams) -> Result<KernelDesc, WmmaError
     };
 
     // Fragment loads: A, B, and C bytes per lane.
-    let ab_bytes =
-        (instr.shape.a_elements_total() + instr.shape.b_elements_total()) * params.ab.size_bytes() as u64;
+    let ab_bytes = (instr.shape.a_elements_total() + instr.shape.b_elements_total())
+        * params.ab.size_bytes() as u64;
     let cd_bytes = instr.shape.cd_elements_total() * params.cd.size_bytes() as u64;
     let load_bpl = (ab_bytes / lanes).max(1) as u32;
     let store_bpl = (cd_bytes / lanes).max(1) as u32;
 
     let program = WaveProgram {
         prologue: vec![
-            SlotOp::GlobalLoad { bytes_per_lane: load_bpl },
-            SlotOp::GlobalLoad { bytes_per_lane: store_bpl },
+            SlotOp::GlobalLoad {
+                bytes_per_lane: load_bpl,
+            },
+            SlotOp::GlobalLoad {
+                bytes_per_lane: store_bpl,
+            },
             SlotOp::Waitcnt,
         ],
         body: vec![SlotOp::Mfma(*instr)],
@@ -82,7 +86,9 @@ pub fn mma_loop_kernel(params: LoopKernelParams) -> Result<KernelDesc, WmmaError
             // Hardware requires independent cycles before reading
             // AccVGPRs written by MFMA (paper §III).
             SlotOp::SNop(4),
-            SlotOp::GlobalStore { bytes_per_lane: store_bpl },
+            SlotOp::GlobalStore {
+                bytes_per_lane: store_bpl,
+            },
         ],
     };
 
@@ -91,10 +97,7 @@ pub fn mma_loop_kernel(params: LoopKernelParams) -> Result<KernelDesc, WmmaError
         waves_per_workgroup: 1,
         arch_vgprs: instr.a_vgprs_per_lane() + instr.b_vgprs_per_lane() + 16,
         acc_vgprs: instr.cd_agprs_per_lane(),
-        ..KernelDesc::new(
-            format!("wmma_loop_{}", instr.mnemonic()),
-            program,
-        )
+        ..KernelDesc::new(format!("wmma_loop_{}", instr.mnemonic()), program)
     })
 }
 
@@ -118,10 +121,16 @@ pub fn wmma_gemm_tile_kernel(
                 as u32,
         }],
         body: vec![
-            SlotOp::GlobalLoad { bytes_per_lane: (ab_tile_bytes / 64).max(1) as u32 },
-            SlotOp::LdsWrite { bytes_per_lane: (ab_tile_bytes / 64).max(1) as u32 },
+            SlotOp::GlobalLoad {
+                bytes_per_lane: (ab_tile_bytes / 64).max(1) as u32,
+            },
+            SlotOp::LdsWrite {
+                bytes_per_lane: (ab_tile_bytes / 64).max(1) as u32,
+            },
             SlotOp::Barrier,
-            SlotOp::LdsRead { bytes_per_lane: (ab_tile_bytes / 64).max(1) as u32 },
+            SlotOp::LdsRead {
+                bytes_per_lane: (ab_tile_bytes / 64).max(1) as u32,
+            },
             SlotOp::Mfma(*instr),
             SlotOp::Scalar,
         ],
@@ -164,7 +173,11 @@ mod tests {
     fn loop_kernel_structure_matches_paper_methodology() {
         let k = mma_loop_kernel(mixed_params(440, 10_000_000)).unwrap();
         // No load/store inside the loop.
-        assert!(k.program.body.iter().all(|op| matches!(op, SlotOp::Mfma(_))));
+        assert!(k
+            .program
+            .body
+            .iter()
+            .all(|op| matches!(op, SlotOp::Mfma(_))));
         assert_eq!(k.program.body_iterations, 10_000_000);
         // 2mnk · N_iter FLOPs per wave.
         assert_eq!(k.program.mfma_flops(), 8192 * 10_000_000);
@@ -178,7 +191,10 @@ mod tests {
             ab: DType::F16,
             ..mixed_params(1, 1)
         };
-        assert!(matches!(mma_loop_kernel(bad), Err(WmmaError::Unsupported { .. })));
+        assert!(matches!(
+            mma_loop_kernel(bad),
+            Err(WmmaError::Unsupported { .. })
+        ));
         let bad_shape = LoopKernelParams {
             shape: (17, 16, 16),
             ..mixed_params(1, 1)
@@ -212,7 +228,11 @@ mod tests {
             .unwrap();
         assert!(k.lds_bytes_per_workgroup > 0);
         assert_eq!(k.waves_per_workgroup, 4);
-        let has_barrier = k.program.body.iter().any(|op| matches!(op, SlotOp::Barrier));
+        let has_barrier = k
+            .program
+            .body
+            .iter()
+            .any(|op| matches!(op, SlotOp::Barrier));
         assert!(has_barrier);
     }
 
@@ -222,6 +242,9 @@ mod tests {
         let k = mma_loop_kernel(mixed_params(440, 100_000)).unwrap();
         let r = gpu.launch(0, &k).unwrap();
         let tflops = r.tflops();
-        assert!((tflops - 175.0).abs() < 4.0, "one-GCD mixed plateau, got {tflops}");
+        assert!(
+            (tflops - 175.0).abs() < 4.0,
+            "one-GCD mixed plateau, got {tflops}"
+        );
     }
 }

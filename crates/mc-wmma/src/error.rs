@@ -43,7 +43,12 @@ pub enum WmmaError {
 impl fmt::Display for WmmaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WmmaError::Unsupported { arch, cd, ab, shape } => write!(
+            WmmaError::Unsupported {
+                arch,
+                cd,
+                ab,
+                shape,
+            } => write!(
                 f,
                 "{arch} has no {cd} <- {ab} matrix instruction of shape {}x{}x{}",
                 shape.0, shape.1, shape.2

@@ -152,7 +152,10 @@ impl<Use: FragmentUse, T: Real, const M: usize, const N: usize, const K: usize>
     /// # Panics
     /// Panics if the coordinate is outside the fragment.
     pub fn get(&self, row: usize, col: usize) -> T {
-        assert!(row < Self::rows() && col < Self::cols(), "fragment index out of range");
+        assert!(
+            row < Self::rows() && col < Self::cols(),
+            "fragment index out of range"
+        );
         self.data[row * Self::cols() + col]
     }
 
@@ -161,13 +164,21 @@ impl<Use: FragmentUse, T: Real, const M: usize, const N: usize, const K: usize>
     /// # Panics
     /// Panics if the coordinate is outside the fragment.
     pub fn set(&mut self, row: usize, col: usize, value: T) {
-        assert!(row < Self::rows() && col < Self::cols(), "fragment index out of range");
+        assert!(
+            row < Self::rows() && col < Self::cols(),
+            "fragment index out of range"
+        );
         self.data[row * Self::cols() + col] = value;
     }
 
     /// rocWMMA `load_matrix_sync`: loads the fragment from a matrix in
     /// memory with leading dimension `ld`.
-    pub fn load_matrix_sync(&mut self, src: &[T], ld: usize, layout: Layout) -> Result<(), WmmaError> {
+    pub fn load_matrix_sync(
+        &mut self,
+        src: &[T],
+        ld: usize,
+        layout: Layout,
+    ) -> Result<(), WmmaError> {
         let (rows, cols) = (Self::rows(), Self::cols());
         let (minor, major) = match layout {
             Layout::RowMajor => (cols, rows),
@@ -197,7 +208,12 @@ impl<Use: FragmentUse, T: Real, const M: usize, const N: usize, const K: usize>
     }
 
     /// rocWMMA `store_matrix_sync`: writes the fragment to memory.
-    pub fn store_matrix_sync(&self, dst: &mut [T], ld: usize, layout: Layout) -> Result<(), WmmaError> {
+    pub fn store_matrix_sync(
+        &self,
+        dst: &mut [T],
+        ld: usize,
+        layout: Layout,
+    ) -> Result<(), WmmaError> {
         let (rows, cols) = (Self::rows(), Self::cols());
         let (minor, major) = match layout {
             Layout::RowMajor => (cols, rows),

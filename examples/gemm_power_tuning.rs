@@ -14,7 +14,7 @@
 use amd_matrix_cores::blas::{BlasHandle, GemmDesc, GemmOp};
 use amd_matrix_cores::power::sampler::BackgroundSampler;
 use amd_matrix_cores::power::{gflops_per_watt, SamplerConfig};
-use amd_matrix_cores::sim::{sample_stats, Smi};
+use amd_matrix_cores::sim::{sample_stats, DeviceId, DeviceRegistry, Smi};
 
 fn main() {
     let n: usize = std::env::args()
@@ -22,7 +22,7 @@ fn main() {
         .map(|s| s.parse().expect("N must be an integer"))
         .unwrap_or(8192);
 
-    let mut handle = BlasHandle::new_mi250x_gcd();
+    let mut handle = BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd);
     println!("precision survey for {n}x{n}x{n} GEMM on one MI250X GCD\n");
     println!(
         "{:<8} {:>10} {:>10} {:>12} {:>12} {:>10}",
@@ -30,7 +30,13 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for op in [GemmOp::Dgemm, GemmOp::Sgemm, GemmOp::Hss, GemmOp::Hhs, GemmOp::Hgemm] {
+    for op in [
+        GemmOp::Dgemm,
+        GemmOp::Sgemm,
+        GemmOp::Hss,
+        GemmOp::Hhs,
+        GemmOp::Hgemm,
+    ] {
         let desc = GemmDesc::square(op, n);
         let perf = match handle.gemm_timed(&desc) {
             Ok(p) => p,

@@ -9,7 +9,7 @@
 
 use amd_matrix_cores::blas::{plan_gemm, GemmDesc, GemmOp};
 use amd_matrix_cores::isa::disasm::{disassemble, kernel_stats};
-use amd_matrix_cores::sim::{occupancy, Gpu};
+use amd_matrix_cores::sim::{occupancy, DeviceId, DeviceRegistry};
 
 fn main() {
     let routine = std::env::args().nth(1).unwrap_or_else(|| "hhs".into());
@@ -31,7 +31,7 @@ fn main() {
         }
     };
 
-    let gpu = Gpu::mi250x();
+    let gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let plan = plan_gemm(&gpu.spec().die, &GemmDesc::square(op, n)).expect("plannable");
 
     println!("{}", disassemble(&plan.kernel));
@@ -42,7 +42,11 @@ fn main() {
     println!(
         "  {} matrix instructions per k-iteration; strategy {}",
         stats.mfma_per_iteration,
-        if plan.strategy.uses_matrix_cores() { "MatrixCore" } else { "SimdOnly" }
+        if plan.strategy.uses_matrix_cores() {
+            "MatrixCore"
+        } else {
+            "SimdOnly"
+        }
     );
     println!(
         "  occupancy: {} waves/CU ({:?}-limited), {} Matrix Cores reachable",

@@ -14,9 +14,8 @@
 //! ```
 
 use amd_matrix_cores::blas::BlasHandle;
-use amd_matrix_cores::solver::{
-    factor_timed, getrf, refine, Factorization, Matrix, RefineOptions,
-};
+use amd_matrix_cores::sim::{DeviceId, DeviceRegistry};
+use amd_matrix_cores::solver::{factor_timed, getrf, refine, Factorization, Matrix, RefineOptions};
 
 fn main() {
     let n: usize = std::env::args()
@@ -47,7 +46,10 @@ fn main() {
     let err = (0..n)
         .map(|i| (report.x.get(i, 0) - x_true.get(i, 0)).abs())
         .fold(0.0f64, f64::max);
-    println!("iterative refinement: {} correction steps", report.iterations);
+    println!(
+        "iterative refinement: {} correction steps",
+        report.iterations
+    );
     for (it, r) in report.residual_history.iter().enumerate() {
         println!("  residual after step {it}: {r:.3e}");
     }
@@ -63,7 +65,7 @@ fn main() {
 
     // --- performance: what the GCD does for each variant -------------
     let big_n = 8192;
-    let mut handle = BlasHandle::new_mi250x_gcd();
+    let mut handle = BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd);
     let fp64 = factor_timed(&mut handle, Factorization::Getrf, big_n, 128).expect("timed");
     println!(
         "\nLU at N={big_n} on the simulated GCD: {:.1} TFLOPS, {:.1} ms, \

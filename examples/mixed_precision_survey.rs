@@ -13,6 +13,7 @@
 //! ```
 
 use amd_matrix_cores::blas::{gemm_reference_f64, BlasHandle, GemmDesc, GemmOp};
+use amd_matrix_cores::sim::{DeviceId, DeviceRegistry};
 use amd_matrix_cores::types::F16;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,49 +46,90 @@ fn main() {
             .fold(0.0, f64::max)
     };
 
-    let mut handle = BlasHandle::new_mi250x_gcd();
+    let mut handle = BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd);
     println!("accuracy + throughput survey, N = {n} (random uniform [0.5, 1.5))\n");
-    println!("{:<8} {:>12} {:>14} {:>16}", "routine", "TFLOPS", "max rel err", "accumulator");
+    println!(
+        "{:<8} {:>12} {:>14} {:>16}",
+        "routine", "TFLOPS", "max rel err", "accumulator"
+    );
 
     // DGEMM.
     {
         let desc = ref_desc;
         let mut d = vec![0.0f64; n * n];
-        let perf = handle.dgemm(&desc, &a64, &b64, &c64, &mut d).expect("dgemm");
-        println!("{:<8} {:>12.2} {:>14.2e} {:>16}", "dgemm", perf.tflops, max_rel(&d), "FP64");
+        let perf = handle
+            .dgemm(&desc, &a64, &b64, &c64, &mut d)
+            .expect("dgemm");
+        println!(
+            "{:<8} {:>12.2} {:>14.2e} {:>16}",
+            "dgemm",
+            perf.tflops,
+            max_rel(&d),
+            "FP64"
+        );
     }
     // SGEMM.
     {
-        let desc = GemmDesc { op: GemmOp::Sgemm, ..ref_desc };
+        let desc = GemmDesc {
+            op: GemmOp::Sgemm,
+            ..ref_desc
+        };
         let a: Vec<f32> = a64.iter().map(|&x| x as f32).collect();
         let b: Vec<f32> = b64.iter().map(|&x| x as f32).collect();
         let c = vec![0.0f32; n * n];
         let mut d = vec![0.0f32; n * n];
         let perf = handle.sgemm(&desc, &a, &b, &c, &mut d).expect("sgemm");
         let d64: Vec<f64> = d.iter().map(|&x| f64::from(x)).collect();
-        println!("{:<8} {:>12.2} {:>14.2e} {:>16}", "sgemm", perf.tflops, max_rel(&d64), "FP32");
+        println!(
+            "{:<8} {:>12.2} {:>14.2e} {:>16}",
+            "sgemm",
+            perf.tflops,
+            max_rel(&d64),
+            "FP32"
+        );
     }
     // The three half-input routines share FP16 inputs.
     let ah: Vec<F16> = a64.iter().map(|&x| F16::from_f64(x)).collect();
     let bh: Vec<F16> = b64.iter().map(|&x| F16::from_f64(x)).collect();
     {
-        let desc = GemmDesc { op: GemmOp::Hss, ..ref_desc };
+        let desc = GemmDesc {
+            op: GemmOp::Hss,
+            ..ref_desc
+        };
         let c = vec![0.0f32; n * n];
         let mut d = vec![0.0f32; n * n];
         let perf = handle.gemm_hss(&desc, &ah, &bh, &c, &mut d).expect("hss");
         let d64: Vec<f64> = d.iter().map(|&x| f64::from(x)).collect();
-        println!("{:<8} {:>12.2} {:>14.2e} {:>16}", "hss", perf.tflops, max_rel(&d64), "FP32");
+        println!(
+            "{:<8} {:>12.2} {:>14.2e} {:>16}",
+            "hss",
+            perf.tflops,
+            max_rel(&d64),
+            "FP32"
+        );
     }
     {
-        let desc = GemmDesc { op: GemmOp::Hhs, ..ref_desc };
+        let desc = GemmDesc {
+            op: GemmOp::Hhs,
+            ..ref_desc
+        };
         let c = vec![F16::ZERO; n * n];
         let mut d = vec![F16::ZERO; n * n];
         let perf = handle.gemm_hhs(&desc, &ah, &bh, &c, &mut d).expect("hhs");
         let d64: Vec<f64> = d.iter().map(|x| x.to_f64()).collect();
-        println!("{:<8} {:>12.2} {:>14.2e} {:>16}", "hhs", perf.tflops, max_rel(&d64), "FP32->FP16 out");
+        println!(
+            "{:<8} {:>12.2} {:>14.2e} {:>16}",
+            "hhs",
+            perf.tflops,
+            max_rel(&d64),
+            "FP32->FP16 out"
+        );
     }
     {
-        let desc = GemmDesc { op: GemmOp::Hgemm, ..ref_desc };
+        let desc = GemmDesc {
+            op: GemmOp::Hgemm,
+            ..ref_desc
+        };
         let c = vec![F16::ZERO; n * n];
         let mut d = vec![F16::ZERO; n * n];
         let perf = handle.hgemm(&desc, &ah, &bh, &c, &mut d).expect("hgemm");

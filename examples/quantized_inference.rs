@@ -12,6 +12,7 @@
 //! ```
 
 use amd_matrix_cores::blas::{quantize, BlasHandle, GemmDesc, GemmOp};
+use amd_matrix_cores::sim::{DeviceId, DeviceRegistry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -24,15 +25,19 @@ fn main() {
     // A dense layer: activations (n×n) × weights (n×n).
     let mut rng = StdRng::seed_from_u64(88);
     let small = 512usize.min(n); // functional check on a slice of the problem
-    let activations: Vec<f32> = (0..small * small).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let weights: Vec<f32> = (0..small * small).map(|_| rng.gen_range(-0.5..0.5)).collect();
+    let activations: Vec<f32> = (0..small * small)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
+    let weights: Vec<f32> = (0..small * small)
+        .map(|_| rng.gen_range(-0.5..0.5))
+        .collect();
 
     // --- numerics on the small slice ---------------------------------
     let a_q = quantize(&activations);
     let w_q = quantize(&weights);
     let c = vec![0.0f32; small * small];
     let mut d_q8 = vec![0.0f32; small * small];
-    let mut handle = BlasHandle::new_mi250x_gcd();
+    let mut handle = BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd);
     handle
         .gemm_quant8(small, small, small, &a_q, &w_q, 0.0, &c, &mut d_q8)
         .expect("quantized gemm");
@@ -55,9 +60,15 @@ fn main() {
     );
 
     // --- performance at full size ------------------------------------
-    let q8 = handle.gemm_timed(&GemmDesc::square(GemmOp::Quant8, n)).expect("fits");
-    let f32p = handle.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, n)).expect("fits");
-    let hhs = handle.gemm_timed(&GemmDesc::square(GemmOp::Hhs, n)).expect("fits");
+    let q8 = handle
+        .gemm_timed(&GemmDesc::square(GemmOp::Quant8, n))
+        .expect("fits");
+    let f32p = handle
+        .gemm_timed(&GemmDesc::square(GemmOp::Sgemm, n))
+        .expect("fits");
+    let hhs = handle
+        .gemm_timed(&GemmDesc::square(GemmOp::Hhs, n))
+        .expect("fits");
     println!("\nlayer {n}x{n}x{n} on one MI250X GCD:");
     println!("{:<22} {:>10} {:>12}", "path", "T(FL)OPS", "time (ms)");
     for (label, perf) in [
@@ -65,7 +76,11 @@ fn main() {
         ("FP16-mixed (HHS)", &hhs),
         ("FP32 Matrix Cores", &f32p),
     ] {
-        println!("{label:<22} {:>10.1} {:>12.2}", perf.tflops, perf.time_s * 1e3);
+        println!(
+            "{label:<22} {:>10.1} {:>12.2}",
+            perf.tflops,
+            perf.time_s * 1e3
+        );
     }
     println!(
         "\nINT8 runs at the FP16-mixed rate ({}x the FP32 path) with exact integer\n\

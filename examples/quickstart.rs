@@ -12,7 +12,7 @@
 
 use amd_matrix_cores::blas::{BlasHandle, GemmDesc, GemmOp};
 use amd_matrix_cores::profiler::{matrix_core_ratio, ProfilerSession};
-use amd_matrix_cores::sim::{measure_latency, Gpu};
+use amd_matrix_cores::sim::{measure_latency, DeviceId, DeviceRegistry};
 use amd_matrix_cores::types::F16;
 use amd_matrix_cores::wmma::{mma_sync, Accumulator, Fragment, MatrixA, MatrixB};
 
@@ -33,7 +33,8 @@ fn main() {
     assert_eq!(d.get(0, 0), 2.0);
 
     // --- 2. Instruction latency (paper Table II methodology) --------
-    let mut gpu = Gpu::mi250x();
+    let devices = DeviceRegistry::builtin();
+    let mut gpu = devices.gpu(DeviceId::Mi250x);
     let lat = measure_latency(&mut gpu, 0, instr, 1_000_000).expect("launch");
     println!(
         "latency: {} runs at {:.1} cycles -> {:.0} FLOPs/CU/cycle",
@@ -43,7 +44,7 @@ fn main() {
     );
 
     // --- 3. rocBLAS-style SGEMM with profiling ----------------------
-    let mut handle = BlasHandle::new_mi250x_gcd();
+    let mut handle = BlasHandle::from_registry(&devices, DeviceId::Mi250xGcd);
     let desc = GemmDesc::square(GemmOp::Sgemm, 8192);
     let session = ProfilerSession::begin(handle.gpu(), handle.die()).expect("die 0");
     let perf = handle.gemm_timed(&desc).expect("fits in memory");

@@ -11,6 +11,7 @@
 
 use amd_matrix_cores::blas::{BlasHandle, GemmDesc, GemmOp};
 use amd_matrix_cores::model::{OperatingPoint, Regime, Roofline};
+use amd_matrix_cores::sim::{DeviceId, DeviceRegistry};
 
 fn main() {
     let n: usize = std::env::args()
@@ -18,10 +19,13 @@ fn main() {
         .map(|s| s.parse().expect("N must be an integer"))
         .unwrap_or(8192);
 
-    let mut handle = BlasHandle::new_mi250x_gcd();
+    let mut handle = BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd);
     let roofline = Roofline::for_die(&handle.gpu().spec().die);
 
-    println!("MI250X GCD roofline (DRAM {:.2} TB/s):", roofline.bandwidth / 1e12);
+    println!(
+        "MI250X GCD roofline (DRAM {:.2} TB/s):",
+        roofline.bandwidth / 1e12
+    );
     for roof in &roofline.roofs {
         println!(
             "  {:<18} {:>7.1} TFLOPS   ridge at {:>6.1} FLOP/B",

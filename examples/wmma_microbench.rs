@@ -12,7 +12,7 @@
 
 use amd_matrix_cores::isa::cdna2_catalog;
 use amd_matrix_cores::model::ThroughputModel;
-use amd_matrix_cores::sim::{fig3_wavefront_sweep, throughput_run, Gpu};
+use amd_matrix_cores::sim::{fig3_wavefront_sweep, throughput_run, DeviceId, DeviceRegistry};
 use amd_matrix_cores::types::DType;
 
 fn main() {
@@ -27,13 +27,21 @@ fn main() {
         }
     };
 
-    let instr = *cdna2_catalog().find(cd, ab, m, n, k).expect("paper instruction");
-    let mut gpu = Gpu::mi250x();
+    let instr = *cdna2_catalog()
+        .find(cd, ab, m, n, k)
+        .expect("paper instruction");
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let model = ThroughputModel::new(&instr, &gpu.spec().die);
     const ITERS: u64 = 1_000_000;
 
-    println!("{} on one MI250X GCD ({ITERS} iterations/wave)", instr.mnemonic());
-    println!("{:>8} {:>14} {:>14} {:>9}", "waves", "measured TF", "Eq.2 model", "ratio");
+    println!(
+        "{} on one MI250X GCD ({ITERS} iterations/wave)",
+        instr.mnemonic()
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>9}",
+        "waves", "measured TF", "Eq.2 model", "ratio"
+    );
     for wf in fig3_wavefront_sweep() {
         let r = throughput_run(&mut gpu, 0, &instr, wf, ITERS).expect("launch");
         let model_tf = model.tflops(wf);

@@ -2,10 +2,10 @@
 //! memory system, dispatch traces, occupancy, and telemetry must stay
 //! mutually consistent in regimes the headline experiments don't visit.
 
-use amd_matrix_cores::isa::{cdna2_catalog, KernelDesc, MemHints, SlotOp, ValuOp, WaveProgram};
 use amd_matrix_cores::isa::ValuOpKind;
+use amd_matrix_cores::isa::{cdna2_catalog, KernelDesc, MemHints, SlotOp, ValuOp, WaveProgram};
 use amd_matrix_cores::power::EnergyBreakdown;
-use amd_matrix_cores::sim::{occupancy, Gpu, RoundBound, SimConfig};
+use amd_matrix_cores::sim::{occupancy, DeviceId, DeviceRegistry, Gpu, RoundBound, SimConfig};
 use amd_matrix_cores::types::DType;
 
 fn mfma_kernel(cd: DType, ab: DType, m: u32, n: u32, k: u32, waves: u64, iters: u64) -> KernelDesc {
@@ -21,7 +21,7 @@ fn mfma_kernel(cd: DType, ab: DType, m: u32, n: u32, k: u32, waves: u64, iters: 
 fn governor_engages_smoothly_across_the_mix() {
     // Sweep the FP64 fraction of a mixed workload on both dies; power
     // must be continuous and capped, throughput monotone in the mix.
-    let mut gpu = Gpu::mi250x();
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let mut last_power = 0.0;
     for f64_waves in [110u64, 220, 330, 440] {
         let k = mfma_kernel(DType::F64, DType::F64, 16, 16, 4, f64_waves, 500_000);
@@ -30,7 +30,12 @@ fn governor_engages_smoothly_across_the_mix() {
         assert!(r.peak_power_w >= gpu.spec().idle_power_w);
         // Power grows monotonically with FP64 occupancy and only the
         // saturated point throttles.
-        assert!(r.peak_power_w > last_power, "{} -> {}", last_power, r.peak_power_w);
+        assert!(
+            r.peak_power_w > last_power,
+            "{} -> {}",
+            last_power,
+            r.peak_power_w
+        );
         if f64_waves < 440 {
             assert!((r.governor_scale - 1.0).abs() < 1e-12, "waves {f64_waves}");
         } else {
@@ -44,15 +49,23 @@ fn governor_engages_smoothly_across_the_mix() {
     let mixk = mfma_kernel(DType::F32, DType::F16, 16, 16, 16, 440, 500_000);
     let r = gpu.launch_parallel(&[(0, f64k), (1, mixk)]).unwrap();
     assert!(r.peak_power_w < gpu.spec().power_cap_w);
-    assert!((r.governor_scale - 1.0).abs() < 1e-12, "{}", r.governor_scale);
+    assert!(
+        (r.governor_scale - 1.0).abs() < 1e-12,
+        "{}",
+        r.governor_scale
+    );
 }
 
 #[test]
 fn mixed_body_kernels_split_energy_by_type() {
     // A body with both FP64 MFMA and mixed MFMA: energy must be split
     // between the two MFMA banks in proportion to their FLOPs.
-    let f64i = *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap();
-    let f16i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+    let f64i = *cdna2_catalog()
+        .find(DType::F64, DType::F64, 16, 16, 4)
+        .unwrap();
+    let f16i = *cdna2_catalog()
+        .find(DType::F32, DType::F16, 16, 16, 16)
+        .unwrap();
     let k = KernelDesc {
         workgroups: 440,
         waves_per_workgroup: 1,
@@ -61,7 +74,7 @@ fn mixed_body_kernels_split_energy_by_type() {
             WaveProgram::looped(vec![SlotOp::Mfma(f64i), SlotOp::Mfma(f16i)], 100_000),
         )
     };
-    let mut gpu = Gpu::mi250x();
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let r = gpu.launch(0, &k).unwrap();
     let b = EnergyBreakdown::of_result(gpu.spec(), &r);
     assert!(b.mfma_j.0 > 0.0 && b.mfma_j.2 > 0.0);
@@ -84,7 +97,7 @@ fn valu_heavy_kernels_respect_the_simd_roof() {
         waves_per_workgroup: 1,
         ..KernelDesc::new("pkfma", WaveProgram::looped(body, 100_000))
     };
-    let mut gpu = Gpu::mi250x();
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let r = gpu.launch(0, &k).unwrap();
     let tflops = r.tflops();
     let roof = 110.0 * 256.0 * 1.7e-3; // 48.1 TF at boost
@@ -94,7 +107,9 @@ fn valu_heavy_kernels_respect_the_simd_roof() {
 
 #[test]
 fn dram_bound_kernel_reports_memory_rounds() {
-    let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+    let i = *cdna2_catalog()
+        .find(DType::F32, DType::F16, 16, 16, 16)
+        .unwrap();
     let mut k = KernelDesc {
         workgroups: 880,
         waves_per_workgroup: 1,
@@ -105,50 +120,69 @@ fn dram_bound_kernel_reports_memory_rounds() {
         working_set_bytes: 16 << 30,
         pow2_stride: false,
     };
-    let mut gpu = Gpu::mi250x();
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let r = gpu.launch(0, &k).unwrap();
     let exec = &r.kernels[0].exec;
-    assert!(exec.compute_bound_fraction < 0.2, "{}", exec.compute_bound_fraction);
+    assert!(
+        exec.compute_bound_fraction < 0.2,
+        "{}",
+        exec.compute_bound_fraction
+    );
     assert!(exec.dram_time_s > exec.compute_cycles / exec.effective_clock_hz);
 }
 
 #[test]
 fn lds_bound_kernel_is_classified_as_such() {
     // Huge LDS traffic per iteration dominates both MFMA and issue.
-    let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+    let i = *cdna2_catalog()
+        .find(DType::F32, DType::F16, 16, 16, 16)
+        .unwrap();
     let body = vec![
         SlotOp::Mfma(i),
-        SlotOp::LdsRead { bytes_per_lane: 128 },
-        SlotOp::LdsRead { bytes_per_lane: 128 },
+        SlotOp::LdsRead {
+            bytes_per_lane: 128,
+        },
+        SlotOp::LdsRead {
+            bytes_per_lane: 128,
+        },
     ];
     let k = KernelDesc {
         workgroups: 440,
         waves_per_workgroup: 1,
         ..KernelDesc::new("lds", WaveProgram::looped(body, 10_000))
     };
-    let mut gpu = Gpu::mi250x();
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let r = gpu.launch(0, &k).unwrap();
     let rounds = &r.kernels[0].exec.rounds;
-    assert!(rounds.iter().all(|t| t.bound == RoundBound::Lds), "{rounds:?}");
+    assert!(
+        rounds.iter().all(|t| t.bound == RoundBound::Lds),
+        "{rounds:?}"
+    );
 }
 
 #[test]
 fn occupancy_report_matches_dispatch_behaviour() {
     // An AGPR-limited kernel: the occupancy report's waves/CU must match
     // the number of rounds the engine needs.
-    let i = *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap();
+    let i = *cdna2_catalog()
+        .find(DType::F64, DType::F64, 16, 16, 4)
+        .unwrap();
     let k = KernelDesc {
         workgroups: 880,
         waves_per_workgroup: 1,
         acc_vgprs: 256, // 2 waves per SIMD -> 8 per CU -> 880 resident
         ..KernelDesc::new("agpr", WaveProgram::looped(vec![SlotOp::Mfma(i)], 1000))
     };
-    let gpu = Gpu::mi250x();
+    let gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let occ = occupancy(&gpu.spec().die, &k);
     assert_eq!(occ.waves_per_cu, 8);
-    let mut gpu = Gpu::mi250x();
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let r = gpu.launch(0, &k).unwrap();
-    assert_eq!(r.kernels[0].exec.rounds.len(), 1, "880 waves fit one round at 8/CU");
+    assert_eq!(
+        r.kernels[0].exec.rounds.len(),
+        1,
+        "880 waves fit one round at 8/CU"
+    );
 }
 
 #[test]
@@ -163,5 +197,9 @@ fn custom_device_configs_validate_and_run() {
     let r = gpu.launch(0, &k).unwrap();
     // 64 Matrix Cores' worth of mixed MFMA: 64 × 256 FLOP/cycle.
     let expect = 64.0 * 256.0 * 1.7e9 * (1.0 - 0.087) / 1e12;
-    assert!((r.tflops() - expect).abs() < 1.0, "{} vs {expect}", r.tflops());
+    assert!(
+        (r.tflops() - expect).abs() < 1.0,
+        "{} vs {expect}",
+        r.tflops()
+    );
 }

@@ -2,7 +2,9 @@
 //! mapper, the naming schemes, and the device specs must all describe
 //! the same machine.
 
-use amd_matrix_cores::isa::encoding::{encode_instance, opcode_of, MfmaEncoding, Reg, OPCODE_TABLE};
+use amd_matrix_cores::isa::encoding::{
+    encode_instance, opcode_of, MfmaEncoding, Reg, OPCODE_TABLE,
+};
 use amd_matrix_cores::isa::regmap::{element_location, operand_coords, Operand};
 use amd_matrix_cores::isa::specs::{a100, mi250x};
 use amd_matrix_cores::isa::{ampere_catalog, cdna2_catalog, MatrixInstruction};
@@ -82,7 +84,10 @@ fn vendor_catalogs_do_not_cross() {
     for i in ampere_catalog().instructions() {
         assert_eq!(i.arch, amd_matrix_cores::isa::MatrixArch::Ampere);
         assert!(i.mnemonic().starts_with("mma.sync"));
-        assert!(i.builtin().is_none(), "no official C interface on NVIDIA (§III)");
+        assert!(
+            i.builtin().is_none(),
+            "no official C interface on NVIDIA (§III)"
+        );
     }
 }
 

@@ -6,7 +6,7 @@
 use amd_matrix_cores::blas::{
     gemm_reference_f64, quantize, run_functional, select_strategy, GemmDesc, GemmOp,
 };
-use amd_matrix_cores::types::{F16};
+use amd_matrix_cores::types::F16;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -93,7 +93,10 @@ fn hss_error_stays_flat_with_k_but_hgemm_grows() {
     let hgemm_small = gemm_error(GemmOp::Hgemm, 32, 2);
     let hgemm_big = gemm_error(GemmOp::Hgemm, 256, 2);
     assert!(hss_big < hss_small * 4.0, "{hss_small} -> {hss_big}");
-    assert!(hgemm_big > hgemm_small * 2.0, "{hgemm_small} -> {hgemm_big}");
+    assert!(
+        hgemm_big > hgemm_small * 2.0,
+        "{hgemm_small} -> {hgemm_big}"
+    );
 }
 
 #[test]

@@ -6,18 +6,20 @@ use amd_matrix_cores::isa::{ampere_catalog, cdna2_catalog};
 use amd_matrix_cores::model::FlopDistribution;
 use amd_matrix_cores::power::gflops_per_watt;
 use amd_matrix_cores::profiler::{matrix_core_ratio, ProfilerSession};
-use amd_matrix_cores::sim::{throughput_run_all_dies, Gpu};
+use amd_matrix_cores::sim::{throughput_run_all_dies, DeviceId, DeviceRegistry, Gpu};
 use amd_matrix_cores::types::DType;
 
 /// Abstract §I: "achieving up to 350, 88, and 69 TFLOPS for mixed,
 /// float, and double precision on one GPU".
 #[test]
 fn abstract_claim_one_gpu_peaks() {
-    let mut gpu = Gpu::mi250x();
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let cat = cdna2_catalog();
     let run = |gpu: &mut Gpu, cd, ab, m, n, k| {
         let i = *cat.find(cd, ab, m, n, k).unwrap();
-        throughput_run_all_dies(gpu, &i, 440, 300_000).unwrap().tflops
+        throughput_run_all_dies(gpu, &i, 440, 300_000)
+            .unwrap()
+            .tflops
     };
     let mixed = run(&mut gpu, DType::F32, DType::F16, 16, 16, 16);
     let float = run(&mut gpu, DType::F32, DType::F32, 16, 16, 4);
@@ -31,26 +33,41 @@ fn abstract_claim_one_gpu_peaks() {
 /// precision on Tensor Cores in Nvidia A100 (float is not supported)".
 #[test]
 fn abstract_claim_a100_peaks() {
-    let mut gpu = Gpu::a100();
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::A100);
     let cat = ampere_catalog();
     let mixed_i = *cat.find(DType::F32, DType::F16, 16, 8, 16).unwrap();
     let dmma = *cat.find(DType::F64, DType::F64, 8, 8, 4).unwrap();
-    let mixed = throughput_run_all_dies(&mut gpu, &mixed_i, 432, 300_000).unwrap().tflops;
-    let double = throughput_run_all_dies(&mut gpu, &dmma, 432, 300_000).unwrap().tflops;
+    let mixed = throughput_run_all_dies(&mut gpu, &mixed_i, 432, 300_000)
+        .unwrap()
+        .tflops;
+    let double = throughput_run_all_dies(&mut gpu, &dmma, 432, 300_000)
+        .unwrap()
+        .tflops;
     assert!((mixed - 290.0).abs() / 290.0 < 0.02, "mixed {mixed}");
     assert!((double - 19.4).abs() / 19.4 < 0.02, "double {double}");
-    assert!(!cat.supports_types(DType::F32, DType::F32), "float unsupported");
+    assert!(
+        !cat.supports_types(DType::F32, DType::F32),
+        "float unsupported"
+    );
 }
 
 /// §V-C: FP64 Matrix Core throughput is ~3.5x the A100's.
 #[test]
 fn fp64_advantage() {
-    let mut amd = Gpu::mi250x();
-    let mut nv = Gpu::a100();
-    let amd_i = *cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap();
-    let nv_i = *ampere_catalog().find(DType::F64, DType::F64, 8, 8, 4).unwrap();
-    let a = throughput_run_all_dies(&mut amd, &amd_i, 440, 300_000).unwrap().tflops;
-    let n = throughput_run_all_dies(&mut nv, &nv_i, 432, 300_000).unwrap().tflops;
+    let mut amd = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
+    let mut nv = DeviceRegistry::builtin().gpu(DeviceId::A100);
+    let amd_i = *cdna2_catalog()
+        .find(DType::F64, DType::F64, 16, 16, 4)
+        .unwrap();
+    let nv_i = *ampere_catalog()
+        .find(DType::F64, DType::F64, 8, 8, 4)
+        .unwrap();
+    let a = throughput_run_all_dies(&mut amd, &amd_i, 440, 300_000)
+        .unwrap()
+        .tflops;
+    let n = throughput_run_all_dies(&mut nv, &nv_i, 432, 300_000)
+        .unwrap()
+        .tflops;
     assert!((a / n - 3.5).abs() < 0.4, "advantage {}", a / n);
 }
 
@@ -58,7 +75,7 @@ fn fp64_advantage() {
 /// Watts are consumed for double, single, and mixed precision".
 #[test]
 fn marginal_power_per_tflops() {
-    let mut gpu = Gpu::mi250x();
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let cat = cdna2_catalog();
     let marginal = |gpu: &mut Gpu, cd, ab, m, n, k| {
         let i = *cat.find(cd, ab, m, n, k).unwrap();
@@ -78,7 +95,7 @@ fn marginal_power_per_tflops() {
 /// in power efficiency.
 #[test]
 fn power_efficiency_ladder() {
-    let mut gpu = Gpu::mi250x();
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let cat = cdna2_catalog();
     let eff = |gpu: &mut Gpu, cd, ab, m, n, k| {
         let i = *cat.find(cd, ab, m, n, k).unwrap();
@@ -100,12 +117,16 @@ fn power_efficiency_ladder() {
 /// throughput by properly selecting data types and interfaces".
 #[test]
 fn rocblas_delivers_near_peak_transparently() {
-    let mut handle = BlasHandle::new_mi250x_gcd();
+    let mut handle = BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd);
     // SGEMM vs the 43 TFLOPS one-GCD Matrix Core plateau: ~100%.
-    let s = handle.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 8192)).unwrap();
+    let s = handle
+        .gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 8192))
+        .unwrap();
     assert!(s.tflops / 43.0 > 0.92, "sgemm {}", s.tflops);
     // DGEMM vs 41: the paper reports ~90%.
-    let d = handle.gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 4096)).unwrap();
+    let d = handle
+        .gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 4096))
+        .unwrap();
     assert!(d.tflops / 41.0 > 0.7, "dgemm {}", d.tflops);
 }
 
@@ -113,14 +134,19 @@ fn rocblas_delivers_near_peak_transparently() {
 /// above 99% for N > 256, and exactly the 2N³/(2N³+3N²) model.
 #[test]
 fn matrix_core_utilization_matches_model() {
-    let mut handle = BlasHandle::new_mi250x_gcd();
+    let mut handle = BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd);
     for n in [512usize, 2048] {
         let session = ProfilerSession::begin(handle.gpu(), handle.die()).unwrap();
-        handle.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, n)).unwrap();
+        handle
+            .gemm_timed(&GemmDesc::square(GemmOp::Sgemm, n))
+            .unwrap();
         let counters = session.end(handle.gpu()).unwrap();
         let measured = matrix_core_ratio(&counters);
         let model = FlopDistribution::matrix_core_ratio(n as u64);
-        assert!((measured - model).abs() < 1e-9, "N={n}: {measured} vs {model}");
+        assert!(
+            (measured - model).abs() < 1e-9,
+            "N={n}: {measured} vs {model}"
+        );
         assert!(measured > 0.99);
     }
 }
@@ -132,10 +158,16 @@ fn architecture_constants() {
     let amd = amd_matrix_cores::isa::specs::mi250x();
     let nv = amd_matrix_cores::isa::specs::a100();
     let amd_fp64 = amd.peak_flops(
-        cdna2_catalog().find(DType::F64, DType::F64, 16, 16, 4).unwrap().flops_per_cu_per_cycle(),
+        cdna2_catalog()
+            .find(DType::F64, DType::F64, 16, 16, 4)
+            .unwrap()
+            .flops_per_cu_per_cycle(),
     );
     let nv_fp64 = nv.peak_flops(
-        ampere_catalog().find(DType::F64, DType::F64, 8, 8, 4).unwrap().flops_per_cu_per_cycle(),
+        ampere_catalog()
+            .find(DType::F64, DType::F64, 8, 8, 4)
+            .unwrap()
+            .flops_per_cu_per_cycle(),
     );
     assert!((amd_fp64 / nv_fp64 - 4.9).abs() < 0.1); // 95.7 / 19.5
     assert_eq!(amd.die.hbm_gib * amd.dies, 128);

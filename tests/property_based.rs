@@ -292,8 +292,8 @@ proptest! {
 /// relative error per routine (deterministic seeds, full matrix check).
 #[test]
 fn random_gemm_error_bounds() {
-    use amd_matrix_cores::blas::{gemm_reference_f64, run_functional};
     use amd_matrix_cores::blas::Strategy;
+    use amd_matrix_cores::blas::{gemm_reference_f64, run_functional};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -316,7 +316,9 @@ fn random_gemm_error_bounds() {
     let c: Vec<f32> = c64.iter().map(|&x| x as f32).collect();
     let mut d = vec![0.0f32; n * n];
     let strat = Strategy::MatrixCore {
-        instr: *cdna2_catalog().find(DType::F32, DType::F32, 16, 16, 4).unwrap(),
+        instr: *cdna2_catalog()
+            .find(DType::F32, DType::F32, 16, 16, 4)
+            .unwrap(),
         macro_tile: (128, 128),
         wave_tile: (64, 64),
         k_step: 4,

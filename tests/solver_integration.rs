@@ -4,7 +4,7 @@
 
 use amd_matrix_cores::blas::{BlasHandle, GemmDesc, GemmOp};
 use amd_matrix_cores::power::PmCounters;
-use amd_matrix_cores::sim::Gpu;
+use amd_matrix_cores::sim::{DeviceId, DeviceRegistry};
 use amd_matrix_cores::solver::{
     factor_timed, getrf, potrf, refine, Factorization, Matrix, RefineOptions,
 };
@@ -98,7 +98,7 @@ fn refinement_converges_where_f32_alone_is_insufficient() {
 fn factorization_gemm_counters_match_blas_accounting() {
     // The timed factorization's MFMA counters must equal the sum of its
     // individual GEMM plans' counters.
-    let mut handle = BlasHandle::new_mi250x_gcd();
+    let mut handle = BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd);
     let n = 1024;
     let nb = 128;
     let perf = factor_timed(&mut handle, Factorization::Potrf, n, nb).unwrap();
@@ -132,7 +132,7 @@ fn factorization_gemm_counters_match_blas_accounting() {
 fn factorization_power_profile_integrates_consistently() {
     // Replay the factorization's GEMM schedule as a launch sequence and
     // cross-check SMI-style telemetry against pm_counters energy.
-    let mut gpu = Gpu::mi250x();
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let die = gpu.spec().die.clone();
     let mut kernels = Vec::new();
     let (n, nb) = (2048usize, 128usize);
@@ -163,9 +163,13 @@ fn factorization_power_profile_integrates_consistently() {
 #[test]
 fn gemm_dominance_grows_with_block_ratio() {
     // Classic LAPACK analysis: panel work is O(n·nb²), GEMM is O(n³).
-    let mut handle = BlasHandle::new_mi250x_gcd();
+    let mut handle = BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd);
     let small = factor_timed(&mut handle, Factorization::Getrf, 2048, 256).unwrap();
     let large = factor_timed(&mut handle, Factorization::Getrf, 8192, 256).unwrap();
     assert!(large.matrix_core_ratio > small.matrix_core_ratio);
-    assert!(large.matrix_core_ratio > 0.96, "{}", large.matrix_core_ratio);
+    assert!(
+        large.matrix_core_ratio > 0.96,
+        "{}",
+        large.matrix_core_ratio
+    );
 }

@@ -7,7 +7,7 @@ use amd_matrix_cores::model::flops::derived_total_flops;
 use amd_matrix_cores::power::sampler::BackgroundSampler;
 use amd_matrix_cores::power::SamplerConfig;
 use amd_matrix_cores::profiler::{CounterReport, FlopBreakdown, ProfilerSession};
-use amd_matrix_cores::sim::{Gpu, Smi};
+use amd_matrix_cores::sim::{DeviceId, DeviceRegistry, Smi};
 use amd_matrix_cores::types::{DType, F16};
 use amd_matrix_cores::wmma::{mma_loop_kernel, LoopKernelParams};
 
@@ -24,7 +24,7 @@ fn wmma_kernel_counters_agree_with_eq1() {
         iterations: 1000,
     };
     let kernel = mma_loop_kernel(params).unwrap();
-    let mut gpu = Gpu::mi250x();
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let session = ProfilerSession::begin(&gpu, 0).unwrap();
     let result = gpu.launch(0, &kernel).unwrap();
     let counters = session.end(&gpu).unwrap();
@@ -40,7 +40,7 @@ fn wmma_kernel_counters_agree_with_eq1() {
 /// executor must agree about whether Matrix Cores were used.
 #[test]
 fn strategy_counters_and_numerics_are_consistent() {
-    let mut handle = BlasHandle::new_mi250x_gcd();
+    let mut handle = BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd);
     for op in [GemmOp::Sgemm, GemmOp::Hss, GemmOp::Hgemm] {
         let desc = GemmDesc::square(op, 128);
         let plan = plan_gemm(&handle.gpu().spec().die, &desc).unwrap();
@@ -71,7 +71,7 @@ fn all_routines_compute_the_verification_pattern() {
         beta: 1.0,
         ..GemmDesc::square(op, n)
     };
-    let mut handle = BlasHandle::new_mi250x_gcd();
+    let mut handle = BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd);
 
     // f32.
     let a = vec![1.0f32; n * n];
@@ -81,7 +81,9 @@ fn all_routines_compute_the_verification_pattern() {
     }
     let c = vec![1.0f32; n * n];
     let mut d = vec![0.0f32; n * n];
-    handle.sgemm(&mk_desc(GemmOp::Sgemm), &a, &b, &c, &mut d).unwrap();
+    handle
+        .sgemm(&mk_desc(GemmOp::Sgemm), &a, &b, &c, &mut d)
+        .unwrap();
     assert!(d.iter().all(|&x| x == 2.0));
 
     // f64.
@@ -92,7 +94,9 @@ fn all_routines_compute_the_verification_pattern() {
     }
     let c64 = vec![1.0f64; n * n];
     let mut d64 = vec![0.0f64; n * n];
-    handle.dgemm(&mk_desc(GemmOp::Dgemm), &a64, &b64, &c64, &mut d64).unwrap();
+    handle
+        .dgemm(&mk_desc(GemmOp::Dgemm), &a64, &b64, &c64, &mut d64)
+        .unwrap();
     assert!(d64.iter().all(|&x| x == 2.0));
 
     // f16 inputs (hss, hhs, hgemm).
@@ -103,16 +107,22 @@ fn all_routines_compute_the_verification_pattern() {
     }
     let ch32 = vec![1.0f32; n * n];
     let mut dh32 = vec![0.0f32; n * n];
-    handle.gemm_hss(&mk_desc(GemmOp::Hss), &ah, &bh, &ch32, &mut dh32).unwrap();
+    handle
+        .gemm_hss(&mk_desc(GemmOp::Hss), &ah, &bh, &ch32, &mut dh32)
+        .unwrap();
     assert!(dh32.iter().all(|&x| x == 2.0));
 
     let ch16 = vec![F16::ONE; n * n];
     let mut dh16 = vec![F16::ZERO; n * n];
-    handle.gemm_hhs(&mk_desc(GemmOp::Hhs), &ah, &bh, &ch16, &mut dh16).unwrap();
+    handle
+        .gemm_hhs(&mk_desc(GemmOp::Hhs), &ah, &bh, &ch16, &mut dh16)
+        .unwrap();
     assert!(dh16.iter().all(|&x| x.to_f64() == 2.0));
 
     let mut dh = vec![F16::ZERO; n * n];
-    handle.hgemm(&mk_desc(GemmOp::Hgemm), &ah, &bh, &ch16, &mut dh).unwrap();
+    handle
+        .hgemm(&mk_desc(GemmOp::Hgemm), &ah, &bh, &ch16, &mut dh)
+        .unwrap();
     assert!(dh.iter().all(|&x| x.to_f64() == 2.0));
 }
 
@@ -120,8 +130,10 @@ fn all_routines_compute_the_verification_pattern() {
 /// same energy the simulator accounted.
 #[test]
 fn sampled_power_integrates_to_simulated_energy() {
-    let mut gpu = Gpu::mi250x();
-    let i = *cdna2_catalog().find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+    let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
+    let i = *cdna2_catalog()
+        .find(DType::F32, DType::F16, 16, 16, 16)
+        .unwrap();
     let kernel = mma_loop_kernel(LoopKernelParams {
         arch: amd_matrix_cores::isa::MatrixArch::Cdna2,
         cd: DType::F32,
@@ -155,8 +167,10 @@ fn sampled_power_integrates_to_simulated_energy() {
 /// fields, across the whole pipeline.
 #[test]
 fn counter_report_round_trip() {
-    let mut handle = BlasHandle::new_mi250x_gcd();
-    handle.gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 256)).unwrap();
+    let mut handle = BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd);
+    handle
+        .gemm_timed(&GemmDesc::square(GemmOp::Dgemm, 256))
+        .unwrap();
     let counters = handle.gpu().counters(0).unwrap();
     let report = CounterReport::from_counters(&counters);
     assert_eq!(
@@ -176,8 +190,10 @@ fn counter_report_round_trip() {
 #[test]
 fn simulation_is_deterministic() {
     let run_once = || {
-        let mut handle = BlasHandle::new_mi250x_gcd();
-        let perf = handle.gemm_timed(&GemmDesc::square(GemmOp::Hhs, 4096)).unwrap();
+        let mut handle = BlasHandle::from_registry(&DeviceRegistry::builtin(), DeviceId::Mi250xGcd);
+        let perf = handle
+            .gemm_timed(&GemmDesc::square(GemmOp::Hhs, 4096))
+            .unwrap();
         (perf.time_s, perf.tflops, perf.counters)
     };
     let a = run_once();

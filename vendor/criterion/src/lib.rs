@@ -1,0 +1,162 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the structural API the workspace's bench targets use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!` — with a simple
+//! wall-clock timer instead of criterion's statistical machinery. Bench
+//! binaries compile under `cargo test` and produce one timing line per
+//! benchmark when run.
+
+use std::time::Instant;
+
+/// Re-export of the standard black box (criterion's moved here long ago).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter display, like criterion's.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark("", &id.into(), 10, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (capped low in this stub to keep runs fast).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.min(25);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&self.name, &id.into(), self.samples, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&self.name, &id, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the `iter` body.
+pub struct Bencher {
+    samples: usize,
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `body`, recording mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One warm-up call, then `samples` timed calls.
+        black_box(body());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(body());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / self.samples.max(1) as f64;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(group: &str, id: &BenchmarkId, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples,
+        nanos_per_iter: 0.0,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        id.id.clone()
+    } else {
+        format!("{group}/{}", id.id)
+    };
+    println!("bench {label:<60} {:>14.1} ns/iter", bencher.nanos_per_iter);
+}
+
+/// Declares a function running a list of benchmark registrars.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running one or more criterion groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,79 @@
+//! Offline stand-in for `crossbeam`: the scoped-thread subset this
+//! workspace uses, implemented over `std::thread::scope` with
+//! crossbeam's API shape (`scope(|s| ...)` returning a `Result`, spawn
+//! closures receiving a scope handle).
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Handle for spawning threads tied to the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scope-bound thread; the closure receives the scope
+        /// handle (crossbeam convention) for nested spawns.
+        pub fn spawn<T, F>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            T: Send + 'scope,
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread, returning its result or its panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which spawned threads are joined before return.
+    ///
+    /// Unlike crossbeam, a panicking child propagates when the scope
+    /// ends (std semantics) instead of being collected into `Err`; the
+    /// `Result` wrapper is kept for API compatibility and is always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+/// MPSC channels, mirroring the `crossbeam::channel` subset this
+/// workspace uses (`unbounded`, `Sender::send`, `Receiver::try_iter`)
+/// over `std::sync::mpsc`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+}

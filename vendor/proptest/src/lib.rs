@@ -1,0 +1,380 @@
+//! Offline stand-in for `proptest` covering the subset this workspace
+//! uses: the `proptest!` macro with `arg in strategy` bindings,
+//! `prop_assume!` / `prop_assert!` / `prop_assert_eq!`, `any::<T>()`,
+//! integer/float range strategies, a small `[class]{m,n}` regex string
+//! strategy, and `prop::collection::vec`.
+//!
+//! Differences from the real crate: no shrinking (failures report the
+//! original case), a fixed deterministic seed per test name, and 64
+//! cases per property.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Number of accepted cases each property runs.
+pub const CASES: u32 = 64;
+
+/// Outcome of a single property-test case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — try another input.
+    Reject,
+    /// The property failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Deterministic RNG for one property test, seeded from its name.
+pub fn test_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the name keeps streams distinct per test.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// A generator of values for one `in`-binding.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value (full domain, including non-finite
+    /// floats).
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        f32::from_bits(rng.gen::<u32>())
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        f64::from_bits(rng.gen::<u64>())
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<u64>() as $ty
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy over a type's full domain.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Returns the full-domain strategy for `T` (like `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_from_regex(self, rng)
+    }
+}
+
+/// Generates a string matching a small regex subset: literal characters,
+/// `[a-z09_]` classes, and `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers.
+fn generate_from_regex(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut pos = 0;
+    while pos < chars.len() {
+        // Parse one atom: a class or a literal.
+        let alphabet: Vec<char> = if chars[pos] == '[' {
+            let close = chars[pos..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|o| pos + o)
+                .unwrap_or_else(|| panic!("unclosed [ in regex strategy `{pattern}`"));
+            let class = &chars[pos + 1..close];
+            pos = close + 1;
+            expand_class(class)
+        } else {
+            let c = if chars[pos] == '\\' && pos + 1 < chars.len() {
+                pos += 1;
+                chars[pos]
+            } else {
+                chars[pos]
+            };
+            pos += 1;
+            vec![c]
+        };
+        // Parse an optional quantifier.
+        let (min, max) = match chars.get(pos) {
+            Some('{') => {
+                let close = chars[pos..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|o| pos + o)
+                    .unwrap_or_else(|| panic!("unclosed {{ in regex strategy `{pattern}`"));
+                let body: String = chars[pos + 1..close].iter().collect();
+                pos = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse::<usize>().unwrap_or(0),
+                        hi.trim().parse::<usize>().unwrap_or(8),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                pos += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                pos += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                pos += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        let count = rng.gen_range(min..=max);
+        for _ in 0..count {
+            out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+        }
+    }
+    out
+}
+
+fn expand_class(class: &[char]) -> Vec<char> {
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            for code in lo..=hi {
+                alphabet.extend(char::from_u32(code));
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class");
+    alphabet
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vec strategy with a size range, like `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` resolves from the prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Rejects the current case, sampling a replacement input.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $fmt:expr $(, $args:expr)*)? $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Asserts a condition, failing the property (not panicking) otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality, failing the property (not panicking) otherwise.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __left,
+                __right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __left,
+                __right,
+                ::std::format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Declares property tests: each `arg in strategy` binding is sampled
+/// per case, rejected cases are re-drawn, and failures report the case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_rng(::std::stringify!($name));
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __accepted < $crate::CASES {
+                    __attempts += 1;
+                    ::std::assert!(
+                        __attempts < $crate::CASES * 50,
+                        "too many rejected cases in {}",
+                        ::std::stringify!($name)
+                    );
+                    $(let $arg = $crate::Strategy::generate(&$strategy, &mut __rng);)+
+                    let __case = ::std::format!(
+                        ::std::concat!($(::std::stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                            ::std::panic!("property {} failed [{}]: {}",
+                                ::std::stringify!($name), __case, __msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn regex_strategy_matches_shape() {
+        let mut rng = crate::test_rng("regex");
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z0-9_x]{1,24}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    proptest! {
+        /// The macro end-to-end: assume, assert, assert_eq.
+        #[test]
+        fn macro_machinery_works(a in 0u32..100, b in 0.0f64..1.0) {
+            prop_assume!(a != 13);
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert_eq!(a + 1, 1 + a);
+        }
+    }
+}

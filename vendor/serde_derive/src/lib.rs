@@ -1,0 +1,435 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! non-generic structs and enums by hand-parsing the item's
+//! `TokenStream` (the container has no `syn`/`quote`). Generated code
+//! targets the vendored `serde` stub's `Value`-based traits and never
+//! needs field *types*: `serde::de_field` and variant constructors let
+//! type inference resolve every `from_value` call.
+//!
+//! `#[serde(...)]` attributes are not supported (none exist in this
+//! workspace); unknown shapes produce a `compile_error!` with context.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    UnitStruct {
+        name: String,
+    },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the stub `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item)
+            .parse()
+            .expect("serde_derive stub generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// --- parsing ---------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos)?;
+    let name = expect_ident(&tokens, &mut pos)?;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive: `{name}` is generic, which the offline stub does not support"
+            ));
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            None => Ok(Item::UnitStruct { name }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Ok(Item::TupleStruct { name, arity })
+            }
+            other => Err(format!(
+                "serde stub derive: unexpected struct body for `{name}`: {other:?}"
+            )),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Item::Enum { name, variants })
+            }
+            other => Err(format!(
+                "serde stub derive: unexpected enum body for `{name}`: {other:?}"
+            )),
+        },
+        other => Err(format!(
+            "serde stub derive: cannot derive for `{other}` items"
+        )),
+    }
+}
+
+/// Advances past `#[...]` attributes and a `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!(
+            "serde stub derive: expected identifier, found {other:?}"
+        )),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut pos)?;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "serde stub derive: expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type_until_comma(&tokens, &mut pos);
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Consumes type tokens until a top-level `,` (angle-bracket aware), and
+/// steps over the comma itself.
+fn skip_type_until_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts comma-separated entries at top level (tuple-struct arity).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_type_until_comma(&tokens, &mut pos);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos)?;
+        let data = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantData::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantData::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantData::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_type_until_comma(&tokens, &mut pos);
+        variants.push(Variant { name, data });
+    }
+    Ok(variants)
+}
+
+// --- codegen ---------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Item::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", ")),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", ")),
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn serialize_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.data {
+        VariantData::Unit => format!(
+            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+        ),
+        VariantData::Tuple(arity) => {
+            let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+            let content = if *arity == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from({vname:?}), {content})]),",
+                binds.join(", ")
+            )
+        }
+        VariantData::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from({vname:?}), \
+                 ::serde::Value::Object(::std::vec![{}]))]),",
+                fields.join(", "),
+                pairs.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::UnitStruct { name } => (name, format!("::std::result::Result::Ok({name})")),
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__obj, {f:?}, {name:?})?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object\", {name:?}))?; \
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::de_element(__items, {i}, {name:?})?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let __items = __v.as_array().ok_or_else(|| \
+                     ::serde::DeError::expected(\"array\", {name:?}))?; \
+                     ::std::result::Result::Ok({name}({}))",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.data, VariantData::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.data, VariantData::Unit))
+                .map(|v| deserialize_data_arm(name, v))
+                .collect();
+            let body = format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                   {unit} \
+                   __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown {name} variant `{{__other}}`\"))), \
+                 }}, \
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                   let (__tag, __content) = &__pairs[0]; \
+                   match __tag.as_str() {{ \
+                     {data} \
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                       ::std::format!(\"unknown {name} variant `{{__other}}`\"))), \
+                   }} \
+                 }}, \
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"enum tag\", {name:?})), \
+                 }}",
+                unit = unit_arms.join(" "),
+                data = data_arms.join(" "),
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ \
+         {body} }} }}"
+    )
+}
+
+fn deserialize_data_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    let context = format!("{name}::{vname}");
+    match &v.data {
+        VariantData::Unit => unreachable!("unit variants handled via string arm"),
+        VariantData::Tuple(1) => format!(
+            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+             ::serde::Deserialize::from_value(__content)?)),"
+        ),
+        VariantData::Tuple(arity) => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::de_element(__items, {i}, {context:?})?"))
+                .collect();
+            format!(
+                "{vname:?} => {{ let __items = __content.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", {context:?}))?; \
+                 ::std::result::Result::Ok({name}::{vname}({})) }},",
+                inits.join(", ")
+            )
+        }
+        VariantData::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__obj, {f:?}, {context:?})?"))
+                .collect();
+            format!(
+                "{vname:?} => {{ let __obj = __content.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", {context:?}))?; \
+                 ::std::result::Result::Ok({name}::{vname} {{ {} }}) }},",
+                inits.join(", ")
+            )
+        }
+    }
+}
