@@ -285,6 +285,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::ml_dtypes::MlDtypesExperiment),
         Box::new(crate::generations::GenerationsExperiment),
         Box::new(crate::saturation::SaturationExperiment),
+        Box::new(crate::lint::LintExperiment),
         Box::new(crate::report::ReportExperiment),
     ]
 }

@@ -28,6 +28,7 @@
 //! | [`ml_dtypes`] | Extension — INT8/BF16 instruction throughput (§II datatypes) |
 //! | [`generations`] | Extension — MI100→MI250X generation survey (§II framing) |
 //! | [`saturation`] | Extension — empirical saturation size (ref. \[19] methodology) |
+//! | [`lint`] | Gate — `mc-lint` static verification of the shipped kernel corpus |
 
 #![deny(missing_docs)]
 
@@ -41,6 +42,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod generations;
+pub mod lint;
 pub mod ml_dtypes;
 pub mod plot;
 pub mod report;

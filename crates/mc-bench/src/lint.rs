@@ -1,0 +1,328 @@
+//! Lint sweep: static verification of every shipped kernel and device
+//! spec (the `mc-lint` artifact).
+//!
+//! The paper's §IV-A methodology compiles every benchmark with `-S` and
+//! inspects the assembly to prove the intended `V_MFMA_*` instructions
+//! are emitted. This artifact is the same idea turned into a gate: it
+//! audits every registered device spec against the paper's Eq. 2
+//! pipeline identity, then runs the static verifier over the whole
+//! shipped kernel corpus — one `mc-wmma` loop kernel per catalog
+//! instruction per device, the LDS-staged WMMA GEMM tile kernels, and
+//! the `mc-blas` planner output for every routine × size on the CDNA2
+//! devices. Any error-severity diagnostic fails the artifact (the
+//! `experiments` driver exits non-zero), so a broken kernel generator
+//! can never silently ship plausible-but-wrong throughput curves.
+
+use mc_blas::{plan_gemm, GemmDesc, GemmOp};
+use mc_isa::MatrixArch;
+use mc_lint::{audit_package, lint_kernel, Diagnostic, LintReport};
+use mc_sim::DeviceId;
+use mc_wmma::{mma_loop_kernel, wmma_gemm_tile_kernel, LoopKernelParams};
+use serde::{Deserialize, Serialize};
+
+/// One linted subject (a kernel or a device spec).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LintSubject {
+    /// Registry name of the device the subject was verified against.
+    pub device: String,
+    /// Corpus class: `device-audit`, `wmma-loop`, `wmma-tile`, or
+    /// `gemm-plan`.
+    pub kind: String,
+    /// Kernel name or audit subject.
+    pub subject: String,
+    /// Error-severity findings.
+    pub errors: usize,
+    /// Warning-severity findings.
+    pub warnings: usize,
+    /// The findings themselves (empty for clean subjects).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintSubject {
+    fn from_report(device: &str, kind: &str, report: LintReport) -> Self {
+        LintSubject {
+            device: device.to_owned(),
+            kind: kind.to_owned(),
+            subject: report.subject,
+            errors: report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == mc_lint::Severity::Error)
+                .count(),
+            warnings: report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == mc_lint::Severity::Warning)
+                .count(),
+            diagnostics: report.diagnostics,
+        }
+    }
+}
+
+/// The full sweep result.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LintSweep {
+    /// Every verified subject, in sweep order.
+    pub subjects: Vec<LintSubject>,
+    /// Compile-path failures that prevented building a corpus kernel
+    /// (always empty for a healthy tree; counted as errors).
+    pub build_failures: Vec<String>,
+    /// Total error-severity findings across all subjects and failures.
+    pub total_errors: usize,
+    /// Total warning-severity findings.
+    pub total_warnings: usize,
+}
+
+/// GEMM problem edges the planner corpus covers: the tiny strategy
+/// boundary, a mid-size tile-exact point, and a padded off-grid size.
+const GEMM_SIZES: [usize; 3] = [16, 1024, 4000];
+
+/// Runs the sweep over every registered device.
+pub fn run(devices: &mc_sim::DeviceRegistry) -> LintSweep {
+    let mut subjects = Vec::new();
+    let mut build_failures = Vec::new();
+
+    for id in DeviceId::ALL {
+        let device = id.as_str();
+        let package = &devices.config(id).package;
+        let die = &package.die;
+
+        // Device-spec audit (Eq. 2 pipeline identity, wavefront width).
+        subjects.push(LintSubject::from_report(
+            device,
+            "device-audit",
+            audit_package(package),
+        ));
+
+        // One throughput loop kernel per catalog instruction.
+        let waves = match die.arch {
+            MatrixArch::Cdna1 | MatrixArch::Cdna2 => 440,
+            MatrixArch::Ampere => 432,
+        };
+        let mut seen = Vec::new();
+        for instr in mc_lint::catalog_for(die.arch).instructions() {
+            if seen.contains(&instr.mnemonic()) {
+                continue;
+            }
+            seen.push(instr.mnemonic());
+            let params = LoopKernelParams {
+                arch: die.arch,
+                cd: instr.cd,
+                ab: instr.ab,
+                shape: (instr.shape.m, instr.shape.n, instr.shape.k),
+                wavefronts: waves,
+                iterations: 64,
+            };
+            match mma_loop_kernel(params) {
+                Ok(kernel) => subjects.push(LintSubject::from_report(
+                    device,
+                    "wmma-loop",
+                    lint_kernel(die, &kernel),
+                )),
+                Err(mc_wmma::WmmaError::Lint(report)) => {
+                    subjects.push(LintSubject::from_report(device, "wmma-loop", report));
+                }
+                Err(e) => build_failures.push(format!("{device}: {}: {e}", instr.mnemonic())),
+            }
+        }
+
+        // The LDS-staged cooperative tile kernel, both CDNA2 shapes (the
+        // builder resolves the nearest supported shape per architecture).
+        if die.arch == MatrixArch::Cdna2 {
+            for shape in [(16, 16, 16), (32, 32, 8)] {
+                match wmma_gemm_tile_kernel(
+                    die.arch,
+                    mc_types::DType::F32,
+                    mc_types::DType::F16,
+                    shape,
+                    64,
+                ) {
+                    Ok(kernel) => subjects.push(LintSubject::from_report(
+                        device,
+                        "wmma-tile",
+                        lint_kernel(die, &kernel),
+                    )),
+                    Err(mc_wmma::WmmaError::Lint(report)) => {
+                        subjects.push(LintSubject::from_report(device, "wmma-tile", report));
+                    }
+                    Err(e) => build_failures.push(format!("{device}: tile {shape:?}: {e}")),
+                }
+            }
+
+            // Planner output for every routine × size. The planner
+            // targets the CDNA2 catalog, so only CDNA2 devices host it.
+            for op in GemmOp::ALL {
+                for n in GEMM_SIZES {
+                    match plan_gemm(die, &GemmDesc::square(op, n)) {
+                        Ok(plan) => subjects.push(LintSubject::from_report(
+                            device,
+                            "gemm-plan",
+                            lint_kernel(die, &plan.kernel),
+                        )),
+                        Err(mc_blas::BlasError::Lint(report)) => {
+                            subjects.push(LintSubject::from_report(device, "gemm-plan", report));
+                        }
+                        Err(e) => build_failures.push(format!("{device}: {op} N={n}: {e}")),
+                    }
+                }
+            }
+        }
+    }
+
+    let total_errors = subjects.iter().map(|s| s.errors).sum::<usize>() + build_failures.len();
+    let total_warnings = subjects.iter().map(|s| s.warnings).sum();
+    LintSweep {
+        subjects,
+        build_failures,
+        total_errors,
+        total_warnings,
+    }
+}
+
+/// Renders the sweep as text.
+pub fn render(sweep: &LintSweep) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("mc-lint sweep: static verification of the shipped kernel corpus\n");
+    let _ = writeln!(
+        s,
+        "{:<12} {:<14} {:>8} {:>7} {:>9}",
+        "device", "class", "subjects", "errors", "warnings"
+    );
+    for id in DeviceId::ALL {
+        for kind in ["device-audit", "wmma-loop", "wmma-tile", "gemm-plan"] {
+            let rows: Vec<&LintSubject> = sweep
+                .subjects
+                .iter()
+                .filter(|r| r.device == id.as_str() && r.kind == kind)
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                s,
+                "{:<12} {:<14} {:>8} {:>7} {:>9}",
+                id.as_str(),
+                kind,
+                rows.len(),
+                rows.iter().map(|r| r.errors).sum::<usize>(),
+                rows.iter().map(|r| r.warnings).sum::<usize>(),
+            );
+        }
+    }
+    for failure in &sweep.build_failures {
+        let _ = writeln!(s, "build failure: {failure}");
+    }
+    for subject in sweep.subjects.iter().filter(|r| !r.diagnostics.is_empty()) {
+        for d in &subject.diagnostics {
+            s.push_str(&d.render(&subject.subject));
+        }
+    }
+    let _ = writeln!(
+        s,
+        "total: {} subject(s), {} error(s), {} warning(s){}",
+        sweep.subjects.len(),
+        sweep.total_errors,
+        sweep.total_warnings,
+        if sweep.total_errors == 0 {
+            " — corpus is lint clean"
+        } else {
+            " — FAILING"
+        }
+    );
+    s
+}
+
+/// The lint sweep as a registered experiment.
+pub struct LintExperiment;
+
+impl crate::experiment::Experiment for LintExperiment {
+    fn id(&self) -> &'static str {
+        "lint"
+    }
+
+    fn title(&self) -> &'static str {
+        "mc-lint — static verification sweep over the shipped kernels"
+    }
+
+    fn device(&self) -> &'static str {
+        "all"
+    }
+
+    fn checks(&self) -> Vec<crate::experiment::Check> {
+        vec![
+            crate::experiment::Check::new("lint/error diagnostics", 0.0, 0.0, "/total_errors"),
+            crate::experiment::Check::new("lint/warning diagnostics", 0.0, 0.0, "/total_warnings"),
+        ]
+    }
+
+    fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let sweep = run(&ctx.devices);
+        (serde_json::to_value(&sweep), render(&sweep))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_sim::DeviceRegistry;
+
+    #[test]
+    fn shipped_corpus_is_lint_clean() {
+        let sweep = run(&DeviceRegistry::builtin());
+        assert!(
+            sweep.build_failures.is_empty(),
+            "{:?}",
+            sweep.build_failures
+        );
+        assert_eq!(sweep.total_errors, 0, "{}", render(&sweep));
+        assert_eq!(sweep.total_warnings, 0, "{}", render(&sweep));
+    }
+
+    #[test]
+    fn sweep_covers_every_device_and_corpus_class() {
+        let sweep = run(&DeviceRegistry::builtin());
+        for id in DeviceId::ALL {
+            assert!(
+                sweep
+                    .subjects
+                    .iter()
+                    .any(|s| s.device == id.as_str() && s.kind == "device-audit"),
+                "missing audit for {id}"
+            );
+            assert!(
+                sweep
+                    .subjects
+                    .iter()
+                    .any(|s| s.device == id.as_str() && s.kind == "wmma-loop"),
+                "missing loop kernels for {id}"
+            );
+        }
+        // Planner and tile corpora ride on the CDNA2 devices.
+        assert!(sweep
+            .subjects
+            .iter()
+            .any(|s| s.device == "mi250x" && s.kind == "gemm-plan"));
+        assert!(sweep
+            .subjects
+            .iter()
+            .any(|s| s.device == "mi250x" && s.kind == "wmma-tile"));
+        // Every GemmOp routine appears in the plans.
+        for op in GemmOp::ALL {
+            assert!(
+                sweep.subjects.iter().any(|s| s.kind == "gemm-plan"
+                    && s.subject.contains(&format!("_{op}_"))
+                    || s.subject.contains(&format!("gemm_{op}"))),
+                "no plan for {op}"
+            );
+        }
+    }
+
+    #[test]
+    fn rendering_reports_a_clean_corpus() {
+        let sweep = run(&DeviceRegistry::builtin());
+        let text = render(&sweep);
+        assert!(text.contains("corpus is lint clean"), "{text}");
+        assert!(text.contains("mi250x"));
+        assert!(text.contains("gemm-plan"));
+    }
+}

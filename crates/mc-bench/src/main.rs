@@ -57,6 +57,27 @@ fn main() {
         let record = exp.run(&ctx);
         println!("{}", record.rendered);
         persist(&ctx, &record);
+        fail_on_lint_errors(&record);
+    }
+}
+
+/// The `lint` artifact is a gate: any error-severity diagnostic in its
+/// payload (or a missing counter, which means the sweep wiring broke)
+/// exits the driver non-zero so CI fails.
+fn fail_on_lint_errors(record: &ExperimentRecord) {
+    if record.experiment != "lint" {
+        return;
+    }
+    let errors = record
+        .payload
+        .pointer("/total_errors")
+        .and_then(serde::Value::as_f64);
+    if errors != Some(0.0) {
+        eprintln!(
+            "error: lint sweep found {} error diagnostic(s)",
+            errors.map_or("an unreadable count of".to_owned(), |e| format!("{e}"))
+        );
+        exit(1);
     }
 }
 
@@ -82,6 +103,7 @@ fn run_all(experiments: &[Box<dyn Experiment>], ctx: &RunContext) {
     for record in &records {
         println!("{}", record.rendered);
         persist(ctx, record);
+        fail_on_lint_errors(record);
     }
 
     // `report` aggregates the records just produced — no re-running.

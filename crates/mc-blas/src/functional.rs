@@ -99,10 +99,23 @@ where
 {
     check_buffers(desc, a.len(), b.len(), c.len(), d.len())?;
     match strategy {
-        Strategy::MatrixCore { .. } => run_matrix_core::<AB, CD, CT>(desc, a, b, c, d),
+        Strategy::MatrixCore { .. } => run_matrix_core::<AB, CD, CT>(desc, a, b, c, d)?,
         Strategy::SimdOnly { .. } => run_simd::<AB, CD, CT>(desc, a, b, c, d),
     }
     Ok(())
+}
+
+/// Routes a fragment-API failure through the shared diagnostic type: a
+/// catalog miss on the functional path is the same defect class the
+/// static verifier reports as `mfma-unknown-instruction`.
+fn wmma_to_lint(e: mc_wmma::WmmaError) -> BlasError {
+    let diag =
+        mc_lint::Diagnostic::error(mc_lint::RuleId::MfmaUnknownInstruction, None, e.to_string())
+            .with_help("the planner must only select catalogued Matrix Core instructions");
+    BlasError::Lint(mc_lint::LintReport::new(
+        "functional matrix-core path",
+        vec![diag],
+    ))
 }
 
 /// Matrix Core path: fragment MMAs over zero-padded 16×16 tiles using
@@ -115,7 +128,7 @@ fn run_matrix_core<AB: Real, CD: Real, CT: Real>(
     b: &[AB],
     c: &[CD],
     d: &mut [CD],
-) {
+) -> Result<(), BlasError> {
     let (m, n) = (desc.m, desc.n);
     let tiles_m = m.div_ceil(16);
     let tiles_n = n.div_ceil(16);
@@ -123,8 +136,8 @@ fn run_matrix_core<AB: Real, CD: Real, CT: Real>(
     for tm in 0..tiles_m {
         for tn in 0..tiles_n {
             let acc = match AB::DTYPE.size_bytes() {
-                2 => accumulate_tile::<AB, CT, 16>(desc, a, b, tm, tn),
-                _ => accumulate_tile::<AB, CT, 4>(desc, a, b, tm, tn),
+                2 => accumulate_tile::<AB, CT, 16>(desc, a, b, tm, tn)?,
+                _ => accumulate_tile::<AB, CT, 4>(desc, a, b, tm, tn)?,
             };
             // Epilogue: d = α·acc + β·c in the compute type, then cast.
             for r in 0..16 {
@@ -140,6 +153,7 @@ fn run_matrix_core<AB: Real, CD: Real, CT: Real>(
             }
         }
     }
+    Ok(())
 }
 
 /// Accumulates one 16×16 output tile over the whole k extent with
@@ -151,7 +165,7 @@ fn accumulate_tile<AB: Real, CT: Real, const TK: usize>(
     b: &[AB],
     tm: usize,
     tn: usize,
-) -> Vec<CT> {
+) -> Result<Vec<CT>, BlasError> {
     let (m, n, k) = (desc.m, desc.n, desc.k);
     let steps = k.div_ceil(TK);
     let mut acc = Fragment::<Accumulator, CT, 16, 16, TK>::new();
@@ -175,8 +189,7 @@ fn accumulate_tile<AB: Real, CT: Real, const TK: usize>(
             }
         }
         let c_in = acc.clone();
-        mma_sync(&mut acc, &fa, &fb, &c_in)
-            .expect("planner only selects catalogued Matrix Core instructions");
+        mma_sync(&mut acc, &fa, &fb, &c_in).map_err(wmma_to_lint)?;
     }
     let mut out = vec![CT::zero(); 256];
     for r in 0..16 {
@@ -184,7 +197,7 @@ fn accumulate_tile<AB: Real, CT: Real, const TK: usize>(
             out[r * 16 + cc] = acc.get(r, cc);
         }
     }
-    out
+    Ok(out)
 }
 
 /// SIMD path: sequential per-element MACs in the compute type.

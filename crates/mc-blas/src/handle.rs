@@ -38,6 +38,7 @@ pub struct GemmPerf {
 pub struct BlasHandle {
     gpu: Gpu,
     die: usize,
+    strict_lint: bool,
 }
 
 impl BlasHandle {
@@ -57,11 +58,44 @@ impl BlasHandle {
     }
 
     /// Creates a handle over an explicit simulator configuration.
+    ///
+    /// Lint enforcement defaults to strict in debug builds (tests) and
+    /// permissive in release builds (benchmark sweeps), mirroring
+    /// `debug_assertions`; override with [`BlasHandle::set_strict_lint`].
     pub fn with_config(cfg: SimConfig, die: usize) -> Self {
         BlasHandle {
             gpu: Gpu::new(cfg),
             die,
+            strict_lint: cfg!(debug_assertions),
         }
+    }
+
+    /// Whether warning-severity lint findings reject a launch.
+    ///
+    /// Error-severity findings always reject the plan regardless of this
+    /// flag ([`plan_gemm`] refuses to produce one).
+    pub fn strict_lint(&self) -> bool {
+        self.strict_lint
+    }
+
+    /// Sets strict-lint mode: when `true`, kernels with lint *warnings*
+    /// are rejected as [`BlasError::Lint`] instead of merely logged.
+    pub fn set_strict_lint(&mut self, strict: bool) -> &mut Self {
+        self.strict_lint = strict;
+        self
+    }
+
+    /// Applies this handle's lint policy to a freshly-produced plan.
+    fn enforce_lint(&self, plan: &GemmPlan) -> Result<(), BlasError> {
+        if plan.lint.is_empty() {
+            return Ok(());
+        }
+        let report = mc_lint::LintReport::new(plan.kernel.name.clone(), plan.lint.clone());
+        if self.strict_lint {
+            return Err(BlasError::Lint(report));
+        }
+        eprintln!("{}", report.render());
+        Ok(())
     }
 
     /// The underlying simulated GPU (for profiler attachment).
@@ -102,6 +136,7 @@ impl BlasHandle {
             });
         }
         let plan = plan_gemm(&self.gpu.spec().die, desc)?;
+        self.enforce_lint(&plan)?;
         let package = self
             .gpu
             .launch(self.die, &plan.kernel)
@@ -133,6 +168,7 @@ impl BlasHandle {
         CT: Real,
     {
         let plan = plan_gemm(&self.gpu.spec().die, desc)?;
+        self.enforce_lint(&plan)?;
         run_functional::<AB, CD, CT>(desc, &plan.strategy, a, b, c, d)?;
         self.gemm_timed(desc)
     }
@@ -406,6 +442,18 @@ mod tests {
             .unwrap()
             .tflops;
         assert!((bhs - hhs).abs() / hhs < 0.02, "{bhs} vs {hhs}");
+    }
+
+    #[test]
+    fn strict_lint_defaults_track_build_profile() {
+        let mut h = BlasHandle::new_mi250x_gcd();
+        assert_eq!(h.strict_lint(), cfg!(debug_assertions));
+        // Shipped planner kernels are warning-free, so even strict mode
+        // launches every routine.
+        h.set_strict_lint(true);
+        assert!(h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 256)).is_ok());
+        h.set_strict_lint(false);
+        assert!(!h.strict_lint());
     }
 
     #[test]

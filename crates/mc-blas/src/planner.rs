@@ -83,6 +83,10 @@ pub struct GemmPlan {
     pub mfma_flops: u64,
     /// Operations issued to SIMD units.
     pub simd_flops: u64,
+    /// Warning-severity lint findings for the planned kernel. Error
+    /// findings never reach a plan: [`plan_gemm`] rejects them as
+    /// [`BlasError::Lint`].
+    pub lint: Vec<mc_lint::Diagnostic>,
 }
 
 impl GemmPlan {
@@ -130,10 +134,14 @@ pub fn select_strategy(desc: &GemmDesc) -> Strategy {
     }
 
     // Pick the instruction: 16x16x16 for mixed (the shape the paper
-    // names in §III), 16x16x4 for FP32/FP64.
-    let instr = *catalog
-        .best_16x16(mfma_cd, mfma_ab)
-        .expect("supported type pair must have a 16x16 instruction");
+    // names in §III), 16x16x4 for FP32/FP64. A catalog that supports the
+    // type pair but lacks a 16x16 variant cannot feed the rocBLAS tiling,
+    // so the plan degrades to SIMD instead of panicking.
+    let Some(&instr) = catalog.best_16x16(mfma_cd, mfma_ab) else {
+        return Strategy::SimdOnly {
+            reason: SimdReason::NoMatrixInstruction,
+        };
+    };
 
     // Wave tiles are up to 64×64; the macro-tile must be a whole number
     // of wave tiles so every output element has an owning wavefront.
@@ -155,17 +163,24 @@ pub fn select_strategy(desc: &GemmDesc) -> Strategy {
 pub fn plan_gemm(die: &DieSpec, desc: &GemmDesc) -> Result<GemmPlan, BlasError> {
     desc.validate()?;
     let strategy = select_strategy(desc);
-    match strategy {
+    let mut plan = match strategy {
         Strategy::MatrixCore {
             instr,
             macro_tile,
             wave_tile,
             k_step,
-        } => Ok(plan_matrix_core(
-            die, desc, strategy, &instr, macro_tile, wave_tile, k_step,
-        )),
-        Strategy::SimdOnly { .. } => Ok(plan_simd(die, desc, strategy)),
+        } => plan_matrix_core(die, desc, strategy, &instr, macro_tile, wave_tile, k_step),
+        Strategy::SimdOnly { .. } => plan_simd(die, desc, strategy),
+    };
+    // Every compiled kernel passes through the static verifier before it
+    // can reach a launch path: errors reject the plan outright, warnings
+    // ride along for the handle to log (or deny, in strict mode).
+    let report = mc_lint::lint_kernel(die, &plan.kernel);
+    if report.has_errors() {
+        return Err(BlasError::Lint(report));
     }
+    plan.lint = report.warnings().into_iter().cloned().collect();
+    Ok(plan)
 }
 
 fn mem_hints(die: &DieSpec, desc: &GemmDesc, macro_tile: (usize, usize)) -> MemHints {
@@ -250,11 +265,15 @@ fn plan_matrix_core(
     let scale_insts = ((wt_m * wt_n) / 64).max(1) as u64;
     let compute = desc.op.compute_type();
     let cd_bpl = ((wt_m * wt_n * cd_bytes) / 64).max(1) as u32;
+    // Hazard gap between the loop's last MFMA and the AccVGPR-consuming
+    // scaling VALU ops, sized to the instruction's pipeline depth (the
+    // GlobalLoad above already absorbs one independent slot).
+    let snop_gap = mc_lint::required_snop_gap(instr).min(u32::from(u8::MAX)) as u8;
     let mut epilogue = vec![
         SlotOp::GlobalLoad {
             bytes_per_lane: cd_bpl,
         },
-        SlotOp::SNop(4),
+        SlotOp::SNop(snop_gap),
     ];
     // HHS stores FP16 C/D around an FP32 compute pipeline; Quant8
     // dequantizes INT32 accumulators to FP32: cast traffic either way.
@@ -316,6 +335,7 @@ fn plan_matrix_core(
         kernel,
         mfma_flops,
         simd_flops,
+        lint: Vec::new(),
     }
 }
 
@@ -421,6 +441,7 @@ fn plan_simd(die: &DieSpec, desc: &GemmDesc, strategy: Strategy) -> GemmPlan {
         kernel,
         mfma_flops: 0,
         simd_flops,
+        lint: Vec::new(),
     }
 }
 
@@ -629,6 +650,17 @@ mod tests {
         let p = plan_gemm(&d, &GemmDesc::square(GemmOp::Dgemm, 4096)).unwrap();
         let text = mc_isa::disasm::disassemble(&p.kernel);
         assert!(text.contains("v_mfma_f64_16x16x4f64"), "{text}");
+    }
+
+    #[test]
+    fn every_planned_kernel_lints_clean() {
+        let d = die();
+        for op in GemmOp::ALL {
+            for n in [16, 1024, 4000] {
+                let p = plan_gemm(&d, &GemmDesc::square(op, n)).unwrap();
+                assert!(p.lint.is_empty(), "{op} N={n}: {:?}", p.lint);
+            }
+        }
     }
 
     #[test]

@@ -247,6 +247,9 @@ pub enum BlasError {
     },
     /// Simulator launch failure.
     Launch(String),
+    /// The planned kernel failed static verification (`mc-lint`); the
+    /// report carries the diagnostics that rejected it.
+    Lint(mc_lint::LintReport),
 }
 
 impl fmt::Display for BlasError {
@@ -267,6 +270,13 @@ impl fmt::Display for BlasError {
                 write!(f, "problem needs {required} B, device has {capacity} B")
             }
             BlasError::Launch(msg) => write!(f, "launch failed: {msg}"),
+            BlasError::Lint(report) => write!(
+                f,
+                "kernel `{}` failed static verification with {} error(s):\n{}",
+                report.subject,
+                report.error_count(),
+                report.render()
+            ),
         }
     }
 }

@@ -29,6 +29,12 @@ use crate::instr::{MatrixArch, MatrixInstruction};
 /// VOP3P encoding marker in bits \[31:23] of DWORD0.
 pub const VOP3P_ENCODING: u32 = 0b1_1010_0111;
 
+/// Bits the encoder never emits: DWORD0 \[14:8] (CBSZ/ABID hints plus
+/// the reserved field) and DWORD1 \[31:29] (BLGP). A word with any of
+/// these set carries state [`MfmaEncoding`] cannot represent, so
+/// [`MfmaEncoding::from_u64`] rejects it rather than decode lossily.
+pub const RESERVED_MASK: u64 = (0b111u64 << 61) | 0x7F00;
+
 /// Operand descriptor: a (Acc)VGPR base register.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Reg {
@@ -76,6 +82,23 @@ pub enum EncodeError {
     NotVop3p(u64),
     /// The opcode field does not name an MFMA instruction.
     UnknownOpcode(u8),
+    /// Reserved or unsupported-modifier bits are set. The encoder never
+    /// emits CBSZ/ABID/BLGP or the reserved DWORD0 bits, so a word with
+    /// any of them set cannot round-trip through [`MfmaEncoding`].
+    ReservedBits {
+        /// The offending word.
+        word: u64,
+        /// The set bits that fall inside the reserved/modifier mask.
+        bits: u64,
+    },
+    /// A 9-bit source operand field falls outside the VGPR window
+    /// `256..512` (scalar/constant operands are not valid MFMA sources).
+    OperandOutOfRange {
+        /// Which source field (`src0`, `src1`, or `src2`).
+        field: &'static str,
+        /// The raw 9-bit field value.
+        value: u32,
+    },
 }
 
 impl core::fmt::Display for EncodeError {
@@ -84,6 +107,14 @@ impl core::fmt::Display for EncodeError {
             EncodeError::NoOpcode(m) => write!(f, "`{m}` has no VOP3P-MAI opcode"),
             EncodeError::NotVop3p(w) => write!(f, "word {w:#018x} is not VOP3P-encoded"),
             EncodeError::UnknownOpcode(op) => write!(f, "opcode {op:#04x} is not an MFMA"),
+            EncodeError::ReservedBits { word, bits } => write!(
+                f,
+                "word {word:#018x} sets reserved/modifier bits {bits:#018x}"
+            ),
+            EncodeError::OperandOutOfRange { field, value } => write!(
+                f,
+                "{field} field {value:#05x} is outside the VGPR window 256..512"
+            ),
         }
     }
 }
@@ -181,13 +212,20 @@ impl MfmaEncoding {
         if !OPCODE_TABLE.iter().any(|(op, _)| *op == opcode) {
             return Err(EncodeError::UnknownOpcode(opcode));
         }
-        let unfield = |f: u32, acc: bool| -> Reg {
-            let n = (f.saturating_sub(256)) as u8;
-            if acc {
-                Reg::A(n)
-            } else {
-                Reg::V(n)
-            }
+        if word & RESERVED_MASK != 0 {
+            return Err(EncodeError::ReservedBits {
+                word,
+                bits: word & RESERVED_MASK,
+            });
+        }
+        let unfield = |f: u32, name: &'static str, acc: bool| -> Result<Reg, EncodeError> {
+            // The 9-bit operand space below 256 names SGPRs and inline
+            // constants, which are not valid MFMA matrix sources.
+            let n = f.checked_sub(256).ok_or(EncodeError::OperandOutOfRange {
+                field: name,
+                value: f,
+            })? as u8;
+            Ok(if acc { Reg::A(n) } else { Reg::V(n) })
         };
         let acc_cd = (dword0 >> 15) & 1 == 1;
         Ok(MfmaEncoding {
@@ -197,9 +235,9 @@ impl MfmaEncoding {
             } else {
                 Reg::V((dword0 & 0xFF) as u8)
             },
-            src0: unfield(dword1 & 0x1FF, false),
-            src1: unfield((dword1 >> 9) & 0x1FF, (dword1 >> 27) & 1 == 1),
-            src2: unfield((dword1 >> 18) & 0x1FF, (dword1 >> 28) & 1 == 1),
+            src0: unfield(dword1 & 0x1FF, "src0", false)?,
+            src1: unfield((dword1 >> 9) & 0x1FF, "src1", (dword1 >> 27) & 1 == 1)?,
+            src2: unfield((dword1 >> 18) & 0x1FF, "src2", (dword1 >> 28) & 1 == 1)?,
         })
     }
 
@@ -278,6 +316,49 @@ mod tests {
             .find(DType::F64, DType::F64, 8, 8, 4)
             .unwrap();
         assert!(matches!(opcode_of(ampere), Err(EncodeError::NoOpcode(_))));
+    }
+
+    #[test]
+    fn rejects_reserved_and_modifier_bits() {
+        let c = cdna2_catalog();
+        let mixed = c.find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let good = encode_instance(mixed, Reg::A(0), Reg::V(0), Reg::V(2), Reg::A(0))
+            .unwrap()
+            .to_u64();
+        // Every single bit of the reserved/modifier mask must be caught.
+        for bit in 0..64 {
+            let mask = 1u64 << bit;
+            if RESERVED_MASK & mask == 0 {
+                continue;
+            }
+            match MfmaEncoding::from_u64(good | mask) {
+                Err(EncodeError::ReservedBits { bits, .. }) => assert_eq!(bits, mask),
+                other => panic!("bit {bit}: expected ReservedBits, got {other:?}"),
+            }
+        }
+        // And the clean word still decodes.
+        assert!(MfmaEncoding::from_u64(good).is_ok());
+    }
+
+    #[test]
+    fn rejects_sub_vgpr_operand_fields() {
+        let c = cdna2_catalog();
+        let mixed = c.find(DType::F32, DType::F16, 16, 16, 16).unwrap();
+        let good = encode_instance(mixed, Reg::A(0), Reg::V(4), Reg::V(6), Reg::A(8))
+            .unwrap()
+            .to_u64();
+        // Clear each source field in turn: field values below 256 name
+        // SGPRs/constants, which `from_u64` must reject by field name.
+        for (shift, name) in [(32, "src0"), (41, "src1"), (50, "src2")] {
+            let broken = good & !(0x1FFu64 << shift);
+            match MfmaEncoding::from_u64(broken) {
+                Err(EncodeError::OperandOutOfRange { field, value }) => {
+                    assert_eq!(field, name);
+                    assert!(value < 256, "{value}");
+                }
+                other => panic!("{name}: expected OperandOutOfRange, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Device-model consistency audit (paper Eq. 2).
+//!
+//! The paper's §V-A validation identity says the theoretical peak of an
+//! instruction is `units/CU × FLOPs/instr ÷ initiation interval × CUs ×
+//! f`. The spec tables and `MatrixInstruction::flops_per_cu_per_cycle`
+//! both encode pieces of that identity; this audit recomputes Eq. 2 from
+//! first principles for every catalog instruction of a die's
+//! architecture and flags any disagreement with the pipeline model — so
+//! a spec-table typo (wrong matrix-unit count, zero latency, wrong
+//! wavefront width) surfaces at lint time instead of as a mysteriously
+//! shifted roofline.
+
+use mc_isa::specs::{DieSpec, PackageSpec};
+use mc_isa::MatrixArch;
+
+use crate::{catalog_for, Diagnostic, LintReport, RuleId};
+
+/// Relative tolerance for the Eq. 2 comparison. The two sides are the
+/// same arithmetic in a different association order, so anything beyond
+/// accumulated rounding is a genuine model inconsistency.
+const EQ2_RTOL: f64 = 1e-9;
+
+/// Audits one die spec against the paper's pipeline model.
+pub fn audit_die(die: &DieSpec) -> LintReport {
+    let mut diags = Vec::new();
+
+    let expected_lanes = match die.arch {
+        MatrixArch::Cdna1 | MatrixArch::Cdna2 => 64,
+        MatrixArch::Ampere => 32,
+    };
+    if die.wavefront_size != expected_lanes {
+        diags.push(
+            Diagnostic::error(
+                RuleId::SpecWavefrontSize,
+                None,
+                format!(
+                    "{} die declares {}-lane wavefronts; the architecture is {}-wide",
+                    die.arch, die.wavefront_size, expected_lanes
+                ),
+            )
+            .with_help("the regmap element→register packing assumes the native width"),
+        );
+    }
+
+    for instr in catalog_for(die.arch).instructions() {
+        if instr.latency_cycles == 0 {
+            diags.push(
+                Diagnostic::error(
+                    RuleId::ModelPipelineMismatch,
+                    None,
+                    format!(
+                        "`{}` has a zero initiation interval; Eq. 2 divides by it",
+                        instr.mnemonic()
+                    ),
+                )
+                .with_help("catalog latencies come from the paper's Table II"),
+            );
+            continue;
+        }
+        // Eq. 2 from first principles: units × FLOPs/instr ÷ interval,
+        // scaled to the die.
+        let eq2 = f64::from(die.matrix_units_per_cu) * instr.flops() as f64
+            / f64::from(instr.latency_cycles)
+            * f64::from(die.compute_units)
+            * die.clock_hz();
+        // The pipeline model as the rest of the stack computes it.
+        let model = die.peak_flops(instr.flops_per_cu_per_cycle());
+        let rel = (eq2 - model).abs() / model.max(1.0);
+        if rel > EQ2_RTOL {
+            diags.push(
+                Diagnostic::error(
+                    RuleId::ModelPipelineMismatch,
+                    None,
+                    format!(
+                        "Eq. 2 peak for `{}` is {:.4e} FLOPS but the pipeline model \
+                         yields {:.4e} (relative error {:.2e})",
+                        instr.mnemonic(),
+                        eq2,
+                        model,
+                        rel
+                    ),
+                )
+                .with_help(format!(
+                    "the spec table says {} matrix units per CU; \
+                     `flops_per_cu_per_cycle` assumes 4 — reconcile them",
+                    die.matrix_units_per_cu
+                )),
+            );
+        }
+    }
+
+    LintReport::new(format!("{} die", die.arch), diags)
+}
+
+/// Audits a whole package: the die audit plus package-level sanity.
+pub fn audit_package(pkg: &PackageSpec) -> LintReport {
+    let mut report = audit_die(&pkg.die);
+    report.subject = pkg.name.clone();
+    if pkg.dies == 0 {
+        report.diagnostics.push(
+            Diagnostic::error(
+                RuleId::ModelPipelineMismatch,
+                None,
+                "package declares zero dies; every package peak would be zero".to_owned(),
+            )
+            .with_help("MI250X has 2 GCDs; MI100 and A100 have 1 die"),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_isa::specs;
+
+    #[test]
+    fn shipped_specs_audit_clean() {
+        for pkg in [specs::mi100(), specs::mi250x(), specs::a100()] {
+            let report = audit_package(&pkg);
+            assert!(report.is_clean(), "{}:\n{}", pkg.name, report.render());
+        }
+    }
+
+    #[test]
+    fn wrong_matrix_unit_count_violates_eq2() {
+        let mut die = specs::mi250x().die;
+        die.matrix_units_per_cu = 2;
+        let report = audit_die(&die);
+        assert!(report.has_errors());
+        assert!(
+            report.fired(RuleId::ModelPipelineMismatch),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn wrong_wavefront_size_is_flagged() {
+        let mut die = specs::a100().die;
+        die.wavefront_size = 64;
+        let report = audit_die(&die);
+        assert!(report.fired(RuleId::SpecWavefrontSize));
+    }
+
+    #[test]
+    fn zero_dies_flagged_at_package_level() {
+        let mut pkg = specs::mi100();
+        pkg.dies = 0;
+        assert!(audit_package(&pkg).has_errors());
+    }
+}

@@ -258,6 +258,20 @@ pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelE
         ),
     })?;
 
+    // Static-verification backstop: compile paths (mc-wmma's builder,
+    // mc-blas's planner) lint before handing a kernel to the engine, so
+    // an error-level finding reaching this point is a bug in the caller.
+    // Debug builds only — the check is redundant on the release sweeps.
+    #[cfg(debug_assertions)]
+    {
+        let report = mc_lint::lint_kernel(die, k);
+        debug_assert!(
+            !report.has_errors(),
+            "kernel reached the engine with static-verification errors:\n{}",
+            report.render()
+        );
+    }
+
     let demand = SliceDemand::of_program(&k.program);
     let simds = f64::from(die.simd_units_per_cu);
     let cus = f64::from(die.compute_units);

@@ -17,6 +17,27 @@ use mc_types::DType;
 
 use crate::error::WmmaError;
 
+/// Lints a freshly-built kernel against the reference die of its target
+/// architecture: error-severity diagnostics reject the kernel (the
+/// builder equivalent of a compile error), warnings go to stderr.
+fn verify_built(arch: MatrixArch, kernel: &KernelDesc) -> Result<(), WmmaError> {
+    let die = mc_lint::default_die_for(arch);
+    let report = mc_lint::lint_kernel(&die, kernel);
+    for w in report.warnings() {
+        eprintln!("{}", w.render(&report.subject));
+    }
+    if report.has_errors() {
+        return Err(WmmaError::Lint(report));
+    }
+    Ok(())
+}
+
+/// The `S_NOP` padding a kernel must place between an MFMA and the first
+/// read of its accumulator, as a `SlotOp` operand.
+fn snop_gap(instr: &MatrixInstruction) -> u8 {
+    u8::try_from(mc_lint::required_snop_gap(instr)).expect("hazard gaps are single-digit")
+}
+
 /// Parameters for [`mma_loop_kernel`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LoopKernelParams {
@@ -84,21 +105,24 @@ pub fn mma_loop_kernel(params: LoopKernelParams) -> Result<KernelDesc, WmmaError
         body_iterations: params.iterations,
         epilogue: vec![
             // Hardware requires independent cycles before reading
-            // AccVGPRs written by MFMA (paper §III).
-            SlotOp::SNop(4),
+            // AccVGPRs written by MFMA (paper §III); the width scales
+            // with the instruction's pipeline depth.
+            SlotOp::SNop(snop_gap(instr)),
             SlotOp::GlobalStore {
                 bytes_per_lane: store_bpl,
             },
         ],
     };
 
-    Ok(KernelDesc {
+    let kernel = KernelDesc {
         workgroups: params.wavefronts,
         waves_per_workgroup: 1,
         arch_vgprs: instr.a_vgprs_per_lane() + instr.b_vgprs_per_lane() + 16,
         acc_vgprs: instr.cd_agprs_per_lane(),
         ..KernelDesc::new(format!("wmma_loop_{}", instr.mnemonic()), program)
-    })
+    };
+    verify_built(params.arch, &kernel)?;
+    Ok(kernel)
 }
 
 /// Builds a single-tile WMMA GEMM kernel: one workgroup of four waves
@@ -136,7 +160,7 @@ pub fn wmma_gemm_tile_kernel(
         ],
         body_iterations: k_tiles,
         epilogue: vec![
-            SlotOp::SNop(4),
+            SlotOp::SNop(snop_gap(instr)),
             SlotOp::GlobalStore {
                 bytes_per_lane: ((instr.shape.cd_elements_total() * cd.size_bytes() as u64) / 64)
                     .max(1) as u32,
@@ -144,14 +168,16 @@ pub fn wmma_gemm_tile_kernel(
         ],
     };
 
-    Ok(KernelDesc {
+    let kernel = KernelDesc {
         workgroups: 1,
         waves_per_workgroup: 4,
         lds_bytes_per_workgroup: (ab_tile_bytes * 4) as u32,
         arch_vgprs: instr.a_vgprs_per_lane() + instr.b_vgprs_per_lane() + 24,
         acc_vgprs: instr.cd_agprs_per_lane(),
         ..KernelDesc::new(format!("wmma_gemm_tile_{}", instr.mnemonic()), program)
-    })
+    };
+    verify_built(arch, &kernel)?;
+    Ok(kernel)
 }
 
 #[cfg(test)]
@@ -234,6 +260,32 @@ mod tests {
             .iter()
             .any(|op| matches!(op, SlotOp::Barrier));
         assert!(has_barrier);
+    }
+
+    #[test]
+    fn snop_padding_scales_with_pipeline_depth() {
+        // 16x16x16 (32 cycles) needs s_nop 4; 32x32x8 (64 cycles) s_nop 8.
+        let k16 = mma_loop_kernel(mixed_params(1, 8)).unwrap();
+        assert_eq!(k16.program.epilogue[0], SlotOp::SNop(4));
+        let k32 = mma_loop_kernel(LoopKernelParams {
+            shape: (32, 32, 8),
+            ..mixed_params(1, 8)
+        })
+        .unwrap();
+        assert_eq!(k32.program.epilogue[0], SlotOp::SNop(8));
+    }
+
+    #[test]
+    fn built_kernels_lint_clean() {
+        let die = mc_lint::default_die_for(MatrixArch::Cdna2);
+        for k in [
+            mma_loop_kernel(mixed_params(440, 1000)).unwrap(),
+            wmma_gemm_tile_kernel(MatrixArch::Cdna2, DType::F32, DType::F16, (32, 32, 8), 16)
+                .unwrap(),
+        ] {
+            let report = mc_lint::lint_kernel(&die, &k);
+            assert!(report.is_clean(), "{}", report.render());
+        }
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub enum WmmaError {
         /// Minimum valid value.
         min: usize,
     },
+    /// The built kernel failed static verification (`mc-lint`): the
+    /// report carries the error-severity diagnostics.
+    Lint(mc_lint::LintReport),
 }
 
 impl fmt::Display for WmmaError {
@@ -60,6 +63,15 @@ impl fmt::Display for WmmaError {
             } => write!(f, "{what}: need {required} elements, have {available}"),
             WmmaError::BadLeadingDimension { ld, min } => {
                 write!(f, "leading dimension {ld} below minimum {min}")
+            }
+            WmmaError::Lint(report) => {
+                write!(
+                    f,
+                    "kernel `{}` failed static verification with {} error(s):\n{}",
+                    report.subject,
+                    report.error_count(),
+                    report.render()
+                )
             }
         }
     }

@@ -5,6 +5,7 @@
 //!
 //! - [`types`] — software FP16/BF16 and datatype metadata
 //! - [`isa`] — the CDNA2 / Ampere matrix-instruction model
+//! - [`lint`] — static kernel verification (see `docs/LINTS.md`)
 //! - [`sim`] — the event-driven GPU simulator (devices, counters, power)
 //! - [`wmma`] — the rocWMMA-style fragment API
 //! - [`blas`] — the rocBLAS-style GEMM library
@@ -17,6 +18,7 @@
 
 pub use mc_blas as blas;
 pub use mc_isa as isa;
+pub use mc_lint as lint;
 pub use mc_model as model;
 pub use mc_power as power;
 pub use mc_profiler as profiler;

@@ -1,0 +1,389 @@
+//! Golden lint corpus: deliberately broken kernels that must each fire
+//! an exact set of rules, plus the converse — every kernel the repo
+//! actually ships (device audits, `mc-wmma` loop and tile kernels, and
+//! `mc-blas` planner output) must lint clean. Together they pin down
+//! both directions of the static verifier: no false negatives on known
+//! defects, no false positives on the shipped corpus.
+
+use amd_matrix_cores::isa::specs::{self, DieSpec};
+use amd_matrix_cores::isa::{
+    ampere_catalog, cdna2_catalog, KernelDesc, MatrixInstruction, SlotOp, ValuOp, ValuOpKind,
+    WaveProgram,
+};
+use amd_matrix_cores::lint::{
+    audit_die, audit_package, lint_kernel, required_snop_gap, LintReport, RuleId, Severity,
+};
+use amd_matrix_cores::types::DType;
+
+fn die() -> DieSpec {
+    specs::mi250x().die
+}
+
+fn mixed() -> MatrixInstruction {
+    *cdna2_catalog()
+        .find(DType::F32, DType::F16, 16, 16, 16)
+        .unwrap()
+}
+
+/// A well-formed kernel every broken variant starts from: staged loads,
+/// an MFMA chain, a correctly padded accumulator store.
+fn baseline() -> KernelDesc {
+    let i = mixed();
+    let gap = u8::try_from(required_snop_gap(&i)).unwrap();
+    KernelDesc {
+        arch_vgprs: i.a_vgprs_per_lane() + i.b_vgprs_per_lane() + 16,
+        acc_vgprs: i.cd_agprs_per_lane(),
+        ..KernelDesc::new(
+            "corpus_baseline",
+            WaveProgram {
+                prologue: vec![SlotOp::GlobalLoad { bytes_per_lane: 16 }, SlotOp::Waitcnt],
+                body: vec![SlotOp::Mfma(i)],
+                body_iterations: 64,
+                epilogue: vec![
+                    SlotOp::SNop(gap),
+                    SlotOp::GlobalStore { bytes_per_lane: 16 },
+                ],
+            },
+        )
+    }
+}
+
+/// Asserts a report fired exactly the expected rule set (no more, no
+/// fewer), with the expected worst severity.
+fn assert_fires(report: &LintReport, expected: &[RuleId], worst: Severity) {
+    for rule in expected {
+        assert!(
+            report.fired(*rule),
+            "expected {rule} to fire:\n{}",
+            report.render()
+        );
+    }
+    for d in &report.diagnostics {
+        assert!(
+            expected.contains(&d.rule_id),
+            "unexpected {} finding:\n{}",
+            d.rule_id,
+            report.render()
+        );
+    }
+    match worst {
+        Severity::Error => assert!(report.has_errors(), "{}", report.render()),
+        Severity::Warning => assert!(!report.has_errors(), "{}", report.render()),
+    }
+}
+
+#[test]
+fn baseline_is_clean() {
+    let report = lint_kernel(&die(), &baseline());
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn broken_empty_program() {
+    let k = KernelDesc::new("no_program", WaveProgram::default());
+    assert_fires(
+        &lint_kernel(&die(), &k),
+        &[RuleId::EmptyKernel],
+        Severity::Error,
+    );
+}
+
+#[test]
+fn broken_zero_wave_launch() {
+    let mut k = baseline();
+    k.workgroups = 0;
+    assert_fires(
+        &lint_kernel(&die(), &k),
+        &[RuleId::EmptyKernel],
+        Severity::Error,
+    );
+}
+
+#[test]
+fn broken_foreign_arch_instruction() {
+    let ampere = *ampere_catalog()
+        .find(DType::F64, DType::F64, 8, 8, 4)
+        .unwrap();
+    let mut k = baseline();
+    k.program.body = vec![SlotOp::Mfma(ampere)];
+    let report = lint_kernel(&die(), &k);
+    assert!(report.fired(RuleId::MfmaWrongArch), "{}", report.render());
+    assert!(report.has_errors());
+}
+
+#[test]
+fn broken_fabricated_shape() {
+    // A 13×13×13 MFMA exists on no hardware (paper Table I).
+    let mut bogus = mixed();
+    bogus.shape = amd_matrix_cores::isa::MfmaShape::new(13, 13, 13);
+    let mut k = baseline();
+    k.program.body = vec![SlotOp::Mfma(bogus)];
+    let report = lint_kernel(&die(), &k);
+    assert!(
+        report.fired(RuleId::MfmaUnknownInstruction),
+        "{}",
+        report.render()
+    );
+    assert!(report.has_errors());
+}
+
+#[test]
+fn broken_tampered_latency() {
+    // Faking a 4-cycle latency would claim an 8× throughput win.
+    let mut tampered = mixed();
+    tampered.latency_cycles = 4;
+    let mut k = baseline();
+    k.program.body = vec![SlotOp::Mfma(tampered)];
+    let report = lint_kernel(&die(), &k);
+    assert!(
+        report.fired(RuleId::MfmaLatencyMismatch),
+        "{}",
+        report.render()
+    );
+    assert!(report.has_errors());
+}
+
+#[test]
+fn broken_unpadded_accumulator_store() {
+    let mut k = baseline();
+    k.program.epilogue = vec![SlotOp::GlobalStore { bytes_per_lane: 16 }];
+    assert_fires(
+        &lint_kernel(&die(), &k),
+        &[RuleId::HazardMissingSnop],
+        Severity::Error,
+    );
+}
+
+#[test]
+fn broken_consumer_across_loop_back_edge() {
+    // The VALU consumer sits at the TOP of the loop; only a scan that
+    // models the back-edge sees the hazard from the bottom MFMA.
+    let i = mixed();
+    let mut k = baseline();
+    k.program.body = vec![
+        SlotOp::Valu(ValuOp::new(ValuOpKind::Fma, DType::F32)),
+        SlotOp::Mfma(i),
+    ];
+    let report = lint_kernel(&die(), &k);
+    let hazard = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule_id == RuleId::HazardMissingSnop)
+        .unwrap_or_else(|| panic!("back-edge hazard not found:\n{}", report.render()));
+    assert_eq!(
+        hazard.span.unwrap().section,
+        amd_matrix_cores::lint::Section::Body
+    );
+}
+
+#[test]
+fn broken_gratuitous_snop() {
+    let mut k = baseline();
+    k.program.prologue.insert(0, SlotOp::SNop(4));
+    assert_fires(
+        &lint_kernel(&die(), &k),
+        &[RuleId::HazardExcessSnop],
+        Severity::Warning,
+    );
+}
+
+#[test]
+fn broken_waw_accumulator_overlap() {
+    let f64i = *cdna2_catalog()
+        .find(DType::F64, DType::F64, 16, 16, 4)
+        .unwrap();
+    let mut k = baseline();
+    k.program.body = vec![SlotOp::Mfma(mixed()), SlotOp::Mfma(f64i)];
+    k.arch_vgprs = 32;
+    k.acc_vgprs = 8;
+    let report = lint_kernel(&die(), &k);
+    assert!(
+        report.fired(RuleId::HazardWawOverlap),
+        "{}",
+        report.render()
+    );
+    assert!(!report.has_errors(), "{}", report.render());
+}
+
+#[test]
+fn broken_register_file_overflow() {
+    let mut k = baseline();
+    k.arch_vgprs = 1024; // file holds 512 per SIMD
+    assert_fires(
+        &lint_kernel(&die(), &k),
+        &[RuleId::VgprOverflow],
+        Severity::Error,
+    );
+}
+
+#[test]
+fn broken_underdeclared_accumulator() {
+    let mut k = baseline();
+    k.acc_vgprs = 0;
+    assert_fires(
+        &lint_kernel(&die(), &k),
+        &[RuleId::VgprUnderdeclared],
+        Severity::Warning,
+    );
+}
+
+#[test]
+fn broken_lds_overflow() {
+    let mut k = baseline();
+    k.lds_bytes_per_workgroup = 1 << 20; // CU has 64 KiB
+    assert_fires(
+        &lint_kernel(&die(), &k),
+        &[RuleId::LdsOverflow],
+        Severity::Error,
+    );
+}
+
+#[test]
+fn broken_undeclared_lds_traffic() {
+    let mut k = baseline();
+    k.program
+        .prologue
+        .push(SlotOp::LdsWrite { bytes_per_lane: 8 });
+    k.program
+        .prologue
+        .push(SlotOp::LdsRead { bytes_per_lane: 8 });
+    assert_fires(
+        &lint_kernel(&die(), &k),
+        &[RuleId::LdsUndeclared],
+        Severity::Warning,
+    );
+}
+
+#[test]
+fn broken_register_starved_occupancy() {
+    let mut k = baseline();
+    k.arch_vgprs = 500; // 512/500 → 1 wave/SIMD → 12.5% of the ceiling
+    assert_fires(
+        &lint_kernel(&die(), &k),
+        &[RuleId::LowOccupancy],
+        Severity::Warning,
+    );
+}
+
+#[test]
+fn broken_unschedulable_workgroup() {
+    let mut k = baseline();
+    k.waves_per_workgroup = 64; // a CU holds 32 waves
+    assert_fires(
+        &lint_kernel(&die(), &k),
+        &[RuleId::LowOccupancy],
+        Severity::Error,
+    );
+}
+
+#[test]
+fn broken_device_specs_fail_the_audit() {
+    // Eq. 2 identity: halving the matrix-unit count must be caught.
+    let mut tampered = die();
+    tampered.matrix_units_per_cu = 2;
+    let report = audit_die(&tampered);
+    assert!(
+        report.fired(RuleId::ModelPipelineMismatch),
+        "{}",
+        report.render()
+    );
+    assert!(report.has_errors());
+
+    // Wavefront width contradicting the architecture.
+    let mut wide = specs::a100().die;
+    wide.wavefront_size = 64;
+    assert!(audit_die(&wide).fired(RuleId::SpecWavefrontSize));
+}
+
+/// The lint occupancy mirror must agree with the simulator's own
+/// occupancy model: a zero-residency kernel is an error, anything the
+/// simulator places at ≥ 25% of the wave-slot ceiling carries no
+/// low-occupancy finding.
+#[test]
+fn occupancy_rule_matches_simulator_model() {
+    use amd_matrix_cores::sim::occupancy;
+    let d = die();
+    for arch_vgprs in [16u32, 64, 128, 256, 500] {
+        for waves_per_workgroup in [1u32, 4, 32, 64] {
+            let mut k = baseline();
+            k.arch_vgprs = arch_vgprs.max(k.arch_vgprs);
+            k.waves_per_workgroup = waves_per_workgroup;
+            let occ = occupancy(&d, &k);
+            let report = lint_kernel(&d, &k);
+            let fired = report.fired(RuleId::LowOccupancy);
+            if occ.waves_per_cu == 0 {
+                assert!(
+                    fired && report.has_errors(),
+                    "vgprs={arch_vgprs} wg={waves_per_workgroup}: {}",
+                    report.render()
+                );
+            } else if occ.fraction >= 0.25 {
+                assert!(
+                    !fired,
+                    "vgprs={arch_vgprs} wg={waves_per_workgroup} occ={}: {}",
+                    occ.fraction,
+                    report.render()
+                );
+            } else {
+                assert!(
+                    fired,
+                    "vgprs={arch_vgprs} wg={waves_per_workgroup} occ={}: {}",
+                    occ.fraction,
+                    report.render()
+                );
+            }
+        }
+    }
+}
+
+/// Every rule the golden corpus is meant to prove actually appears in
+/// the registry of documented rules.
+#[test]
+fn corpus_covers_the_documented_rule_set() {
+    let proven = [
+        RuleId::EmptyKernel,
+        RuleId::MfmaWrongArch,
+        RuleId::MfmaUnknownInstruction,
+        RuleId::MfmaLatencyMismatch,
+        RuleId::HazardMissingSnop,
+        RuleId::HazardExcessSnop,
+        RuleId::HazardWawOverlap,
+        RuleId::VgprOverflow,
+        RuleId::VgprUnderdeclared,
+        RuleId::LdsOverflow,
+        RuleId::LdsUndeclared,
+        RuleId::LowOccupancy,
+        RuleId::ModelPipelineMismatch,
+        RuleId::SpecWavefrontSize,
+    ];
+    assert!(proven.len() >= 8, "acceptance floor is eight rules");
+    for rule in proven {
+        assert!(
+            RuleId::ALL.contains(&rule),
+            "{rule} missing from RuleId::ALL"
+        );
+    }
+}
+
+/// The converse direction: the whole shipped corpus — device audits,
+/// per-instruction loop kernels, WMMA tile kernels, and planner output
+/// for every routine — is lint clean on every registered device.
+#[test]
+fn shipped_experiment_corpus_is_lint_clean() {
+    let sweep = mc_bench::lint::run(&amd_matrix_cores::sim::DeviceRegistry::builtin());
+    assert!(
+        sweep.build_failures.is_empty(),
+        "{:?}",
+        sweep.build_failures
+    );
+    assert_eq!(sweep.total_errors, 0, "{}", mc_bench::lint::render(&sweep));
+    assert_eq!(
+        sweep.total_warnings,
+        0,
+        "{}",
+        mc_bench::lint::render(&sweep)
+    );
+    for pkg in [specs::mi100(), specs::mi250x(), specs::a100()] {
+        assert!(audit_package(&pkg).is_clean(), "{}", pkg.name);
+    }
+}

@@ -173,6 +173,48 @@ proptest! {
         prop_assert!(rb >= ra * 0.999, "waves {waves_a}->{waves_b}: {ra} -> {rb}");
     }
 
+    /// Machine-word round-trip over the full CDNA2 catalog: encoding
+    /// any instruction with arbitrary registers and decoding the word
+    /// recovers the instance bit-exactly, and corrupting any
+    /// reserved/modifier bit of the word makes the decoder refuse it.
+    #[test]
+    fn mfma_encoding_roundtrips_and_rejects_reserved_bits(
+        instr_idx in 0usize..27,
+        reg_bits in any::<u64>(),
+        acc_bits in 0u8..16,
+        reserved_bit in 0u32..64,
+    ) {
+        use amd_matrix_cores::isa::encoding::{
+            encode_instance, EncodeError, MfmaEncoding, Reg, RESERVED_MASK,
+        };
+        let catalog = cdna2_catalog();
+        let instr = &catalog.instructions()[instr_idx % catalog.instructions().len()];
+        // Four registers from the packed bits: one byte of register
+        // number and one acc-file flag each. src0 (index 1) has no ACC
+        // bit in the VOP3P-MAI format, so it always draws from the
+        // architectural file.
+        let reg = |i: u32| {
+            let n = (reg_bits >> (8 * i)) as u8;
+            if i != 1 && acc_bits >> i & 1 == 1 { Reg::A(n) } else { Reg::V(n) }
+        };
+        let enc = encode_instance(instr, reg(0), reg(1), reg(2), reg(3)).unwrap();
+        let word = enc.to_u64();
+        let back = MfmaEncoding::from_u64(word).unwrap();
+        prop_assert_eq!(back, enc);
+        prop_assert_eq!(back.to_u64(), word, "re-encode must be bit-identical");
+        prop_assert_eq!(back.mnemonic(), instr.mnemonic());
+        // The encoder must never touch the reserved/modifier bits…
+        prop_assert_eq!(word & RESERVED_MASK, 0);
+        // …and the decoder must reject a word with any of them set.
+        let mask = 1u64 << reserved_bit;
+        if RESERVED_MASK & mask != 0 {
+            prop_assert!(matches!(
+                MfmaEncoding::from_u64(word | mask),
+                Err(EncodeError::ReservedBits { .. })
+            ));
+        }
+    }
+
     /// Eq. 1 derivation is linear: counters of two merged launches give
     /// the sum of the individual derivations.
     #[test]
