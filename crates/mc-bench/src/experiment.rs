@@ -9,10 +9,12 @@
 //! one JSON file per experiment under `results/`.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use mc_power::SamplerConfig;
 use mc_sim::DeviceRegistry;
+use mc_trace::{chrome_trace_json, RingSink, TraceEvent};
 use serde::{Deserialize, Serialize, Value};
 
 /// Version stamped into every [`ExperimentRecord`]; bump when the
@@ -87,6 +89,10 @@ pub struct RunContext {
     /// Directory record envelopes are written to (`results/` by
     /// convention); `None` disables persistence.
     pub json_sink: Option<PathBuf>,
+    /// Directory Chrome trace-event files are written to (`--trace DIR`);
+    /// `None` disables execution tracing entirely, which is the fast
+    /// path: devices keep their no-op sink and pay nothing.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl RunContext {
@@ -97,6 +103,7 @@ impl RunContext {
             budgets,
             sampler: SamplerConfig::default(),
             json_sink: None,
+            trace_dir: None,
         }
     }
 
@@ -114,6 +121,47 @@ impl RunContext {
     pub fn with_sink(mut self, dir: impl Into<PathBuf>) -> Self {
         self.json_sink = Some(dir.into());
         self
+    }
+
+    /// Sets the trace directory (`--trace DIR`): every experiment run
+    /// through [`Experiment::run`] captures its execution timeline and
+    /// writes `<dir>/<id>.trace.json` in Chrome trace-event format.
+    pub fn with_trace(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// When tracing is enabled, returns a clone of this context whose
+    /// device registry feeds every constructed `Gpu`/`BlasHandle` into a
+    /// fresh bounded ring, plus the ring itself; otherwise returns this
+    /// context unchanged and no ring. Each run gets its own ring so
+    /// parallel experiments never interleave their timelines.
+    pub fn traced(&self) -> (RunContext, Option<Arc<RingSink>>) {
+        if self.trace_dir.is_none() {
+            return (self.clone(), None);
+        }
+        let sink = Arc::new(RingSink::new());
+        let mut ctx = self.clone();
+        ctx.devices.set_trace_sink(sink.clone());
+        (ctx, Some(sink))
+    }
+
+    /// Writes a captured timeline to `<trace_dir>/<id>.trace.json` as
+    /// Chrome trace-event JSON (loadable in Perfetto / `chrome://
+    /// tracing`). Returns the path written, or `None` when no trace
+    /// directory is configured.
+    pub fn persist_trace(
+        &self,
+        id: &str,
+        events: &[TraceEvent],
+    ) -> std::io::Result<Option<PathBuf>> {
+        let Some(dir) = &self.trace_dir else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{id}.trace.json"));
+        std::fs::write(&path, chrome_trace_json(events))?;
+        Ok(Some(path))
     }
 
     /// Writes a record envelope to `<sink>/<experiment id>.json`,
@@ -244,10 +292,19 @@ pub trait Experiment: Send + Sync {
     fn execute(&self, ctx: &RunContext) -> (Value, String);
 
     /// Runs and wraps the result in a versioned [`ExperimentRecord`],
-    /// evaluating this experiment's checks against the payload.
+    /// evaluating this experiment's checks against the payload. When the
+    /// context has a trace directory, the run executes against a traced
+    /// clone of the registry and its captured timeline is written to
+    /// `<trace_dir>/<id>.trace.json`.
     fn run(&self, ctx: &RunContext) -> ExperimentRecord {
         let start = Instant::now();
-        let (payload, rendered) = self.execute(ctx);
+        let (traced_ctx, ring) = ctx.traced();
+        let (payload, rendered) = self.execute(&traced_ctx);
+        if let Some(ring) = ring {
+            if let Err(e) = ctx.persist_trace(self.id(), &ring.events()) {
+                eprintln!("error: could not write trace for `{}`: {e}", self.id());
+            }
+        }
         let wall_time_s = start.elapsed().as_secs_f64();
         let checks = self.checks().iter().map(|c| c.evaluate(&payload)).collect();
         ExperimentRecord {
@@ -286,6 +343,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::generations::GenerationsExperiment),
         Box::new(crate::saturation::SaturationExperiment),
         Box::new(crate::lint::LintExperiment),
+        Box::new(crate::trace::TraceExperiment),
         Box::new(crate::report::ReportExperiment),
     ]
 }

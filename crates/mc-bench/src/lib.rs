@@ -29,6 +29,7 @@
 //! | [`generations`] | Extension — MI100→MI250X generation survey (§II framing) |
 //! | [`saturation`] | Extension — empirical saturation size (ref. \[19] methodology) |
 //! | [`lint`] | Gate — `mc-lint` static verification of the shipped kernel corpus |
+//! | [`trace`] | Gate — `mc-trace` timeline replay and telemetry cross-check |
 
 #![deny(missing_docs)]
 
@@ -51,6 +52,7 @@ pub mod solver_ext;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod trace;
 
 /// The square-N sweep the paper uses for the rocBLAS evaluation: a
 /// fixed grid of powers of two from 16, plus the 65000 terminal point,

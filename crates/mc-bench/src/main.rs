@@ -1,11 +1,14 @@
 //! `experiments` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments <artifact|all> [--json DIR] [--paper-iters]
+//! experiments <artifact|all> [--json DIR] [--trace DIR] [--paper-iters]
 //!   artifact: any id from the experiment registry (table1 … report)
 //!   all         run every registered experiment once, in parallel
 //!   --json DIR  also write each result as a schema-versioned JSON
 //!               envelope into DIR (one file per experiment)
+//!   --trace DIR also capture each experiment's execution timeline and
+//!               write it as Chrome trace-event JSON (Perfetto-loadable)
+//!               to DIR/<artifact>.trace.json
 //!   --paper-iters  full 40 M / 10⁷ / 110 s-sampling budgets instead of
 //!                  the reduced defaults (results are iteration-exact on
 //!                  the simulator)
@@ -24,6 +27,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut artifact = None;
     let mut json_dir: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
     let mut paper_iters = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -32,6 +36,13 @@ fn main() {
                 json_dir = Some(
                     it.next()
                         .unwrap_or_else(|| usage("--json needs a directory"))
+                        .clone(),
+                );
+            }
+            "--trace" => {
+                trace_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--trace needs a directory"))
                         .clone(),
                 );
             }
@@ -46,6 +57,9 @@ fn main() {
     if let Some(dir) = &json_dir {
         ctx = ctx.with_sink(dir);
     }
+    if let Some(dir) = &trace_dir {
+        ctx = ctx.with_trace(dir);
+    }
 
     let experiments = registry();
     if artifact == "all" {
@@ -57,27 +71,39 @@ fn main() {
         let record = exp.run(&ctx);
         println!("{}", record.rendered);
         persist(&ctx, &record);
-        fail_on_lint_errors(&record);
+        fail_on_gate_errors(&record);
     }
 }
 
-/// The `lint` artifact is a gate: any error-severity diagnostic in its
-/// payload (or a missing counter, which means the sweep wiring broke)
-/// exits the driver non-zero so CI fails.
-fn fail_on_lint_errors(record: &ExperimentRecord) {
-    if record.experiment != "lint" {
-        return;
-    }
-    let errors = record
-        .payload
-        .pointer("/total_errors")
-        .and_then(serde::Value::as_f64);
-    if errors != Some(0.0) {
-        eprintln!(
-            "error: lint sweep found {} error diagnostic(s)",
-            errors.map_or("an unreadable count of".to_owned(), |e| format!("{e}"))
-        );
-        exit(1);
+/// Gate artifacts fail the driver: any error-severity lint diagnostic,
+/// any trace-timeline violation, or any counter cross-check mismatch
+/// (or an unreadable count, which means the wiring broke) exits
+/// non-zero so CI fails.
+fn fail_on_gate_errors(record: &ExperimentRecord) {
+    let gates: &[(&str, &str)] = match record.experiment.as_str() {
+        "lint" => &[("/total_errors", "error diagnostic(s)")],
+        "trace" => &[
+            ("/total_violations", "timeline violation(s)"),
+            (
+                "/total_counter_mismatches",
+                "counter cross-check mismatch(es)",
+            ),
+        ],
+        _ => return,
+    };
+    for (pointer, what) in gates {
+        let count = record
+            .payload
+            .pointer(pointer)
+            .and_then(serde::Value::as_f64);
+        if count != Some(0.0) {
+            eprintln!(
+                "error: {} sweep found {} {what}",
+                record.experiment,
+                count.map_or("an unreadable count of".to_owned(), |e| format!("{e}"))
+            );
+            exit(1);
+        }
     }
 }
 
@@ -103,7 +129,7 @@ fn run_all(experiments: &[Box<dyn Experiment>], ctx: &RunContext) {
     for record in &records {
         println!("{}", record.rendered);
         persist(ctx, record);
-        fail_on_lint_errors(record);
+        fail_on_gate_errors(record);
     }
 
     // `report` aggregates the records just produced — no re-running.
@@ -148,7 +174,7 @@ fn usage(msg: &str) -> ! {
     let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <{}|all> [--json DIR] [--paper-iters]",
+        "usage: experiments <{}|all> [--json DIR] [--trace DIR] [--paper-iters]",
         ids.join("|")
     );
     exit(2)

@@ -53,8 +53,13 @@ impl BlasHandle {
 
     /// Creates a handle for a registered device, pinned to that device
     /// view's default die (die 0 — the "one HIP device per GCD" model).
+    /// Inherits the registry's trace sink, if one is attached.
     pub fn from_registry(devices: &DeviceRegistry, id: DeviceId) -> Self {
-        BlasHandle::with_config(devices.config(id).clone(), id.default_die())
+        let mut handle = BlasHandle::with_config(devices.config(id).clone(), id.default_die());
+        if let Some(sink) = devices.trace_sink() {
+            handle.set_trace_sink(sink.clone());
+        }
+        handle
     }
 
     /// Creates a handle over an explicit simulator configuration.
@@ -96,6 +101,13 @@ impl BlasHandle {
         }
         eprintln!("{}", report.render());
         Ok(())
+    }
+
+    /// Attaches a trace sink: launches through this handle emit plan
+    /// spans (library level) and kernel timelines (engine level).
+    pub fn set_trace_sink(&mut self, sink: std::sync::Arc<dyn mc_trace::TraceSink>) -> &mut Self {
+        self.gpu.set_trace_sink(sink);
+        self
     }
 
     /// The underlying simulated GPU (for profiler attachment).
@@ -143,6 +155,7 @@ impl BlasHandle {
             .map_err(|e: LaunchError| BlasError::Launch(e.to_string()))?;
         let time_s = package.time_s;
         let counters = package.kernels[0].counters;
+        self.emit_plan_span(desc, &plan, time_s);
         Ok(GemmPerf {
             tflops: plan.useful_flops() as f64 / time_s / 1e12,
             plan,
@@ -263,6 +276,63 @@ impl BlasHandle {
     ) -> Result<GemmPerf, BlasError> {
         debug_assert_eq!(desc.op, GemmOp::Hss);
         self.gemm_ex::<F16, f32, f32>(desc, a, b, c, d)
+    }
+
+    /// Library-level plan span around the launch that just completed:
+    /// covers exactly the kernel's wall window on the dedicated plan
+    /// lane, tagged with the problem shape and tiling decision.
+    fn emit_plan_span(&self, desc: &GemmDesc, plan: &GemmPlan, time_s: f64) {
+        use crate::planner::Strategy;
+        use mc_trace::{ArgValue, Category, SpanEvent, TraceEvent, Track};
+
+        let sink = self.gpu.trace_sink();
+        if !sink.enabled() {
+            return;
+        }
+        // The launch advanced the device's trace clock by its makespan.
+        let t0_us = (self.gpu.trace_time_s() - time_s) * 1e6;
+        let mut args: Vec<(String, ArgValue)> = vec![
+            ("op".into(), format!("{}", desc.op).into()),
+            ("m".into(), (desc.m as u64).into()),
+            ("n".into(), (desc.n as u64).into()),
+            ("k".into(), (desc.k as u64).into()),
+            ("useful_flops".into(), plan.useful_flops().into()),
+            ("mfma_flops".into(), plan.mfma_flops.into()),
+            ("simd_flops".into(), plan.simd_flops.into()),
+        ];
+        match plan.strategy {
+            Strategy::MatrixCore {
+                instr,
+                macro_tile,
+                wave_tile,
+                k_step,
+            } => {
+                args.push(("strategy".into(), "matrix-core".into()));
+                args.push(("instr".into(), instr.mnemonic().into()));
+                args.push((
+                    "macro_tile".into(),
+                    format!("{}x{}", macro_tile.0, macro_tile.1).into(),
+                ));
+                args.push((
+                    "wave_tile".into(),
+                    format!("{}x{}", wave_tile.0, wave_tile.1).into(),
+                ));
+                args.push(("k_step".into(), (k_step as u64).into()));
+            }
+            Strategy::SimdOnly { reason } => {
+                args.push(("strategy".into(), "simd-only".into()));
+                args.push(("reason".into(), format!("{reason:?}").into()));
+            }
+        }
+        sink.record(TraceEvent::Span(SpanEvent {
+            name: format!("plan {}", plan.kernel.name),
+            category: Category::Plan,
+            device: self.die as u32,
+            track: Track::Plan,
+            t0_us,
+            dur_us: time_s * 1e6,
+            args,
+        }));
     }
 
     /// Largest square N for an operation that still fits in HBM (the
@@ -454,6 +524,47 @@ mod tests {
         assert!(h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 256)).is_ok());
         h.set_strict_lint(false);
         assert!(!h.strict_lint());
+    }
+
+    #[test]
+    fn traced_gemm_emits_plan_spans_enclosing_kernels() {
+        use std::sync::Arc;
+
+        let sink = Arc::new(mc_trace::RingSink::new());
+        let mut devices = DeviceRegistry::builtin();
+        devices.set_trace_sink(sink.clone());
+        let mut h = BlasHandle::from_registry(&devices, DeviceId::Mi250xGcd);
+        h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 2048))
+            .unwrap();
+        h.gemm_timed(&GemmDesc::square(GemmOp::Hhs, 2048)).unwrap();
+
+        let events = sink.events();
+        let violations = mc_trace::check_invariants(&events);
+        assert!(violations.is_empty(), "{violations:?}");
+
+        let spans: Vec<_> = events.iter().filter_map(|e| e.as_span()).collect();
+        let plans: Vec<_> = spans
+            .iter()
+            .filter(|s| s.category == mc_trace::Category::Plan)
+            .collect();
+        let kernels: Vec<_> = spans
+            .iter()
+            .filter(|s| s.category == mc_trace::Category::Kernel)
+            .collect();
+        assert_eq!(plans.len(), 2);
+        assert_eq!(kernels.len(), 2);
+        // Each plan span exactly covers its kernel's wall window, and
+        // the two launches occupy disjoint windows on the timeline.
+        for (plan, kernel) in plans.iter().zip(&kernels) {
+            assert!((plan.t0_us - kernel.t0_us).abs() < 1e-6);
+            assert!((plan.dur_us - kernel.dur_us).abs() < 1e-6);
+        }
+        assert!(kernels[1].t0_us >= kernels[0].end_us() - 1e-6);
+        // The tiling decision is recorded on the plan span.
+        assert!(plans[0]
+            .args
+            .iter()
+            .any(|(k, v)| k == "strategy" && *v == mc_trace::ArgValue::Str("matrix-core".into())));
     }
 
     #[test]

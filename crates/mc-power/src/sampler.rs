@@ -79,6 +79,17 @@ impl BackgroundSampler {
             Err(stats)
         }
     }
+
+    /// Waits, then registers the sampling statistics in a metrics
+    /// registry under the `power.smi.` prefix, regardless of whether
+    /// the minimum-sample threshold was met. Returns the stats.
+    pub fn join_metrics(self, registry: &mut mc_trace::MetricsRegistry) -> SampleStats {
+        let stats = match self.join_stats() {
+            Ok(stats) | Err(stats) => stats,
+        };
+        stats.register_metrics(registry);
+        stats
+    }
 }
 
 impl Drop for BackgroundSampler {
@@ -144,6 +155,16 @@ mod tests {
             f.mean_w,
             s.mean_w
         );
+    }
+
+    #[test]
+    fn join_metrics_registers_power_smi_stats() {
+        let smi = Smi::attach(profile(120.0, 400.0), 0.0, 1);
+        let sampler = BackgroundSampler::spawn(smi, SamplerConfig::default());
+        let mut reg = mc_trace::MetricsRegistry::new();
+        let stats = sampler.join_metrics(&mut reg);
+        assert_eq!(reg.value("power.smi.mean_w"), Some(stats.mean_w));
+        assert_eq!(reg.value("power.smi.samples"), Some(stats.count as f64));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Counter-capture sessions.
 
-use mc_sim::{Gpu, HwCounters, LaunchError, COUNTER_NAMES};
+use mc_sim::{Gpu, HwCounters, LaunchError};
 use serde::{Deserialize, Serialize};
 
 /// A profiling session: captures counter deltas on one die between
@@ -24,6 +24,18 @@ impl ProfilerSession {
     pub fn end(self, gpu: &Gpu) -> Result<HwCounters, LaunchError> {
         Ok(gpu.counters(self.die)?.delta_from(&self.baseline))
     }
+
+    /// Ends the session and registers the counter delta in a metrics
+    /// registry under the `counters.` prefix. Returns the delta.
+    pub fn end_metrics(
+        self,
+        gpu: &Gpu,
+        registry: &mut mc_trace::MetricsRegistry,
+    ) -> Result<HwCounters, LaunchError> {
+        let delta = self.end(gpu)?;
+        delta.register_metrics(registry);
+        Ok(delta)
+    }
 }
 
 /// A named-counter report, the `rocprof` CSV-row equivalent.
@@ -36,14 +48,9 @@ pub struct CounterReport {
 impl CounterReport {
     /// Builds a report with every published counter.
     pub fn from_counters(counters: &HwCounters) -> Self {
-        let rows = COUNTER_NAMES
+        let rows = counters
             .iter()
-            .map(|name| {
-                (
-                    (*name).to_owned(),
-                    counters.get(name).expect("published names resolve"),
-                )
-            })
+            .map(|(name, value)| (name.to_owned(), value))
             .collect();
         CounterReport { rows }
     }
@@ -69,6 +76,7 @@ impl CounterReport {
 mod tests {
     use super::*;
     use mc_isa::{cdna2_catalog, KernelDesc, SlotOp, WaveProgram};
+    use mc_sim::COUNTER_NAMES;
     use mc_types::DType;
 
     fn mixed_kernel(iters: u64) -> KernelDesc {
@@ -114,6 +122,20 @@ mod tests {
         assert!(report.get("NOPE").is_none());
         let text = report.render();
         assert!(text.contains("SQ_WAVES"));
+    }
+
+    #[test]
+    fn end_metrics_registers_the_delta() {
+        let mut gpu = Gpu::mi250x();
+        let session = ProfilerSession::begin(&gpu, 0).unwrap();
+        gpu.launch(0, &mixed_kernel(100)).unwrap();
+        let mut reg = mc_trace::MetricsRegistry::new();
+        let delta = session.end_metrics(&gpu, &mut reg).unwrap();
+        assert_eq!(
+            reg.value("counters.SQ_INSTS_VALU_MFMA_MOPS_F16"),
+            Some(delta.mfma_mops_f16 as f64)
+        );
+        assert_eq!(reg.value("counters.SQ_WAVES"), Some(8.0));
     }
 
     #[test]

@@ -105,6 +105,28 @@ impl HwCounters {
         })
     }
 
+    /// Iterates every published counter as a `(name, value)` pair, in
+    /// [`COUNTER_NAMES`] order. This is the enumeration surface the
+    /// trace exporter and [`mc_trace::MetricsRegistry`] are built on —
+    /// callers no longer need to hard-code rocprof names.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        COUNTER_NAMES
+            .iter()
+            .map(|name| (*name, self.get(name).expect("published names resolve")))
+    }
+
+    /// Registers every counter in a metrics registry under the
+    /// `counters.` prefix (e.g. `counters.SQ_INSTS_VALU_MFMA_MOPS_F32`).
+    pub fn register_metrics(&self, registry: &mut mc_trace::MetricsRegistry) {
+        for (name, value) in self.iter() {
+            registry.set(
+                &format!("counters.{name}"),
+                mc_trace::Unit::Count,
+                value as f64,
+            );
+        }
+    }
+
     /// All VALU instructions (arithmetic + moves/conversions).
     pub fn total_valu_insts(&self) -> u64 {
         self.valu_add_f16
@@ -230,6 +252,17 @@ impl HwCounters {
     }
 }
 
+impl fmt::Display for HwCounters {
+    /// A rocprof-style counter dump: one `NAME value` line per
+    /// published counter, in [`COUNTER_NAMES`] order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.iter() {
+            writeln!(f, "{name:<32} {value}")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +333,48 @@ mod tests {
         assert_eq!(d.flat_stores, 2);
         let merged = a.merged(&d);
         assert_eq!(merged, b);
+    }
+
+    #[test]
+    fn iterator_agrees_with_get_on_every_counter() {
+        let mut c = HwCounters::default();
+        let mixed = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
+        c.record(&SlotOp::Mfma(mixed), 64);
+        c.record(&SlotOp::Valu(ValuOp::new(ValuOpKind::Fma, DType::F32)), 5);
+        c.record(&SlotOp::GlobalLoad { bytes_per_lane: 8 }, 3);
+        c.waves_launched = 7;
+        let pairs: Vec<(&str, u64)> = c.iter().collect();
+        assert_eq!(pairs.len(), COUNTER_NAMES.len());
+        for (name, value) in &pairs {
+            assert_eq!(c.get(name).unwrap(), *value, "{name}");
+        }
+        // Order matches the published name list.
+        let names: Vec<&str> = pairs.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, COUNTER_NAMES);
+    }
+
+    #[test]
+    fn display_dumps_every_counter() {
+        let mut c = HwCounters::default();
+        c.record(&SlotOp::Scalar, 11);
+        let dump = format!("{c}");
+        assert_eq!(dump.lines().count(), COUNTER_NAMES.len());
+        assert!(dump.contains("SQ_INSTS_SALU"));
+        assert!(dump
+            .lines()
+            .any(|l| l.starts_with("SQ_INSTS_SALU") && l.ends_with(" 11")));
+    }
+
+    #[test]
+    fn metrics_registration_uses_counters_prefix() {
+        let mut c = HwCounters::default();
+        c.record(&SlotOp::Scalar, 4);
+        let mut reg = mc_trace::MetricsRegistry::new();
+        c.register_metrics(&mut reg);
+        assert_eq!(reg.len(), COUNTER_NAMES.len());
+        assert_eq!(reg.value("counters.SQ_INSTS_SALU"), Some(4.0));
     }
 
     #[test]

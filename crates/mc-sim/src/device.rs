@@ -10,14 +10,17 @@
 //! governor target — the mechanism behind the paper's FP64 two-GCD
 //! anomaly (72 % of peak vs 85 % on one GCD, §V-C).
 
+use std::sync::Arc;
+
 use mc_isa::specs::PackageSpec;
 use mc_isa::KernelDesc;
+use mc_trace::{ArgValue, Category, TraceEvent, TraceSink, Track, PACKAGE_DEVICE};
 use mc_types::DType;
 use serde::{Deserialize, Serialize};
 
 use crate::config::SimConfig;
 use crate::counters::HwCounters;
-use crate::engine::{self, KernelExec, LaunchError};
+use crate::engine::{self, KernelExec, LaunchError, TracePlacement};
 
 /// A piecewise-constant power trace over a launch's lifetime.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -117,6 +120,34 @@ impl PackageResult {
         let flops: u64 = self.kernels.iter().map(|k| k.flops).sum();
         (flops as f64 / self.time_s / 1e9) / self.avg_power_w
     }
+
+    /// Registers this launch's telemetry in a metrics registry: `sim.*`
+    /// timing/throughput, `power.*` package power, and the aggregated
+    /// `counters.*` bank across all kernels of the launch.
+    pub fn register_metrics(&self, registry: &mut mc_trace::MetricsRegistry) {
+        use mc_trace::Unit;
+        let flops: u64 = self.kernels.iter().map(|k| k.flops).sum();
+        let mfma: u64 = self.kernels.iter().map(|k| k.mfma_flops).sum();
+        let hbm: u64 = self.kernels.iter().map(|k| k.exec.hbm_bytes).sum();
+        registry.set("sim.time_s", Unit::Seconds, self.time_s);
+        registry.set("sim.flops", Unit::Flops, flops as f64);
+        registry.set("sim.mfma_flops", Unit::Flops, mfma as f64);
+        registry.set("sim.hbm_bytes", Unit::Bytes, hbm as f64);
+        registry.set(
+            "sim.flops_per_s",
+            Unit::FlopsPerSecond,
+            flops as f64 / self.time_s.max(f64::MIN_POSITIVE),
+        );
+        registry.set("power.avg_w", Unit::Watts, self.avg_power_w);
+        registry.set("power.peak_w", Unit::Watts, self.peak_power_w);
+        registry.set("power.energy_j", Unit::Joules, self.energy_j);
+        registry.set("power.governor_scale", Unit::Ratio, self.governor_scale);
+        let mut counters = HwCounters::default();
+        for k in &self.kernels {
+            counters.merge(&k.counters);
+        }
+        counters.register_metrics(registry);
+    }
 }
 
 /// The simulated GPU package.
@@ -124,6 +155,8 @@ impl PackageResult {
 pub struct Gpu {
     cfg: SimConfig,
     die_counters: Vec<HwCounters>,
+    sink: Arc<dyn TraceSink>,
+    trace_clock_s: f64,
 }
 
 impl Gpu {
@@ -133,7 +166,28 @@ impl Gpu {
         Gpu {
             cfg,
             die_counters: vec![HwCounters::default(); dies],
+            sink: Arc::new(mc_trace::NullSink),
+            trace_clock_s: 0.0,
         }
+    }
+
+    /// Attaches a trace sink: subsequent launches emit their execution
+    /// timelines into it. The default is the no-op [`mc_trace::NullSink`],
+    /// which costs one `enabled()` check per launch.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// The attached trace sink.
+    pub fn trace_sink(&self) -> &Arc<dyn TraceSink> {
+        &self.sink
+    }
+
+    /// Position of the next launch on this device's trace timeline, in
+    /// seconds. Advances by the package makespan after every launch, so
+    /// sequential launches never overlap in the trace.
+    pub fn trace_time_s(&self) -> f64 {
+        self.trace_clock_s
     }
 
     /// An MI250X with default calibration.
@@ -243,6 +297,17 @@ impl Gpu {
             let power_while_running = self.cfg.package.active_baseline_w_per_die + dyn_e / time;
             events.push((time, power_while_running));
             makespan = makespan.max(time);
+            engine::emit_kernel_events(
+                self.sink.as_ref(),
+                &TracePlacement {
+                    die: *die as u32,
+                    t0_s: self.trace_clock_s,
+                    clock_scale: scale,
+                    wall_time_s: time,
+                },
+                k,
+                e,
+            );
             let counters = e.counters;
             self.die_counters[*die].merge(&counters);
             kernels.push(KernelResult {
@@ -280,6 +345,9 @@ impl Gpu {
         let avg_power_w = profile.average_w();
         let peak_power_w = profile.segments.iter().map(|s| s.2).fold(0.0_f64, f64::max);
 
+        self.emit_package_events(&profile, scale, target);
+        self.trace_clock_s += makespan;
+
         Ok(PackageResult {
             kernels,
             time_s: makespan,
@@ -289,6 +357,51 @@ impl Gpu {
             profile,
             governor_scale: scale,
         })
+    }
+
+    /// Package-level telemetry events for one launch: a `package_w`
+    /// counter track following the power profile, the governor's clock
+    /// scale, and a DVFS-transition instant when the governor clamped.
+    fn emit_package_events(&self, profile: &PowerProfile, scale: f64, target_w: f64) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let t0 = self.trace_clock_s * 1e6;
+        for &(a, _, watts) in &profile.segments {
+            self.sink.record(TraceEvent::Counter {
+                name: "package_w".to_owned(),
+                device: PACKAGE_DEVICE,
+                t_us: t0 + a * 1e6,
+                value: watts,
+            });
+        }
+        if let Some(&(_, end, _)) = profile.segments.last() {
+            self.sink.record(TraceEvent::Counter {
+                name: "package_w".to_owned(),
+                device: PACKAGE_DEVICE,
+                t_us: t0 + end * 1e6,
+                value: self.cfg.package.idle_power_w,
+            });
+        }
+        self.sink.record(TraceEvent::Counter {
+            name: "governor_scale".to_owned(),
+            device: PACKAGE_DEVICE,
+            t_us: t0,
+            value: scale,
+        });
+        if scale < 1.0 - 1e-9 {
+            self.sink.record(TraceEvent::Instant {
+                name: "governor clamp".to_owned(),
+                category: Category::Power,
+                device: PACKAGE_DEVICE,
+                track: Track::Power,
+                t_us: t0,
+                args: vec![
+                    ("clock_scale".to_owned(), ArgValue::F64(scale)),
+                    ("target_w".to_owned(), ArgValue::F64(target_w)),
+                ],
+            });
+        }
     }
 
     /// Launches kernels back to back on one die, concatenating their
@@ -521,6 +634,84 @@ mod tests {
         let mid2 = r1.time_s + 0.5 * r2.time_s;
         assert!((seq.profile.power_at(mid2) - r2.profile.power_at(0.5 * r2.time_s)).abs() < 1e-9);
         assert!(gpu.launch_sequence(0, &[]).is_err());
+    }
+
+    #[test]
+    fn traced_launches_emit_package_telemetry_and_advance_the_clock() {
+        let sink = Arc::new(mc_trace::RingSink::new());
+        let mut gpu = Gpu::mi250x();
+        gpu.set_trace_sink(sink.clone());
+        let k = loop_kernel(DType::F64, 16, 16, 4, 440, 50_000);
+        let r = gpu
+            .launch_parallel(&[(0, k.clone()), (1, k.clone())])
+            .unwrap();
+        assert!((gpu.trace_time_s() - r.time_s).abs() < 1e-12);
+
+        let events = sink.events();
+        let violations = mc_trace::check_invariants(&events);
+        assert!(violations.is_empty(), "{violations:?}");
+
+        // Two kernel spans, one per die, both starting at t=0.
+        let kernels: Vec<_> = events
+            .iter()
+            .filter_map(|e| e.as_span())
+            .filter(|s| s.category == mc_trace::Category::Kernel)
+            .collect();
+        assert_eq!(kernels.len(), 2);
+        assert!(kernels.iter().any(|s| s.device == 0));
+        assert!(kernels.iter().any(|s| s.device == 1));
+
+        // Package power counter follows the profile; the FP64 two-GCD
+        // launch throttles, so a governor-clamp instant is present.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            mc_trace::TraceEvent::Counter { name, device, .. }
+                if name == "package_w" && *device == mc_trace::PACKAGE_DEVICE
+        )));
+        assert!(r.governor_scale < 1.0);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            mc_trace::TraceEvent::Instant { name, .. } if name == "governor clamp"
+        )));
+
+        // A second launch lands after the first on the trace timeline.
+        gpu.launch(0, &k).unwrap();
+        let kernels2: Vec<_> = sink
+            .events()
+            .iter()
+            .filter_map(|e| e.as_span().cloned())
+            .filter(|s| s.category == mc_trace::Category::Kernel)
+            .collect();
+        assert_eq!(kernels2.len(), 3);
+        let second_start = kernels2.last().unwrap().t0_us;
+        assert!((second_start - r.time_s * 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn untraced_launches_are_bitwise_identical_to_traced_results() {
+        let mut plain = Gpu::mi250x();
+        let mut traced = Gpu::mi250x();
+        traced.set_trace_sink(Arc::new(mc_trace::RingSink::new()));
+        let k = loop_kernel(DType::F16, 16, 16, 16, 440, 10_000);
+        let a = plain.launch(0, &k).unwrap();
+        let b = traced.launch(0, &k).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn launch_metrics_register_all_three_surfaces() {
+        let mut gpu = Gpu::mi250x();
+        let k = loop_kernel(DType::F32, 16, 16, 4, 440, 10_000);
+        let r = gpu.launch(0, &k).unwrap();
+        let mut reg = mc_trace::MetricsRegistry::new();
+        r.register_metrics(&mut reg);
+        assert_eq!(reg.value("sim.time_s"), Some(r.time_s));
+        assert_eq!(reg.value("power.peak_w"), Some(r.peak_power_w));
+        assert_eq!(
+            reg.value("counters.SQ_WAVES"),
+            Some(r.kernels[0].counters.waves_launched as f64)
+        );
+        assert!(reg.value("sim.flops_per_s").unwrap() > 0.0);
     }
 
     #[test]

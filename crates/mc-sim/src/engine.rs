@@ -162,6 +162,13 @@ pub struct RoundTrace {
     pub pair_utilization: f64,
     /// The limiting pipeline.
     pub bound: RoundBound,
+    /// Matrix-unit busy cycles on the most-loaded SIMD pair this round
+    /// (≤ `cycles`; the tracer renders these as pipeline busy spans).
+    pub mc_busy_cycles: f64,
+    /// SIMD issue-port busy cycles on the most-loaded pair (≤ `cycles`).
+    pub simd_busy_cycles: f64,
+    /// LDS busy cycles on the most-loaded pair (≤ `cycles`).
+    pub lds_busy_cycles: f64,
 }
 
 /// The result of executing one kernel on one die (pre-governor).
@@ -337,6 +344,9 @@ pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelE
             cycles: t_wave,
             pair_utilization: pair_fraction,
             bound,
+            mc_busy_cycles: mc.min(t_wave),
+            simd_busy_cycles: simd.min(t_wave),
+            lds_busy_cycles: lds.min(t_wave),
         });
     }
 
@@ -412,6 +422,169 @@ pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelE
         },
         rounds,
     })
+}
+
+/// Where one kernel's events land on a shared trace timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TracePlacement {
+    /// Die index (becomes the trace "process").
+    pub die: u32,
+    /// Launch start on the trace timeline, in seconds.
+    pub t0_s: f64,
+    /// Governor clock scale applied on top of the residency clock
+    /// (1.0 = no throttling).
+    pub clock_scale: f64,
+    /// Wall time of the kernel after governor action, in seconds.
+    pub wall_time_s: f64,
+}
+
+/// Emits the execution timeline of one kernel into a trace sink: the
+/// kernel span (tagged with every non-zero hardware counter as a
+/// `ctr.*` argument), one span per dispatch round, per-pipeline busy
+/// intervals of the most-loaded CU, the HBM transfer window, and
+/// occupancy counter samples.
+///
+/// No-op when the sink is disabled; untraced launches build no events.
+pub fn emit_kernel_events(
+    sink: &dyn mc_trace::TraceSink,
+    at: &TracePlacement,
+    k: &KernelDesc,
+    e: &KernelExec,
+) {
+    use mc_trace::{ArgValue, Category, SpanEvent, TraceEvent, Track};
+
+    if !sink.enabled() {
+        return;
+    }
+    let t0 = at.t0_s * 1e6;
+    let wall = at.wall_time_s * 1e6;
+    let clock_hz = e.effective_clock_hz * at.clock_scale;
+    let us_per_cycle = 1e6 / clock_hz;
+
+    let mut args: Vec<(String, ArgValue)> = vec![
+        ("flops".into(), e.flops.into()),
+        ("mfma_flops".into(), e.mfma_flops.into()),
+        ("hbm_bytes".into(), e.hbm_bytes.into()),
+        ("effective_clock_hz".into(), clock_hz.into()),
+        ("rounds".into(), (e.rounds.len() as u64).into()),
+    ];
+    for (name, value) in e.counters.iter() {
+        if value > 0 {
+            args.push((format!("ctr.{name}"), value.into()));
+        }
+    }
+    sink.record(TraceEvent::Span(SpanEvent {
+        name: k.name.clone(),
+        category: Category::Kernel,
+        device: at.die,
+        track: Track::Launch,
+        t0_us: t0,
+        dur_us: wall,
+        args,
+    }));
+
+    // Dispatch rounds tile the compute window back to back; their total
+    // (compute_cycles / clock) never exceeds the wall time.
+    let mut cursor = t0;
+    for (i, round) in e.rounds.iter().enumerate() {
+        let dur = round.cycles * us_per_cycle;
+        sink.record(TraceEvent::Span(SpanEvent {
+            name: format!("round {i}"),
+            category: Category::Round,
+            device: at.die,
+            track: Track::Launch,
+            t0_us: cursor,
+            dur_us: dur,
+            args: vec![
+                ("workgroups".into(), round.workgroups.into()),
+                ("waves_per_pair".into(), round.waves_per_pair.into()),
+                ("pair_utilization".into(), round.pair_utilization.into()),
+                ("bound".into(), format!("{:?}", round.bound).into()),
+            ],
+        }));
+        let pipes = [
+            (round.mc_busy_cycles, Track::MatrixPipe(0), "matrix busy"),
+            (
+                round.simd_busy_cycles,
+                Track::SimdPipe(0),
+                "simd issue busy",
+            ),
+            (round.lds_busy_cycles, Track::LdsPipe(0), "lds busy"),
+        ];
+        for (busy_cycles, track, name) in pipes {
+            let busy_us = busy_cycles.min(round.cycles) * us_per_cycle;
+            if busy_us > 0.0 {
+                sink.record(TraceEvent::Span(SpanEvent {
+                    name: name.to_owned(),
+                    category: Category::Pipeline,
+                    device: at.die,
+                    track,
+                    t0_us: cursor,
+                    dur_us: busy_us,
+                    args: vec![("busy_cycles".into(), busy_cycles.into())],
+                }));
+            }
+        }
+        cursor += dur;
+    }
+
+    // HBM transfer window (overlapped with compute by the engine model,
+    // so it starts at launch and is bounded by the wall time).
+    if e.hbm_bytes > 0 && e.dram_time_s > 0.0 {
+        sink.record(TraceEvent::Span(SpanEvent {
+            name: "hbm transfer".to_owned(),
+            category: Category::Memory,
+            device: at.die,
+            track: Track::Memory,
+            t0_us: t0,
+            dur_us: (e.dram_time_s * 1e6).min(wall),
+            args: vec![("bytes".into(), e.hbm_bytes.into())],
+        }));
+    }
+
+    // Occupancy counter tracks: step up at launch, back to zero at end.
+    for (name, value) in [
+        ("matrix_occupancy", e.matrix_occupancy),
+        ("simd_occupancy", e.simd_occupancy),
+    ] {
+        sink.record(TraceEvent::Counter {
+            name: name.to_owned(),
+            device: at.die,
+            t_us: t0,
+            value,
+        });
+        sink.record(TraceEvent::Counter {
+            name: name.to_owned(),
+            device: at.die,
+            t_us: t0 + wall,
+            value: 0.0,
+        });
+    }
+}
+
+/// Executes one kernel and emits its timeline into `sink` at the origin
+/// of the trace timeline (placement `t0_s = 0`, no governor scaling).
+/// Packages launched through [`crate::Gpu`] get placement and governor
+/// context automatically; this entry point serves engine-level tooling.
+pub fn execute_with_sink(
+    die: &DieSpec,
+    cfg: &SimConfig,
+    k: &KernelDesc,
+    sink: &dyn mc_trace::TraceSink,
+) -> Result<KernelExec, LaunchError> {
+    let exec = execute(die, cfg, k)?;
+    emit_kernel_events(
+        sink,
+        &TracePlacement {
+            die: 0,
+            t0_s: 0.0,
+            clock_scale: 1.0,
+            wall_time_s: exec.time_s,
+        },
+        k,
+        &exec,
+    );
+    Ok(exec)
 }
 
 #[cfg(test)]
@@ -617,6 +790,92 @@ mod tests {
         let total: u64 = e.rounds.iter().map(|r| r.workgroups).sum();
         assert_eq!(total, 8000);
         assert!((e.rounds.iter().map(|r| r.cycles).sum::<f64>() - e.compute_cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn round_invariants_hold_across_occupancy_regimes() {
+        // The tracer consumes RoundTrace as ground truth; pin down its
+        // invariants: busy ≤ makespan per round, rounds partition the
+        // workgroup count, and waves-per-pair matches the ceil
+        // distribution of the round's workgroups over SIMD pairs.
+        let d = die();
+        let simds = f64::from(d.simd_units_per_cu);
+        for waves in [1u64, 64, 440, 660, 3520, 8000] {
+            let k = mfma_loop_kernel(waves, 100);
+            let e = execute(&d, &cfg(), &k).unwrap();
+            assert!(!e.rounds.is_empty());
+            let total_wg: u64 = e.rounds.iter().map(|r| r.workgroups).sum();
+            assert_eq!(total_wg, k.workgroups, "waves {waves}");
+            let cap = u64::from(workgroups_per_cu(&d, &k).unwrap()) * u64::from(d.compute_units);
+            for r in &e.rounds {
+                assert!(r.cycles > 0.0);
+                assert!(r.workgroups > 0 && r.workgroups <= cap);
+                assert!(r.mc_busy_cycles <= r.cycles + 1e-9);
+                assert!(r.simd_busy_cycles <= r.cycles + 1e-9);
+                assert!(r.lds_busy_cycles <= r.cycles + 1e-9);
+                assert!(r.pair_utilization > 0.0 && r.pair_utilization <= 1.0);
+                let wg_cu = r.workgroups.div_ceil(u64::from(d.compute_units));
+                let expect_w = ((wg_cu * u64::from(k.waves_per_workgroup)) as f64 / simds)
+                    .ceil()
+                    .max(1.0);
+                assert_eq!(r.waves_per_pair, expect_w, "waves {waves}");
+            }
+            // Only the last round may be ragged: every earlier round is full.
+            for r in &e.rounds[..e.rounds.len() - 1] {
+                assert_eq!(r.workgroups, cap, "waves {waves}");
+            }
+            // Round cycles tile the compute makespan monotonically.
+            let total: f64 = e.rounds.iter().map(|r| r.cycles).sum();
+            assert!((total - e.compute_cycles).abs() < 1e-6 * e.compute_cycles.max(1.0));
+        }
+    }
+
+    #[test]
+    fn execute_with_sink_emits_a_self_consistent_timeline() {
+        let k = mfma_loop_kernel(8000, 100);
+        let sink = mc_trace::RingSink::new();
+        let e = execute_with_sink(&die(), &cfg(), &k, &sink).unwrap();
+        let events = sink.events();
+        assert_eq!(sink.dropped(), 0);
+
+        // The timeline passes every structural invariant check.
+        let violations = mc_trace::check_invariants(&events);
+        assert!(violations.is_empty(), "{violations:?}");
+
+        // One kernel span, one round span per RoundTrace entry.
+        let spans: Vec<&mc_trace::SpanEvent> =
+            events.iter().filter_map(|ev| ev.as_span()).collect();
+        let kernel_spans: Vec<_> = spans
+            .iter()
+            .filter(|s| s.category == mc_trace::Category::Kernel)
+            .collect();
+        assert_eq!(kernel_spans.len(), 1);
+        let rounds = spans
+            .iter()
+            .filter(|s| s.category == mc_trace::Category::Round)
+            .count();
+        assert_eq!(rounds, e.rounds.len());
+
+        // Counter args on the kernel span reproduce HwCounters exactly.
+        for (name, value) in e.counters.iter() {
+            if value == 0 {
+                continue;
+            }
+            let arg = kernel_spans[0]
+                .args
+                .iter()
+                .find(|(k, _)| k == &format!("ctr.{name}"))
+                .unwrap_or_else(|| panic!("missing ctr.{name}"));
+            assert_eq!(arg.1, mc_trace::ArgValue::U64(value), "{name}");
+        }
+    }
+
+    #[test]
+    fn disabled_sink_receives_nothing() {
+        let k = mfma_loop_kernel(64, 10);
+        let sink = mc_trace::NullSink;
+        let e = execute_with_sink(&die(), &cfg(), &k, &sink).unwrap();
+        assert!(e.flops > 0); // execution itself is unaffected
     }
 
     #[test]

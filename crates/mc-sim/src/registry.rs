@@ -12,7 +12,10 @@
 //! follow-ups) slot in as one registry entry instead of a constructor
 //! per call site.
 
+use std::sync::Arc;
+
 use mc_isa::specs;
+use mc_trace::TraceSink;
 
 use crate::config::SimConfig;
 use crate::device::Gpu;
@@ -106,6 +109,7 @@ impl std::error::Error for RegistryError {}
 #[derive(Clone, Debug)]
 pub struct DeviceRegistry {
     entries: Vec<(String, SimConfig)>,
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl DeviceRegistry {
@@ -113,6 +117,7 @@ impl DeviceRegistry {
     pub fn builtin() -> Self {
         let mut registry = DeviceRegistry {
             entries: Vec::new(),
+            sink: None,
         };
         for id in DeviceId::ALL {
             let package = match id {
@@ -156,14 +161,34 @@ impl DeviceRegistry {
             .map(|(_, config)| config)
     }
 
+    /// Attaches a default trace sink: every [`Gpu`] subsequently
+    /// constructed through this registry emits its launch timelines
+    /// into it. Devices handed out earlier are unaffected.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// The default trace sink, if one is attached.
+    pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.sink.as_ref()
+    }
+
     /// Constructs a fresh GPU for a built-in device.
     pub fn gpu(&self, id: DeviceId) -> Gpu {
-        Gpu::new(self.config(id).clone())
+        let mut gpu = Gpu::new(self.config(id).clone());
+        if let Some(sink) = &self.sink {
+            gpu.set_trace_sink(sink.clone());
+        }
+        gpu
     }
 
     /// Constructs a fresh GPU for any registered device.
     pub fn gpu_named(&self, name: &str) -> Option<Gpu> {
-        self.config_named(name).cloned().map(Gpu::new)
+        let mut gpu = self.config_named(name).cloned().map(Gpu::new)?;
+        if let Some(sink) = &self.sink {
+            gpu.set_trace_sink(sink.clone());
+        }
+        Some(gpu)
     }
 
     /// Registered device names, in registration order.

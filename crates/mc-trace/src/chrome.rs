@@ -1,0 +1,215 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the "JSON object format" of the Trace Event specification:
+//! `{"traceEvents": [...], "displayTimeUnit": "ms"}` with `ph: "X"`
+//! complete events for spans, `ph: "i"` instants, `ph: "C"` counters,
+//! and `ph: "M"` metadata naming every process (die) and thread
+//! (pipeline lane). The output loads directly in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+
+use serde::Value;
+
+use crate::event::{device_label, ArgValue, TraceEvent, Track};
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn args_value(args: &[(String, ArgValue)]) -> Value {
+    Value::Object(
+        args.iter()
+            .map(|(k, v)| {
+                let value = match v {
+                    ArgValue::U64(u) => Value::U64(*u),
+                    ArgValue::F64(f) => Value::F64(*f),
+                    ArgValue::Str(s) => Value::Str(s.clone()),
+                };
+                (k.clone(), value)
+            })
+            .collect(),
+    )
+}
+
+fn metadata(name: &str, pid: u32, tid: Option<u32>, value: &str) -> Value {
+    let mut pairs = vec![
+        ("name", Value::Str(name.to_owned())),
+        ("ph", Value::Str("M".to_owned())),
+        ("pid", Value::U64(u64::from(pid))),
+    ];
+    if let Some(tid) = tid {
+        pairs.push(("tid", Value::U64(u64::from(tid))));
+    }
+    pairs.push(("args", obj(vec![("name", Value::Str(value.to_owned()))])));
+    obj(pairs)
+}
+
+/// Renders events as a Chrome trace-event JSON document.
+///
+/// Counters render on their own per-process counter tracks; spans get
+/// one thread per [`Track`] lane, named via metadata events so Perfetto
+/// shows `cu0 matrix pipe` instead of a bare thread id.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out: Vec<Value> = Vec::new();
+
+    // Name every process and lane up front.
+    let mut pids: Vec<u32> = events.iter().map(TraceEvent::device).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in &pids {
+        out.push(metadata("process_name", *pid, None, &device_label(*pid)));
+    }
+    let mut lanes: Vec<(u32, Track)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Span(s) => Some((s.device, s.track)),
+            TraceEvent::Instant { device, track, .. } => Some((*device, *track)),
+            TraceEvent::Counter { .. } => None,
+        })
+        .collect();
+    lanes.sort_by_key(|(pid, track)| (*pid, track.tid()));
+    lanes.dedup();
+    for (pid, track) in &lanes {
+        out.push(metadata(
+            "thread_name",
+            *pid,
+            Some(track.tid()),
+            &track.label(),
+        ));
+    }
+
+    for event in events {
+        match event {
+            TraceEvent::Span(s) => out.push(obj(vec![
+                ("name", Value::Str(s.name.clone())),
+                ("cat", Value::Str(s.category.as_str().to_owned())),
+                ("ph", Value::Str("X".to_owned())),
+                ("ts", Value::F64(s.t0_us)),
+                ("dur", Value::F64(s.dur_us)),
+                ("pid", Value::U64(u64::from(s.device))),
+                ("tid", Value::U64(u64::from(s.track.tid()))),
+                ("args", args_value(&s.args)),
+            ])),
+            TraceEvent::Instant {
+                name,
+                category,
+                device,
+                track,
+                t_us,
+                args,
+            } => out.push(obj(vec![
+                ("name", Value::Str(name.clone())),
+                ("cat", Value::Str(category.as_str().to_owned())),
+                ("ph", Value::Str("i".to_owned())),
+                ("s", Value::Str("p".to_owned())),
+                ("ts", Value::F64(*t_us)),
+                ("pid", Value::U64(u64::from(*device))),
+                ("tid", Value::U64(u64::from(track.tid()))),
+                ("args", args_value(args)),
+            ])),
+            TraceEvent::Counter {
+                name,
+                device,
+                t_us,
+                value,
+            } => out.push(obj(vec![
+                ("name", Value::Str(name.clone())),
+                ("ph", Value::Str("C".to_owned())),
+                ("ts", Value::F64(*t_us)),
+                ("pid", Value::U64(u64::from(*device))),
+                ("args", obj(vec![("value", Value::F64(*value))])),
+            ])),
+        }
+    }
+
+    let root = obj(vec![
+        ("traceEvents", Value::Array(out)),
+        ("displayTimeUnit", Value::Str("ms".to_owned())),
+    ]);
+    serde_json::to_string(&root).expect("trace documents are always serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Category, SpanEvent};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Span(SpanEvent {
+                name: "gemm".into(),
+                category: Category::Kernel,
+                device: 0,
+                track: Track::Launch,
+                t0_us: 0.0,
+                dur_us: 100.0,
+                args: vec![("flops".into(), ArgValue::U64(1 << 20))],
+            }),
+            TraceEvent::Span(SpanEvent {
+                name: "matrix busy".into(),
+                category: Category::Pipeline,
+                device: 0,
+                track: Track::MatrixPipe(0),
+                t0_us: 0.0,
+                dur_us: 80.0,
+                args: Vec::new(),
+            }),
+            TraceEvent::Counter {
+                name: "package_w".into(),
+                device: crate::event::PACKAGE_DEVICE,
+                t_us: 0.0,
+                value: 412.5,
+            },
+            TraceEvent::Instant {
+                name: "governor clamp".into(),
+                category: Category::Power,
+                device: crate::event::PACKAGE_DEVICE,
+                track: Track::Power,
+                t_us: 1.0,
+                args: vec![("clock_scale".into(), ArgValue::F64(0.84))],
+            },
+        ]
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_phases() {
+        let json = chrome_trace_json(&sample_events());
+        let doc: Value = serde_json::from_str(&json).expect("exporter emits valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 process names + 3 thread names + 4 events.
+        assert_eq!(events.len(), 9);
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 5);
+        assert!(phases.contains(&"X"));
+        assert!(phases.contains(&"C"));
+        assert!(phases.contains(&"i"));
+    }
+
+    #[test]
+    fn processes_and_lanes_are_named() {
+        let json = chrome_trace_json(&sample_events());
+        assert!(json.contains("\"die0\""));
+        assert!(json.contains("\"package\""));
+        assert!(json.contains("cu0 matrix pipe"));
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+    }
+
+    #[test]
+    fn span_fields_land_in_chrome_keys() {
+        let json = chrome_trace_json(&sample_events());
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let span = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("gemm"))
+            .unwrap();
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(100.0));
+        assert_eq!(span.get("cat").unwrap().as_str(), Some("kernel"));
+        assert_eq!(
+            span.pointer("/args/flops").and_then(Value::as_u64),
+            Some(1 << 20)
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Folded-stack flamegraph export.
+//!
+//! Produces the `parent;child;leaf weight` line format consumed by
+//! `flamegraph.pl`, inferno, and speedscope. Each span contributes its
+//! duration (integer microseconds) at a stack built from the span
+//! containment hierarchy: a span's parent is the innermost span of a
+//! strictly smaller [`Category depth`](crate::Category::depth) on the
+//! same device whose time window contains it.
+
+use std::collections::BTreeMap;
+
+use crate::event::{device_label, SpanEvent, TraceEvent};
+
+/// Whether `outer` contains `inner` in time, with a small relative
+/// tolerance for floating-point round-off at the window edges.
+pub(crate) fn contains(outer: &SpanEvent, inner: &SpanEvent) -> bool {
+    let eps = 1e-6 * outer.dur_us.max(1.0);
+    inner.t0_us >= outer.t0_us - eps && inner.end_us() <= outer.end_us() + eps
+}
+
+fn parent_of<'a>(spans: &'a [&'a SpanEvent], child: &SpanEvent) -> Option<&'a SpanEvent> {
+    spans
+        .iter()
+        .filter(|s| {
+            s.device == child.device
+                && s.category.depth() < child.category.depth()
+                && contains(s, child)
+        })
+        // Innermost container: greatest depth, then latest start.
+        .max_by(|a, b| {
+            (a.category.depth(), a.t0_us)
+                .partial_cmp(&(b.category.depth(), b.t0_us))
+                .expect("span times are finite")
+        })
+        .copied()
+}
+
+fn frame(span: &SpanEvent) -> String {
+    // Semicolons delimit stack frames in the folded format.
+    span.name.replace(';', ",")
+}
+
+/// Renders spans as folded stacks, one aggregated line per unique
+/// stack, weights in integer microseconds.
+///
+/// Parents are charged their *self* time (duration minus the time of
+/// their direct children, clamped at zero — pipeline children overlap
+/// each other, so a naive subtraction can exceed the parent).
+pub fn folded_stacks(events: &[TraceEvent]) -> String {
+    let spans: Vec<&SpanEvent> = events.iter().filter_map(TraceEvent::as_span).collect();
+
+    // Stack path for every span, computed by walking parents.
+    let mut weights: BTreeMap<String, f64> = BTreeMap::new();
+    for span in &spans {
+        let mut path = vec![frame(span)];
+        let mut cursor: &SpanEvent = span;
+        while let Some(parent) = parent_of(&spans, cursor) {
+            path.push(frame(parent));
+            cursor = parent;
+        }
+        path.push(device_label(span.device));
+        path.reverse();
+
+        let child_time: f64 = spans
+            .iter()
+            .filter(|c| {
+                !std::ptr::eq(**c, *span)
+                    && parent_of(&spans, c).is_some_and(|p| std::ptr::eq(p, *span))
+            })
+            .map(|c| c.dur_us)
+            .sum();
+        let self_time = (span.dur_us - child_time).max(0.0);
+        *weights.entry(path.join(";")).or_insert(0.0) += self_time;
+    }
+
+    let mut out = String::new();
+    for (stack, weight) in weights {
+        let micros = weight.round() as u64;
+        if micros == 0 {
+            continue;
+        }
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&micros.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Category, Track};
+
+    fn span(name: &str, category: Category, t0: f64, dur: f64) -> TraceEvent {
+        TraceEvent::Span(SpanEvent {
+            name: name.into(),
+            category,
+            device: 0,
+            track: Track::Launch,
+            t0_us: t0,
+            dur_us: dur,
+            args: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn nested_spans_fold_into_stacks() {
+        let events = vec![
+            span("gemm", Category::Kernel, 0.0, 100.0),
+            span("round 0", Category::Round, 0.0, 60.0),
+            span("round 1", Category::Round, 60.0, 40.0),
+            span("matrix busy", Category::Pipeline, 0.0, 50.0),
+        ];
+        let folded = folded_stacks(&events);
+        let lines: Vec<&str> = folded.lines().collect();
+        // Kernel self time is 0 (rounds cover it fully) so it drops out.
+        assert!(lines.contains(&"die0;gemm;round 0;matrix busy 50"));
+        assert!(lines.contains(&"die0;gemm;round 0 10"));
+        assert!(lines.contains(&"die0;gemm;round 1 40"));
+        assert!(!folded.contains("die0;gemm 0"));
+    }
+
+    #[test]
+    fn overlapping_children_clamp_parent_self_time() {
+        // Two pipeline children each as long as the round: naive self
+        // time would be negative.
+        let events = vec![
+            span("round 0", Category::Round, 0.0, 10.0),
+            span("matrix busy", Category::Pipeline, 0.0, 10.0),
+            span("simd busy", Category::Pipeline, 0.0, 10.0),
+        ];
+        let folded = folded_stacks(&events);
+        assert!(folded.contains("die0;round 0;matrix busy 10"));
+        assert!(folded.contains("die0;round 0;simd busy 10"));
+        assert!(!folded.contains("die0;round 0 "));
+    }
+
+    #[test]
+    fn semicolons_in_names_are_sanitized() {
+        let events = vec![span("a;b", Category::Kernel, 0.0, 5.0)];
+        let folded = folded_stacks(&events);
+        assert_eq!(folded, "die0;a,b 5\n");
+    }
+}

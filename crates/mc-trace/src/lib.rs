@@ -1,0 +1,41 @@
+//! Execution tracing for the Matrix Core simulator stack.
+//!
+//! The paper's methodology is observability: rocprof counter deltas
+//! (Eq. 1) and 100 ms SMI power polling drive every figure. This crate
+//! is the simulator-side equivalent — a low-overhead event stream that
+//! turns end-of-launch aggregates into inspectable timelines:
+//!
+//! - [`TraceSink`] / [`RingSink`]: a bounded, thread-safe ring-buffer
+//!   sink with a no-op default, so untraced runs pay nothing.
+//! - [`TraceEvent`] / [`SpanEvent`]: timestamped spans (plan, kernel,
+//!   dispatch round, per-CU pipeline busy, memory window), instants
+//!   (DVFS clamps), and counter samples (watts, occupancy), tagged
+//!   with device/die/CU ids.
+//! - [`chrome_trace_json`]: Chrome trace-event JSON, loadable in
+//!   Perfetto or `chrome://tracing`, one track per CU pipeline.
+//! - [`folded_stacks`]: folded-stack flamegraph lines for
+//!   `flamegraph.pl` / inferno / speedscope.
+//! - [`check_invariants`]: structural self-consistency checks (spans
+//!   nest, pipeline busy ≤ wall clock, rounds tile the kernel).
+//! - [`MetricsRegistry`]: one named-metric snapshot API with typed
+//!   [`Unit`]s, unifying `HwCounters`, SMI power stats, and profiler
+//!   timings.
+//!
+//! See `docs/OBSERVABILITY.md` for the event schema and naming
+//! conventions.
+
+#![deny(missing_docs)]
+
+mod chrome;
+mod event;
+mod flame;
+mod metrics;
+mod sink;
+mod validate;
+
+pub use chrome::chrome_trace_json;
+pub use event::{device_label, ArgValue, Category, SpanEvent, TraceEvent, Track, PACKAGE_DEVICE};
+pub use flame::folded_stacks;
+pub use metrics::{Metric, MetricsRegistry, Unit};
+pub use sink::{NullSink, RingSink, TraceSink, DEFAULT_RING_CAPACITY};
+pub use validate::{check_invariants, Violation};

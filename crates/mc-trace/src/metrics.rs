@@ -1,0 +1,231 @@
+//! The unified metrics registry.
+//!
+//! `HwCounters`, SMI power statistics, and profiler wall-clock timings
+//! each expose their own ad-hoc accessors. [`MetricsRegistry`] gives
+//! them one snapshot surface: flat `area.metric` names (`counters.`,
+//! `sim.`, `power.`, `profiler.` prefixes by convention — see
+//! `docs/OBSERVABILITY.md`) mapped to a value with a typed [`Unit`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Physical unit of a metric value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Unit {
+    /// Dimensionless count (instructions, waves, rounds).
+    Count,
+    /// Clock cycles.
+    Cycles,
+    /// Seconds.
+    Seconds,
+    /// Watts.
+    Watts,
+    /// Joules.
+    Joules,
+    /// Bytes.
+    Bytes,
+    /// Floating-point operations.
+    Flops,
+    /// Floating-point operations per second.
+    FlopsPerSecond,
+    /// Hertz.
+    Hertz,
+    /// Dimensionless ratio in `[0, 1]` (occupancy, utilization).
+    Ratio,
+}
+
+impl Unit {
+    /// Short display suffix (`" W"`, `" B"`, `""` for counts).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Unit::Count => "",
+            Unit::Cycles => " cyc",
+            Unit::Seconds => " s",
+            Unit::Watts => " W",
+            Unit::Joules => " J",
+            Unit::Bytes => " B",
+            Unit::Flops => " flop",
+            Unit::FlopsPerSecond => " flop/s",
+            Unit::Hertz => " Hz",
+            Unit::Ratio => "",
+        }
+    }
+}
+
+/// One named, typed metric sample.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// Dotted name, e.g. `counters.SQ_INSTS_MFMA` or `power.avg_w`.
+    pub name: String,
+    /// Physical unit of `value`.
+    pub unit: Unit,
+    /// The sampled value.
+    pub value: f64,
+}
+
+/// A flat snapshot of named metrics with typed units.
+///
+/// Names are unique; [`MetricsRegistry::set`] replaces, and
+/// [`MetricsRegistry::add`] accumulates into, an existing entry. Both
+/// panic if a name is re-used with a *different* unit — unit mismatches
+/// are always programming errors, never data.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, (Unit, f64)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `name` to `value`, replacing any previous sample.
+    ///
+    /// # Panics
+    /// If `name` already exists with a different unit.
+    pub fn set(&mut self, name: &str, unit: Unit, value: f64) {
+        match self.metrics.get_mut(name) {
+            Some((have, slot)) => {
+                assert_eq!(
+                    *have, unit,
+                    "metric {name} re-registered as {unit:?} but recorded as {have:?}"
+                );
+                *slot = value;
+            }
+            None => {
+                self.metrics.insert(name.to_owned(), (unit, value));
+            }
+        }
+    }
+
+    /// Adds `value` to `name`, creating it at `value` if absent.
+    ///
+    /// # Panics
+    /// If `name` already exists with a different unit.
+    pub fn add(&mut self, name: &str, unit: Unit, value: f64) {
+        match self.metrics.get_mut(name) {
+            Some((have, slot)) => {
+                assert_eq!(
+                    *have, unit,
+                    "metric {name} re-registered as {unit:?} but recorded as {have:?}"
+                );
+                *slot += value;
+            }
+            None => {
+                self.metrics.insert(name.to_owned(), (unit, value));
+            }
+        }
+    }
+
+    /// The full sample for `name`, if present.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.metrics.get(name).map(|(unit, value)| Metric {
+            name: name.to_owned(),
+            unit: *unit,
+            value: *value,
+        })
+    }
+
+    /// The bare value for `name`, if present.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).map(|(_, v)| *v)
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Iterates metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = Metric> + '_ {
+        self.metrics.iter().map(|(name, (unit, value))| Metric {
+            name: name.clone(),
+            unit: *unit,
+            value: *value,
+        })
+    }
+
+    /// Snapshot of every metric, in name order.
+    pub fn snapshot(&self) -> Vec<Metric> {
+        self.iter().collect()
+    }
+
+    /// Absorbs every metric from `other` via [`MetricsRegistry::set`].
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for m in other.iter() {
+            self.set(&m.name, m.unit, m.value);
+        }
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for m in self.iter() {
+            writeln!(f, "{:<40} {}{}", m.name, m.value, m.unit.suffix())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_iter_roundtrip_in_name_order() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("power.avg_w", Unit::Watts, 412.0);
+        reg.set("counters.SQ_INSTS_MFMA", Unit::Count, 1024.0);
+        reg.set("power.avg_w", Unit::Watts, 430.0); // replace
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.value("power.avg_w"), Some(430.0));
+        let names: Vec<String> = reg.iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["counters.SQ_INSTS_MFMA", "power.avg_w"]);
+        assert_eq!(reg.get("counters.SQ_INSTS_MFMA").unwrap().unit, Unit::Count);
+        assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("sim.hbm_bytes", Unit::Bytes, 100.0);
+        reg.add("sim.hbm_bytes", Unit::Bytes, 28.0);
+        assert_eq!(reg.value("sim.hbm_bytes"), Some(128.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn unit_mismatch_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("sim.time", Unit::Seconds, 1.0);
+        reg.set("sim.time", Unit::Cycles, 2.0);
+    }
+
+    #[test]
+    fn display_includes_unit_suffix() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("power.avg_w", Unit::Watts, 412.5);
+        let text = format!("{reg}");
+        assert!(text.contains("power.avg_w"));
+        assert!(text.contains("412.5 W"));
+    }
+
+    #[test]
+    fn merge_absorbs_other_registry() {
+        let mut a = MetricsRegistry::new();
+        a.set("x", Unit::Count, 1.0);
+        let mut b = MetricsRegistry::new();
+        b.set("y", Unit::Ratio, 0.5);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.value("y"), Some(0.5));
+    }
+}

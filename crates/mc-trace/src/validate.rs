@@ -1,0 +1,268 @@
+//! Timeline invariant checks.
+//!
+//! A trace is only evidence if it is self-consistent. These checks
+//! assert the structural invariants the engine's emission must uphold:
+//! finite non-negative times, every round/pipeline/memory span nested
+//! in its kernel, pipeline busy time never exceeding the kernel wall
+//! window on its lane, and round windows tiling the kernel.
+
+use crate::event::{Category, SpanEvent, TraceEvent, Track};
+use crate::flame::contains;
+
+/// One violated timeline invariant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Which invariant failed (stable machine-readable tag).
+    pub rule: &'static str,
+    /// Human-readable description with the offending values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+fn violation(rule: &'static str, detail: String) -> Violation {
+    Violation { rule, detail }
+}
+
+/// Relative containment slack, mirroring the flamegraph parenting.
+fn eps_for(outer: &SpanEvent) -> f64 {
+    1e-6 * outer.dur_us.max(1.0)
+}
+
+fn kernels_of<'a>(spans: &'a [&'a SpanEvent], device: u32) -> Vec<&'a SpanEvent> {
+    spans
+        .iter()
+        .filter(|s| s.device == device && s.category == Category::Kernel)
+        .copied()
+        .collect()
+}
+
+/// Checks every timeline invariant over `events`, returning all
+/// violations found (empty means the trace is self-consistent).
+pub fn check_invariants(events: &[TraceEvent]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let spans: Vec<&SpanEvent> = events.iter().filter_map(TraceEvent::as_span).collect();
+
+    // 1. Finite, non-negative times everywhere.
+    for event in events {
+        match event {
+            TraceEvent::Span(s) => {
+                if !s.t0_us.is_finite() || !s.dur_us.is_finite() || s.t0_us < 0.0 || s.dur_us < 0.0
+                {
+                    out.push(violation(
+                        "finite-times",
+                        format!("span '{}' has t0={} dur={}", s.name, s.t0_us, s.dur_us),
+                    ));
+                }
+            }
+            TraceEvent::Instant { name, t_us, .. } => {
+                if !t_us.is_finite() || *t_us < 0.0 {
+                    out.push(violation(
+                        "finite-times",
+                        format!("instant '{name}' has t={t_us}"),
+                    ));
+                }
+            }
+            TraceEvent::Counter {
+                name, t_us, value, ..
+            } => {
+                if !t_us.is_finite() || *t_us < 0.0 || !value.is_finite() {
+                    out.push(violation(
+                        "finite-times",
+                        format!("counter '{name}' has t={t_us} value={value}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // 2. Every round/pipeline/memory span nests inside a kernel span
+    //    of its device.
+    for span in &spans {
+        if matches!(
+            span.category,
+            Category::Round | Category::Pipeline | Category::Memory
+        ) {
+            let nested = kernels_of(&spans, span.device)
+                .iter()
+                .any(|k| contains(k, span));
+            if !nested {
+                out.push(violation(
+                    "span-nesting",
+                    format!(
+                        "{} span '{}' on die{} [{:.3}, {:.3}]us is outside every kernel span",
+                        span.category.as_str(),
+                        span.name,
+                        span.device,
+                        span.t0_us,
+                        span.end_us()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // 3. Per kernel and pipeline lane: total busy ≤ kernel wall time.
+    for kernel in spans
+        .iter()
+        .filter(|s| s.category == Category::Kernel)
+        .copied()
+    {
+        let mut lanes: Vec<Track> = spans
+            .iter()
+            .filter(|s| {
+                s.category == Category::Pipeline && s.device == kernel.device && contains(kernel, s)
+            })
+            .map(|s| s.track)
+            .collect();
+        lanes.sort_by_key(|t| t.tid());
+        lanes.dedup();
+        for lane in lanes {
+            let busy: f64 = spans
+                .iter()
+                .filter(|s| {
+                    s.category == Category::Pipeline
+                        && s.device == kernel.device
+                        && s.track == lane
+                        && contains(kernel, s)
+                })
+                .map(|s| s.dur_us)
+                .sum();
+            if busy > kernel.dur_us + eps_for(kernel) {
+                out.push(violation(
+                    "pipeline-busy",
+                    format!(
+                        "lane '{}' busy {:.3}us exceeds kernel '{}' wall {:.3}us",
+                        lane.label(),
+                        busy,
+                        kernel.name,
+                        kernel.dur_us
+                    ),
+                ));
+            }
+        }
+
+        // 4. Rounds inside a kernel: monotone, non-overlapping, and
+        //    their total does not exceed the kernel window.
+        let mut rounds: Vec<&SpanEvent> = spans
+            .iter()
+            .filter(|s| {
+                s.category == Category::Round && s.device == kernel.device && contains(kernel, s)
+            })
+            .copied()
+            .collect();
+        rounds.sort_by(|a, b| a.t0_us.partial_cmp(&b.t0_us).expect("finite"));
+        for pair in rounds.windows(2) {
+            if pair[1].t0_us < pair[0].end_us() - eps_for(kernel) {
+                out.push(violation(
+                    "round-overlap",
+                    format!(
+                        "rounds '{}' and '{}' overlap in kernel '{}'",
+                        pair[0].name, pair[1].name, kernel.name
+                    ),
+                ));
+            }
+        }
+        let round_total: f64 = rounds.iter().map(|r| r.dur_us).sum();
+        if round_total > kernel.dur_us + eps_for(kernel) {
+            out.push(violation(
+                "round-total",
+                format!(
+                    "rounds total {:.3}us exceeds kernel '{}' wall {:.3}us",
+                    round_total, kernel.name, kernel.dur_us
+                ),
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ArgValue;
+
+    fn span(name: &str, category: Category, track: Track, t0: f64, dur: f64) -> TraceEvent {
+        TraceEvent::Span(SpanEvent {
+            name: name.into(),
+            category,
+            device: 0,
+            track,
+            t0_us: t0,
+            dur_us: dur,
+            args: Vec::<(String, ArgValue)>::new(),
+        })
+    }
+
+    fn clean_trace() -> Vec<TraceEvent> {
+        vec![
+            span("gemm", Category::Kernel, Track::Launch, 0.0, 100.0),
+            span("round 0", Category::Round, Track::Launch, 0.0, 60.0),
+            span("round 1", Category::Round, Track::Launch, 60.0, 40.0),
+            span(
+                "matrix busy",
+                Category::Pipeline,
+                Track::MatrixPipe(0),
+                0.0,
+                55.0,
+            ),
+            span("hbm", Category::Memory, Track::Memory, 0.0, 30.0),
+        ]
+    }
+
+    #[test]
+    fn clean_trace_has_no_violations() {
+        assert_eq!(check_invariants(&clean_trace()), Vec::new());
+    }
+
+    #[test]
+    fn orphan_round_is_flagged() {
+        let mut events = clean_trace();
+        events.push(span("round 9", Category::Round, Track::Launch, 500.0, 10.0));
+        let v = check_invariants(&events);
+        assert!(v.iter().any(|v| v.rule == "span-nesting"), "{v:?}");
+    }
+
+    #[test]
+    fn pipeline_busy_beyond_wall_is_flagged() {
+        let mut events = clean_trace();
+        events.push(span(
+            "matrix busy",
+            Category::Pipeline,
+            Track::MatrixPipe(0),
+            0.0,
+            80.0,
+        ));
+        let v = check_invariants(&events);
+        assert!(v.iter().any(|v| v.rule == "pipeline-busy"), "{v:?}");
+    }
+
+    #[test]
+    fn overlapping_rounds_are_flagged() {
+        let mut events = clean_trace();
+        events.push(span("round 2", Category::Round, Track::Launch, 50.0, 20.0));
+        let v = check_invariants(&events);
+        assert!(v.iter().any(|v| v.rule == "round-overlap"), "{v:?}");
+        assert!(v.iter().any(|v| v.rule == "round-total"), "{v:?}");
+    }
+
+    #[test]
+    fn negative_and_nonfinite_times_are_flagged() {
+        let events = vec![
+            span("bad", Category::Kernel, Track::Launch, -1.0, 10.0),
+            TraceEvent::Counter {
+                name: "w".into(),
+                device: 0,
+                t_us: 0.0,
+                value: f64::NAN,
+            },
+        ];
+        let v = check_invariants(&events);
+        assert_eq!(v.iter().filter(|v| v.rule == "finite-times").count(), 2);
+    }
+}

@@ -7,6 +7,8 @@
 //! - [`isa`] — the CDNA2 / Ampere matrix-instruction model
 //! - [`lint`] — static kernel verification (see `docs/LINTS.md`)
 //! - [`sim`] — the event-driven GPU simulator (devices, counters, power)
+//! - [`trace`] — execution timelines, Perfetto/flamegraph export, and
+//!   the unified metrics registry (see `docs/OBSERVABILITY.md`)
 //! - [`wmma`] — the rocWMMA-style fragment API
 //! - [`blas`] — the rocBLAS-style GEMM library
 //! - [`model`] — performance models (throughput, FLOP distribution)
@@ -24,5 +26,6 @@ pub use mc_power as power;
 pub use mc_profiler as profiler;
 pub use mc_sim as sim;
 pub use mc_solver as solver;
+pub use mc_trace as trace;
 pub use mc_types as types;
 pub use mc_wmma as wmma;

@@ -7,7 +7,7 @@ use mc_bench::experiment::{registry, ExperimentRecord, IterBudgets, RunContext, 
 /// The stable ids the CLI, EXPERIMENTS.md, and recorded envelopes rely
 /// on. Renaming one is a breaking change to the results schema; adding a
 /// new experiment means extending this list.
-const EXPECTED_IDS: [&str; 17] = [
+const EXPECTED_IDS: [&str; 18] = [
     "table1",
     "table2",
     "table3",
@@ -24,6 +24,7 @@ const EXPECTED_IDS: [&str; 17] = [
     "generations",
     "saturation",
     "lint",
+    "trace",
     "report",
 ];
 
@@ -92,6 +93,25 @@ fn checked_experiments_expose_pass_bands_over_their_payload() {
             );
         }
     }
+}
+
+#[test]
+fn trace_dir_captures_a_perfetto_loadable_timeline() {
+    let dir = std::env::temp_dir().join(format!("mc-bench-trace-int-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ctx = RunContext::new(IterBudgets::smoke()).with_trace(&dir);
+
+    // fig3 drives its device through the context registry, so the traced
+    // clone captures its launches without the experiment knowing.
+    let fig3 = registry().into_iter().find(|e| e.id() == "fig3").unwrap();
+    fig3.run(&ctx);
+
+    let path = dir.join("fig3.trace.json");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(text.contains("\"traceEvents\""), "not a Chrome trace");
+    assert!(text.contains("\"process_name\""));
+    assert!(text.contains("\"ph\":\"X\""), "no spans captured");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
