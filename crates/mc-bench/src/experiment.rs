@@ -131,6 +131,23 @@ impl RunContext {
         self
     }
 
+    /// Maps `f` over a sweep's points, in parallel on the global rayon
+    /// pool when tracing is disabled.
+    ///
+    /// Results come back in item order and every point computes
+    /// independently, so parallel and sequential execution produce
+    /// identical results. With `--trace` the points run sequentially:
+    /// each device advances a monotonic trace clock, and interleaving
+    /// launches from worker threads would interleave their spans.
+    pub fn par_points<I, R, F>(&self, items: Vec<I>, f: F) -> Vec<R>
+    where
+        I: Send,
+        R: Send,
+        F: Fn(I) -> R + Sync + Send,
+    {
+        par_map(self.trace_dir.is_none(), items, f)
+    }
+
     /// When tracing is enabled, returns a clone of this context whose
     /// device registry feeds every constructed `Gpu`/`BlasHandle` into a
     /// fresh bounded ring, plus the ring itself; otherwise returns this
@@ -178,6 +195,26 @@ impl RunContext {
         std::fs::write(&path, json)?;
         Ok(Some(path))
     }
+}
+
+/// Maps `f` over `items`, on the global rayon pool when `parallel` is
+/// true and in item order on the calling thread otherwise. Results
+/// always come back in item order. Sweep `run` functions that only see
+/// a [`DeviceRegistry`] use this directly, passing
+/// `devices.trace_sink().is_none()` — a registry with a sink attached
+/// is feeding a timeline, and interleaved launches from worker threads
+/// would interleave its spans.
+pub fn par_map<I, R, F>(parallel: bool, items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync + Send,
+{
+    if !parallel {
+        return items.into_iter().map(f).collect();
+    }
+    use rayon::prelude::*;
+    items.into_par_iter().map(f).collect()
 }
 
 /// One compared quantity: a measured value against the paper's
@@ -344,6 +381,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::saturation::SaturationExperiment),
         Box::new(crate::lint::LintExperiment),
         Box::new(crate::trace::TraceExperiment),
+        Box::new(crate::perf::PerfExperiment),
         Box::new(crate::report::ReportExperiment),
     ]
 }

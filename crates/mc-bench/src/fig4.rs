@@ -33,54 +33,55 @@ pub struct Fig4 {
 
 /// Regenerates Fig. 4.
 pub fn run(devices: &DeviceRegistry, iterations: u64) -> Fig4 {
-    let mut amd = devices.gpu(DeviceId::Mi250x);
-    let mut nv = devices.gpu(DeviceId::A100);
     let amd_cat = cdna2_catalog();
     let nv_cat = ampere_catalog();
 
-    let combos: [(&str, DType, DType); 4] = [
+    let combos: Vec<(&str, DType, DType)> = vec![
         ("FP64 <- FP64", DType::F64, DType::F64),
         ("FP32 <- FP32", DType::F32, DType::F32),
         ("FP32 <- FP16", DType::F32, DType::F16),
         ("FP16 <- FP16", DType::F16, DType::F16),
     ];
 
-    let mut rows = Vec::new();
-    for (label, cd, ab) in combos {
-        let amd_instr = amd_cat.best_for_types(cd, ab);
-        let nv_instr = nv_cat.best_for_types(cd, ab);
+    let rows: Vec<Fig4Row> =
+        crate::experiment::par_map(devices.trace_sink().is_none(), combos, |(label, cd, ab)| {
+            let amd_instr = amd_cat.best_for_types(cd, ab);
+            let nv_instr = nv_cat.best_for_types(cd, ab);
 
-        let (mi250x_tflops, mi250x_peak) = match amd_instr {
-            Some(i) => {
-                let waves = u64::from(amd.spec().die.total_matrix_units());
-                let r =
-                    throughput_run_all_dies(&mut amd, i, waves, iterations).expect("AMD launch");
-                (
-                    Some(r.tflops),
-                    Some(amd.spec().peak_flops(i.flops_per_cu_per_cycle()) / 1e12),
-                )
+            let (mi250x_tflops, mi250x_peak) = match amd_instr {
+                Some(i) => {
+                    let mut amd = devices.gpu(DeviceId::Mi250x);
+                    let waves = u64::from(amd.spec().die.total_matrix_units());
+                    let r = throughput_run_all_dies(&mut amd, i, waves, iterations)
+                        .expect("AMD launch");
+                    (
+                        Some(r.tflops),
+                        Some(amd.spec().peak_flops(i.flops_per_cu_per_cycle()) / 1e12),
+                    )
+                }
+                None => (None, None),
+            };
+            let (a100_tflops, a100_peak) = match nv_instr {
+                Some(i) => {
+                    let mut nv = devices.gpu(DeviceId::A100);
+                    let waves = u64::from(nv.spec().die.total_matrix_units());
+                    let r =
+                        throughput_run_all_dies(&mut nv, i, waves, iterations).expect("NV launch");
+                    (
+                        Some(r.tflops),
+                        Some(nv.spec().peak_flops(i.flops_per_cu_per_cycle()) / 1e12),
+                    )
+                }
+                None => (None, None),
+            };
+            Fig4Row {
+                types: label.to_owned(),
+                mi250x_tflops,
+                mi250x_peak,
+                a100_tflops,
+                a100_peak,
             }
-            None => (None, None),
-        };
-        let (a100_tflops, a100_peak) = match nv_instr {
-            Some(i) => {
-                let waves = u64::from(nv.spec().die.total_matrix_units());
-                let r = throughput_run_all_dies(&mut nv, i, waves, iterations).expect("NV launch");
-                (
-                    Some(r.tflops),
-                    Some(nv.spec().peak_flops(i.flops_per_cu_per_cycle()) / 1e12),
-                )
-            }
-            None => (None, None),
-        };
-        rows.push(Fig4Row {
-            types: label.to_owned(),
-            mi250x_tflops,
-            mi250x_peak,
-            a100_tflops,
-            a100_peak,
         });
-    }
 
     let fp64 = &rows[0];
     let fp64_advantage = fp64.mi250x_tflops.unwrap() / fp64.a100_tflops.unwrap();

@@ -38,12 +38,16 @@ pub struct Fig6 {
     pub dgemm: GemmSeries,
 }
 
-/// Sweeps one routine across the paper's N range.
-pub fn sweep(handle: &mut BlasHandle, op: GemmOp) -> GemmSeries {
-    let max_n = handle.max_square_n(op);
-    let points: Vec<GemmPoint> = gemm_sweep_sizes(max_n)
-        .into_iter()
-        .map(|n| {
+/// Sweeps one routine across the paper's N range. Points are
+/// independent problems, so they run in parallel on the rayon pool
+/// (sequentially when the registry is feeding a trace timeline), each
+/// on its own [`BlasHandle`].
+pub fn sweep(devices: &DeviceRegistry, op: GemmOp) -> GemmSeries {
+    let max_n = BlasHandle::from_registry(devices, DeviceId::Mi250xGcd).max_square_n(op);
+    let sizes = gemm_sweep_sizes(max_n);
+    let points: Vec<GemmPoint> =
+        crate::experiment::par_map(devices.trace_sink().is_none(), sizes, |n| {
+            let mut handle = BlasHandle::from_registry(devices, DeviceId::Mi250xGcd);
             let perf = handle
                 .gemm_timed(&GemmDesc::square(op, n))
                 .expect("problem sized within memory");
@@ -52,8 +56,7 @@ pub fn sweep(handle: &mut BlasHandle, op: GemmOp) -> GemmSeries {
                 tflops: perf.tflops,
                 time_s: perf.time_s,
             }
-        })
-        .collect();
+        });
     let peak = *points
         .iter()
         .max_by(|a, b| a.tflops.total_cmp(&b.tflops))
@@ -67,10 +70,9 @@ pub fn sweep(handle: &mut BlasHandle, op: GemmOp) -> GemmSeries {
 
 /// Regenerates Fig. 6.
 pub fn run(devices: &DeviceRegistry) -> Fig6 {
-    let mut handle = BlasHandle::from_registry(devices, DeviceId::Mi250xGcd);
     Fig6 {
-        sgemm: sweep(&mut handle, GemmOp::Sgemm),
-        dgemm: sweep(&mut handle, GemmOp::Dgemm),
+        sgemm: sweep(devices, GemmOp::Sgemm),
+        dgemm: sweep(devices, GemmOp::Dgemm),
     }
 }
 

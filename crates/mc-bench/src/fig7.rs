@@ -2,8 +2,8 @@
 //! plus the §VII Matrix-Core-over-SIMD speedup analysis that uses HGEMM
 //! as the SIMD-only reference.
 
-use mc_blas::{BlasHandle, GemmOp};
-use mc_sim::{DeviceId, DeviceRegistry};
+use mc_blas::GemmOp;
+use mc_sim::DeviceRegistry;
 use serde::{Deserialize, Serialize};
 
 use crate::fig6::{render_series, sweep, GemmSeries};
@@ -25,10 +25,9 @@ pub struct Fig7 {
 
 /// Regenerates Fig. 7.
 pub fn run(devices: &DeviceRegistry) -> Fig7 {
-    let mut handle = BlasHandle::from_registry(devices, DeviceId::Mi250xGcd);
-    let hgemm = sweep(&mut handle, GemmOp::Hgemm);
-    let hhs = sweep(&mut handle, GemmOp::Hhs);
-    let hss = sweep(&mut handle, GemmOp::Hss);
+    let hgemm = sweep(devices, GemmOp::Hgemm);
+    let hhs = sweep(devices, GemmOp::Hhs);
+    let hss = sweep(devices, GemmOp::Hss);
 
     let speedup: Vec<(usize, f64)> = hhs
         .points

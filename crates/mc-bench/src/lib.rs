@@ -45,6 +45,7 @@ pub mod fig9;
 pub mod generations;
 pub mod lint;
 pub mod ml_dtypes;
+pub mod perf;
 pub mod plot;
 pub mod report;
 pub mod saturation;

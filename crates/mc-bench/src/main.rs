@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! experiments <artifact|all> [--json DIR] [--trace DIR] [--paper-iters]
+//!             [--jobs N]
 //!   artifact: any id from the experiment registry (table1 … report)
 //!   all         run every registered experiment once, in parallel
+//!               (the host-timed `perf` study runs at its smoke
+//!               dimension here; invoke `experiments perf` directly
+//!               for the full 1024³ measurement)
 //!   --json DIR  also write each result as a schema-versioned JSON
 //!               envelope into DIR (one file per experiment)
 //!   --trace DIR also capture each experiment's execution timeline and
@@ -12,6 +16,11 @@
 //!   --paper-iters  full 40 M / 10⁷ / 110 s-sampling budgets instead of
 //!                  the reduced defaults (results are iteration-exact on
 //!                  the simulator)
+//!   --jobs N    cap parallelism: at most N experiments run at once
+//!               under `all`, and the shared rayon pool that intra-
+//!               experiment sweeps draw from is sized to N workers
+//!               (default: one thread per experiment, rayon sized to
+//!               the machine)
 //! ```
 //!
 //! The artifact list and usage text are generated from
@@ -29,6 +38,7 @@ fn main() {
     let mut json_dir: Option<String> = None;
     let mut trace_dir: Option<String> = None;
     let mut paper_iters = false;
+    let mut jobs: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -47,11 +57,31 @@ fn main() {
                 );
             }
             "--paper-iters" => paper_iters = true,
+            "--jobs" => {
+                let n = it
+                    .next()
+                    .unwrap_or_else(|| usage("--jobs needs a positive thread count"))
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--jobs needs a positive thread count"));
+                jobs = Some(n);
+            }
             name if artifact.is_none() => artifact = Some(name.to_owned()),
             other => usage(&format!("unexpected argument `{other}`")),
         }
     }
     let artifact = artifact.unwrap_or_else(|| usage("missing artifact name"));
+
+    if let Some(n) = jobs {
+        // One global pool: experiment worker threads and intra-
+        // experiment sweeps share the same N-worker rayon budget, so
+        // total concurrency tracks --jobs instead of multiplying by it.
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("configure global rayon pool");
+    }
 
     let mut ctx = RunContext::new(IterBudgets::for_flag(paper_iters));
     if let Some(dir) = &json_dir {
@@ -63,7 +93,7 @@ fn main() {
 
     let experiments = registry();
     if artifact == "all" {
-        run_all(&experiments, &ctx);
+        run_all(&experiments, &ctx, jobs);
     } else {
         let Some(exp) = experiments.iter().find(|e| e.id() == artifact) else {
             usage(&format!("unknown artifact `{artifact}`"))
@@ -108,23 +138,52 @@ fn fail_on_gate_errors(record: &ExperimentRecord) {
 }
 
 /// Runs every registered experiment exactly once: the independent ones
-/// in parallel on worker threads, then `report` from their in-memory
-/// records. Output is printed in registry order regardless of which
-/// thread finishes first.
-fn run_all(experiments: &[Box<dyn Experiment>], ctx: &RunContext) {
+/// in parallel on worker threads (at most `--jobs N` at a time), then
+/// `report` from their in-memory records. Output is printed in registry
+/// order regardless of which thread finishes first.
+///
+/// The `perf` experiment runs at its smoke dimension here: its host
+/// timings at the full 1024³ GEMM would dominate the whole suite's
+/// wall-clock (the simulator experiments are analytic and finish in
+/// milliseconds). The full measurement is one `experiments perf` away,
+/// and the record's `config` field reflects the budgets it ran under.
+fn run_all(experiments: &[Box<dyn Experiment>], ctx: &RunContext, jobs: Option<usize>) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
     let independent: Vec<&Box<dyn Experiment>> =
         experiments.iter().filter(|e| e.id() != "report").collect();
-    let records: Vec<ExperimentRecord> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = independent
-            .iter()
-            .map(|exp| s.spawn(move |_| exp.run(ctx)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment thread panicked"))
-            .collect()
+    let workers = jobs
+        .unwrap_or(independent.len())
+        .clamp(1, independent.len().max(1));
+    let perf_ctx = RunContext {
+        budgets: IterBudgets::smoke(),
+        ..ctx.clone()
+    };
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ExperimentRecord>>> =
+        independent.iter().map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(exp) = independent.get(i) else {
+                    break;
+                };
+                let exp_ctx = if exp.id() == "perf" { &perf_ctx } else { ctx };
+                *slots[i].lock().expect("slot lock") = Some(exp.run(exp_ctx));
+            });
+        }
     })
     .expect("worker scope");
+    let records: Vec<ExperimentRecord> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every experiment ran")
+        })
+        .collect();
 
     for record in &records {
         println!("{}", record.rendered);
@@ -174,7 +233,7 @@ fn usage(msg: &str) -> ! {
     let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <{}|all> [--json DIR] [--trace DIR] [--paper-iters]",
+        "usage: experiments <{}|all> [--json DIR] [--trace DIR] [--paper-iters] [--jobs N]",
         ids.join("|")
     );
     exit(2)

@@ -1,0 +1,363 @@
+//! Hot-path performance experiment: the blocked `mc-compute` kernel
+//! against the retained naive reference, plus solver-layer wall times.
+//!
+//! Every figure in the suite now funnels its GEMM work through
+//! [`mc_compute::Blocked`]; this experiment measures what that buys on
+//! the host. It times one square f32 GEMM both ways, confirms the two
+//! kernels agree bitwise (the optimization contract: same rounding
+//! chain, different loop order), and records blocked LU/Cholesky
+//! factorization wall times. Alongside the usual envelope it writes a
+//! machine-readable `BENCH_hotpaths.json` to the `--json` sink so CI
+//! can archive timings as a non-gating artifact.
+//!
+//! The GEMM dimension defaults to 1024 (256 under smoke budgets) and
+//! can be overridden with the `MC_PERF_N` environment variable.
+
+use std::time::Instant;
+
+use mc_blas::BlasHandle;
+use mc_compute::{Blocked, Epilogue, GemmParams, MatMul, Naive};
+use mc_sim::{DeviceId, DeviceRegistry};
+use mc_solver::{factor_timed, Factorization};
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::IterBudgets;
+
+/// Layout version of `BENCH_hotpaths.json`.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Name of the timing artifact written to the JSON sink.
+pub const BENCH_FILE: &str = "BENCH_hotpaths.json";
+
+/// The naive-vs-blocked GEMM measurement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GemmTiming {
+    /// Square problem dimension (M = N = K).
+    pub n: usize,
+    /// Naive reference kernel wall time in seconds.
+    pub naive_s: f64,
+    /// Blocked kernel wall time in seconds.
+    pub blocked_s: f64,
+    /// `naive_s / blocked_s`.
+    pub speedup: f64,
+    /// Whether the two kernels produced bitwise-identical results.
+    pub bitwise_equal: bool,
+}
+
+/// One factorization wall-time measurement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SolverTiming {
+    /// Routine name (`getrf`/`potrf`).
+    pub routine: String,
+    /// Problem size.
+    pub n: usize,
+    /// Panel block size.
+    pub block: usize,
+    /// Host wall time in seconds.
+    pub wall_s: f64,
+    /// Useful-FLOP throughput on the simulated device clock.
+    pub tflops: f64,
+}
+
+/// The GEMM dimension at which the ≥5× speedup bar is assessed. Below
+/// it the whole working set fits in cache and the naive loop order is
+/// not yet paying for its strided `B` walk, so smaller (smoke-tier)
+/// runs report their speedup as informational only.
+pub const TARGET_N: usize = 1024;
+
+/// The perf experiment payload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Perf {
+    /// Rayon worker threads available to the blocked kernel.
+    pub threads: usize,
+    /// f32 GEMM timing, naive vs blocked.
+    pub gemm: GemmTiming,
+    /// True when the run was at the full assessment dimension
+    /// ([`TARGET_N`]) and the blocked kernel met the ≥5× speedup bar.
+    pub meets_target: bool,
+    /// Factorization wall times over the routed BLAS-3 blocks.
+    pub solver: Vec<SolverTiming>,
+}
+
+/// One entry of `BENCH_hotpaths.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Stable hot-path id (`sgemm_naive`, `sgemm_blocked`, …).
+    pub id: String,
+    /// Problem dimension.
+    pub n: usize,
+    /// Host wall time in seconds.
+    pub wall_s: f64,
+}
+
+/// The schema-versioned timing artifact.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchFile {
+    /// Layout version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Rayon worker threads during the run.
+    pub threads: usize,
+    /// Timed hot paths.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// The GEMM dimension for a budget tier: 1024 for the reduced and
+/// paper tiers, 256 under smoke budgets, `MC_PERF_N` overriding both.
+pub fn problem_size(budgets: &IterBudgets) -> usize {
+    if let Some(n) = std::env::var("MC_PERF_N")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    if *budgets == IterBudgets::smoke() {
+        256
+    } else {
+        1024
+    }
+}
+
+/// Deterministic pseudo-random fill in [-1, 1) (xorshift64*).
+fn fill(buf: &mut [f32], mut state: u64) {
+    for v in buf.iter_mut() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let mantissa = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f64;
+        *v = (mantissa / (1u64 << 23) as f64 * 2.0 - 1.0) as f32;
+    }
+}
+
+fn time_kernel<K: MatMul>(
+    kernel: &K,
+    params: &GemmParams,
+    a: &[f32],
+    b: &[f32],
+) -> (f64, Vec<f32>) {
+    let m = params.m;
+    let n = params.n;
+    let c = vec![0.0f32; m * n];
+    let mut d = vec![0.0f32; m * n];
+    let start = Instant::now();
+    kernel
+        .gemm::<f32, f32, f32>(params, a, b, &c, &mut d)
+        .expect("well-formed problem");
+    (start.elapsed().as_secs_f64(), d)
+}
+
+/// Times the f32 GEMM hot path both ways and checks bitwise agreement.
+pub fn time_gemm(n: usize) -> GemmTiming {
+    let mut a = vec![0.0f32; n * n];
+    let mut b = vec![0.0f32; n * n];
+    fill(&mut a, 0x9E37_79B9_7F4A_7C15);
+    fill(&mut b, 0xD1B5_4A32_D192_ED03);
+    let params = GemmParams::new(n, n, n).with_epilogue(Epilogue::ComputeRounded);
+
+    let (naive_s, d_naive) = time_kernel(&Naive, &params, &a, &b);
+    let (blocked_s, d_blocked) = time_kernel(&Blocked, &params, &a, &b);
+
+    GemmTiming {
+        n,
+        naive_s,
+        blocked_s,
+        speedup: naive_s / blocked_s.max(f64::MIN_POSITIVE),
+        bitwise_equal: d_naive
+            .iter()
+            .zip(&d_blocked)
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+    }
+}
+
+/// Runs the perf experiment at the given GEMM dimension.
+pub fn run(devices: &DeviceRegistry, n: usize) -> Perf {
+    let gemm = time_gemm(n);
+
+    let mut handle = BlasHandle::from_registry(devices, DeviceId::Mi250xGcd);
+    let block = 128;
+    let solver_n = n.max(block * 2);
+    let solver = [Factorization::Getrf, Factorization::Potrf]
+        .into_iter()
+        .map(|kind| {
+            let start = Instant::now();
+            let perf = factor_timed(&mut handle, kind, solver_n, block).expect("factorization");
+            SolverTiming {
+                routine: match kind {
+                    Factorization::Getrf => "getrf".to_owned(),
+                    Factorization::Potrf => "potrf".to_owned(),
+                },
+                n: solver_n,
+                block,
+                wall_s: start.elapsed().as_secs_f64(),
+                tflops: perf.tflops,
+            }
+        })
+        .collect();
+
+    Perf {
+        threads: rayon::current_num_threads(),
+        meets_target: n >= TARGET_N && gemm.speedup >= 5.0,
+        gemm,
+        solver,
+    }
+}
+
+/// The `BENCH_hotpaths.json` contents for a run.
+pub fn bench_file(p: &Perf) -> BenchFile {
+    let mut entries = vec![
+        BenchEntry {
+            id: "sgemm_naive".to_owned(),
+            n: p.gemm.n,
+            wall_s: p.gemm.naive_s,
+        },
+        BenchEntry {
+            id: "sgemm_blocked".to_owned(),
+            n: p.gemm.n,
+            wall_s: p.gemm.blocked_s,
+        },
+    ];
+    entries.extend(p.solver.iter().map(|s| BenchEntry {
+        id: s.routine.clone(),
+        n: s.n,
+        wall_s: s.wall_s,
+    }));
+    BenchFile {
+        schema_version: BENCH_SCHEMA_VERSION,
+        threads: p.threads,
+        entries,
+    }
+}
+
+/// The perf measurement as a registered experiment.
+pub struct PerfExperiment;
+
+impl crate::experiment::Experiment for PerfExperiment {
+    fn id(&self) -> &'static str {
+        "perf"
+    }
+
+    fn title(&self) -> &'static str {
+        "Perf — blocked GEMM kernel vs naive reference"
+    }
+
+    fn device(&self) -> &'static str {
+        "host"
+    }
+
+    fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        let p = run(&ctx.devices, problem_size(&ctx.budgets));
+        if let Some(dir) = &ctx.json_sink {
+            let write = std::fs::create_dir_all(dir).and_then(|()| {
+                std::fs::write(
+                    dir.join(BENCH_FILE),
+                    serde_json::to_string_pretty(&bench_file(&p))
+                        .expect("timings are always serializable"),
+                )
+            });
+            if let Err(e) = write {
+                eprintln!("error: could not write {BENCH_FILE}: {e}");
+            }
+        }
+        (serde_json::to_value(&p), render(&p))
+    }
+}
+
+/// Renders the experiment as text.
+pub fn render(p: &Perf) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("Perf: host hot-path timings (blocked mc-compute kernel)\n");
+    let verdict = if p.gemm.n >= TARGET_N {
+        if p.meets_target {
+            "met, target >= 5x".to_owned()
+        } else {
+            "MISSED, target >= 5x".to_owned()
+        }
+    } else {
+        format!("informational; the >= 5x target is assessed at n >= {TARGET_N}")
+    };
+    let _ = writeln!(
+        s,
+        "sgemm {0}x{0}x{0} f32: naive {1:.3} s, blocked {2:.3} s -> {3:.2}x speedup ({4}, {5} threads)",
+        p.gemm.n, p.gemm.naive_s, p.gemm.blocked_s, p.gemm.speedup, verdict, p.threads,
+    );
+    let _ = writeln!(
+        s,
+        "bitwise agreement with naive reference: {}",
+        if p.gemm.bitwise_equal { "yes" } else { "NO" }
+    );
+    for t in &p.solver {
+        let _ = writeln!(
+            s,
+            "{} n={} nb={}: {:.3} s host wall, {:.1} TFLOPS on the device clock",
+            t.routine, t.n, t.block, t.wall_s, t.tflops
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocked_agrees_bitwise_with_naive() {
+        let t = time_gemm(96);
+        assert!(t.bitwise_equal, "blocked f32 GEMM diverged from naive");
+        assert!(t.naive_s > 0.0 && t.blocked_s > 0.0);
+    }
+
+    #[test]
+    fn problem_size_scales_with_budget() {
+        // Guard against MC_PERF_N leaking in from the environment.
+        if std::env::var("MC_PERF_N").is_ok() {
+            return;
+        }
+        assert_eq!(problem_size(&IterBudgets::smoke()), 256);
+        assert_eq!(problem_size(&IterBudgets::reduced()), 1024);
+        assert_eq!(problem_size(&IterBudgets::paper()), 1024);
+    }
+
+    #[test]
+    fn bench_file_lists_every_hot_path() {
+        let p = run(&DeviceRegistry::builtin(), 64);
+        let f = bench_file(&p);
+        assert_eq!(f.schema_version, BENCH_SCHEMA_VERSION);
+        let ids: Vec<&str> = f.entries.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(ids, ["sgemm_naive", "sgemm_blocked", "getrf", "potrf"]);
+        assert!(f.entries.iter().all(|e| e.wall_s > 0.0));
+    }
+
+    #[test]
+    fn render_reports_speedup_and_agreement() {
+        let p = run(&DeviceRegistry::builtin(), 64);
+        let text = render(&p);
+        assert!(text.contains("speedup"));
+        assert!(text.contains("bitwise agreement with naive reference: yes"));
+        assert!(text.contains("getrf"));
+        assert!(text.contains("potrf"));
+    }
+
+    #[test]
+    fn speedup_target_only_assessed_at_full_dimension() {
+        let p = run(&DeviceRegistry::builtin(), 64);
+        assert!(
+            !p.meets_target,
+            "sub-{TARGET_N} runs must not claim the target"
+        );
+        assert!(render(&p).contains("informational"));
+        assert!(!render(&p).contains("MISSED"));
+    }
+
+    #[test]
+    fn experiment_writes_bench_artifact_to_sink() {
+        use crate::experiment::{Experiment, RunContext};
+        let dir = std::env::temp_dir().join(format!("mc-bench-perf-{}", std::process::id()));
+        let ctx = RunContext::new(IterBudgets::smoke()).with_sink(&dir);
+        let record = PerfExperiment.run(&ctx);
+        ctx.persist(&record).unwrap();
+        let bench: BenchFile =
+            serde_json::from_str(&std::fs::read_to_string(dir.join(BENCH_FILE)).unwrap()).unwrap();
+        assert_eq!(bench.schema_version, BENCH_SCHEMA_VERSION);
+        assert!(!bench.entries.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

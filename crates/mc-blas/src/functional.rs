@@ -1,22 +1,34 @@
 //! Host-side functional GEMM execution.
 //!
-//! Executes `D ← α·A·B + β·C` on real data with the same structure the
-//! device kernel uses: the Matrix Core path runs 16×16 tile MMAs through
-//! the [`mc_wmma`] fragment API (so its precision semantics are exactly
-//! the Matrix Core datapath's), and the SIMD path performs per-element
-//! MACs in the routine's compute type (FP16 for HGEMM — which is why
-//! HGEMM is not just slow but also *less accurate*). The α/β scaling is
-//! always applied in the compute type on the SIMD side, mirroring the
-//! paper's Fig. 9 decomposition.
+//! Executes `D ← α·A·B + β·C` on real data with the precision semantics
+//! of the device datapath: every product and partial sum rounds through
+//! the routine's compute type (FP16 for HGEMM — which is why HGEMM is
+//! not just slow but also *less accurate*), and the α/β scaling is
+//! applied in the compute type, mirroring the paper's Fig. 9
+//! decomposition.
+//!
+//! Both planner strategies execute on [`mc_compute::Blocked`], the
+//! cache-blocked packed-panel kernel, which reproduces the historical
+//! paths bit for bit; they differ only in the epilogue rounding:
+//!
+//! * **Matrix Core** — the accumulator registers live in the compute
+//!   type, so the epilogue sum rounds through `CT` before the output
+//!   cast ([`Epilogue::ComputeRounded`]). The path first validates the
+//!   planner's instruction shape against the device catalog through the
+//!   [`mc_wmma`] fragment API, so a catalog miss still surfaces as the
+//!   same lint diagnostic it always did.
+//! * **SIMD** — per-element MACs write straight to the output type
+//!   ([`Epilogue::Direct`]).
 //!
 //! All matrices are row-major with leading dimension equal to their
 //! width (the experiment harnesses only need dense square problems).
 
+use mc_compute::{Epilogue, GemmParams, MatMul, Trans};
 use mc_types::Real;
 use mc_wmma::{mma_sync, Accumulator, Fragment, MatrixA, MatrixB};
 
 use crate::planner::Strategy;
-use crate::types::{BlasError, GemmDesc};
+use crate::types::{BlasError, GemmDesc, Transpose};
 
 /// Index of `op(A)[i][p]` in A's stored row-major layout.
 #[inline]
@@ -79,6 +91,33 @@ fn check_buffers(desc: &GemmDesc, a: usize, b: usize, c: usize, d: usize) -> Res
     Ok(())
 }
 
+/// Translates a library descriptor into compute-backend parameters.
+fn to_params(desc: &GemmDesc, epilogue: Epilogue) -> GemmParams {
+    let map = |t: Transpose| match t {
+        Transpose::None => Trans::None,
+        Transpose::Trans => Trans::Trans,
+    };
+    GemmParams::new(desc.m, desc.n, desc.k)
+        .with_scaling(desc.alpha, desc.beta)
+        .with_transposes(map(desc.trans_a), map(desc.trans_b))
+        .with_epilogue(epilogue)
+}
+
+/// Maps a compute-backend error into the library error type.
+fn compute_to_blas(e: mc_compute::ComputeError) -> BlasError {
+    match e {
+        mc_compute::ComputeError::BufferTooSmall {
+            operand,
+            required,
+            provided,
+        } => BlasError::BufferTooSmall {
+            operand,
+            required,
+            provided,
+        },
+    }
+}
+
 /// Runs a GEMM functionally according to a planner [`Strategy`].
 ///
 /// `AB` is the input element type, `CD` the output element type, and
@@ -98,11 +137,36 @@ where
     CT: Real,
 {
     check_buffers(desc, a.len(), b.len(), c.len(), d.len())?;
-    match strategy {
-        Strategy::MatrixCore { .. } => run_matrix_core::<AB, CD, CT>(desc, a, b, c, d)?,
-        Strategy::SimdOnly { .. } => run_simd::<AB, CD, CT>(desc, a, b, c, d),
-    }
-    Ok(())
+    let epilogue = match strategy {
+        Strategy::MatrixCore { .. } => {
+            // The Matrix Core path must only run instruction shapes the
+            // device catalog knows; probe once through the fragment API
+            // so a miss surfaces as the historical lint diagnostic.
+            match AB::DTYPE.size_bytes() {
+                2 => probe_catalog::<AB, CT, 16>()?,
+                _ => probe_catalog::<AB, CT, 4>()?,
+            }
+            Epilogue::ComputeRounded
+        }
+        Strategy::SimdOnly { .. } => Epilogue::Direct,
+    };
+    mc_compute::Blocked
+        .gemm::<AB, CD, CT>(&to_params(desc, epilogue), a, b, c, d)
+        .map_err(compute_to_blas)
+}
+
+/// Validates the `16×16×TK` instruction shape against the device
+/// catalog with one zero-fragment MMA. Kernel math runs on the blocked
+/// backend, but support (or not) for the shape is still decided by the
+/// same catalog lookup `mma_sync` performs.
+fn probe_catalog<AB: Real, CT: Real, const TK: usize>() -> Result<(), BlasError> {
+    let fa = Fragment::<MatrixA, AB, 16, 16, TK>::new();
+    let fb = Fragment::<MatrixB, AB, 16, 16, TK>::new();
+    let c_in = Fragment::<Accumulator, CT, 16, 16, TK>::new();
+    let mut acc = Fragment::<Accumulator, CT, 16, 16, TK>::new();
+    mma_sync(&mut acc, &fa, &fb, &c_in)
+        .map(|_| ())
+        .map_err(wmma_to_lint)
 }
 
 /// Routes a fragment-API failure through the shared diagnostic type: a
@@ -116,112 +180,6 @@ fn wmma_to_lint(e: mc_wmma::WmmaError) -> BlasError {
         "functional matrix-core path",
         vec![diag],
     ))
-}
-
-/// Matrix Core path: fragment MMAs over zero-padded 16×16 tiles using
-/// the same instruction shape the planner picks — `16×16×16` for FP16
-/// inputs, `16×16×4` for FP32/FP64 — accumulating in `CT`, then α/β
-/// scaling in `CT` on "SIMD".
-fn run_matrix_core<AB: Real, CD: Real, CT: Real>(
-    desc: &GemmDesc,
-    a: &[AB],
-    b: &[AB],
-    c: &[CD],
-    d: &mut [CD],
-) -> Result<(), BlasError> {
-    let (m, n) = (desc.m, desc.n);
-    let tiles_m = m.div_ceil(16);
-    let tiles_n = n.div_ceil(16);
-
-    for tm in 0..tiles_m {
-        for tn in 0..tiles_n {
-            let acc = match AB::DTYPE.size_bytes() {
-                2 => accumulate_tile::<AB, CT, 16>(desc, a, b, tm, tn)?,
-                _ => accumulate_tile::<AB, CT, 4>(desc, a, b, tm, tn)?,
-            };
-            // Epilogue: d = α·acc + β·c in the compute type, then cast.
-            for r in 0..16 {
-                for cc in 0..16 {
-                    let (gi, gj) = (tm * 16 + r, tn * 16 + cc);
-                    if gi < m && gj < n {
-                        let ab = CT::from_f64(desc.alpha * acc[r * 16 + cc].to_f64());
-                        let bc = CT::from_f64(desc.beta * c[gi * n + gj].to_f64());
-                        let val = CT::from_f64(ab.to_f64() + bc.to_f64());
-                        d[gi * n + gj] = CD::from_f64(val.to_f64());
-                    }
-                }
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Accumulates one 16×16 output tile over the whole k extent with
-/// `16×16×TK` fragment MMAs (real Matrix Core instructions: the catalog
-/// lookup inside `mma_sync` must succeed).
-fn accumulate_tile<AB: Real, CT: Real, const TK: usize>(
-    desc: &GemmDesc,
-    a: &[AB],
-    b: &[AB],
-    tm: usize,
-    tn: usize,
-) -> Result<Vec<CT>, BlasError> {
-    let (m, n, k) = (desc.m, desc.n, desc.k);
-    let steps = k.div_ceil(TK);
-    let mut acc = Fragment::<Accumulator, CT, 16, 16, TK>::new();
-    for tk in 0..steps {
-        let mut fa = Fragment::<MatrixA, AB, 16, 16, TK>::new();
-        let mut fb = Fragment::<MatrixB, AB, 16, 16, TK>::new();
-        for r in 0..16 {
-            for cc in 0..TK {
-                let (gi, gk) = (tm * 16 + r, tk * TK + cc);
-                if gi < m && gk < k {
-                    fa.set(r, cc, a[a_index(desc, gi, gk)]);
-                }
-            }
-        }
-        for r in 0..TK {
-            for cc in 0..16 {
-                let (gk, gj) = (tk * TK + r, tn * 16 + cc);
-                if gk < k && gj < n {
-                    fb.set(r, cc, b[b_index(desc, gk, gj)]);
-                }
-            }
-        }
-        let c_in = acc.clone();
-        mma_sync(&mut acc, &fa, &fb, &c_in).map_err(wmma_to_lint)?;
-    }
-    let mut out = vec![CT::zero(); 256];
-    for r in 0..16 {
-        for cc in 0..16 {
-            out[r * 16 + cc] = acc.get(r, cc);
-        }
-    }
-    Ok(out)
-}
-
-/// SIMD path: sequential per-element MACs in the compute type.
-fn run_simd<AB: Real, CD: Real, CT: Real>(
-    desc: &GemmDesc,
-    a: &[AB],
-    b: &[AB],
-    c: &[CD],
-    d: &mut [CD],
-) {
-    let (m, n, k) = (desc.m, desc.n, desc.k);
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = CT::zero();
-            for p in 0..k {
-                let prod =
-                    CT::from_f64(a[a_index(desc, i, p)].to_f64() * b[b_index(desc, p, j)].to_f64());
-                acc = CT::from_f64(acc.to_f64() + prod.to_f64());
-            }
-            let ab = CT::from_f64(desc.alpha * acc.to_f64());
-            let bc = CT::from_f64(desc.beta * c[i * n + j].to_f64());
-            d[i * n + j] = CD::from_f64(ab.to_f64() + bc.to_f64());
-        }
-    }
 }
 
 #[cfg(test)]

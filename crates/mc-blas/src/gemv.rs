@@ -69,17 +69,28 @@ pub fn gemv_functional<T: Real, CT: Real>(
             });
         }
     }
-    for i in 0..m {
-        let mut acc = CT::zero();
-        for j in 0..n {
-            let prod = CT::from_f64(a[i * n + j].to_f64() * x[j].to_f64());
-            acc = CT::from_f64(acc.to_f64() + prod.to_f64());
-        }
-        let ax = CT::from_f64(desc.alpha * acc.to_f64());
-        let by = CT::from_f64(desc.beta * y[i].to_f64());
-        y[i] = T::from_f64(CT::from_f64(ax.to_f64() + by.to_f64()).to_f64());
-    }
-    Ok(())
+    // A GEMV is an m×1×n GEMM with x as the single column of B and y as
+    // both C and D; the per-row ascending-j chain and the
+    // compute-rounded epilogue match the blocked backend's semantics
+    // exactly, so this routes through the shared kernel (parallel over
+    // row panels for large m).
+    let params = mc_compute::GemmParams::new(m, 1, n)
+        .with_scaling(desc.alpha, desc.beta)
+        .with_epilogue(mc_compute::Epilogue::ComputeRounded);
+    let y_in = y[..m].to_vec();
+    mc_compute::MatMul::gemm::<T, T, CT>(&mc_compute::Blocked, &params, a, x, &y_in, y).map_err(
+        |e| match e {
+            mc_compute::ComputeError::BufferTooSmall {
+                operand,
+                required,
+                provided,
+            } => BlasError::BufferTooSmall {
+                operand,
+                required,
+                provided,
+            },
+        },
+    )
 }
 
 /// Builds the streaming GEMV kernel: each wavefront owns 64 rows and

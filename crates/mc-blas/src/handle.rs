@@ -10,12 +10,68 @@
 //!   descriptor only (no host data), used by the large-N sweeps of
 //!   Fig. 6/7/8 where materializing 65000² matrices is pointless.
 
+use std::collections::HashMap;
+
 use mc_sim::{DeviceId, DeviceRegistry, Gpu, HwCounters, LaunchError, PackageResult, SimConfig};
 use mc_types::{Real, F16};
 
 use crate::functional::run_functional;
 use crate::planner::{plan_gemm, GemmPlan};
-use crate::types::{BlasError, GemmDesc, GemmOp};
+use crate::types::{BlasError, GemmDesc, GemmOp, Transpose};
+
+/// The full planning input: every descriptor field that influences
+/// [`plan_gemm`]'s output, plus the die the handle launches on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct PlanKey {
+    op: GemmOp,
+    m: usize,
+    n: usize,
+    k: usize,
+    trans_a: Transpose,
+    trans_b: Transpose,
+    alpha_bits: u64,
+    beta_bits: u64,
+    die: usize,
+}
+
+impl PlanKey {
+    fn new(desc: &GemmDesc, die: usize) -> Self {
+        PlanKey {
+            op: desc.op,
+            m: desc.m,
+            n: desc.n,
+            k: desc.k,
+            trans_a: desc.trans_a,
+            trans_b: desc.trans_b,
+            alpha_bits: desc.alpha.to_bits(),
+            beta_bits: desc.beta.to_bits(),
+            die,
+        }
+    }
+}
+
+/// Memoized planner results for one handle.
+///
+/// Sweeps and the solver's schedule replay re-plan the same descriptor
+/// many times; the plan is a pure function of [`PlanKey`], so the
+/// handle caches it. Lint *enforcement* still happens on every launch
+/// (the policy flag can change between calls) — only the plan
+/// construction and its lint *analysis* are memoized.
+#[derive(Debug, Default)]
+struct PlanCache {
+    plans: HashMap<PlanKey, GemmPlan>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Hit/miss counters for a handle's plan cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Plans served from the cache.
+    pub hits: u64,
+    /// Plans constructed by the planner.
+    pub misses: u64,
+}
 
 /// Performance report for one GEMM launch.
 #[derive(Clone, Debug)]
@@ -39,6 +95,7 @@ pub struct BlasHandle {
     gpu: Gpu,
     die: usize,
     strict_lint: bool,
+    plan_cache: PlanCache,
 }
 
 impl BlasHandle {
@@ -72,6 +129,28 @@ impl BlasHandle {
             gpu: Gpu::new(cfg),
             die,
             strict_lint: cfg!(debug_assertions),
+            plan_cache: PlanCache::default(),
+        }
+    }
+
+    /// Plans a GEMM through the handle's memoizing cache.
+    pub fn planned(&mut self, desc: &GemmDesc) -> Result<GemmPlan, BlasError> {
+        let key = PlanKey::new(desc, self.die);
+        if let Some(plan) = self.plan_cache.plans.get(&key) {
+            self.plan_cache.hits += 1;
+            return Ok(plan.clone());
+        }
+        let plan = plan_gemm(&self.gpu.spec().die, desc)?;
+        self.plan_cache.misses += 1;
+        self.plan_cache.plans.insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// Hit/miss counters for the plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.plan_cache.hits,
+            misses: self.plan_cache.misses,
         }
     }
 
@@ -147,7 +226,7 @@ impl BlasHandle {
                 capacity,
             });
         }
-        let plan = plan_gemm(&self.gpu.spec().die, desc)?;
+        let plan = self.planned(desc)?;
         self.enforce_lint(&plan)?;
         let package = self
             .gpu
@@ -180,7 +259,7 @@ impl BlasHandle {
         CD: Real,
         CT: Real,
     {
-        let plan = plan_gemm(&self.gpu.spec().die, desc)?;
+        let plan = self.planned(desc)?;
         self.enforce_lint(&plan)?;
         run_functional::<AB, CD, CT>(desc, &plan.strategy, a, b, c, d)?;
         self.gemm_timed(desc)
@@ -565,6 +644,38 @@ mod tests {
             .args
             .iter()
             .any(|(k, v)| k == "strategy" && *v == mc_trace::ArgValue::Str("matrix-core".into())));
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_descriptors() {
+        let mut h = BlasHandle::new_mi250x_gcd();
+        let desc = GemmDesc::square(GemmOp::Sgemm, 2048);
+        h.gemm_timed(&desc).unwrap();
+        assert_eq!(h.plan_cache_stats(), PlanCacheStats { hits: 0, misses: 1 });
+        h.gemm_timed(&desc).unwrap();
+        h.gemm_timed(&desc).unwrap();
+        assert_eq!(h.plan_cache_stats(), PlanCacheStats { hits: 2, misses: 1 });
+        // A different shape misses; any scalar change does too (α/β are
+        // part of the planning input through useful-FLOPs accounting).
+        h.gemm_timed(&GemmDesc::square(GemmOp::Sgemm, 4096))
+            .unwrap();
+        assert_eq!(h.plan_cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn gemm_ex_plans_once_per_descriptor_launch_pair() {
+        let n = 32;
+        let mut h = BlasHandle::new_mi250x_gcd();
+        let desc = GemmDesc::square(GemmOp::Sgemm, n);
+        let a = vec![1.0f32; n * n];
+        let b = vec![1.0f32; n * n];
+        let c = vec![0.0f32; n * n];
+        let mut d = vec![0.0f32; n * n];
+        h.sgemm(&desc, &a, &b, &c, &mut d).unwrap();
+        // gemm_ex plans for the functional run, then its inner
+        // gemm_timed reuses the cached plan instead of re-planning.
+        let stats = h.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]

@@ -66,15 +66,24 @@ pub fn quantized_gemm(
             });
         }
     }
+    // The i32 accumulation is order-free (exact integer MACs), so it
+    // runs on the blocked parallel kernel; the single FP32 rounding per
+    // element stays here in the dequantization epilogue.
+    let mut acc = vec![0i32; m * n];
+    mc_compute::gemm_i8(m, n, k, &a.q, &b.q, &mut acc).map_err(|e| match e {
+        mc_compute::ComputeError::BufferTooSmall {
+            operand,
+            required,
+            provided,
+        } => BlasError::BufferTooSmall {
+            operand,
+            required,
+            provided,
+        },
+    })?;
     let dequant = a.scale * b.scale;
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc: i32 = 0;
-            for p in 0..k {
-                acc += i32::from(a.q[i * k + p]) * i32::from(b.q[p * n + j]);
-            }
-            d[i * n + j] = dequant * acc as f32 + beta * c[i * n + j];
-        }
+    for ((out, &sum), &cv) in d[..m * n].iter_mut().zip(&acc).zip(&c[..m * n]) {
+        *out = dequant * sum as f32 + beta * cv;
     }
     Ok(())
 }

@@ -13,10 +13,12 @@
 //!   (the policy that leaves HGEMM on the SIMD units and skips Matrix
 //!   Cores for tiny mixed problems, Fig. 8);
 //! * [`functional`] — a host-side executor that really computes
-//!   `D ← α·A·B + β·C` with hardware-faithful precision, tile by tile,
-//!   through the [`mc_wmma`] fragment API;
+//!   `D ← α·A·B + β·C` with hardware-faithful precision on the shared
+//!   [`mc_compute`] blocked kernel, validating Matrix Core instruction
+//!   shapes through the [`mc_wmma`] fragment API;
 //! * [`handle`] — the `rocblas_handle` equivalent: owns a simulated
-//!   device, launches planned kernels, and reports timing/counters.
+//!   device, launches planned kernels through a memoizing plan cache,
+//!   and reports timing/counters.
 
 #![deny(missing_docs)]
 
@@ -32,7 +34,7 @@ pub mod types;
 pub use batched::BatchedGemmDesc;
 pub use functional::{gemm_reference_f64, run_functional};
 pub use gemv::{gemv_functional, plan_gemv, GemvDesc, GemvPerf};
-pub use handle::{BlasHandle, GemmPerf};
+pub use handle::{BlasHandle, GemmPerf, PlanCacheStats};
 pub use igemm::{dequantize, quantize, quantized_gemm, Quantized};
 pub use planner::{plan_gemm, select_strategy, GemmPlan, SimdReason, Strategy};
 pub use syrk::{plan_syrk, syrk_functional, SyrkDesc, SyrkPlan};

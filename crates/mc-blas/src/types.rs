@@ -118,7 +118,7 @@ impl fmt::Display for GemmOp {
 }
 
 /// BLAS transpose selector for an input operand.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Transpose {
     /// Use the operand as stored (`N` in BLAS notation).
     #[default]

@@ -1,0 +1,333 @@
+//! The cache-blocked, packed-panel GEMM backend.
+//!
+//! BLIS-style three-level tiling: the output is walked in `NC`-wide
+//! column blocks and `KC`-deep k blocks; for each `(jc, pc)` pair the B
+//! panel is packed once into a column-major f64 buffer, then the `MC`
+//! row panels fan out across the rayon pool, each packing its A panel
+//! and running the microkernel over L1-resident strips. Packing
+//! converts every element to `f64` exactly once (the conversion is
+//! exact for all supported dtypes), so the products inside the
+//! microkernel are bit-identical to the naive kernel's
+//! `a.to_f64() * b.to_f64()`.
+//!
+//! **Rounding semantics are preserved, not approximated**: every output
+//! element accumulates through the same compute-type rounding chain in
+//! the same ascending-k order as [`crate::Naive`] — k blocks ascend,
+//! and the per-element accumulator carries across blocks — so blocked
+//! results equal naive results *bitwise* for every dtype triple. The
+//! speedup comes from locality (the naive kernel strides `n` elements
+//! through B per MAC), hoisted conversions, and an 8-column microkernel
+//! that runs eight independent rounding chains to cover the chain
+//! latency. Threads partition the output by row panel, each element is
+//! computed by exactly one thread, and the k order is fixed, so results
+//! are invariant under the thread count.
+
+use mc_types::Real;
+use rayon::prelude::*;
+
+use crate::params::{ComputeError, Epilogue, GemmParams, Trans};
+use crate::MatMul;
+
+/// Row-panel height: the unit of parallel work.
+pub const MC: usize = 64;
+/// Column-block width: the B panel strip kept hot per microkernel pass.
+pub const NC: usize = 128;
+/// k-block depth: packed-panel columns sized to stay in L1.
+pub const KC: usize = 256;
+
+/// Columns the microkernel advances per pass (independent rounding
+/// chains, giving instruction-level parallelism the sequential
+/// per-element chain otherwise forbids).
+const JR: usize = 8;
+
+/// The cache-blocked, rayon-parallel backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Blocked;
+
+/// One step of the compute-type rounding chain:
+/// `acc ← ct(acc + ct(av·bv))`.
+#[inline(always)]
+fn mac_step<CT: Real>(acc: CT, av: f64, bv: f64) -> CT {
+    let prod = CT::from_f64(av * bv);
+    CT::from_f64(acc.to_f64() + prod.to_f64())
+}
+
+/// Packs `op(A)[ic..ic+mc_len][pc..pc+kc_len]` row-major into `out`.
+fn pack_a<AB: Real>(
+    params: &GemmParams,
+    a: &[AB],
+    ic: usize,
+    mc_len: usize,
+    pc: usize,
+    kc_len: usize,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    match params.trans_a {
+        Trans::None => {
+            for il in 0..mc_len {
+                let row = (ic + il) * params.k + pc;
+                out.extend(a[row..row + kc_len].iter().map(|x| x.to_f64()));
+            }
+        }
+        Trans::Trans => {
+            for il in 0..mc_len {
+                for pl in 0..kc_len {
+                    out.push(a[(pc + pl) * params.m + ic + il].to_f64());
+                }
+            }
+        }
+    }
+}
+
+/// Packs `op(B)[pc..pc+kc_len][jc..jc+nc_len]` column-major into `out`
+/// (`out[jl·kc_len + pl]`), so each output column is a contiguous strip.
+fn pack_b<AB: Real>(
+    params: &GemmParams,
+    b: &[AB],
+    pc: usize,
+    kc_len: usize,
+    jc: usize,
+    nc_len: usize,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    match params.trans_b {
+        Trans::None => {
+            for jl in 0..nc_len {
+                for pl in 0..kc_len {
+                    out.push(b[(pc + pl) * params.n + jc + jl].to_f64());
+                }
+            }
+        }
+        Trans::Trans => {
+            for jl in 0..nc_len {
+                let row = (jc + jl) * params.k + pc;
+                out.extend(b[row..row + kc_len].iter().map(|x| x.to_f64()));
+            }
+        }
+    }
+}
+
+/// Accumulates one packed A panel against one packed B panel into the
+/// panel's accumulator rows (`acc_rows` spans `mc_len` full-width rows).
+fn micro_panel<CT: Real>(
+    acc_rows: &mut [CT],
+    n: usize,
+    jc: usize,
+    nc_len: usize,
+    kc_len: usize,
+    a_panel: &[f64],
+    b_panel: &[f64],
+) {
+    let mc_len = acc_rows.len() / n;
+    for il in 0..mc_len {
+        let a_row = &a_panel[il * kc_len..(il + 1) * kc_len];
+        let acc_row = &mut acc_rows[il * n + jc..il * n + jc + nc_len];
+        let mut jl = 0;
+        while jl + JR <= nc_len {
+            let bcols: [&[f64]; JR] =
+                core::array::from_fn(|q| &b_panel[(jl + q) * kc_len..(jl + q + 1) * kc_len]);
+            let mut t: [CT; JR] = core::array::from_fn(|q| acc_row[jl + q]);
+            for (pl, &av) in a_row.iter().enumerate() {
+                for q in 0..JR {
+                    t[q] = mac_step(t[q], av, bcols[q][pl]);
+                }
+            }
+            acc_row[jl..jl + JR].copy_from_slice(&t);
+            jl += JR;
+        }
+        while jl < nc_len {
+            let bcol = &b_panel[jl * kc_len..(jl + 1) * kc_len];
+            let mut t = acc_row[jl];
+            for (&av, &bv) in a_row.iter().zip(bcol) {
+                t = mac_step(t, av, bv);
+            }
+            acc_row[jl] = t;
+            jl += 1;
+        }
+    }
+}
+
+impl MatMul for Blocked {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn gemm<AB, CD, CT>(
+        &self,
+        params: &GemmParams,
+        a: &[AB],
+        b: &[AB],
+        c: &[CD],
+        d: &mut [CD],
+    ) -> Result<(), ComputeError>
+    where
+        AB: Real,
+        CD: Real,
+        CT: Real,
+    {
+        params.check_buffers(a.len(), b.len(), c.len(), d.len())?;
+        let (m, n, k) = (params.m, params.n, params.k);
+        if m == 0 || n == 0 {
+            return Ok(());
+        }
+
+        // Compute-type accumulators for the whole output, carried across
+        // k blocks so each element sees one ascending-k rounding chain.
+        let mut acc = vec![CT::zero(); m * n];
+        let mut b_panel: Vec<f64> = Vec::with_capacity(KC * NC);
+        for jc in (0..n).step_by(NC) {
+            let nc_len = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc_len = KC.min(k - pc);
+                pack_b(params, b, pc, kc_len, jc, nc_len, &mut b_panel);
+                let bp = &b_panel;
+                acc.par_chunks_mut(MC * n)
+                    .enumerate()
+                    .for_each(|(panel, acc_rows)| {
+                        let mc_len = acc_rows.len() / n;
+                        let mut a_panel = Vec::with_capacity(mc_len * kc_len);
+                        pack_a(params, a, panel * MC, mc_len, pc, kc_len, &mut a_panel);
+                        micro_panel(acc_rows, n, jc, nc_len, kc_len, &a_panel, bp);
+                    });
+            }
+        }
+
+        let (alpha, beta) = (params.alpha, params.beta);
+        let epilogue = params.epilogue;
+        let acc_ref = &acc;
+        d[..m * n]
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, drow)| {
+                for (j, out) in drow.iter_mut().enumerate() {
+                    let ab = CT::from_f64(alpha * acc_ref[i * n + j].to_f64());
+                    let bc = CT::from_f64(beta * c[i * n + j].to_f64());
+                    *out = match epilogue {
+                        Epilogue::Direct => CD::from_f64(ab.to_f64() + bc.to_f64()),
+                        Epilogue::ComputeRounded => {
+                            CD::from_f64(CT::from_f64(ab.to_f64() + bc.to_f64()).to_f64())
+                        }
+                    };
+                }
+            });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Naive;
+    use mc_types::{Bf16, F16};
+
+    fn fill_ab<T: Real>(len: usize, seed: usize) -> Vec<T> {
+        (0..len)
+            .map(|i| T::from_f64(((i * seed + 3) % 17) as f64 / 8.0 - 1.0))
+            .collect()
+    }
+
+    fn parity<AB: Real, CD: Real, CT: Real>(params: &GemmParams) {
+        let (am, ak) = match params.trans_a {
+            Trans::None => (params.m, params.k),
+            Trans::Trans => (params.k, params.m),
+        };
+        let (bk, bn) = match params.trans_b {
+            Trans::None => (params.k, params.n),
+            Trans::Trans => (params.n, params.k),
+        };
+        let a: Vec<AB> = fill_ab(am * ak, 7);
+        let b: Vec<AB> = fill_ab(bk * bn, 13);
+        let c: Vec<CD> = fill_ab(params.m * params.n, 5);
+        let mut d_naive = vec![CD::zero(); params.m * params.n];
+        let mut d_blocked = vec![CD::zero(); params.m * params.n];
+        Naive
+            .gemm::<AB, CD, CT>(params, &a, &b, &c, &mut d_naive)
+            .unwrap();
+        Blocked
+            .gemm::<AB, CD, CT>(params, &a, &b, &c, &mut d_blocked)
+            .unwrap();
+        for (i, (x, y)) in d_naive.iter().zip(&d_blocked).enumerate() {
+            assert!(x == y, "element {i}: {x:?} vs {y:?} ({params:?})");
+        }
+    }
+
+    #[test]
+    fn bitwise_parity_with_naive_across_dtypes() {
+        // Shapes straddling every block boundary, both epilogues.
+        for (m, n, k) in [(1, 1, 1), (17, 5, 3), (65, 129, 257), (64, 128, 256)] {
+            for epilogue in [Epilogue::Direct, Epilogue::ComputeRounded] {
+                let p = GemmParams::new(m, n, k)
+                    .with_scaling(0.1, 0.1)
+                    .with_epilogue(epilogue);
+                parity::<f64, f64, f64>(&p);
+                parity::<f32, f32, f32>(&p);
+                parity::<F16, F16, F16>(&p);
+                parity::<F16, f32, f32>(&p);
+                parity::<Bf16, Bf16, f32>(&p);
+            }
+        }
+    }
+
+    #[test]
+    fn bitwise_parity_under_transposes() {
+        for (ta, tb) in [
+            (Trans::None, Trans::Trans),
+            (Trans::Trans, Trans::None),
+            (Trans::Trans, Trans::Trans),
+        ] {
+            let p = GemmParams::new(33, 21, 130)
+                .with_scaling(-1.0, 1.0)
+                .with_transposes(ta, tb);
+            parity::<f32, f32, f32>(&p);
+            parity::<F16, f32, f32>(&p);
+        }
+    }
+
+    #[test]
+    fn k_zero_scales_c_only() {
+        let p = GemmParams::new(3, 2, 0).with_scaling(9.0, 0.5);
+        parity::<f32, f32, f32>(&p);
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let p = GemmParams::new(130, 70, 90).with_scaling(0.1, 0.1);
+        let a: Vec<f32> = fill_ab(130 * 90, 11);
+        let b: Vec<f32> = fill_ab(90 * 70, 29);
+        let c: Vec<f32> = fill_ab(130 * 70, 3);
+        let mut runs: Vec<Vec<f32>> = Vec::new();
+        for threads in [1, 2, 7] {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build_global()
+                .unwrap();
+            let mut d = vec![0.0f32; 130 * 70];
+            Blocked
+                .gemm::<f32, f32, f32>(&p, &a, &b, &c, &mut d)
+                .unwrap();
+            runs.push(d);
+        }
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn oversized_output_buffer_is_left_untouched_past_mn() {
+        let p = GemmParams::new(2, 2, 2).with_scaling(1.0, 0.0);
+        let a = vec![1.0f64; 4];
+        let b = vec![1.0f64; 4];
+        let c = vec![0.0f64; 4];
+        let mut d = vec![-7.0f64; 9];
+        Blocked
+            .gemm::<f64, f64, f64>(&p, &a, &b, &c, &mut d)
+            .unwrap();
+        assert_eq!(&d[..4], &[2.0, 2.0, 2.0, 2.0]);
+        assert!(d[4..].iter().all(|&x| x == -7.0));
+    }
+}

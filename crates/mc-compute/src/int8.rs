@@ -1,0 +1,131 @@
+//! Quantized int8 → int32 GEMM kernels.
+//!
+//! Integer accumulation is exact, so any summation order gives the same
+//! result and the blocked kernel needs no rounding-chain argument: it
+//! packs B column-major into `i32` strips and walks contiguous dot
+//! products, parallel over output rows. The paper's int8 MFMA
+//! instructions accumulate in int32 the same way, which is why
+//! `mc_blas::igemm` keeps its dequantization epilogue outside this
+//! kernel.
+
+use rayon::prelude::*;
+
+use crate::params::ComputeError;
+
+/// Validates buffer lengths for an `m×n×k` int8 GEMM.
+fn check(m: usize, n: usize, k: usize, a: usize, b: usize, d: usize) -> Result<(), ComputeError> {
+    let need = [("A", m * k, a), ("B", k * n, b), ("D", m * n, d)];
+    for (operand, required, provided) in need {
+        if provided < required {
+            return Err(ComputeError::BufferTooSmall {
+                operand,
+                required,
+                provided,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Reference triple loop: `D[i][j] = Σ_p A[i][p]·B[p][j]` in `i32`.
+pub fn gemm_i8_reference(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    d: &mut [i32],
+) -> Result<(), ComputeError> {
+    check(m, n, k, a.len(), b.len(), d.len())?;
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for p in 0..k {
+                acc += i32::from(a[i * k + p]) * i32::from(b[p * n + j]);
+            }
+            d[i * n + j] = acc;
+        }
+    }
+    Ok(())
+}
+
+/// Blocked, parallel int8 GEMM. Bit-identical to
+/// [`gemm_i8_reference`] (integer sums are order-free).
+pub fn gemm_i8(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    d: &mut [i32],
+) -> Result<(), ComputeError> {
+    check(m, n, k, a.len(), b.len(), d.len())?;
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    // Pack B column-major once: column j is the contiguous strip
+    // b_cols[j*k..(j+1)*k], widened to i32 up front.
+    let mut b_cols = vec![0i32; k * n];
+    for (p, brow) in b[..k * n].chunks_exact(n).enumerate() {
+        for (j, &v) in brow.iter().enumerate() {
+            b_cols[j * k + p] = i32::from(v);
+        }
+    }
+    let b_cols = &b_cols;
+    d[..m * n]
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, drow)| {
+            let a_row: Vec<i32> = a[i * k..(i + 1) * k]
+                .iter()
+                .map(|&v| i32::from(v))
+                .collect();
+            for (j, out) in drow.iter_mut().enumerate() {
+                let col = &b_cols[j * k..(j + 1) * k];
+                *out = a_row.iter().zip(col).map(|(&x, &y)| x * y).sum();
+            }
+        });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: i32) -> Vec<i8> {
+        (0..len as i32)
+            .map(|i| ((i * seed + 5) % 37 - 18) as i8)
+            .collect()
+    }
+
+    #[test]
+    fn blocked_matches_reference() {
+        for (m, n, k) in [(1, 1, 1), (7, 9, 33), (65, 129, 70)] {
+            let a = fill(m * k, 3);
+            let b = fill(k * n, 11);
+            let mut want = vec![0i32; m * n];
+            let mut got = vec![0i32; m * n];
+            gemm_i8_reference(m, n, k, &a, &b, &mut want).unwrap();
+            gemm_i8(m, n, k, &a, &b, &mut got).unwrap();
+            assert_eq!(want, got, "shape {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn saturating_inputs_accumulate_exactly() {
+        let a = vec![-128i8; 4];
+        let b = vec![-128i8; 4];
+        let mut d = vec![0i32; 4];
+        gemm_i8(2, 2, 2, &a, &b, &mut d).unwrap();
+        assert_eq!(d, vec![2 * 128 * 128; 4]);
+    }
+
+    #[test]
+    fn short_buffer_is_rejected() {
+        let mut d = vec![0i32; 3];
+        assert!(matches!(
+            gemm_i8(2, 2, 2, &[0; 4], &[0; 4], &mut d),
+            Err(ComputeError::BufferTooSmall { operand: "D", .. })
+        ));
+    }
+}

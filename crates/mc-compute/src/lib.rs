@@ -1,0 +1,64 @@
+//! Shared CPU compute backends for the matrix-core model.
+//!
+//! This crate owns the hot loops that every layer above funnels into:
+//!
+//! * [`MatMul`] — the backend trait over `mc-types` dtypes; `AB` is the
+//!   input element type, `CD` the output type, `CT` the accumulation
+//!   (compute) type, mirroring the paper's `CDFmt_ABFmt` naming.
+//! * [`Naive`] — the retained reference triple loop (the pre-existing
+//!   `run_simd` kernel, verbatim); the semantic ground truth.
+//! * [`Blocked`] — the cache-blocked, packed-panel, rayon-parallel
+//!   backend ([`MC`]×[`NC`]×[`KC`] tiling). Bit-identical to [`Naive`]
+//!   for every dtype triple because it preserves the per-element
+//!   ascending-k rounding chain; see `blocked.rs` for the argument.
+//! * [`gemm_i8`] / [`gemm_i8_reference`] — the int8→int32 quantized
+//!   kernels (exact integer accumulation, so blocking is trivially
+//!   safe).
+//! * [`mma_accumulate`] — the fragment-shaped accumulation loop
+//!   `mc-wmma` uses, with hoisted conversions.
+//!
+//! Consumers: `mc_blas::functional` (gemm/gemv/batched), the
+//! `mc-solver` BLAS-3 blocks, and `mc-wmma`'s `mma_sync`.
+
+#![deny(missing_docs)]
+
+mod blocked;
+mod int8;
+mod mma;
+mod naive;
+mod params;
+
+pub use blocked::{Blocked, KC, MC, NC};
+pub use int8::{gemm_i8, gemm_i8_reference};
+pub use mma::mma_accumulate;
+pub use naive::Naive;
+pub use params::{ComputeError, Epilogue, GemmParams, Trans};
+
+use mc_types::Real;
+
+/// A GEMM backend: `D (m×n) ← α · op(A)·op(B) + β · C` with the
+/// products and sums rounded through the compute type `CT`.
+///
+/// Implementations must be deterministic and thread-count invariant:
+/// the same `(params, a, b, c)` yields bitwise-identical `d` regardless
+/// of the rayon pool size.
+pub trait MatMul {
+    /// A short identifier for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Runs the GEMM. `a`/`b` hold op-shaped operands per
+    /// `params.trans_a`/`trans_b`; `c` and `d` are `m×n` row-major and
+    /// may not alias.
+    fn gemm<AB, CD, CT>(
+        &self,
+        params: &GemmParams,
+        a: &[AB],
+        b: &[AB],
+        c: &[CD],
+        d: &mut [CD],
+    ) -> Result<(), ComputeError>
+    where
+        AB: Real,
+        CD: Real,
+        CT: Real;
+}

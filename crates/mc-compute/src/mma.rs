@@ -1,0 +1,86 @@
+//! Fragment-shaped accumulation for `mc-wmma`'s `mma_sync`.
+//!
+//! One warp-level MMA accumulates an `M×N×K` tile:
+//! `D[i][j] ← chain(C[i][j]; A[i][·]·B[·][j])` with products and sums
+//! rounded through the *output* fragment type `CD` (the hardware keeps
+//! the accumulator registers in the destination format). This function
+//! reproduces that chain bit for bit while hoisting the `AB → f64`
+//! conversions out of the inner loop: B is packed column-major once per
+//! call and A row-wise once per output row.
+
+use mc_types::Real;
+
+/// Accumulates `d = chain(c; a·b)` over an `m×n×k` fragment tile.
+///
+/// `a` is `m×k` row-major, `b` is `k×n` row-major, `c` and `d` are
+/// `m×n` row-major. The per-element chain starts from `c[i][j]` and
+/// folds the `k` products in ascending order, each step rounding
+/// through `CD` — exactly the loop `mma_sync` originally inlined.
+pub fn mma_accumulate<AB: Real, CD: Real>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[AB],
+    b: &[AB],
+    c: &[CD],
+    d: &mut [CD],
+) {
+    debug_assert!(a.len() >= m * k && b.len() >= k * n);
+    debug_assert!(c.len() >= m * n && d.len() >= m * n);
+    let mut b_cols = vec![0.0f64; k * n];
+    for (p, brow) in b[..k * n].chunks_exact(n.max(1)).take(k).enumerate() {
+        for (j, v) in brow.iter().enumerate() {
+            b_cols[j * k + p] = v.to_f64();
+        }
+    }
+    let mut a_row = vec![0.0f64; k];
+    for i in 0..m {
+        for (dst, src) in a_row.iter_mut().zip(&a[i * k..(i + 1) * k]) {
+            *dst = src.to_f64();
+        }
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for (&av, &bv) in a_row.iter().zip(&b_cols[j * k..(j + 1) * k]) {
+                let prod = CD::from_f64(av * bv);
+                acc = CD::from_f64(acc.to_f64() + prod.to_f64());
+            }
+            d[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_types::F16;
+
+    #[test]
+    fn matches_the_inline_chain() {
+        let (m, n, k) = (4, 4, 8);
+        let a: Vec<F16> = (0..m * k).map(|i| F16::from_f32(i as f32 / 16.0)).collect();
+        let b: Vec<F16> = (0..k * n)
+            .map(|i| F16::from_f32(1.0 - i as f32 / 32.0))
+            .collect();
+        let c: Vec<f32> = (0..m * n).map(|i| i as f32 / 4.0).collect();
+        let mut d = vec![0.0f32; m * n];
+        mma_accumulate(m, n, k, &a, &b, &c, &mut d);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * n + j];
+                for p in 0..k {
+                    let prod = f32::from_f64(a[i * k + p].to_f64() * b[p * n + j].to_f64());
+                    acc = f32::from_f64(acc.to_f64() + prod.to_f64());
+                }
+                assert_eq!(d[i * n + j], acc);
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_copies_c() {
+        let c = vec![3.5f32, -1.0];
+        let mut d = vec![0.0f32; 2];
+        mma_accumulate::<f32, f32>(1, 2, 0, &[], &[], &c, &mut d);
+        assert_eq!(d, c);
+    }
+}

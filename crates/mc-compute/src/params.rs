@@ -1,0 +1,206 @@
+//! Problem descriptors for the compute backends.
+//!
+//! [`GemmParams`] is deliberately smaller than `mc_blas::GemmDesc`: no
+//! routine/datatype tag (the element types are the generic parameters
+//! of [`crate::MatMul::gemm`]) and no `k > 0` requirement — `k = 0`
+//! degenerates to the pure epilogue `D ← β·C`, which the library layer
+//! forbids but the solver's edge blocks and the parity tests exercise.
+
+use core::fmt;
+
+/// Transpose selector for an input operand (mirrors BLAS `N`/`T`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Trans {
+    /// Use the operand as stored.
+    #[default]
+    None,
+    /// Use the operand's transpose.
+    Trans,
+}
+
+/// How the α/β epilogue rounds, matching the two historical paths of
+/// `mc_blas::functional` bit for bit.
+///
+/// Both compute `ab = ct(α·acc)` and `bc = ct(β·c)` in the compute
+/// type; they differ in how the sum reaches the output type.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Epilogue {
+    /// `d = cd(ab + bc)` — one rounding straight into the output type
+    /// (the SIMD path's per-element MAC epilogue).
+    #[default]
+    Direct,
+    /// `d = cd(ct(ab + bc))` — the sum rounds through the compute type
+    /// before the output cast (the Matrix Core path's writeback, which
+    /// leaves the accumulator registers in the compute type).
+    ComputeRounded,
+}
+
+/// A GEMM problem for the compute backends:
+/// `D (m×n) ← α · op(A)·op(B) + β · C`, row-major, leading dimension
+/// equal to each matrix's width.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GemmParams {
+    /// Rows of op(A), C, and D.
+    pub m: usize,
+    /// Columns of op(B), C, and D.
+    pub n: usize,
+    /// Inner dimension (0 is allowed: `D ← β·C`).
+    pub k: usize,
+    /// Scalar on `op(A)·op(B)`.
+    pub alpha: f64,
+    /// Scalar on `C`.
+    pub beta: f64,
+    /// Transpose selector for A (stored `m×k` when `None`, `k×m` when
+    /// `Trans`).
+    pub trans_a: Trans,
+    /// Transpose selector for B (stored `k×n` when `None`, `n×k` when
+    /// `Trans`).
+    pub trans_b: Trans,
+    /// Epilogue rounding variant.
+    pub epilogue: Epilogue,
+}
+
+impl GemmParams {
+    /// A plain `α = 1, β = 0`, untransposed problem.
+    pub fn new(m: usize, n: usize, k: usize) -> Self {
+        GemmParams {
+            m,
+            n,
+            k,
+            alpha: 1.0,
+            beta: 0.0,
+            trans_a: Trans::None,
+            trans_b: Trans::None,
+            epilogue: Epilogue::Direct,
+        }
+    }
+
+    /// Sets the α/β scalars.
+    pub fn with_scaling(mut self, alpha: f64, beta: f64) -> Self {
+        self.alpha = alpha;
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the transpose selectors.
+    pub fn with_transposes(mut self, trans_a: Trans, trans_b: Trans) -> Self {
+        self.trans_a = trans_a;
+        self.trans_b = trans_b;
+        self
+    }
+
+    /// Sets the epilogue rounding variant.
+    pub fn with_epilogue(mut self, epilogue: Epilogue) -> Self {
+        self.epilogue = epilogue;
+        self
+    }
+
+    /// Index of `op(A)[i][p]` in A's stored row-major layout.
+    #[inline]
+    pub fn a_index(&self, i: usize, p: usize) -> usize {
+        match self.trans_a {
+            Trans::None => i * self.k + p,
+            Trans::Trans => p * self.m + i,
+        }
+    }
+
+    /// Index of `op(B)[p][j]` in B's stored row-major layout.
+    #[inline]
+    pub fn b_index(&self, p: usize, j: usize) -> usize {
+        match self.trans_b {
+            Trans::None => p * self.n + j,
+            Trans::Trans => j * self.k + p,
+        }
+    }
+
+    /// Validates the four host buffers against the problem shape.
+    pub fn check_buffers(
+        &self,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+    ) -> Result<(), ComputeError> {
+        let need = [
+            ("A", self.m * self.k, a),
+            ("B", self.k * self.n, b),
+            ("C", self.m * self.n, c),
+            ("D", self.m * self.n, d),
+        ];
+        for (operand, required, provided) in need {
+            if provided < required {
+                return Err(ComputeError::BufferTooSmall {
+                    operand,
+                    required,
+                    provided,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors from the compute backends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ComputeError {
+    /// A host buffer is smaller than the problem requires.
+    BufferTooSmall {
+        /// Which operand.
+        operand: &'static str,
+        /// Required length in elements.
+        required: usize,
+        /// Provided length.
+        provided: usize,
+    },
+}
+
+impl fmt::Display for ComputeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComputeError::BufferTooSmall {
+                operand,
+                required,
+                provided,
+            } => write!(
+                f,
+                "operand {operand}: need {required} elements, got {provided}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ComputeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_follows_transpose_selectors() {
+        let p = GemmParams::new(3, 4, 5);
+        assert_eq!(p.a_index(2, 4), 2 * 5 + 4);
+        assert_eq!(p.b_index(4, 3), 4 * 4 + 3);
+        let t = p.with_transposes(Trans::Trans, Trans::Trans);
+        assert_eq!(t.a_index(2, 4), 4 * 3 + 2);
+        assert_eq!(t.b_index(4, 3), 3 * 5 + 4);
+    }
+
+    #[test]
+    fn zero_k_is_valid() {
+        let p = GemmParams::new(2, 2, 0);
+        assert!(p.check_buffers(0, 0, 4, 4).is_ok());
+    }
+
+    #[test]
+    fn buffer_checks_name_the_operand() {
+        let p = GemmParams::new(2, 2, 2);
+        assert_eq!(
+            p.check_buffers(4, 3, 4, 4),
+            Err(ComputeError::BufferTooSmall {
+                operand: "B",
+                required: 4,
+                provided: 3
+            })
+        );
+    }
+}

@@ -295,7 +295,8 @@ pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelE
     // LDS bandwidth share per SIMD pair, bytes per cycle.
     let lds_share = cfg.lds_bytes_per_cycle_per_cu / simds;
 
-    let mut rounds = Vec::new();
+    let round_count = k.workgroups.div_ceil(capacity_per_round.max(1)) as usize;
+    let mut rounds = Vec::with_capacity(round_count);
     while remaining > 0 {
         let this_round = remaining.min(capacity_per_round);
         remaining -= this_round;
@@ -313,7 +314,24 @@ pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelE
         } else {
             0.0
         };
-        let t_wave = demand.self_cycles.max(mc).max(simd).max(lds);
+        // The binding resource is selected by max-index, not by
+        // re-comparing floats for equality afterwards: the earliest
+        // entry attaining the maximum wins, so exact ties resolve
+        // deterministically in priority order (Matrix Core > SIMD >
+        // LDS > dependent chain) without any epsilon.
+        let candidates = [
+            (mc, RoundBound::MatrixCore),
+            (simd, RoundBound::SimdIssue),
+            (lds, RoundBound::Lds),
+            (demand.self_cycles, RoundBound::DependentChain),
+        ];
+        let mut best = candidates.len() - 1;
+        for i in (0..candidates.len()).rev() {
+            if candidates[i].0 >= candidates[best].0 {
+                best = i;
+            }
+        }
+        let t_wave = candidates[best].0;
         total_cycles += t_wave;
 
         // Occupancy bookkeeping: how busy matrix units and SIMDs are,
@@ -329,14 +347,8 @@ pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelE
         // Trace entry: what bound this round.
         let bound = if t_wave <= 0.0 {
             RoundBound::Empty
-        } else if t_wave == mc {
-            RoundBound::MatrixCore
-        } else if t_wave == simd {
-            RoundBound::SimdIssue
-        } else if t_wave == lds {
-            RoundBound::Lds
         } else {
-            RoundBound::DependentChain
+            candidates[best].1
         };
         rounds.push(RoundTrace {
             workgroups: this_round,

@@ -1,12 +1,40 @@
 //! Triangular solves with multiple right-hand sides.
 //!
 //! These are the panel-level kernels of the blocked factorizations; like
-//! rocSOLVER's, they run on scalar/SIMD arithmetic (substitution has no
-//! `m×n×k` structure for Matrix Cores), which is precisely why the
-//! trailing-matrix GEMM dominates a factorization's Matrix Core share.
+//! rocSOLVER's, they run substitution on scalar/SIMD arithmetic (it has
+//! no `m×n×k` structure for Matrix Cores). Above [`TRSM_BLOCK`] unknowns
+//! each solve is itself blocked: substitution stays on `TRSM_BLOCK`-wide
+//! diagonal blocks and the off-diagonal bulk of the work becomes rank-k
+//! updates on the shared [`mc_compute::Blocked`] GEMM kernel — the same
+//! BLAS-3 shift the factorizations make, applied one level down.
+
+use mc_compute::{GemmParams, MatMul, Trans};
 
 use crate::matrix::Matrix;
 use crate::SolverError;
+
+/// Unknowns per substitution block; solves at or below this size run
+/// the plain substitution loops.
+pub const TRSM_BLOCK: usize = 64;
+
+/// Runs `D ← α·A·B + β·C` on the blocked f64 kernel (solver-internal
+/// shapes are always in-bounds, so the buffer check cannot fail).
+fn gemm_update(params: &GemmParams, a: &[f64], b: &[f64], c: &[f64], d: &mut [f64]) {
+    mc_compute::Blocked
+        .gemm::<f64, f64, f64>(params, a, b, c, d)
+        .expect("solver gemm shapes are validated by construction");
+}
+
+/// Offsets a singular-diagonal report from block coordinates to matrix
+/// coordinates.
+fn offset_singular(e: SolverError, base: usize) -> SolverError {
+    match e {
+        SolverError::Singular { index } => SolverError::Singular {
+            index: index + base,
+        },
+        other => other,
+    }
+}
 
 /// Solves `L·X = B` for `X`, with `L` lower triangular (`unit_diag`
 /// selects implicit ones on the diagonal). `B` is overwritten by `X`.
@@ -21,6 +49,43 @@ pub fn trsm_left_lower(
             what: format!("L {}x{} vs B {}x{}", l.rows(), l.cols(), b.rows(), b.cols()),
         });
     }
+    if n <= TRSM_BLOCK {
+        return trsm_left_lower_naive(l, b, unit_diag);
+    }
+    let ncols = b.cols();
+    let mut ib = 0;
+    while ib < n {
+        let nb = TRSM_BLOCK.min(n - ib);
+        let l11 = l.block(ib, ib, nb, nb);
+        let mut b1 = b.block(ib, 0, nb, ncols);
+        trsm_left_lower_naive(&l11, &mut b1, unit_diag).map_err(|e| offset_singular(e, ib))?;
+        b.set_block(ib, 0, &b1);
+        let rest = n - ib - nb;
+        if rest > 0 {
+            // B₂ ← B₂ − L₂₁·X₁ : the bulk of the solve, as a GEMM.
+            let l21 = l.block(ib + nb, ib, rest, nb);
+            let b2 = b.block(ib + nb, 0, rest, ncols);
+            let mut out = Matrix::zeros(rest, ncols);
+            gemm_update(
+                &GemmParams::new(rest, ncols, nb).with_scaling(-1.0, 1.0),
+                l21.as_slice(),
+                b1.as_slice(),
+                b2.as_slice(),
+                out.as_mut_slice(),
+            );
+            b.set_block(ib + nb, 0, &out);
+        }
+        ib += nb;
+    }
+    Ok(())
+}
+
+fn trsm_left_lower_naive(
+    l: &Matrix<f64>,
+    b: &mut Matrix<f64>,
+    unit_diag: bool,
+) -> Result<(), SolverError> {
+    let n = l.rows();
     for col in 0..b.cols() {
         for i in 0..n {
             let mut x = b.get(i, col);
@@ -50,6 +115,44 @@ pub fn trsm_right_lower_transpose(l: &Matrix<f64>, b: &mut Matrix<f64>) -> Resul
             what: format!("L {}x{} vs B {}x{}", l.rows(), l.cols(), b.rows(), b.cols()),
         });
     }
+    if n <= TRSM_BLOCK {
+        return trsm_right_lower_transpose_naive(l, b);
+    }
+    let m = b.rows();
+    let mut jb = 0;
+    while jb < n {
+        let nb = TRSM_BLOCK.min(n - jb);
+        let l11 = l.block(jb, jb, nb, nb);
+        let mut b1 = b.block(0, jb, m, nb);
+        trsm_right_lower_transpose_naive(&l11, &mut b1).map_err(|e| offset_singular(e, jb))?;
+        b.set_block(0, jb, &b1);
+        let rest = n - jb - nb;
+        if rest > 0 {
+            // B₃ ← B₃ − X₁·L₃₁ᵀ with L₃₁ the rows still to solve.
+            let l31 = l.block(jb + nb, jb, rest, nb);
+            let b3 = b.block(0, jb + nb, m, rest);
+            let mut out = Matrix::zeros(m, rest);
+            gemm_update(
+                &GemmParams::new(m, rest, nb)
+                    .with_scaling(-1.0, 1.0)
+                    .with_transposes(Trans::None, Trans::Trans),
+                b1.as_slice(),
+                l31.as_slice(),
+                b3.as_slice(),
+                out.as_mut_slice(),
+            );
+            b.set_block(0, jb + nb, &out);
+        }
+        jb += nb;
+    }
+    Ok(())
+}
+
+fn trsm_right_lower_transpose_naive(
+    l: &Matrix<f64>,
+    b: &mut Matrix<f64>,
+) -> Result<(), SolverError> {
+    let n = l.rows();
     for row in 0..b.rows() {
         for j in 0..n {
             // X[row][j] = (B[row][j] - sum_{k<j} X[row][k] * L[j][k]) / L[j][j]
@@ -75,6 +178,41 @@ pub fn trsm_left_upper(u: &Matrix<f64>, b: &mut Matrix<f64>) -> Result<(), Solve
             what: format!("U {}x{} vs B {}x{}", u.rows(), u.cols(), b.rows(), b.cols()),
         });
     }
+    if n <= TRSM_BLOCK {
+        return trsm_left_upper_naive(u, b);
+    }
+    let ncols = b.cols();
+    // Back substitution: blocks bottom-up, each preceded by the rank-k
+    // update from the rows already solved below it.
+    let blocks = n.div_ceil(TRSM_BLOCK);
+    for blk in (0..blocks).rev() {
+        let ib = blk * TRSM_BLOCK;
+        let nb = TRSM_BLOCK.min(n - ib);
+        let below = n - ib - nb;
+        let mut b1 = b.block(ib, 0, nb, ncols);
+        if below > 0 {
+            // B₁ ← B₁ − U₁₂·X₂ with X₂ the already-solved rows below.
+            let u12 = u.block(ib, ib + nb, nb, below);
+            let x2 = b.block(ib + nb, 0, below, ncols);
+            let mut out = Matrix::zeros(nb, ncols);
+            gemm_update(
+                &GemmParams::new(nb, ncols, below).with_scaling(-1.0, 1.0),
+                u12.as_slice(),
+                x2.as_slice(),
+                b1.as_slice(),
+                out.as_mut_slice(),
+            );
+            b1 = out;
+        }
+        let u11 = u.block(ib, ib, nb, nb);
+        trsm_left_upper_naive(&u11, &mut b1).map_err(|e| offset_singular(e, ib))?;
+        b.set_block(ib, 0, &b1);
+    }
+    Ok(())
+}
+
+fn trsm_left_upper_naive(u: &Matrix<f64>, b: &mut Matrix<f64>) -> Result<(), SolverError> {
+    let n = u.rows();
     for col in 0..b.cols() {
         for i in (0..n).rev() {
             let mut x = b.get(i, col);
@@ -97,6 +235,19 @@ mod tests {
 
     fn lower3() -> Matrix<f64> {
         Matrix::from_slice(3, 3, &[2.0, 0.0, 0.0, 1.0, 3.0, 0.0, 4.0, 5.0, 6.0])
+    }
+
+    /// A well-conditioned lower-triangular test matrix.
+    fn lower_n(n: usize) -> Matrix<f64> {
+        Matrix::from_fn(n, n, |i, j| {
+            if j > i {
+                0.0
+            } else if i == j {
+                2.0 + (i % 5) as f64
+            } else {
+                ((i * 7 + j * 3) % 11) as f64 / 11.0 - 0.5
+            }
+        })
     }
 
     #[test]
@@ -182,6 +333,94 @@ mod tests {
         assert!(matches!(
             trsm_left_lower(&lower3(), &mut wrong, false),
             Err(SolverError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn blocked_left_lower_matches_naive_path() {
+        let n = 3 * TRSM_BLOCK + 17; // straddles block boundaries
+        let l = lower_n(n);
+        let x_true = Matrix::from_fn(n, 5, |i, j| ((i * 13 + j * 5) % 9) as f64 - 4.0);
+        let mut b = Matrix::zeros(n, 5);
+        for i in 0..n {
+            for j in 0..5 {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += l.get(i, k) * x_true.get(k, j);
+                }
+                b.set(i, j, s);
+            }
+        }
+        trsm_left_lower(&l, &mut b, false).unwrap();
+        for i in 0..n {
+            for j in 0..5 {
+                assert!(
+                    (b.get(i, j) - x_true.get(i, j)).abs() < 1e-8,
+                    "({i},{j}): {} vs {}",
+                    b.get(i, j),
+                    x_true.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_right_lower_transpose_recovers_x() {
+        let n = 2 * TRSM_BLOCK + 9;
+        let m = 23;
+        let l = lower_n(n);
+        let x_true = Matrix::from_fn(m, n, |i, j| ((i * 3 + j * 7) % 13) as f64 / 6.0 - 1.0);
+        let mut b = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += x_true.get(i, k) * l.get(j, k);
+                }
+                b.set(i, j, s);
+            }
+        }
+        trsm_right_lower_transpose(&l, &mut b).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                assert!((b.get(i, j) - x_true.get(i, j)).abs() < 1e-8, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_left_upper_recovers_x() {
+        let n = 2 * TRSM_BLOCK + 31;
+        let u = lower_n(n).transposed();
+        let x_true = Matrix::from_fn(n, 4, |i, j| ((i * 5 + j * 11) % 7) as f64 - 3.0);
+        let mut b = Matrix::zeros(n, 4);
+        for i in 0..n {
+            for j in 0..4 {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += u.get(i, k) * x_true.get(k, j);
+                }
+                b.set(i, j, s);
+            }
+        }
+        trsm_left_upper(&u, &mut b).unwrap();
+        for i in 0..n {
+            for j in 0..4 {
+                assert!((b.get(i, j) - x_true.get(i, j)).abs() < 1e-8, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_singular_index_is_global() {
+        let n = TRSM_BLOCK + 40;
+        let mut l = lower_n(n);
+        let bad = TRSM_BLOCK + 7;
+        l.set(bad, bad, 0.0);
+        let mut b = Matrix::zeros(n, 2);
+        assert!(matches!(
+            trsm_left_lower(&l, &mut b, false),
+            Err(SolverError::Singular { index }) if index == bad
         ));
     }
 }

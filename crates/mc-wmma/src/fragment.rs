@@ -171,6 +171,16 @@ impl<Use: FragmentUse, T: Real, const M: usize, const N: usize, const K: usize>
         self.data[row * Self::cols() + col] = value;
     }
 
+    /// The fragment's elements, row-major (`rows × cols`).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the fragment's row-major elements.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
     /// rocWMMA `load_matrix_sync`: loads the fragment from a matrix in
     /// memory with leading dimension `ld`.
     pub fn load_matrix_sync(

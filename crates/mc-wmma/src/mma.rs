@@ -74,21 +74,20 @@ where
             shape: (M, N, K),
         })?;
 
-    for i in 0..M {
-        for j in 0..N {
-            // Accumulate sequentially in the C/D type, as the hardware does.
-            let mut acc = c.get(i, j);
-            for kk in 0..K {
-                let av = a.get(i, kk).to_f64();
-                let bv = b.get(kk, j).to_f64();
-                // Product rounded once into the accumulator type (exact
-                // for f16/bf16 inputs into f32; one rounding for f32/f64).
-                let prod = CD::from_f64(av * bv);
-                acc = CD::from_f64(acc.to_f64() + prod.to_f64());
-            }
-            d.set(i, j, acc);
-        }
-    }
+    // Sequential accumulation in the C/D type, as the hardware does:
+    // each product rounds once into the accumulator type (exact for
+    // f16/bf16 inputs into f32; one rounding for f32/f64), then one
+    // rounding per accumulate. The shared kernel reproduces that chain
+    // with the conversions hoisted out of the inner loop.
+    mc_compute::mma_accumulate(
+        M,
+        N,
+        K,
+        a.as_slice(),
+        b.as_slice(),
+        c.as_slice(),
+        d.as_mut_slice(),
+    );
     Ok(instr)
 }
 

@@ -4,6 +4,8 @@
 //! examples and downstream users can depend on a single package:
 //!
 //! - [`types`] — software FP16/BF16 and datatype metadata
+//! - [`compute`] — the cache-blocked host GEMM kernel every library
+//!   layer routes through (see `docs/PERFORMANCE.md`)
 //! - [`isa`] — the CDNA2 / Ampere matrix-instruction model
 //! - [`lint`] — static kernel verification (see `docs/LINTS.md`)
 //! - [`sim`] — the event-driven GPU simulator (devices, counters, power)
@@ -19,6 +21,7 @@
 //! system inventory and per-experiment index.
 
 pub use mc_blas as blas;
+pub use mc_compute as compute;
 pub use mc_isa as isa;
 pub use mc_lint as lint;
 pub use mc_model as model;

@@ -1,0 +1,237 @@
+//! ULP-parity tests for the blocked `mc-compute` GEMM kernel.
+//!
+//! The optimization contract (docs/PERFORMANCE.md) is that the blocked
+//! kernel reorders *loops*, never the per-element rounding chain: for
+//! every dtype combination the result is bitwise-identical to the
+//! retained naive reference — trivially within the 2-ULP acceptance
+//! band — for any shape, transpose pair, scaling, epilogue, and worker
+//! thread count.
+
+use amd_matrix_cores::compute::{
+    gemm_i8, gemm_i8_reference, Blocked, Epilogue, GemmParams, MatMul, Naive, Trans,
+};
+use amd_matrix_cores::types::{ulp_distance_f32, Bf16, Real, F16};
+use proptest::prelude::*;
+
+/// Deterministic fill on a 0.25-step grid in [-4, 4]: every value is
+/// exactly representable in all five element types, so inputs are
+/// identical across dtype combinations too.
+fn lcg_fill<T: Real>(len: usize, mut state: u64) -> Vec<T> {
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            T::from_f64(((state >> 33) % 33) as f64 / 4.0 - 4.0)
+        })
+        .collect()
+}
+
+/// Runs one problem through both kernels and asserts bitwise equality
+/// (via the exact `to_f64` injection) on every output element.
+#[allow(clippy::too_many_arguments)]
+fn assert_parity<AB: Real, CD: Real, CT: Real>(
+    m: usize,
+    n: usize,
+    k: usize,
+    trans: (Trans, Trans),
+    alpha: f64,
+    beta: f64,
+    epilogue: Epilogue,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let a = lcg_fill::<AB>(m * k, seed ^ 0xA11CE5);
+    let b = lcg_fill::<AB>(k * n, seed ^ 0xB0B51ED);
+    let c = lcg_fill::<CD>(m * n, seed ^ 0xCAFE);
+    let params = GemmParams::new(m, n, k)
+        .with_transposes(trans.0, trans.1)
+        .with_scaling(alpha, beta)
+        .with_epilogue(epilogue);
+
+    let mut d_naive = vec![CD::zero(); m * n];
+    let mut d_blocked = vec![CD::zero(); m * n];
+    Naive
+        .gemm::<AB, CD, CT>(&params, &a, &b, &c, &mut d_naive)
+        .expect("naive kernel accepts well-formed problems");
+    Blocked
+        .gemm::<AB, CD, CT>(&params, &a, &b, &c, &mut d_blocked)
+        .expect("blocked kernel accepts well-formed problems");
+
+    for (i, (x, y)) in d_naive.iter().zip(&d_blocked).enumerate() {
+        prop_assert_eq!(
+            x.to_f64().to_bits(),
+            y.to_f64().to_bits(),
+            "{}x{}x{} {:?} element {}: naive {:?} vs blocked {:?}",
+            m,
+            n,
+            k,
+            params.epilogue,
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+const TRANS: [(Trans, Trans); 4] = [
+    (Trans::None, Trans::None),
+    (Trans::Trans, Trans::None),
+    (Trans::None, Trans::Trans),
+    (Trans::Trans, Trans::Trans),
+];
+
+const EPILOGUES: [Epilogue; 2] = [Epilogue::Direct, Epilogue::ComputeRounded];
+
+proptest! {
+    /// f64 accumulation: random odd shapes (k = 0 included), all four
+    /// transpose pairs, both epilogues.
+    #[test]
+    fn dgemm_parity(
+        m in 1usize..24, n in 1usize..24, k in 0usize..24,
+        t in 0usize..4, e in 0usize..2, seed in any::<u64>(),
+    ) {
+        assert_parity::<f64, f64, f64>(m, n, k, TRANS[t], 1.25, -0.5, EPILOGUES[e], seed)?;
+    }
+
+    /// f32 accumulation.
+    #[test]
+    fn sgemm_parity(
+        m in 1usize..24, n in 1usize..24, k in 0usize..24,
+        t in 0usize..4, e in 0usize..2, seed in any::<u64>(),
+    ) {
+        assert_parity::<f32, f32, f32>(m, n, k, TRANS[t], 1.0, 1.0, EPILOGUES[e], seed)?;
+    }
+
+    /// HHS: f16 inputs and outputs, f32 compute type (the paper's
+    /// Matrix Core mixed-precision path).
+    #[test]
+    fn hhs_parity(
+        m in 1usize..20, n in 1usize..20, k in 0usize..20,
+        t in 0usize..4, e in 0usize..2, seed in any::<u64>(),
+    ) {
+        assert_parity::<F16, F16, f32>(m, n, k, TRANS[t], 1.0, 0.5, EPILOGUES[e], seed)?;
+    }
+
+    /// Pure f16 chain (HGEMM's per-step rounding).
+    #[test]
+    fn hgemm_parity(
+        m in 1usize..20, n in 1usize..20, k in 0usize..20,
+        t in 0usize..4, seed in any::<u64>(),
+    ) {
+        assert_parity::<F16, F16, F16>(m, n, k, TRANS[t], 1.0, 0.0, Epilogue::Direct, seed)?;
+    }
+
+    /// bf16 inputs accumulating into f32.
+    #[test]
+    fn bf16_parity(
+        m in 1usize..20, n in 1usize..20, k in 0usize..20,
+        t in 0usize..4, e in 0usize..2, seed in any::<u64>(),
+    ) {
+        assert_parity::<Bf16, f32, f32>(m, n, k, TRANS[t], 1.0, 1.0, EPILOGUES[e], seed)?;
+    }
+
+    /// int8: the blocked integer kernel is exact (i32 accumulation is
+    /// order-free), so it must match the reference everywhere.
+    #[test]
+    fn int8_parity(
+        m in 1usize..24, n in 1usize..24, k in 0usize..24, seed in any::<u64>(),
+    ) {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 56) as i8
+        };
+        let a: Vec<i8> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| next()).collect();
+        let mut d = vec![0i32; m * n];
+        let mut d_ref = vec![0i32; m * n];
+        gemm_i8(m, n, k, &a, &b, &mut d).expect("blocked int8");
+        gemm_i8_reference(m, n, k, &a, &b, &mut d_ref).expect("reference int8");
+        prop_assert_eq!(d, d_ref);
+    }
+}
+
+/// Shapes that straddle every blocking boundary (MC = 64, NC = 128,
+/// KC = 256) stay bitwise-equal, and the f32 case also passes the
+/// acceptance criterion stated in ULP terms.
+#[test]
+fn block_boundary_shapes_are_bitwise_equal() {
+    for &(m, n, k) in &[(65, 129, 257), (64, 128, 256), (63, 127, 255), (1, 1, 1)] {
+        assert_parity::<f32, f32, f32>(
+            m,
+            n,
+            k,
+            (Trans::None, Trans::None),
+            1.0,
+            1.0,
+            Epilogue::ComputeRounded,
+            0x5EED,
+        )
+        .unwrap();
+        assert_parity::<f64, f64, f64>(
+            m,
+            n,
+            k,
+            (Trans::Trans, Trans::None),
+            -1.0,
+            1.0,
+            Epilogue::Direct,
+            0x5EED,
+        )
+        .unwrap();
+    }
+}
+
+/// The acceptance criterion phrased exactly as stated: every f32 output
+/// element within 2 ULP of the reference (bitwise equality implies 0).
+#[test]
+fn f32_outputs_within_two_ulp() {
+    let (m, n, k) = (65, 33, 129);
+    let a = lcg_fill::<f32>(m * k, 7);
+    let b = lcg_fill::<f32>(k * n, 11);
+    let c = lcg_fill::<f32>(m * n, 13);
+    let params = GemmParams::new(m, n, k).with_epilogue(Epilogue::ComputeRounded);
+    let mut d_naive = vec![0.0f32; m * n];
+    let mut d_blocked = vec![0.0f32; m * n];
+    Naive
+        .gemm::<f32, f32, f32>(&params, &a, &b, &c, &mut d_naive)
+        .unwrap();
+    Blocked
+        .gemm::<f32, f32, f32>(&params, &a, &b, &c, &mut d_blocked)
+        .unwrap();
+    for (x, y) in d_naive.iter().zip(&d_blocked) {
+        assert!(ulp_distance_f32(*x, *y) <= 2, "{x} vs {y}");
+    }
+}
+
+/// Results are invariant under the rayon worker count: re-sizing the
+/// global pool between runs must not change a single bit. (The stub
+/// pool honors the most recent `build_global`, which is what makes this
+/// testable in-process.)
+#[test]
+fn thread_count_does_not_change_results() {
+    let (m, n, k) = (130, 70, 300);
+    let a = lcg_fill::<f32>(m * k, 101);
+    let b = lcg_fill::<f32>(k * n, 103);
+    let c = lcg_fill::<f32>(m * n, 107);
+    let params = GemmParams::new(m, n, k).with_epilogue(Epilogue::ComputeRounded);
+
+    let run = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("pool rebuild");
+        let mut d = vec![0.0f32; m * n];
+        Blocked
+            .gemm::<f32, f32, f32>(&params, &a, &b, &c, &mut d)
+            .unwrap();
+        d.into_iter().map(f32::to_bits).collect::<Vec<u32>>()
+    };
+
+    let single = run(1);
+    let quad = run(4);
+    let eight = run(8);
+    assert_eq!(single, quad);
+    assert_eq!(single, eight);
+}

@@ -1,0 +1,370 @@
+//! Offline stand-in for `rayon`: the data-parallel subset this
+//! workspace uses, implemented over `std::thread::scope` with one
+//! global worker budget.
+//!
+//! Semantics the workspace relies on (and tests):
+//!
+//! * **Order preservation** — `map().collect()` returns results in item
+//!   order and `par_chunks_mut` hands out disjoint chunks in order, so
+//!   a deterministic per-item function yields bit-identical results at
+//!   any thread count.
+//! * **One global pool** — there is a single process-wide worker
+//!   budget ([`ThreadPoolBuilder::build_global`], default
+//!   `available_parallelism`, overridable with `RAYON_NUM_THREADS`).
+//!   Nested or concurrent parallel calls *lease* extra workers from
+//!   that shared budget and fall back to inline execution when none
+//!   are available, so composed parallelism never oversubscribes.
+//!
+//! Differences from the real crate: parallel iterators are eager (the
+//! adaptor methods distribute work immediately), there is no work
+//! stealing (items are dealt round-robin), and `build_global` may be
+//! called repeatedly (last call wins) — which the determinism tests
+//! use to re-run a kernel at several thread counts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Explicitly configured global thread count (0 = unset).
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Extra workers currently leased out of the global budget.
+static LEASED_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of threads the global pool is sized for.
+pub fn current_num_threads() -> usize {
+    let configured = CONFIGURED_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`] (never produced by
+/// this stub; kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool already initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the global pool, mirroring rayon's builder.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (auto) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count (0 = auto-detect).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs this configuration as the global pool. Unlike real
+    /// rayon this may be called again to resize the budget.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        CONFIGURED_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A lease of `extra` workers taken from the global budget; returned on
+/// drop.
+struct Lease {
+    extra: usize,
+}
+
+impl Lease {
+    /// Tries to borrow up to `want` workers beyond the calling thread.
+    fn acquire(want: usize) -> Lease {
+        let budget = current_num_threads().saturating_sub(1);
+        let mut granted = 0;
+        let _ = LEASED_WORKERS.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |leased| {
+            granted = want.min(budget.saturating_sub(leased));
+            Some(leased + granted)
+        });
+        Lease { extra: granted }
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        LEASED_WORKERS.fetch_sub(self.extra, Ordering::Relaxed);
+    }
+}
+
+/// Runs `f` over `items` on the calling thread plus any workers the
+/// global budget grants, preserving item order in the result.
+fn run_parallel<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(&f).collect();
+    }
+    let lease = Lease::acquire(n - 1);
+    if lease.extra == 0 {
+        return items.into_iter().map(&f).collect();
+    }
+    let workers = lease.extra + 1;
+
+    // Deal items round-robin so heterogeneous sweeps stay balanced,
+    // remembering each item's original slot.
+    let mut per_worker: Vec<Vec<(usize, I)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (idx, item) in items.into_iter().enumerate() {
+        per_worker[idx % workers].push((idx, item));
+    }
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let f = &f;
+    let mut done: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let mut batches = per_worker.into_iter();
+        let mine = batches.next().expect("at least one worker");
+        let handles: Vec<_> = batches
+            .map(|batch| {
+                s.spawn(move || {
+                    batch
+                        .into_iter()
+                        .map(|(idx, item)| (idx, f(item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        done.extend(mine.into_iter().map(|(idx, item)| (idx, f(item))));
+        for handle in handles {
+            done.extend(handle.join().expect("rayon stub worker panicked"));
+        }
+    });
+    for (idx, result) in done {
+        slots[idx] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every slot produced"))
+        .collect()
+}
+
+/// An eager, order-preserving parallel iterator over a materialized
+/// item list.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync + Send,
+    {
+        ParIter {
+            items: run_parallel(self.items, f),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync + Send,
+    {
+        run_parallel(self.items, f);
+    }
+
+    /// Collects the (already computed) items.
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Accepted for API compatibility; chunking is handled globally.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Conversion into a [`ParIter`].
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Materializes the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_chunks` over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Splits into `size`-element chunks (last may be short), in order.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync + Send> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into disjoint mutable `size`-element chunks, in order.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// Runs two closures, on two threads when the budget allows.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let lease = Lease::acquire(1);
+    if lease.extra == 0 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon stub join worker panicked"))
+    })
+}
+
+/// The traits user code imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let got: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(got, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_are_disjoint_and_ordered() {
+        let mut data = vec![0usize; 97];
+        data.par_chunks_mut(10).enumerate().for_each(|(ci, chunk)| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = ci * 10 + i;
+            }
+        });
+        assert_eq!(data, (0..97).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let compute = || -> Vec<f64> {
+            (0..64)
+                .into_par_iter()
+                .map(|i| (i as f64).sin() * 1e6)
+                .collect()
+        };
+        ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build_global()
+            .unwrap();
+        let serial = compute();
+        ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .unwrap();
+        let parallel = compute();
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_owned() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn budget_never_goes_negative() {
+        ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        // Nested parallelism: outer leases workers, inners mostly run
+        // inline. Everything must still complete in order.
+        let out: Vec<Vec<usize>> = (0..8)
+            .into_par_iter()
+            .map(|i| (0..8).into_par_iter().map(move |j| i * 8 + j).collect())
+            .collect();
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat, (0..64).collect::<Vec<_>>());
+        assert_eq!(LEASED_WORKERS.load(Ordering::Relaxed), 0);
+    }
+}
