@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use mc_power::SamplerConfig;
 use mc_sim::DeviceRegistry;
-use mc_trace::{chrome_trace_json, RingSink, TraceEvent};
+use mc_trace::{chrome_trace_json, MetricsRegistry, RingSink, TraceEvent};
 use serde::{Deserialize, Serialize, Value};
 
 /// Version stamped into every [`ExperimentRecord`]; bump when the
@@ -93,6 +93,11 @@ pub struct RunContext {
     /// `None` disables execution tracing entirely, which is the fast
     /// path: devices keep their no-op sink and pay nothing.
     pub trace_dir: Option<PathBuf>,
+    /// Directory OpenMetrics snapshots are written to (`--metrics DIR`).
+    /// Like `trace_dir`, setting it activates span capture: each run's
+    /// attribution aggregates are exported as
+    /// `<dir>/<id>.om` in OpenMetrics text exposition format.
+    pub metrics_dir: Option<PathBuf>,
 }
 
 impl RunContext {
@@ -104,6 +109,7 @@ impl RunContext {
             sampler: SamplerConfig::default(),
             json_sink: None,
             trace_dir: None,
+            metrics_dir: None,
         }
     }
 
@@ -131,30 +137,48 @@ impl RunContext {
         self
     }
 
+    /// Sets the metrics directory (`--metrics DIR`): every experiment
+    /// run through [`Experiment::run`] captures its execution timeline,
+    /// attributes it, and writes the aggregate metrics as
+    /// `<dir>/<id>.om` in OpenMetrics text exposition format (plus the
+    /// attribution ledger, see [`RunContext::persist_observability`]).
+    pub fn with_metrics(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.metrics_dir = Some(dir.into());
+        self
+    }
+
+    /// Whether span capture is active: either output that consumes a
+    /// timeline (`--trace`, `--metrics`) turns the ring on.
+    fn captures_spans(&self) -> bool {
+        self.trace_dir.is_some() || self.metrics_dir.is_some()
+    }
+
     /// Maps `f` over a sweep's points, in parallel on the global rayon
     /// pool when tracing is disabled.
     ///
     /// Results come back in item order and every point computes
     /// independently, so parallel and sequential execution produce
-    /// identical results. With `--trace` the points run sequentially:
-    /// each device advances a monotonic trace clock, and interleaving
-    /// launches from worker threads would interleave their spans.
+    /// identical results. With `--trace` or `--metrics` the points run
+    /// sequentially: each device advances a monotonic trace clock, and
+    /// interleaving launches from worker threads would interleave their
+    /// spans.
     pub fn par_points<I, R, F>(&self, items: Vec<I>, f: F) -> Vec<R>
     where
         I: Send,
         R: Send,
         F: Fn(I) -> R + Sync + Send,
     {
-        par_map(self.trace_dir.is_none(), items, f)
+        par_map(!self.captures_spans(), items, f)
     }
 
-    /// When tracing is enabled, returns a clone of this context whose
-    /// device registry feeds every constructed `Gpu`/`BlasHandle` into a
-    /// fresh bounded ring, plus the ring itself; otherwise returns this
-    /// context unchanged and no ring. Each run gets its own ring so
-    /// parallel experiments never interleave their timelines.
+    /// When span capture is enabled (`--trace` or `--metrics`), returns
+    /// a clone of this context whose device registry feeds every
+    /// constructed `Gpu`/`BlasHandle` into a fresh bounded ring, plus
+    /// the ring itself; otherwise returns this context unchanged and no
+    /// ring. Each run gets its own ring so parallel experiments never
+    /// interleave their timelines.
     pub fn traced(&self) -> (RunContext, Option<Arc<RingSink>>) {
-        if self.trace_dir.is_none() {
+        if !self.captures_spans() {
             return (self.clone(), None);
         }
         let sink = Arc::new(RingSink::new());
@@ -179,6 +203,37 @@ impl RunContext {
         let path = dir.join(format!("{id}.trace.json"));
         std::fs::write(&path, chrome_trace_json(events))?;
         Ok(Some(path))
+    }
+
+    /// Writes the observability artifacts for a captured timeline: the
+    /// per-kernel attribution ledger as schema-versioned JSONL next to
+    /// the experiment's envelope (`<json_sink>/<id>.attribution.jsonl`,
+    /// falling back to the metrics directory when no sink is set), and —
+    /// when a metrics directory is configured — the ledger's aggregate
+    /// metrics as `<metrics_dir>/<id>.om` in OpenMetrics text
+    /// exposition format. Returns the paths written.
+    pub fn persist_observability(
+        &self,
+        id: &str,
+        events: &[TraceEvent],
+    ) -> std::io::Result<Vec<PathBuf>> {
+        let mut written = Vec::new();
+        let records = mc_obs::Attributor::from_registry(&self.devices).attribute(events);
+        if let Some(dir) = self.json_sink.as_ref().or(self.metrics_dir.as_ref()) {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join(format!("{id}.attribution.jsonl"));
+            std::fs::write(&path, mc_obs::to_jsonl(&records))?;
+            written.push(path);
+        }
+        if let Some(dir) = &self.metrics_dir {
+            std::fs::create_dir_all(dir)?;
+            let mut registry = MetricsRegistry::new();
+            mc_obs::register_attribution_metrics(&records, &mut registry);
+            let path = dir.join(format!("{id}.om"));
+            std::fs::write(&path, mc_trace::openmetrics(&registry))?;
+            written.push(path);
+        }
+        Ok(written)
     }
 
     /// Writes a record envelope to `<sink>/<experiment id>.json`,
@@ -338,8 +393,15 @@ pub trait Experiment: Send + Sync {
         let (traced_ctx, ring) = ctx.traced();
         let (payload, rendered) = self.execute(&traced_ctx);
         if let Some(ring) = ring {
-            if let Err(e) = ctx.persist_trace(self.id(), &ring.events()) {
+            let events = ring.events();
+            if let Err(e) = ctx.persist_trace(self.id(), &events) {
                 eprintln!("error: could not write trace for `{}`: {e}", self.id());
+            }
+            if let Err(e) = ctx.persist_observability(self.id(), &events) {
+                eprintln!(
+                    "error: could not write attribution for `{}`: {e}",
+                    self.id()
+                );
             }
         }
         let wall_time_s = start.elapsed().as_secs_f64();
@@ -382,6 +444,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::lint::LintExperiment),
         Box::new(crate::trace::TraceExperiment),
         Box::new(crate::perf::PerfExperiment),
+        Box::new(crate::regress::RegressExperiment),
         Box::new(crate::report::ReportExperiment),
     ]
 }

@@ -30,6 +30,7 @@
 //! | [`saturation`] | Extension — empirical saturation size (ref. \[19] methodology) |
 //! | [`lint`] | Gate — `mc-lint` static verification of the shipped kernel corpus |
 //! | [`trace`] | Gate — `mc-trace` timeline replay and telemetry cross-check |
+//! | [`regress`] | Gate — `mc-obs` perf-diff of run envelopes against committed baselines |
 
 #![deny(missing_docs)]
 
@@ -47,6 +48,7 @@ pub mod lint;
 pub mod ml_dtypes;
 pub mod perf;
 pub mod plot;
+pub mod regress;
 pub mod report;
 pub mod saturation;
 pub mod solver_ext;

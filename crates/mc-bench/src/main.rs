@@ -1,18 +1,24 @@
 //! `experiments` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments <artifact|all> [--json DIR] [--trace DIR] [--paper-iters]
-//!             [--jobs N]
+//! experiments <artifact|all> [--json DIR] [--trace DIR] [--metrics DIR]
+//!             [--paper-iters] [--jobs N]
 //!   artifact: any id from the experiment registry (table1 … report)
 //!   all         run every registered experiment once, in parallel
 //!               (the host-timed `perf` study runs at its smoke
 //!               dimension here; invoke `experiments perf` directly
 //!               for the full 1024³ measurement)
 //!   --json DIR  also write each result as a schema-versioned JSON
-//!               envelope into DIR (one file per experiment)
+//!               envelope into DIR (one file per experiment); with span
+//!               capture on (`--trace`/`--metrics`) the per-kernel
+//!               attribution ledger lands next to each envelope as
+//!               DIR/<artifact>.attribution.jsonl
 //!   --trace DIR also capture each experiment's execution timeline and
 //!               write it as Chrome trace-event JSON (Perfetto-loadable)
 //!               to DIR/<artifact>.trace.json
+//!   --metrics DIR  also export each experiment's attribution aggregates
+//!               as OpenMetrics text exposition to DIR/<artifact>.om
+//!               (activates span capture like --trace)
 //!   --paper-iters  full 40 M / 10⁷ / 110 s-sampling budgets instead of
 //!                  the reduced defaults (results are iteration-exact on
 //!                  the simulator)
@@ -37,6 +43,7 @@ fn main() {
     let mut artifact = None;
     let mut json_dir: Option<String> = None;
     let mut trace_dir: Option<String> = None;
+    let mut metrics_dir: Option<String> = None;
     let mut paper_iters = false;
     let mut jobs: Option<usize> = None;
     let mut it = args.iter();
@@ -53,6 +60,13 @@ fn main() {
                 trace_dir = Some(
                     it.next()
                         .unwrap_or_else(|| usage("--trace needs a directory"))
+                        .clone(),
+                );
+            }
+            "--metrics" => {
+                metrics_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--metrics needs a directory"))
                         .clone(),
                 );
             }
@@ -90,6 +104,9 @@ fn main() {
     if let Some(dir) = &trace_dir {
         ctx = ctx.with_trace(dir);
     }
+    if let Some(dir) = &metrics_dir {
+        ctx = ctx.with_metrics(dir);
+    }
 
     let experiments = registry();
     if artifact == "all" {
@@ -106,12 +123,14 @@ fn main() {
 }
 
 /// Gate artifacts fail the driver: any error-severity lint diagnostic,
-/// any trace-timeline violation, or any counter cross-check mismatch
-/// (or an unreadable count, which means the wiring broke) exits
-/// non-zero so CI fails.
+/// any trace-timeline violation, any counter cross-check mismatch, or
+/// any perf-diff regression against the committed baselines (or an
+/// unreadable count, which means the wiring broke) exits non-zero so
+/// CI fails.
 fn fail_on_gate_errors(record: &ExperimentRecord) {
     let gates: &[(&str, &str)] = match record.experiment.as_str() {
         "lint" => &[("/total_errors", "error diagnostic(s)")],
+        "regress" => &[("/regressions", "regression(s) against the baseline")],
         "trace" => &[
             ("/total_violations", "timeline violation(s)"),
             (
@@ -233,7 +252,7 @@ fn usage(msg: &str) -> ! {
     let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <{}|all> [--json DIR] [--trace DIR] [--paper-iters] [--jobs N]",
+        "usage: experiments <{}|all> [--json DIR] [--trace DIR] [--metrics DIR] [--paper-iters] [--jobs N]",
         ids.join("|")
     );
     exit(2)

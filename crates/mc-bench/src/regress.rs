@@ -1,0 +1,483 @@
+//! Gate — the `perf-diff` regression detector over committed baselines.
+//!
+//! Compares the current run's record envelopes (the `--json` sink) and
+//! the `BENCH_hotpaths.json` timing artifact against a committed
+//! baseline directory, using [`mc_obs::diff`]. The baseline defaults to
+//! `results/` and is overridden with the `MC_REGRESS_BASELINE`
+//! environment variable, so CI can snapshot the committed envelopes
+//! before regenerating them and then gate the fresh run against the
+//! snapshot.
+//!
+//! Tolerance policy (see `docs/OBSERVABILITY.md`):
+//!
+//! - Simulator fidelity metrics (every recorded [`Check`] measurement)
+//!   are deterministic, so they diff symmetrically at
+//!   [`mc_obs::DEFAULT_TOLERANCE_REL`] — any visible drift means
+//!   behaviour changed and the baseline must be re-committed on purpose.
+//! - Power-plane metrics inherit [`mc_obs::power_noise_tolerance`],
+//!   derived from the pinned SMI noise model at the registry's
+//!   `telemetry_noise` amplitude over the sampler's minimum sample
+//!   count.
+//! - `BENCH_hotpaths.json` host wall times diff lower-is-better at a
+//!   100% tolerance: only a catastrophic slowdown on matching
+//!   dimensions gates, and only when thread counts match.
+//!
+//! Pairs whose [`IterBudgets`] differ between baseline and current are
+//! skipped: a budget change legitimately moves measured values.
+//!
+//! Under `experiments all` this experiment runs concurrently with the
+//! others, *before* their fresh envelopes are persisted, so it compares
+//! the sink directory against itself (vacuously stable). The gating
+//! invocation is a standalone `experiments regress --json DIR` after a
+//! suite run, which is how CI wires it.
+
+use std::path::PathBuf;
+
+use mc_obs::{diff, power_noise_tolerance, DiffReport, Direction, Sample, DEFAULT_TOLERANCE_REL};
+use mc_sim::DeviceId;
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::{load_records, Check, ExperimentRecord, RunContext};
+use crate::perf::{BenchFile, BENCH_FILE};
+
+/// Environment variable naming the baseline directory (default:
+/// `results/`).
+pub const BASELINE_ENV: &str = "MC_REGRESS_BASELINE";
+
+/// Host wall times vary machine to machine: only a >2x slowdown on the
+/// same dimensions and thread count gates.
+pub const BENCH_TOLERANCE_REL: f64 = 1.0;
+
+/// The regress experiment payload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Regress {
+    /// Baseline directory the run compared against.
+    pub baseline_dir: String,
+    /// Current-run directory (the `--json` sink).
+    pub current_dir: String,
+    /// Relative tolerance applied to power-plane metrics.
+    pub power_tolerance_rel: f64,
+    /// Keys compared (including added/removed).
+    pub compared: usize,
+    /// Regressed keys — the gate count.
+    pub regressions: usize,
+    /// Improved keys (lower-is-better metrics only).
+    pub improved: usize,
+    /// Experiments skipped with the reason (budget mismatch, missing
+    /// artifact, thread-count mismatch).
+    pub skipped: Vec<String>,
+    /// The full diff.
+    pub report: DiffReport,
+}
+
+fn baseline_dir() -> PathBuf {
+    std::env::var(BASELINE_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Whether a recorded check metric belongs to the noisy power plane.
+fn is_power_metric(experiment: &str, metric: &str) -> bool {
+    experiment == "fig5"
+        || metric.contains("(W)")
+        || metric.contains("GFLOPS/W")
+        || metric.contains("power")
+}
+
+/// Flattens record envelopes into diff samples: one per evaluated
+/// check, keyed by the check's stable metric label. Pairs whose
+/// iteration budgets differ are dropped into `skipped` instead.
+fn record_samples(
+    baseline: &[ExperimentRecord],
+    current: &[ExperimentRecord],
+    power_tol: f64,
+    skipped: &mut Vec<String>,
+) -> (Vec<Sample>, Vec<Sample>) {
+    let comparable = |r: &&ExperimentRecord| {
+        let Some(other) = baseline.iter().find(|b| b.experiment == r.experiment) else {
+            return true; // new experiment: surfaces as Added
+        };
+        if other.config == r.config {
+            return true;
+        }
+        skipped.push(format!(
+            "{}: iteration budgets differ between baseline and current",
+            r.experiment
+        ));
+        false
+    };
+    let flatten = |records: &[ExperimentRecord], keep: &[String]| {
+        records
+            .iter()
+            .filter(|r| keep.contains(&r.experiment))
+            .flat_map(|r| {
+                let id = r.experiment.clone();
+                r.checks
+                    .iter()
+                    .map(move |c| Sample {
+                        key: c.metric.clone(),
+                        value: c.measured,
+                        direction: Direction::Symmetric,
+                        tolerance_rel: if is_power_metric(&id, &c.metric) {
+                            power_tol
+                        } else {
+                            DEFAULT_TOLERANCE_REL
+                        },
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+    };
+    let keep: Vec<String> = current
+        .iter()
+        .filter(comparable)
+        .map(|r| r.experiment.clone())
+        .collect();
+    (flatten(baseline, &keep), flatten(current, &keep))
+}
+
+/// Flattens a `BENCH_hotpaths.json` pair into lower-is-better samples
+/// keyed `bench/<id>`. Entries only pair when problem dimensions match,
+/// and the whole file is skipped when thread counts differ — a
+/// different host parallelism moves every timing.
+fn bench_samples(
+    baseline: Option<&BenchFile>,
+    current: Option<&BenchFile>,
+    skipped: &mut Vec<String>,
+) -> (Vec<Sample>, Vec<Sample>) {
+    let (Some(b), Some(c)) = (baseline, current) else {
+        if baseline.is_some() != current.is_some() {
+            skipped.push(format!("{BENCH_FILE}: present on only one side"));
+        }
+        return (Vec::new(), Vec::new());
+    };
+    if b.threads != c.threads {
+        skipped.push(format!(
+            "{BENCH_FILE}: thread counts differ ({} baseline vs {} current)",
+            b.threads, c.threads
+        ));
+        return (Vec::new(), Vec::new());
+    }
+    let flatten = |f: &BenchFile, other: &BenchFile| {
+        f.entries
+            .iter()
+            .filter(|e| {
+                other
+                    .entries
+                    .iter()
+                    .find(|o| o.id == e.id)
+                    .is_none_or(|o| o.n == e.n)
+            })
+            .map(|e| Sample {
+                key: format!("bench/{}", e.id),
+                value: e.wall_s,
+                direction: Direction::LowerIsBetter,
+                tolerance_rel: BENCH_TOLERANCE_REL,
+            })
+            .collect::<Vec<_>>()
+    };
+    (flatten(b, c), flatten(c, b))
+}
+
+fn load_bench(dir: &std::path::Path) -> Option<BenchFile> {
+    let text = std::fs::read_to_string(dir.join(BENCH_FILE)).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Runs the comparison between a baseline directory and the current
+/// run's sink directory.
+pub fn run(ctx: &RunContext) -> Result<Regress, String> {
+    let baseline = baseline_dir();
+    let current = ctx
+        .json_sink
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let baseline_records = load_records(&baseline)?;
+    let current_records = load_records(&current)?;
+
+    let power_tol = power_noise_tolerance(
+        ctx.devices.config(DeviceId::Mi250x).telemetry_noise,
+        ctx.sampler.min_samples,
+    );
+    let mut skipped = Vec::new();
+    let (mut base_samples, mut cur_samples) =
+        record_samples(&baseline_records, &current_records, power_tol, &mut skipped);
+    let (bench_base, bench_cur) = bench_samples(
+        load_bench(&baseline).as_ref(),
+        load_bench(&current).as_ref(),
+        &mut skipped,
+    );
+    base_samples.extend(bench_base);
+    cur_samples.extend(bench_cur);
+
+    let report = diff(&base_samples, &cur_samples);
+    Ok(Regress {
+        baseline_dir: baseline.display().to_string(),
+        current_dir: current.display().to_string(),
+        power_tolerance_rel: power_tol,
+        compared: report.entries.len(),
+        regressions: report.regressions(),
+        improved: report.improved(),
+        skipped,
+        report,
+    })
+}
+
+/// Renders the comparison as text.
+pub fn render(r: &Regress) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("Regress: perf-diff against committed baselines\n");
+    let _ = writeln!(
+        s,
+        "baseline {} vs current {} (power tolerance {:.3}%)",
+        r.baseline_dir,
+        r.current_dir,
+        r.power_tolerance_rel * 100.0
+    );
+    for reason in &r.skipped {
+        let _ = writeln!(s, "skipped {reason}");
+    }
+    s.push_str(&r.report.render());
+    let verdict = if r.regressions == 0 {
+        "gate: PASS".to_owned()
+    } else {
+        format!("gate: FAIL ({} regression(s))", r.regressions)
+    };
+    let _ = writeln!(s, "{verdict}");
+    s
+}
+
+/// The regression gate as a registered experiment.
+pub struct RegressExperiment;
+
+impl crate::experiment::Experiment for RegressExperiment {
+    fn id(&self) -> &'static str {
+        "regress"
+    }
+
+    fn title(&self) -> &'static str {
+        "Gate — perf-diff of run envelopes against committed baselines"
+    }
+
+    fn device(&self) -> &'static str {
+        "host"
+    }
+
+    fn checks(&self) -> Vec<Check> {
+        vec![Check::new("regress/regressions", 0.0, 0.0, "/regressions")]
+    }
+
+    fn execute(&self, ctx: &RunContext) -> (serde::Value, String) {
+        match run(ctx) {
+            Ok(r) => (serde_json::to_value(&r), render(&r)),
+            Err(e) => {
+                // An unreadable baseline is itself a gate failure: the
+                // payload carries a sentinel regression count so the
+                // driver exits non-zero.
+                let msg = format!("Regress: could not load envelopes: {e}\n");
+                let payload = serde::Value::Object(vec![
+                    ("error".to_owned(), serde::Value::Str(e)),
+                    ("regressions".to_owned(), serde::Value::U64(1)),
+                ]);
+                (payload, msg)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Experiment, IterBudgets};
+    use crate::perf::{BenchEntry, BENCH_SCHEMA_VERSION};
+
+    /// Serializes tests that mutate the process-global `MC_REGRESS_BASELINE`.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    struct EnvGuard {
+        old: Option<String>,
+        _lock: std::sync::MutexGuard<'static, ()>,
+    }
+
+    impl EnvGuard {
+        fn set(dir: &std::path::Path) -> Self {
+            let lock = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            let old = std::env::var(BASELINE_ENV).ok();
+            std::env::set_var(BASELINE_ENV, dir);
+            EnvGuard { old, _lock: lock }
+        }
+    }
+
+    impl Drop for EnvGuard {
+        fn drop(&mut self) {
+            match &self.old {
+                Some(v) => std::env::set_var(BASELINE_ENV, v),
+                None => std::env::remove_var(BASELINE_ENV),
+            }
+        }
+    }
+
+    fn record(id: &str, metric: &str, measured: f64) -> ExperimentRecord {
+        ExperimentRecord {
+            schema_version: crate::experiment::SCHEMA_VERSION,
+            experiment: id.to_owned(),
+            title: id.to_owned(),
+            device: "mi250x".to_owned(),
+            config: IterBudgets::smoke(),
+            wall_time_s: 0.1,
+            checks: vec![crate::experiment::Comparison {
+                metric: metric.to_owned(),
+                paper: measured,
+                measured,
+                band: 0.05,
+            }],
+            rendered: String::new(),
+            payload: serde::Value::Object(Vec::new()),
+        }
+    }
+
+    fn write_dir(name: &str, records: &[ExperimentRecord], bench: Option<&BenchFile>) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mc-bench-regress-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for r in records {
+            let json = serde_json::to_string_pretty(r).unwrap();
+            std::fs::write(dir.join(format!("{}.json", r.experiment)), json).unwrap();
+        }
+        if let Some(b) = bench {
+            let json = serde_json::to_string_pretty(b).unwrap();
+            std::fs::write(dir.join(BENCH_FILE), json).unwrap();
+        }
+        dir
+    }
+
+    fn bench(threads: usize, wall_s: f64) -> BenchFile {
+        BenchFile {
+            schema_version: BENCH_SCHEMA_VERSION,
+            threads,
+            entries: vec![BenchEntry {
+                id: "sgemm_blocked".to_owned(),
+                n: 1024,
+                wall_s,
+            }],
+        }
+    }
+
+    #[test]
+    fn injected_throughput_regression_fails_the_gate() {
+        let good = record("fig3", "fig3/mixed plateau (TFLOPS)", 175.0);
+        let mut bad = good.clone();
+        bad.checks[0].measured *= 0.9; // synthetic 10% throughput loss
+        let base = write_dir("inject-base", &[good], None);
+        let cur = write_dir("inject-cur", &[bad], None);
+        let _guard = EnvGuard::set(&base);
+
+        let ctx = RunContext::new(IterBudgets::smoke()).with_sink(&cur);
+        let rec = RegressExperiment.run(&ctx);
+        let r: Regress = serde_json::from_value(rec.payload.clone()).unwrap();
+        assert_eq!(r.regressions, 1);
+        assert!(rec.checks.iter().any(|c| !c.pass()), "gate check must fail");
+        assert!(rec.rendered.contains("gate: FAIL"));
+
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
+    }
+
+    #[test]
+    fn identical_directories_pass_the_gate() {
+        let records = [
+            record("fig3", "fig3/mixed plateau (TFLOPS)", 175.0),
+            record("fig5", "fig5/peak power (W)", 520.0),
+        ];
+        let dir = write_dir("identical", &records, Some(&bench(8, 0.1)));
+        let _guard = EnvGuard::set(&dir);
+
+        let ctx = RunContext::new(IterBudgets::smoke()).with_sink(&dir);
+        let rec = RegressExperiment.run(&ctx);
+        let r: Regress = serde_json::from_value(rec.payload.clone()).unwrap();
+        assert_eq!(r.regressions, 0, "{}", rec.rendered);
+        assert!(rec.checks.iter().all(|c| c.pass()));
+        assert!(rec.rendered.contains("gate: PASS"));
+        assert!(r.compared >= 3);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn power_metrics_absorb_noise_band_drift() {
+        let base = write_dir(
+            "power-base",
+            &[record("fig5", "fig5/peak power (W)", 520.0)],
+            None,
+        );
+        // 0.05% drift: far under the SMI 3-sigma band, over the
+        // deterministic default.
+        let cur = write_dir(
+            "power-cur",
+            &[record("fig5", "fig5/peak power (W)", 520.26)],
+            None,
+        );
+        let _guard = EnvGuard::set(&base);
+        let ctx = RunContext::new(IterBudgets::smoke()).with_sink(&cur);
+        let r = run(&ctx).unwrap();
+        assert_eq!(r.regressions, 0, "{}", render(&r));
+        assert!(r.power_tolerance_rel > DEFAULT_TOLERANCE_REL);
+
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
+    }
+
+    #[test]
+    fn budget_mismatch_skips_instead_of_comparing() {
+        let base_rec = record("fig3", "fig3/mixed plateau (TFLOPS)", 175.0);
+        let mut cur_rec = base_rec.clone();
+        cur_rec.config = IterBudgets::paper();
+        cur_rec.checks[0].measured = 10.0; // wildly different, but incomparable
+        let base = write_dir("budget-base", &[base_rec], None);
+        let cur = write_dir("budget-cur", &[cur_rec], None);
+        let _guard = EnvGuard::set(&base);
+        let ctx = RunContext::new(IterBudgets::smoke()).with_sink(&cur);
+        let r = run(&ctx).unwrap();
+        assert_eq!(r.regressions, 0);
+        assert_eq!(r.skipped.len(), 1);
+        assert!(r.skipped[0].contains("budgets differ"));
+
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
+    }
+
+    #[test]
+    fn bench_slowdown_gates_but_thread_mismatch_skips() {
+        let rec = record("fig3", "fig3/mixed plateau (TFLOPS)", 175.0);
+        let base = write_dir(
+            "bench-base",
+            std::slice::from_ref(&rec),
+            Some(&bench(8, 0.1)),
+        );
+        let cur = write_dir(
+            "bench-cur",
+            std::slice::from_ref(&rec),
+            Some(&bench(8, 0.3)),
+        );
+        let _guard = EnvGuard::set(&base);
+        let ctx = RunContext::new(IterBudgets::smoke()).with_sink(&cur);
+        let r = run(&ctx).unwrap();
+        assert_eq!(r.regressions, 1, "3x slower must gate: {}", render(&r));
+        drop(_guard);
+
+        let cur2 = write_dir("bench-cur2", &[rec], Some(&bench(4, 0.3)));
+        let _guard = EnvGuard::set(&base);
+        let ctx = RunContext::new(IterBudgets::smoke()).with_sink(&cur2);
+        let r = run(&ctx).unwrap();
+        assert_eq!(r.regressions, 0);
+        assert!(r.skipped.iter().any(|s| s.contains("thread counts")));
+
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
+        let _ = std::fs::remove_dir_all(&cur2);
+    }
+}

@@ -1,0 +1,44 @@
+//! Attribution and regression observability for the simulator stack.
+//!
+//! The paper's methodology joins three measurement planes into
+//! per-kernel efficiency statements: `rocprof` counter deltas give
+//! Eq. 1 FLOPs, wall-clock timing gives achieved throughput against
+//! the Eq. 2 peak, and ROCm-SMI power sampling gives joules and
+//! GFLOPS/W (§IV, §VI). Before this crate those planes lived in three
+//! disjoint surfaces (`mc-trace` spans, `mc-profiler` counters,
+//! `mc-power` samples) with no machine-readable join. `mc-obs` closes
+//! the loop:
+//!
+//! - [`Attributor`] / [`AttributionRecord`]: joins kernel trace spans
+//!   (counter args, energy args, package-spec tags) with the device
+//!   specifications to produce one schema-versioned record per kernel
+//!   launch — wall time, cycles, Eq. 1 FLOPs, joules, MFMA-vs-VALU
+//!   mix, achieved-vs-Eq. 2-peak fraction, GFLOPS/W, and roofline
+//!   placement via [`mc_model::Roofline`].
+//! - [`to_jsonl`] / [`from_jsonl`]: the JSON-lines ledger format
+//!   written next to each experiment envelope.
+//! - [`register_attribution_metrics`]: aggregates a ledger into a
+//!   [`mc_trace::MetricsRegistry`] under `attribution.*`, from where
+//!   [`mc_trace::openmetrics`] renders the text exposition.
+//! - [`diff`] / [`Sample`] / [`DiffReport`]: the `perf-diff` regression
+//!   detector comparing a run's samples against committed baselines
+//!   with per-metric tolerances; [`power_noise_tolerance`] derives the
+//!   tolerance for power-plane metrics from the pinned
+//!   [`mc_sim::Smi`] noise model.
+//!
+//! See `docs/OBSERVABILITY.md` for the record schema and tolerance
+//! policy.
+
+#![deny(missing_docs)]
+
+mod attribution;
+mod perfdiff;
+
+pub use attribution::{
+    from_jsonl, register_attribution_metrics, to_jsonl, AttributionRecord, Attributor,
+    ATTRIBUTION_SCHEMA_VERSION,
+};
+pub use perfdiff::{
+    diff, power_noise_tolerance, DiffEntry, DiffReport, DiffStatus, Direction, Sample,
+    DEFAULT_TOLERANCE_REL,
+};

@@ -1,0 +1,333 @@
+//! The `perf-diff` regression detector.
+//!
+//! Compares a run's metric samples against a committed baseline with
+//! per-metric relative tolerances. The simulator is deterministic, so
+//! most metrics carry a near-zero tolerance; power-plane metrics use
+//! [`power_noise_tolerance`], derived by actually running the pinned
+//! [`mc_sim::Smi`] noise model through [`mc_sim::sample_stats`] — the
+//! tolerance *is* the noise model's own variance, not a guess. Host
+//! wall-clock timings (the `BENCH_hotpaths.json` entries) are compared
+//! lower-is-better with a wide tolerance, since CI machines vary.
+
+use mc_sim::{sample_stats, PowerProfile, Smi};
+use serde::{Deserialize, Serialize};
+
+/// Default relative tolerance for deterministic simulator metrics: any
+/// visible drift means the code's behaviour changed and the baseline
+/// must be deliberately re-committed.
+pub const DEFAULT_TOLERANCE_REL: f64 = 1e-6;
+
+/// How a metric's change maps to pass/fail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Any change beyond tolerance is a regression (fidelity metrics:
+    /// the measured value should track the paper, drift either way is
+    /// suspect).
+    Symmetric,
+    /// Only increases beyond tolerance regress; decreases beyond
+    /// tolerance are improvements (wall-clock timings).
+    LowerIsBetter,
+}
+
+/// One named metric sample, with its comparison policy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Stable key, e.g. `fig3/mixed plateau (TFLOPS)` or `bench/getrf`.
+    pub key: String,
+    /// The sampled value.
+    pub value: f64,
+    /// Comparison direction.
+    pub direction: Direction,
+    /// Relative tolerance before a change counts.
+    pub tolerance_rel: f64,
+}
+
+impl Sample {
+    /// A symmetric sample at the deterministic default tolerance.
+    pub fn exact(key: impl Into<String>, value: f64) -> Self {
+        Sample {
+            key: key.into(),
+            value,
+            direction: Direction::Symmetric,
+            tolerance_rel: DEFAULT_TOLERANCE_REL,
+        }
+    }
+}
+
+/// Outcome of comparing one key across baseline and current.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiffStatus {
+    /// Within tolerance.
+    Stable,
+    /// Beyond tolerance in the better direction.
+    Improved,
+    /// Beyond tolerance in the worse direction.
+    Regressed,
+    /// Present in the current run only.
+    Added,
+    /// Present in the baseline only.
+    Removed,
+}
+
+/// One compared key.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiffEntry {
+    /// The sample key.
+    pub key: String,
+    /// Baseline value (`None` for [`DiffStatus::Added`]).
+    pub baseline: Option<f64>,
+    /// Current value (`None` for [`DiffStatus::Removed`]).
+    pub current: Option<f64>,
+    /// Relative change `(current - baseline) / max(|baseline|, eps)`;
+    /// zero when either side is missing.
+    pub change_rel: f64,
+    /// Tolerance the change was judged against.
+    pub tolerance_rel: f64,
+    /// The verdict.
+    pub status: DiffStatus,
+}
+
+/// The full comparison: every compared, added, and removed key.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiffReport {
+    /// Entries: current-run keys in order, then baseline-only keys.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl DiffReport {
+    /// Number of regressed keys — the regression-gate count.
+    pub fn regressions(&self) -> usize {
+        self.count(DiffStatus::Regressed)
+    }
+
+    /// Number of improved keys.
+    pub fn improved(&self) -> usize {
+        self.count(DiffStatus::Improved)
+    }
+
+    /// Number of keys with the given status.
+    pub fn count(&self, status: DiffStatus) -> usize {
+        self.entries.iter().filter(|e| e.status == status).count()
+    }
+
+    /// Renders a human-readable summary: one line per non-stable key,
+    /// then totals.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.entries {
+            if e.status == DiffStatus::Stable {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<10} {:<52} {} -> {} ({:+.2}%, tol {:.2}%)",
+                format!("{:?}", e.status),
+                e.key,
+                e.baseline.map_or("-".to_owned(), |v| format!("{v:.6}")),
+                e.current.map_or("-".to_owned(), |v| format!("{v:.6}")),
+                e.change_rel * 100.0,
+                e.tolerance_rel * 100.0,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} compared, {} regressed, {} improved, {} added, {} removed",
+            self.entries.len(),
+            self.regressions(),
+            self.improved(),
+            self.count(DiffStatus::Added),
+            self.count(DiffStatus::Removed),
+        );
+        out
+    }
+}
+
+/// Compares current samples against a baseline. Matching is by key;
+/// the policy (direction, tolerance) of the *current* sample governs,
+/// so tightening a tolerance in code takes effect without
+/// re-committing baselines.
+pub fn diff(baseline: &[Sample], current: &[Sample]) -> DiffReport {
+    let mut entries = Vec::with_capacity(current.len());
+    for c in current {
+        let Some(b) = baseline.iter().find(|b| b.key == c.key) else {
+            entries.push(DiffEntry {
+                key: c.key.clone(),
+                baseline: None,
+                current: Some(c.value),
+                change_rel: 0.0,
+                tolerance_rel: c.tolerance_rel,
+                status: DiffStatus::Added,
+            });
+            continue;
+        };
+        let change_rel = (c.value - b.value) / b.value.abs().max(1e-12);
+        let status = match c.direction {
+            Direction::Symmetric => {
+                if change_rel.abs() > c.tolerance_rel {
+                    DiffStatus::Regressed
+                } else {
+                    DiffStatus::Stable
+                }
+            }
+            Direction::LowerIsBetter => {
+                if change_rel > c.tolerance_rel {
+                    DiffStatus::Regressed
+                } else if change_rel < -c.tolerance_rel {
+                    DiffStatus::Improved
+                } else {
+                    DiffStatus::Stable
+                }
+            }
+        };
+        entries.push(DiffEntry {
+            key: c.key.clone(),
+            baseline: Some(b.value),
+            current: Some(c.value),
+            change_rel,
+            tolerance_rel: c.tolerance_rel,
+            status,
+        });
+    }
+    for b in baseline {
+        if !current.iter().any(|c| c.key == b.key) {
+            entries.push(DiffEntry {
+                key: b.key.clone(),
+                baseline: Some(b.value),
+                current: None,
+                change_rel: 0.0,
+                tolerance_rel: b.tolerance_rel,
+                status: DiffStatus::Removed,
+            });
+        }
+    }
+    DiffReport { entries }
+}
+
+/// Noise-aware relative tolerance for power-plane metrics, derived
+/// from the pinned SMI noise model itself: a flat profile is sampled
+/// through [`Smi`] at `noise_amplitude`, the relative standard
+/// deviation comes from [`sample_stats`], and the tolerance is the
+/// 3-sigma band of an `n`-sample mean (floored at 0.1% so a zero
+/// amplitude still leaves rounding headroom).
+pub fn power_noise_tolerance(noise_amplitude: f64, n_samples: usize) -> f64 {
+    let n = n_samples.max(1);
+    // Enough pinned samples to estimate the noise variance itself.
+    const PROBE_SAMPLES: usize = 512;
+    const PERIOD_S: f64 = 0.1;
+    let profile = PowerProfile {
+        segments: vec![(0.0, PERIOD_S * PROBE_SAMPLES as f64, 100.0)],
+    };
+    let smi = Smi::attach(profile, noise_amplitude, 0x0b5e_7001);
+    let stats = sample_stats(&smi.sample_period(PERIOD_S));
+    let rel_stddev = if stats.mean_w > 0.0 {
+        stats.stddev_w / stats.mean_w
+    } else {
+        0.0
+    };
+    (3.0 * rel_stddev / (n as f64).sqrt()).max(1e-3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(key: &str, value: f64, tol: f64) -> Sample {
+        Sample {
+            key: key.into(),
+            value,
+            direction: Direction::Symmetric,
+            tolerance_rel: tol,
+        }
+    }
+
+    #[test]
+    fn ten_percent_throughput_drop_regresses() {
+        let baseline = vec![sample("fig3/mixed plateau (TFLOPS)", 175.0, 0.01)];
+        let current = vec![sample("fig3/mixed plateau (TFLOPS)", 157.5, 0.01)];
+        let report = diff(&baseline, &current);
+        assert_eq!(report.regressions(), 1);
+        assert_eq!(report.entries[0].status, DiffStatus::Regressed);
+        assert!((report.entries[0].change_rel + 0.10).abs() < 1e-12);
+        assert!(report.render().contains("Regressed"));
+    }
+
+    #[test]
+    fn identical_samples_are_stable() {
+        let s = vec![
+            sample("a", 1.0, 1e-6),
+            sample("b", -2.5, 1e-6),
+            sample("c", 0.0, 1e-6),
+        ];
+        let report = diff(&s, &s);
+        assert_eq!(report.regressions(), 0);
+        assert!(report
+            .entries
+            .iter()
+            .all(|e| e.status == DiffStatus::Stable));
+    }
+
+    #[test]
+    fn lower_is_better_flags_only_slowdowns() {
+        let mk = |v: f64, tol: f64| Sample {
+            key: "bench/getrf".into(),
+            value: v,
+            direction: Direction::LowerIsBetter,
+            tolerance_rel: tol,
+        };
+        // 2.5x slower: beyond the 100% tolerance.
+        let report = diff(&[mk(1.0, 1.0)], &[mk(2.5, 1.0)]);
+        assert_eq!(report.regressions(), 1);
+        // 1.5x slower: within tolerance on a noisy host metric.
+        let report = diff(&[mk(1.0, 1.0)], &[mk(1.5, 1.0)]);
+        assert_eq!(report.regressions(), 0);
+        // 3x faster at a 50% tolerance: an improvement, not a regression.
+        let report = diff(&[mk(1.0, 0.5)], &[mk(0.3, 0.5)]);
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.improved(), 1);
+    }
+
+    #[test]
+    fn added_and_removed_keys_are_reported_not_regressed() {
+        let baseline = vec![sample("old", 1.0, 1e-6)];
+        let current = vec![sample("new", 2.0, 1e-6)];
+        let report = diff(&baseline, &current);
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.count(DiffStatus::Added), 1);
+        assert_eq!(report.count(DiffStatus::Removed), 1);
+    }
+
+    #[test]
+    fn zero_baseline_flags_any_nonzero_current() {
+        let report = diff(&[sample("gate", 0.0, 0.05)], &[sample("gate", 2.0, 0.05)]);
+        assert_eq!(report.regressions(), 1);
+    }
+
+    #[test]
+    fn noise_tolerance_tracks_the_pinned_smi_model() {
+        // The fig5 noise amplitude (1.5%) over a 100-sample mean: the
+        // 3-sigma band must be well under the 10% injection threshold
+        // but above the deterministic default.
+        let tol = power_noise_tolerance(0.015, 100);
+        assert!(tol > DEFAULT_TOLERANCE_REL, "{tol}");
+        assert!(tol < 0.05, "{tol}");
+        // Deterministic (zero-amplitude) power runs keep the floor.
+        assert_eq!(power_noise_tolerance(0.0, 100), 1e-3);
+        // Fewer samples -> wider tolerance.
+        assert!(power_noise_tolerance(0.015, 4) > tol);
+        // Pinned model: the tolerance itself is reproducible.
+        assert_eq!(tol, power_noise_tolerance(0.015, 100));
+    }
+
+    #[test]
+    fn diff_report_serializes_for_envelope_payloads() {
+        let report = diff(
+            &[sample("x", 1.0, 0.01)],
+            &[sample("x", 2.0, 0.01), sample("y", 3.0, 0.01)],
+        );
+        let value = serde_json::to_value(&report);
+        let text = serde_json::to_string(&value).unwrap();
+        let back: DiffReport = serde_json::from_str(&text).expect("diff reports round-trip JSON");
+        assert_eq!(back, report);
+    }
+}

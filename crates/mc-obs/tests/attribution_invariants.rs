@@ -1,0 +1,134 @@
+//! Cross-plane invariants for the attribution ledger.
+//!
+//! For a representative GEMM-shaped launch on every registered device,
+//! the joined record must reconcile with each plane's own source of
+//! truth: Eq. 1 FLOPs against the analytic `2·M·N·K` count, summed
+//! joules against `mc_power::EnergyBreakdown`, and the achieved
+//! fraction against the Eq. 2 peak.
+
+use std::sync::Arc;
+
+use mc_blas::{BlasHandle, GemmDesc, GemmOp};
+use mc_isa::{
+    ampere_catalog, cdna1_catalog, cdna2_catalog, IsaCatalog, KernelDesc, MatrixArch, SlotOp,
+    WaveProgram,
+};
+use mc_obs::Attributor;
+use mc_power::EnergyBreakdown;
+use mc_sim::{DeviceId, DeviceRegistry};
+use mc_trace::RingSink;
+use mc_types::DType;
+
+fn catalog_for(arch: MatrixArch) -> &'static IsaCatalog {
+    match arch {
+        MatrixArch::Cdna1 => cdna1_catalog(),
+        MatrixArch::Cdna2 => cdna2_catalog(),
+        MatrixArch::Ampere => ampere_catalog(),
+    }
+}
+
+fn rel_err(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-12)
+}
+
+/// The mixed-precision inner loop of a tiled GEMM on each device's own
+/// best instruction: known wave count times known iteration count gives
+/// an analytic FLOP total to reconcile Eq. 1 against.
+#[test]
+fn records_reconcile_across_planes_on_every_device() {
+    const WAVES: u64 = 128;
+    const ITERS: u64 = 2_000;
+    for id in DeviceId::ALL {
+        let ring = Arc::new(RingSink::new());
+        let mut devices = DeviceRegistry::builtin();
+        devices.set_trace_sink(ring.clone());
+        let cfg = devices.config(id).clone();
+        let instr = *catalog_for(cfg.package.die.arch)
+            .best_for_types(DType::F32, DType::F16)
+            .expect("every arch has a mixed-precision instruction");
+        let kernel = KernelDesc {
+            workgroups: WAVES,
+            waves_per_workgroup: 1,
+            ..KernelDesc::new(
+                "gemm_inner_loop",
+                WaveProgram::looped(vec![SlotOp::Mfma(instr)], ITERS),
+            )
+        };
+
+        let mut gpu = devices.gpu(id);
+        let result = gpu.launch(0, &kernel).unwrap();
+        let records = Attributor::from_registry(&devices).attribute(&ring.events());
+        assert_eq!(records.len(), 1, "{id:?}");
+        let r = &records[0];
+
+        // Counter plane: Eq. 1 over the span's counters must match the
+        // analytic 2*M*N*K FLOP count within 1% (it is in fact exact).
+        let analytic = (WAVES * ITERS * instr.flops()) as f64;
+        assert!(
+            rel_err(r.eq1_flops as f64, analytic) < 0.01,
+            "{id:?}: eq1 {} vs analytic {analytic}",
+            r.eq1_flops
+        );
+
+        // Energy plane: the ledger's total must reconcile with the
+        // energy model's own decomposition of the same launch.
+        let breakdown = EnergyBreakdown::of_result(&cfg.package, &result);
+        assert!(
+            rel_err(r.energy_j, breakdown.total_j()) < 1e-6,
+            "{id:?}: ledger {} J vs breakdown {} J",
+            r.energy_j,
+            breakdown.total_j()
+        );
+
+        // Throughput plane: a real launch achieves a positive fraction
+        // of the Eq. 2 peak and can never exceed it.
+        assert!(
+            r.achieved_fraction > 0.0 && r.achieved_fraction <= 1.0,
+            "{id:?}: achieved fraction {}",
+            r.achieved_fraction
+        );
+        assert!(r.wall_time_s > 0.0, "{id:?}");
+        assert_eq!(r.spec, cfg.package.name, "{id:?}");
+    }
+}
+
+/// The same invariants through the full rocBLAS-style path: a square
+/// HHS GEMM planned and launched by `mc-blas`, attributed from the
+/// trace it emitted.
+#[test]
+fn blas_gemm_attribution_matches_analytic_flops_and_energy() {
+    let n = 1024_u64;
+    let ring = Arc::new(RingSink::new());
+    let mut devices = DeviceRegistry::builtin();
+    devices.set_trace_sink(ring.clone());
+    let mut handle = BlasHandle::from_registry(&devices, DeviceId::Mi250xGcd);
+    let perf = handle
+        .gemm_timed(&GemmDesc::square(GemmOp::Hhs, n as usize))
+        .unwrap();
+
+    let records = Attributor::from_registry(&devices).attribute(&ring.events());
+    assert_eq!(records.len(), 1);
+    let r = &records[0];
+
+    let analytic = (2 * n * n * n) as f64;
+    assert!(
+        rel_err(r.eq1_flops as f64, analytic) < 0.01,
+        "eq1 {} vs 2n^3 {analytic}",
+        r.eq1_flops
+    );
+
+    let breakdown = EnergyBreakdown::of_result(handle.gpu().spec(), &perf.package);
+    assert!(
+        rel_err(r.energy_j, breakdown.total_j()) < 1e-6,
+        "ledger {} J vs breakdown {} J",
+        r.energy_j,
+        breakdown.total_j()
+    );
+
+    assert!(r.achieved_fraction > 0.0 && r.achieved_fraction <= 1.0);
+    // A 1024-square HHS GEMM moves real HBM traffic: the ledger's
+    // roofline placement must carry a finite intensity.
+    assert!(r.hbm_bytes > 0);
+    assert!(r.intensity_flop_per_byte.is_finite());
+    assert_eq!(r.roofline_roof, "MFMA FP16-mixed");
+}

@@ -67,6 +67,31 @@ impl EnergyBreakdown {
         }
     }
 
+    /// Registers the decomposition under `power.energy.*` in a metrics
+    /// registry: each component in joules plus the arithmetic/standby
+    /// fractions as ratios (see `docs/OBSERVABILITY.md`).
+    pub fn register_metrics(&self, reg: &mut mc_trace::MetricsRegistry) {
+        use mc_trace::Unit;
+        reg.set("power.energy.idle_j", Unit::Joules, self.idle_j);
+        reg.set("power.energy.baseline_j", Unit::Joules, self.baseline_j);
+        reg.set("power.energy.mfma_f64_j", Unit::Joules, self.mfma_j.0);
+        reg.set("power.energy.mfma_f32_j", Unit::Joules, self.mfma_j.1);
+        reg.set("power.energy.mfma_f16_j", Unit::Joules, self.mfma_j.2);
+        reg.set("power.energy.valu_j", Unit::Joules, self.valu_j);
+        reg.set("power.energy.dram_j", Unit::Joules, self.dram_j);
+        reg.set("power.energy.total_j", Unit::Joules, self.total_j());
+        reg.set(
+            "power.energy.arithmetic_fraction",
+            Unit::Ratio,
+            self.arithmetic_fraction(),
+        );
+        reg.set(
+            "power.energy.standby_fraction",
+            Unit::Ratio,
+            self.standby_fraction(),
+        );
+    }
+
     /// Computes the breakdown of a whole package launch.
     pub fn of_result(spec: &PackageSpec, result: &PackageResult) -> Self {
         let mut out = EnergyBreakdown {
@@ -132,6 +157,33 @@ mod tests {
         let (gpu, r) = loop_result(4, 1_000_000);
         let b = EnergyBreakdown::of_result(gpu.spec(), &r);
         assert!(b.standby_fraction() > 0.8, "{}", b.standby_fraction());
+    }
+
+    #[test]
+    fn register_metrics_exposes_components_and_fractions() {
+        let (gpu, r) = loop_result(440, 100_000);
+        let b = EnergyBreakdown::of_result(gpu.spec(), &r);
+        let mut reg = mc_trace::MetricsRegistry::new();
+        b.register_metrics(&mut reg);
+        assert_eq!(reg.value("power.energy.total_j"), Some(b.total_j()));
+        assert_eq!(reg.value("power.energy.idle_j"), Some(b.idle_j));
+        assert_eq!(
+            reg.get("power.energy.standby_fraction").unwrap().unit,
+            mc_trace::Unit::Ratio
+        );
+        let sum: f64 = [
+            "power.energy.idle_j",
+            "power.energy.baseline_j",
+            "power.energy.mfma_f64_j",
+            "power.energy.mfma_f32_j",
+            "power.energy.mfma_f16_j",
+            "power.energy.valu_j",
+            "power.energy.dram_j",
+        ]
+        .iter()
+        .map(|n| reg.value(n).unwrap())
+        .sum();
+        assert!((sum - b.total_j()).abs() < 1e-12 * b.total_j().max(1.0));
     }
 
     #[test]

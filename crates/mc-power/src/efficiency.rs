@@ -35,6 +35,30 @@ impl EfficiencyPoint {
             gflops_per_watt: gflops_per_watt(tflops, watts),
         }
     }
+
+    /// Registers the point under `power.efficiency.<dtype>.*`:
+    /// throughput in flop/s, package power in watts, and efficiency in
+    /// flop/J (the paper's GFLOPS/W divided by 1e9 — base SI units so
+    /// the OpenMetrics exposition stays unit-correct).
+    pub fn register_metrics(&self, reg: &mut mc_trace::MetricsRegistry) {
+        use mc_trace::Unit;
+        let dt = format!("{}", self.dtype).to_ascii_lowercase();
+        reg.set(
+            &format!("power.efficiency.{dt}.flops_per_s"),
+            Unit::FlopsPerSecond,
+            self.tflops * 1e12,
+        );
+        reg.set(
+            &format!("power.efficiency.{dt}.watts"),
+            Unit::Watts,
+            self.watts,
+        );
+        reg.set(
+            &format!("power.efficiency.{dt}.flops_per_j"),
+            Unit::FlopsPerJoule,
+            self.gflops_per_watt * 1e9,
+        );
+    }
 }
 
 /// A cross-datatype efficiency comparison (the §VI analysis).
@@ -66,6 +90,21 @@ impl EfficiencyReport {
         self.points
             .iter()
             .max_by(|x, y| x.gflops_per_watt.total_cmp(&y.gflops_per_watt))
+    }
+
+    /// Registers every point (see [`EfficiencyPoint::register_metrics`])
+    /// plus the best efficiency across datatypes.
+    pub fn register_metrics(&self, reg: &mut mc_trace::MetricsRegistry) {
+        for p in &self.points {
+            p.register_metrics(reg);
+        }
+        if let Some(best) = self.best() {
+            reg.set(
+                "power.efficiency.best.flops_per_j",
+                mc_trace::Unit::FlopsPerJoule,
+                best.gflops_per_watt * 1e9,
+            );
+        }
     }
 }
 
@@ -114,6 +153,26 @@ mod tests {
     fn best_is_mixed() {
         let r = paper_report();
         assert_eq!(r.best().unwrap().dtype, DType::F16);
+    }
+
+    #[test]
+    fn register_metrics_exposes_points_in_base_units() {
+        let r = paper_report();
+        let mut reg = mc_trace::MetricsRegistry::new();
+        r.register_metrics(&mut reg);
+        // 350 TFLOPS @ 343 W → ~1.02e12 flop/J... (flop/s ÷ W = flop/J).
+        let f16 = reg.value("power.efficiency.fp16.flops_per_j").unwrap();
+        assert!((f16 / 1e9 - 1020.0).abs() < 15.0, "{f16}");
+        assert_eq!(
+            reg.value("power.efficiency.fp16.flops_per_s"),
+            Some(350.0e12)
+        );
+        assert_eq!(reg.value("power.efficiency.fp64.watts"), Some(541.0));
+        assert_eq!(reg.value("power.efficiency.best.flops_per_j"), Some(f16));
+        assert_eq!(
+            reg.get("power.efficiency.fp32.flops_per_j").unwrap().unit,
+            mc_trace::Unit::FlopsPerJoule
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod pm_counters;
 pub mod sampler;
 
 pub use breakdown::EnergyBreakdown;
-pub use efficiency::{gflops_per_watt, EfficiencyReport};
+pub use efficiency::{gflops_per_watt, EfficiencyPoint, EfficiencyReport};
 pub use model::{PowerModel, PAPER_EQ3};
 pub use pm_counters::{PmCounters, PmReading};
 pub use sampler::{BackgroundSampler, SamplerConfig};

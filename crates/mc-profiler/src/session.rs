@@ -36,6 +36,39 @@ impl ProfilerSession {
         delta.register_metrics(registry);
         Ok(delta)
     }
+
+    /// Ends the session and registers both the raw counter delta
+    /// (`counters.*`) and the Eq. 1 FLOP derivation over it
+    /// (`profiler.eq1.*`: matrix-core FLOPs, SIMD FLOPs, total, and
+    /// the matrix-core fraction). This is the profiler's contribution
+    /// to an `mc-obs` attribution record: the same derived quantities,
+    /// sourced from counters instead of the engine's internal tallies.
+    pub fn end_derived_metrics(
+        self,
+        gpu: &Gpu,
+        registry: &mut mc_trace::MetricsRegistry,
+    ) -> Result<HwCounters, LaunchError> {
+        use mc_trace::Unit;
+        let delta = self.end_metrics(gpu, registry)?;
+        let derived = mc_model::derived_total_flops(&delta);
+        registry.set(
+            "profiler.eq1.matrix_flops",
+            Unit::Flops,
+            derived.matrix_core as f64,
+        );
+        registry.set("profiler.eq1.simd_flops", Unit::Flops, derived.simd as f64);
+        registry.set(
+            "profiler.eq1.total_flops",
+            Unit::Flops,
+            derived.total() as f64,
+        );
+        registry.set(
+            "profiler.eq1.matrix_ratio",
+            Unit::Ratio,
+            derived.matrix_core_ratio(),
+        );
+        Ok(delta)
+    }
 }
 
 /// A named-counter report, the `rocprof` CSV-row equivalent.
@@ -136,6 +169,26 @@ mod tests {
             Some(delta.mfma_mops_f16 as f64)
         );
         assert_eq!(reg.value("counters.SQ_WAVES"), Some(8.0));
+    }
+
+    #[test]
+    fn end_derived_metrics_matches_eq1_over_the_delta() {
+        let mut gpu = Gpu::mi250x();
+        let session = ProfilerSession::begin(&gpu, 0).unwrap();
+        gpu.launch(0, &mixed_kernel(100)).unwrap();
+        let mut reg = mc_trace::MetricsRegistry::new();
+        let delta = session.end_derived_metrics(&gpu, &mut reg).unwrap();
+        let derived = mc_model::derived_total_flops(&delta);
+        assert_eq!(
+            reg.value("profiler.eq1.total_flops"),
+            Some(derived.total() as f64)
+        );
+        // A pure-MFMA loop: every FLOP came from the Matrix Cores.
+        assert_eq!(reg.value("profiler.eq1.matrix_ratio"), Some(1.0));
+        assert_eq!(
+            reg.value("profiler.eq1.matrix_flops"),
+            Some((8 * 100 * 8192) as f64)
+        );
     }
 
     #[test]

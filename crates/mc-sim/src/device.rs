@@ -304,6 +304,8 @@ impl Gpu {
                     t0_s: self.trace_clock_s,
                     clock_scale: scale,
                     wall_time_s: time,
+                    spec: &self.cfg.package.name,
+                    dynamic_energy_j: dyn_e,
                 },
                 k,
                 e,
@@ -450,14 +452,7 @@ impl Gpu {
 
     /// Dynamic energy of one execution in joules.
     pub fn dynamic_energy_j(&self, e: &KernelExec) -> f64 {
-        let t = &self.cfg.package.energy_pj;
-        let (f64f, f32f, f16f) = e.mfma_flops_by_type;
-        let pj = f64f as f64 * t.mfma_f64
-            + f32f as f64 * t.mfma_f32
-            + f16f as f64 * t.mfma_f16
-            + e.valu_flops as f64 * t.valu
-            + e.hbm_bytes as f64 * t.hbm_per_byte;
-        pj * 1e-12
+        engine::dynamic_energy_j(&self.cfg.package, e)
     }
 
     fn peak_power(&self, execs: &[(usize, &KernelDesc, KernelExec)], scale: f64) -> f64 {

@@ -28,7 +28,7 @@
 //! latency sees the full boost clock (clean Table II numbers); a die full
 //! of MFMA traffic settles at the sustained plateau.
 
-use mc_isa::specs::DieSpec;
+use mc_isa::specs::{DieSpec, PackageSpec};
 use mc_isa::{KernelDesc, SlotOp, WaveProgram};
 use mc_types::DType;
 use serde::{Deserialize, Serialize};
@@ -436,9 +436,25 @@ pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelE
     })
 }
 
+/// Dynamic (per-operation) energy of one execution in joules, charged
+/// from the package's energy table (Eq. 3 dynamic term): matrix-unit
+/// FLOPs priced per input datatype, VALU FLOPs, and HBM traffic per
+/// byte. The static idle/baseline terms accrue with wall time and are
+/// accounted by the package power model, not here.
+pub fn dynamic_energy_j(spec: &PackageSpec, e: &KernelExec) -> f64 {
+    let t = &spec.energy_pj;
+    let (f64f, f32f, f16f) = e.mfma_flops_by_type;
+    (f64f as f64 * t.mfma_f64
+        + f32f as f64 * t.mfma_f32
+        + f16f as f64 * t.mfma_f16
+        + e.valu_flops as f64 * t.valu
+        + e.hbm_bytes as f64 * t.hbm_per_byte)
+        * 1e-12
+}
+
 /// Where one kernel's events land on a shared trace timeline.
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct TracePlacement {
+pub struct TracePlacement<'a> {
     /// Die index (becomes the trace "process").
     pub die: u32,
     /// Launch start on the trace timeline, in seconds.
@@ -448,6 +464,13 @@ pub struct TracePlacement {
     pub clock_scale: f64,
     /// Wall time of the kernel after governor action, in seconds.
     pub wall_time_s: f64,
+    /// Name of the package specification the kernel ran on — the join
+    /// key `mc-obs` uses to attribute kernel spans back to a device
+    /// (empty when the caller has no package context).
+    pub spec: &'a str,
+    /// Dynamic energy charged to this kernel in joules (Eq. 3 dynamic
+    /// term; idle/baseline static power is apportioned downstream).
+    pub dynamic_energy_j: f64,
 }
 
 /// Emits the execution timeline of one kernel into a trace sink: the
@@ -474,10 +497,21 @@ pub fn emit_kernel_events(
     let us_per_cycle = 1e6 / clock_hz;
 
     let mut args: Vec<(String, ArgValue)> = vec![
+        ("spec".into(), at.spec.into()),
         ("flops".into(), e.flops.into()),
         ("mfma_flops".into(), e.mfma_flops.into()),
+        ("mfma_flops_f64".into(), e.mfma_flops_by_type.0.into()),
+        ("mfma_flops_f32".into(), e.mfma_flops_by_type.1.into()),
+        ("mfma_flops_f16".into(), e.mfma_flops_by_type.2.into()),
+        ("valu_flops".into(), e.valu_flops.into()),
         ("hbm_bytes".into(), e.hbm_bytes.into()),
+        ("compute_cycles".into(), e.compute_cycles.into()),
         ("effective_clock_hz".into(), clock_hz.into()),
+        ("clock_scale".into(), at.clock_scale.into()),
+        ("dram_time_s".into(), e.dram_time_s.into()),
+        ("dynamic_energy_j".into(), at.dynamic_energy_j.into()),
+        ("matrix_occupancy".into(), e.matrix_occupancy.into()),
+        ("simd_occupancy".into(), e.simd_occupancy.into()),
         ("rounds".into(), (e.rounds.len() as u64).into()),
     ];
     for (name, value) in e.counters.iter() {
@@ -592,6 +626,8 @@ pub fn execute_with_sink(
             t0_s: 0.0,
             clock_scale: 1.0,
             wall_time_s: exec.time_s,
+            spec: &cfg.package.name,
+            dynamic_energy_j: dynamic_energy_j(&cfg.package, &exec),
         },
         k,
         &exec,

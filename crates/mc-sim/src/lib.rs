@@ -36,8 +36,8 @@ pub use config::{ClockResidency, SimConfig};
 pub use counters::{HwCounters, UnknownCounter, COUNTER_NAMES};
 pub use device::{dominant_mfma_type, Gpu, KernelResult, PackageResult, PowerProfile};
 pub use engine::{
-    emit_kernel_events, execute, execute_with_sink, workgroups_per_cu, KernelExec, LaunchError,
-    RoundBound, RoundTrace, TracePlacement,
+    dynamic_energy_j, emit_kernel_events, execute, execute_with_sink, workgroups_per_cu,
+    KernelExec, LaunchError, RoundBound, RoundTrace, TracePlacement,
 };
 pub use microbench::{
     fig3_wavefront_sweep, measure_latency, throughput_run, throughput_run_all_dies, LatencyResult,

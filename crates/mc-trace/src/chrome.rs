@@ -197,6 +197,39 @@ mod tests {
     }
 
     #[test]
+    fn string_escaping_round_trips_hostile_names_and_args() {
+        // Kernel names flow from user-controlled `KernelDesc::name`
+        // straight into JSON string literals — quotes, backslashes,
+        // newlines, and control characters must all survive a parse.
+        let hostile = "gemm \"quoted\" \\back\\slash\\ \nnewline \ttab \u{1} ctrl \u{7f}";
+        let arg = "path\\to\\\"kernel\"\r\n\u{0}";
+        let events = vec![TraceEvent::Span(SpanEvent {
+            name: hostile.to_owned(),
+            category: Category::Kernel,
+            device: 0,
+            track: Track::Launch,
+            t0_us: 0.0,
+            dur_us: 1.0,
+            args: vec![("label".into(), ArgValue::Str(arg.to_owned()))],
+        })];
+        let json = chrome_trace_json(&events);
+        let doc: Value = serde_json::from_str(&json).expect("escaped output stays valid JSON");
+        let parsed = doc.pointer("/traceEvents").unwrap().as_array().unwrap();
+        let span = parsed
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(span.get("name").and_then(Value::as_str), Some(hostile));
+        assert_eq!(
+            span.pointer("/args/label").and_then(Value::as_str),
+            Some(arg)
+        );
+        // Raw (unescaped) control bytes must never reach the document.
+        assert!(!json.contains('\n'), "raw newline leaked into JSON text");
+        assert!(!json.contains('\u{1}'), "raw control byte leaked");
+    }
+
+    #[test]
     fn span_fields_land_in_chrome_keys() {
         let json = chrome_trace_json(&sample_events());
         let doc: Value = serde_json::from_str(&json).unwrap();

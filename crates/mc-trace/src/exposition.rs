@@ -1,0 +1,154 @@
+//! OpenMetrics / Prometheus text exposition of a [`MetricsRegistry`].
+//!
+//! Every metric renders as one gauge family with unit-correct naming
+//! derived from its [`Unit`]: dotted registry names are sanitized to
+//! the OpenMetrics grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`) and suffixed
+//! with the unit token ([`Unit::openmetrics_token`]) unless the name
+//! already carries it, then emitted as
+//!
+//! ```text
+//! # TYPE power_avg_w_watts gauge
+//! # UNIT power_avg_w_watts watts
+//! power_avg_w_watts 412.5
+//! ...
+//! # EOF
+//! ```
+//!
+//! The output is a complete exposition (terminated by `# EOF`) suitable
+//! for a Prometheus file-based scrape or `promtool check metrics`.
+//! Naming conventions are documented in `docs/OBSERVABILITY.md`.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsRegistry;
+
+/// Sanitizes one registry metric name into the OpenMetrics name
+/// grammar: every character outside `[a-zA-Z0-9_:]` becomes `_`, and a
+/// leading digit gets a `_` prefix.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders a registry snapshot in OpenMetrics text exposition format.
+///
+/// Metrics are emitted in registry (name) order, each as a `gauge`
+/// family with `# TYPE` metadata, `# UNIT` metadata when the unit has
+/// an OpenMetrics token, and a single unlabelled sample. Distinct
+/// registry names that sanitize to the same exposition name are
+/// disambiguated with a numeric suffix so the output never repeats a
+/// family name (which the format forbids).
+pub fn openmetrics(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    for m in registry.iter() {
+        let token = m.unit.openmetrics_token();
+        let mut name = sanitize(&m.name);
+        if let Some(token) = token {
+            let suffix = format!("_{token}");
+            if !name.ends_with(&suffix) {
+                name.push_str(&suffix);
+            }
+        }
+        if used.contains(&name) {
+            let mut n = 2usize;
+            while used.contains(&format!("{name}_{n}")) {
+                n += 1;
+            }
+            name = format!("{name}_{n}");
+        }
+        used.insert(name.clone());
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        if let Some(token) = token {
+            let _ = writeln!(out, "# UNIT {name} {token}");
+        }
+        let _ = writeln!(out, "{name} {}", m.value);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Unit;
+
+    #[test]
+    fn exposition_has_type_unit_sample_and_eof() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("power.avg_w", Unit::Watts, 412.5);
+        reg.set("counters.SQ_WAVES", Unit::Count, 440.0);
+        reg.set("sim.matrix_occupancy", Unit::Ratio, 0.91);
+        let text = openmetrics(&reg);
+
+        assert!(text.contains("# TYPE power_avg_w_watts gauge"), "{text}");
+        assert!(text.contains("# UNIT power_avg_w_watts watts"), "{text}");
+        assert!(text.contains("\npower_avg_w_watts 412.5\n"), "{text}");
+        // Counts carry no unit token and no UNIT line.
+        assert!(text.contains("# TYPE counters_SQ_WAVES gauge"), "{text}");
+        assert!(!text.contains("# UNIT counters_SQ_WAVES"), "{text}");
+        assert!(text.contains("counters_SQ_WAVES 440"), "{text}");
+        assert!(text.contains("sim_matrix_occupancy_ratio 0.91"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+    }
+
+    #[test]
+    fn unit_suffix_not_duplicated_when_name_already_ends_with_token() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("profiler.wall.seconds", Unit::Seconds, 1.25);
+        let text = openmetrics(&reg);
+        assert!(text.contains("profiler_wall_seconds 1.25"), "{text}");
+        assert!(!text.contains("seconds_seconds"), "{text}");
+    }
+
+    #[test]
+    fn sanitization_collisions_are_disambiguated() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("a.b", Unit::Count, 1.0);
+        reg.set("a_b", Unit::Count, 2.0);
+        let text = openmetrics(&reg);
+        // Name order: `a.b` claims `a_b` first, `a_b` gets `_2`.
+        assert!(text.contains("\na_b 1\n"), "{text}");
+        assert!(text.contains("\na_b_2 2\n"), "{text}");
+    }
+
+    #[test]
+    fn empty_registry_is_a_valid_exposition() {
+        assert_eq!(openmetrics(&MetricsRegistry::new()), "# EOF\n");
+    }
+
+    #[test]
+    fn every_unit_token_matches_the_grammar() {
+        for unit in [
+            Unit::Count,
+            Unit::Cycles,
+            Unit::Seconds,
+            Unit::Watts,
+            Unit::Joules,
+            Unit::Bytes,
+            Unit::Flops,
+            Unit::FlopsPerSecond,
+            Unit::Hertz,
+            Unit::Ratio,
+            Unit::FlopsPerJoule,
+        ] {
+            if let Some(token) = unit.openmetrics_token() {
+                assert!(token.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+            }
+        }
+    }
+}

@@ -20,6 +20,9 @@
 //! - [`MetricsRegistry`]: one named-metric snapshot API with typed
 //!   [`Unit`]s, unifying `HwCounters`, SMI power stats, and profiler
 //!   timings.
+//! - [`openmetrics`]: OpenMetrics / Prometheus text exposition of a
+//!   registry snapshot, with unit-correct name suffixes derived from
+//!   [`Unit`].
 //!
 //! See `docs/OBSERVABILITY.md` for the event schema and naming
 //! conventions.
@@ -28,6 +31,7 @@
 
 mod chrome;
 mod event;
+mod exposition;
 mod flame;
 mod metrics;
 mod sink;
@@ -35,6 +39,7 @@ mod validate;
 
 pub use chrome::chrome_trace_json;
 pub use event::{device_label, ArgValue, Category, SpanEvent, TraceEvent, Track, PACKAGE_DEVICE};
+pub use exposition::openmetrics;
 pub use flame::folded_stacks;
 pub use metrics::{Metric, MetricsRegistry, Unit};
 pub use sink::{NullSink, RingSink, TraceSink, DEFAULT_RING_CAPACITY};

@@ -34,6 +34,9 @@ pub enum Unit {
     Hertz,
     /// Dimensionless ratio in `[0, 1]` (occupancy, utilization).
     Ratio,
+    /// Floating-point operations per joule (energy efficiency; the
+    /// paper's GFLOPS/W figure of merit is this value divided by 1e9).
+    FlopsPerJoule,
 }
 
 impl Unit {
@@ -50,6 +53,26 @@ impl Unit {
             Unit::FlopsPerSecond => " flop/s",
             Unit::Hertz => " Hz",
             Unit::Ratio => "",
+            Unit::FlopsPerJoule => " flop/J",
+        }
+    }
+
+    /// OpenMetrics unit token (`seconds`, `watts`, …); `None` for
+    /// dimensionless counts. Used by [`crate::openmetrics`] to derive
+    /// unit-correct metric-name suffixes and `# UNIT` metadata.
+    pub fn openmetrics_token(self) -> Option<&'static str> {
+        match self {
+            Unit::Count => None,
+            Unit::Cycles => Some("cycles"),
+            Unit::Seconds => Some("seconds"),
+            Unit::Watts => Some("watts"),
+            Unit::Joules => Some("joules"),
+            Unit::Bytes => Some("bytes"),
+            Unit::Flops => Some("flops"),
+            Unit::FlopsPerSecond => Some("flops_per_second"),
+            Unit::Hertz => Some("hertz"),
+            Unit::Ratio => Some("ratio"),
+            Unit::FlopsPerJoule => Some("flops_per_joule"),
         }
     }
 }
@@ -169,9 +192,34 @@ impl MetricsRegistry {
 impl fmt::Display for MetricsRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for m in self.iter() {
-            writeln!(f, "{:<40} {}{}", m.name, m.value, m.unit.suffix())?;
+            // Ratios are stored in [0, 1] but read as percentages.
+            if m.unit == Unit::Ratio {
+                writeln!(f, "{:<40} {:.2}%", m.name, m.value * 100.0)?;
+            } else {
+                writeln!(f, "{:<40} {}{}", m.name, m.value, m.unit.suffix())?;
+            }
         }
         Ok(())
+    }
+}
+
+// The vendored serde stub provides no map impls, so the registry
+// serializes as its ordered `Vec<Metric>` snapshot — which is also the
+// natural wire shape for envelope payloads.
+impl Serialize for MetricsRegistry {
+    fn to_value(&self) -> serde::Value {
+        self.snapshot().to_value()
+    }
+}
+
+impl Deserialize for MetricsRegistry {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let metrics = Vec::<Metric>::from_value(value)?;
+        let mut reg = MetricsRegistry::new();
+        for m in &metrics {
+            reg.set(&m.name, m.unit, m.value);
+        }
+        Ok(reg)
     }
 }
 
@@ -216,6 +264,43 @@ mod tests {
         let text = format!("{reg}");
         assert!(text.contains("power.avg_w"));
         assert!(text.contains("412.5 W"));
+    }
+
+    #[test]
+    fn ratio_metrics_display_as_percentages() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("sim.matrix_occupancy", Unit::Ratio, 0.875);
+        reg.set("power.efficiency", Unit::FlopsPerJoule, 5.0e11);
+        let text = format!("{reg}");
+        assert!(text.contains("87.50%"), "{text}");
+        assert!(!text.contains("0.875"), "{text}");
+        assert!(text.contains("500000000000 flop/J"), "{text}");
+    }
+
+    #[test]
+    fn registry_serializes_and_deserializes_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("counters.SQ_WAVES", Unit::Count, 440.0);
+        reg.set("power.avg_w", Unit::Watts, 412.5);
+        reg.set("sim.matrix_occupancy", Unit::Ratio, 0.91);
+        reg.set("power.efficiency.f16", Unit::FlopsPerJoule, 4.6e11);
+
+        let value = serde::Serialize::to_value(&reg);
+        let back = <MetricsRegistry as serde::Deserialize>::from_value(&value).unwrap();
+        assert_eq!(back, reg);
+
+        // The JSON text round-trips too (the shape a persisted envelope
+        // payload would take on disk).
+        let text = serde_json::to_string(&value).unwrap();
+        let reparsed: serde::Value = serde_json::from_str(&text).unwrap();
+        let back2 = <MetricsRegistry as serde::Deserialize>::from_value(&reparsed).unwrap();
+        assert_eq!(back2, reg);
+    }
+
+    #[test]
+    fn registry_deserialize_rejects_malformed_values() {
+        let v: serde::Value = serde_json::from_str("{\"not\":\"an array\"}").unwrap();
+        assert!(<MetricsRegistry as serde::Deserialize>::from_value(&v).is_err());
     }
 
     #[test]

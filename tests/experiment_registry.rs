@@ -7,7 +7,7 @@ use mc_bench::experiment::{registry, ExperimentRecord, IterBudgets, RunContext, 
 /// The stable ids the CLI, EXPERIMENTS.md, and recorded envelopes rely
 /// on. Renaming one is a breaking change to the results schema; adding a
 /// new experiment means extending this list.
-const EXPECTED_IDS: [&str; 19] = [
+const EXPECTED_IDS: [&str; 20] = [
     "table1",
     "table2",
     "table3",
@@ -26,6 +26,7 @@ const EXPECTED_IDS: [&str; 19] = [
     "lint",
     "trace",
     "perf",
+    "regress",
     "report",
 ];
 
@@ -113,6 +114,36 @@ fn trace_dir_captures_a_perfetto_loadable_timeline() {
     assert!(text.contains("\"process_name\""));
     assert!(text.contains("\"ph\":\"X\""), "no spans captured");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_dir_exports_attribution_ledger_and_openmetrics() {
+    let base = std::env::temp_dir().join(format!("mc-bench-metrics-int-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let sink = base.join("results");
+    let metrics = base.join("metrics");
+    let ctx = RunContext::new(IterBudgets::smoke())
+        .with_sink(&sink)
+        .with_metrics(&metrics);
+
+    let fig3 = registry().into_iter().find(|e| e.id() == "fig3").unwrap();
+    fig3.run(&ctx);
+
+    // The ledger lands next to the envelopes, parses back, and carries
+    // real kernel records.
+    let jsonl = std::fs::read_to_string(sink.join("fig3.attribution.jsonl"))
+        .expect("attribution ledger written");
+    let records = mc_obs::from_jsonl(&jsonl).expect("ledger parses");
+    assert!(!records.is_empty(), "fig3 launches kernels");
+    assert!(records.iter().all(|r| r.eq1_flops > 0));
+
+    // The OpenMetrics snapshot is a well-formed text exposition of the
+    // aggregates.
+    let om = std::fs::read_to_string(metrics.join("fig3.om")).expect("snapshot written");
+    assert!(om.ends_with("# EOF\n"), "missing EOF terminator");
+    assert!(om.contains("# TYPE attribution_kernels gauge"));
+    assert!(om.contains("# UNIT attribution_eq1_flops flops"));
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 #[test]
