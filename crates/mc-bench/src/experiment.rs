@@ -444,6 +444,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::lint::LintExperiment),
         Box::new(crate::trace::TraceExperiment),
         Box::new(crate::perf::PerfExperiment),
+        Box::new(crate::autotune::AutotuneExperiment),
         Box::new(crate::regress::RegressExperiment),
         Box::new(crate::report::ReportExperiment),
     ]

@@ -30,10 +30,12 @@
 //! | [`saturation`] | Extension — empirical saturation size (ref. \[19] methodology) |
 //! | [`lint`] | Gate — `mc-lint` static verification of the shipped kernel corpus |
 //! | [`trace`] | Gate — `mc-trace` timeline replay and telemetry cross-check |
+//! | [`autotune`] | Gate — scored plan search vs static planner over the Fig. 6/7 sweep |
 //! | [`regress`] | Gate — `mc-obs` perf-diff of run envelopes against committed baselines |
 
 #![deny(missing_docs)]
 
+pub mod autotune;
 pub mod experiment;
 pub mod fig2;
 pub mod fig3;

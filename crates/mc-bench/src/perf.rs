@@ -1,47 +1,75 @@
-//! Hot-path performance experiment: the blocked `mc-compute` kernel
-//! against the retained naive reference, plus solver-layer wall times.
+//! Hot-path performance experiment: the routed GEMM dispatch against
+//! the retained naive reference across a (size × threads) matrix, plus
+//! solver-layer wall times.
 //!
-//! Every figure in the suite now funnels its GEMM work through
-//! [`mc_compute::Blocked`]; this experiment measures what that buys on
-//! the host. It times one square f32 GEMM both ways, confirms the two
-//! kernels agree bitwise (the optimization contract: same rounding
-//! chain, different loop order), and records blocked LU/Cholesky
-//! factorization wall times. Alongside the usual envelope it writes a
-//! machine-readable `BENCH_hotpaths.json` to the `--json` sink so CI
-//! can archive timings as a non-gating artifact.
+//! Every figure in the suite funnels its host GEMM work through
+//! [`mc_blas::select::host_gemm_backend`] — the [`mc_compute::Auto`]
+//! crossover dispatch over the naive and blocked kernels. This
+//! experiment measures what that routing buys: for each cell of a
+//! problem-size × thread-count matrix it times the plain naive loop and
+//! the routed dispatch, confirms the two agree bitwise (the
+//! optimization contract: same rounding chain, different loop order),
+//! and records blocked LU/Cholesky factorization wall times. Alongside
+//! the usual envelope it writes a machine-readable
+//! `BENCH_hotpaths.json` to the `--json` sink so CI can archive and
+//! perf-diff timings cell by cell.
 //!
-//! The GEMM dimension defaults to 1024 (256 under smoke budgets) and
-//! can be overridden with the `MC_PERF_N` environment variable.
+//! Because the dispatch routes sub-crossover problems back to the naive
+//! loop, the routed side can tie but never structurally lose at small
+//! N — the regression the v1 artifact exposed (`sgemm_blocked` behind
+//! `sgemm_naive` at N = 256 on one thread) is closed by policy, not by
+//! tuning the blocked kernel's toll away.
+//!
+//! The size axis defaults to {256, 512, 1024} (just {256} under smoke
+//! budgets) and collapses to a single dimension with the `MC_PERF_N`
+//! environment variable; the thread axis is fixed at {1, 4}.
 
 use std::time::Instant;
 
 use mc_blas::BlasHandle;
-use mc_compute::{Blocked, Epilogue, GemmParams, MatMul, Naive};
+use mc_compute::{Epilogue, GemmParams, MatMul, Naive};
 use mc_sim::{DeviceId, DeviceRegistry};
 use mc_solver::{factor_timed, Factorization};
 use serde::{Deserialize, Serialize};
 
 use crate::experiment::IterBudgets;
 
-/// Layout version of `BENCH_hotpaths.json`.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+/// Layout version of `BENCH_hotpaths.json`. Version 2 moved the thread
+/// count from the file header into every entry, turning the artifact
+/// into a (size × threads) matrix.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Name of the timing artifact written to the JSON sink.
 pub const BENCH_FILE: &str = "BENCH_hotpaths.json";
 
-/// The naive-vs-blocked GEMM measurement.
+/// The thread-count axis of the timing matrix.
+pub const MATRIX_THREADS: [usize; 2] = [1, 4];
+
+/// Timing repetitions per cell; each kernel's wall time is the minimum
+/// over the repetitions, which strips scheduler noise from the
+/// committed artifact.
+pub const REPS: usize = 2;
+
+/// One cell of the naive-vs-routed GEMM matrix.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GemmTiming {
     /// Square problem dimension (M = N = K).
     pub n: usize,
-    /// Naive reference kernel wall time in seconds.
+    /// Configured rayon worker count for this cell.
+    pub threads: usize,
+    /// Naive reference kernel wall time in seconds (best of [`REPS`]).
     pub naive_s: f64,
-    /// Blocked kernel wall time in seconds.
+    /// Routed-dispatch wall time in seconds (best of [`REPS`]).
     pub blocked_s: f64,
     /// `naive_s / blocked_s`.
     pub speedup: f64,
-    /// Whether the two kernels produced bitwise-identical results.
+    /// Whether the two paths produced bitwise-identical results.
     pub bitwise_equal: bool,
+    /// The crossover edge the dispatch used for this cell.
+    pub crossover_n: usize,
+    /// Which kernel the dispatch routed this cell to
+    /// (`naive`/`blocked`).
+    pub routed: String,
 }
 
 /// One factorization wall-time measurement.
@@ -68,13 +96,19 @@ pub const TARGET_N: usize = 1024;
 /// The perf experiment payload.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Perf {
-    /// Rayon worker threads available to the blocked kernel.
+    /// Rayon worker threads of the ambient pool (restored after the
+    /// matrix and used for the solver timings).
     pub threads: usize,
-    /// f32 GEMM timing, naive vs blocked.
-    pub gemm: GemmTiming,
-    /// True when the run was at the full assessment dimension
-    /// ([`TARGET_N`]) and the blocked kernel met the ≥5× speedup bar.
+    /// The (size × threads) GEMM timing matrix.
+    pub cells: Vec<GemmTiming>,
+    /// True when some full-dimension cell (N ≥ [`TARGET_N`]) met the
+    /// ≥5× speedup bar.
     pub meets_target: bool,
+    /// True when the routed dispatch never lost to the naive loop in
+    /// any cell beyond timer jitter (5%) — the crossover contract. On
+    /// sub-crossover cells both measurements time the *same* kernel, so
+    /// only jitter can separate them.
+    pub never_loses: bool,
     /// Factorization wall times over the routed BLAS-3 blocks.
     pub solver: Vec<SolverTiming>,
 }
@@ -86,6 +120,8 @@ pub struct BenchEntry {
     pub id: String,
     /// Problem dimension.
     pub n: usize,
+    /// Configured rayon worker count during the measurement.
+    pub threads: usize,
     /// Host wall time in seconds.
     pub wall_s: f64,
 }
@@ -95,25 +131,24 @@ pub struct BenchEntry {
 pub struct BenchFile {
     /// Layout version ([`BENCH_SCHEMA_VERSION`]).
     pub schema_version: u32,
-    /// Rayon worker threads during the run.
-    pub threads: usize,
-    /// Timed hot paths.
+    /// Timed hot paths, one entry per (id, n, threads) cell.
     pub entries: Vec<BenchEntry>,
 }
 
-/// The GEMM dimension for a budget tier: 1024 for the reduced and
-/// paper tiers, 256 under smoke budgets, `MC_PERF_N` overriding both.
-pub fn problem_size(budgets: &IterBudgets) -> usize {
+/// The GEMM size axis for a budget tier: {256, 512, 1024} for the
+/// reduced and paper tiers, {256} under smoke budgets, a single
+/// `MC_PERF_N` dimension overriding both.
+pub fn problem_sizes(budgets: &IterBudgets) -> Vec<usize> {
     if let Some(n) = std::env::var("MC_PERF_N")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
     {
-        return n.max(1);
+        return vec![n.max(1)];
     }
     if *budgets == IterBudgets::smoke() {
-        256
+        vec![256]
     } else {
-        1024
+        vec![256, 512, 1024]
     }
 }
 
@@ -145,36 +180,73 @@ fn time_kernel<K: MatMul>(
     (start.elapsed().as_secs_f64(), d)
 }
 
-/// Times the f32 GEMM hot path both ways and checks bitwise agreement.
-pub fn time_gemm(n: usize) -> GemmTiming {
+/// Times one matrix cell: the naive loop against the routed dispatch,
+/// best of [`REPS`] each, with a bitwise agreement check. Assumes the
+/// global rayon pool is already sized to `threads`; the dispatch is
+/// constructed here so its crossover sees that pool.
+pub fn time_gemm(n: usize, threads: usize) -> GemmTiming {
     let mut a = vec![0.0f32; n * n];
     let mut b = vec![0.0f32; n * n];
     fill(&mut a, 0x9E37_79B9_7F4A_7C15);
     fill(&mut b, 0xD1B5_4A32_D192_ED03);
     let params = GemmParams::new(n, n, n).with_epilogue(Epilogue::ComputeRounded);
+    let auto = mc_blas::select::host_gemm_backend();
 
-    let (naive_s, d_naive) = time_kernel(&Naive, &params, &a, &b);
-    let (blocked_s, d_blocked) = time_kernel(&Blocked, &params, &a, &b);
+    let mut naive_s = f64::INFINITY;
+    let mut blocked_s = f64::INFINITY;
+    let mut d_naive = Vec::new();
+    let mut d_auto = Vec::new();
+    for _ in 0..REPS {
+        let (t, d) = time_kernel(&Naive, &params, &a, &b);
+        naive_s = naive_s.min(t);
+        d_naive = d;
+        let (t, d) = time_kernel(&auto, &params, &a, &b);
+        blocked_s = blocked_s.min(t);
+        d_auto = d;
+    }
 
     GemmTiming {
         n,
+        threads,
         naive_s,
         blocked_s,
         speedup: naive_s / blocked_s.max(f64::MIN_POSITIVE),
         bitwise_equal: d_naive
             .iter()
-            .zip(&d_blocked)
+            .zip(&d_auto)
             .all(|(x, y)| x.to_bits() == y.to_bits()),
+        crossover_n: auto.crossover_n(),
+        routed: if auto.routes_to_naive(&params) {
+            "naive".to_owned()
+        } else {
+            "blocked".to_owned()
+        },
     }
 }
 
-/// Runs the perf experiment at the given GEMM dimension.
-pub fn run(devices: &DeviceRegistry, n: usize) -> Perf {
-    let gemm = time_gemm(n);
+/// Runs the perf experiment over the given size and thread axes.
+///
+/// The global rayon pool is resized for each thread-axis value (the
+/// vendored pool's `build_global` is re-callable by design) and
+/// restored to the auto-detected default afterwards.
+pub fn run(devices: &DeviceRegistry, sizes: &[usize], threads_axis: &[usize]) -> Perf {
+    let ambient = rayon::current_num_threads();
+    let mut cells = Vec::new();
+    for &t in threads_axis {
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build_global();
+        for &n in sizes {
+            cells.push(time_gemm(n, t));
+        }
+    }
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global();
 
     let mut handle = BlasHandle::from_registry(devices, DeviceId::Mi250xGcd);
     let block = 128;
-    let solver_n = n.max(block * 2);
+    let solver_n = sizes.iter().copied().max().unwrap_or(block).max(block * 2);
     let solver = [Factorization::Getrf, Factorization::Potrf]
         .into_iter()
         .map(|kind| {
@@ -194,35 +266,39 @@ pub fn run(devices: &DeviceRegistry, n: usize) -> Perf {
         .collect();
 
     Perf {
-        threads: rayon::current_num_threads(),
-        meets_target: n >= TARGET_N && gemm.speedup >= 5.0,
-        gemm,
+        threads: ambient,
+        meets_target: cells.iter().any(|c| c.n >= TARGET_N && c.speedup >= 5.0),
+        never_loses: cells.iter().all(|c| c.blocked_s <= c.naive_s * 1.05),
+        cells,
         solver,
     }
 }
 
 /// The `BENCH_hotpaths.json` contents for a run.
 pub fn bench_file(p: &Perf) -> BenchFile {
-    let mut entries = vec![
-        BenchEntry {
+    let mut entries = Vec::new();
+    for c in &p.cells {
+        entries.push(BenchEntry {
             id: "sgemm_naive".to_owned(),
-            n: p.gemm.n,
-            wall_s: p.gemm.naive_s,
-        },
-        BenchEntry {
+            n: c.n,
+            threads: c.threads,
+            wall_s: c.naive_s,
+        });
+        entries.push(BenchEntry {
             id: "sgemm_blocked".to_owned(),
-            n: p.gemm.n,
-            wall_s: p.gemm.blocked_s,
-        },
-    ];
+            n: c.n,
+            threads: c.threads,
+            wall_s: c.blocked_s,
+        });
+    }
     entries.extend(p.solver.iter().map(|s| BenchEntry {
         id: s.routine.clone(),
         n: s.n,
+        threads: p.threads,
         wall_s: s.wall_s,
     }));
     BenchFile {
         schema_version: BENCH_SCHEMA_VERSION,
-        threads: p.threads,
         entries,
     }
 }
@@ -236,7 +312,7 @@ impl crate::experiment::Experiment for PerfExperiment {
     }
 
     fn title(&self) -> &'static str {
-        "Perf — blocked GEMM kernel vs naive reference"
+        "Perf — routed GEMM dispatch vs naive reference (size × threads)"
     }
 
     fn device(&self) -> &'static str {
@@ -244,7 +320,7 @@ impl crate::experiment::Experiment for PerfExperiment {
     }
 
     fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
-        let p = run(&ctx.devices, problem_size(&ctx.budgets));
+        let p = run(&ctx.devices, &problem_sizes(&ctx.budgets), &MATRIX_THREADS);
         if let Some(dir) = &ctx.json_sink {
             let write = std::fs::create_dir_all(dir).and_then(|()| {
                 std::fs::write(
@@ -264,8 +340,27 @@ impl crate::experiment::Experiment for PerfExperiment {
 /// Renders the experiment as text.
 pub fn render(p: &Perf) -> String {
     use std::fmt::Write as _;
-    let mut s = String::from("Perf: host hot-path timings (blocked mc-compute kernel)\n");
-    let verdict = if p.gemm.n >= TARGET_N {
+    let mut s = String::from("Perf: host hot-path timings (routed GEMM dispatch vs naive)\n");
+    let _ = writeln!(
+        s,
+        "{:>6} {:>4} {:>10} {:>10} {:>8}  {:<8} bitwise",
+        "N", "thr", "naive_s", "routed_s", "speedup", "route"
+    );
+    for c in &p.cells {
+        let _ = writeln!(
+            s,
+            "{:>6} {:>4} {:>10.4} {:>10.4} {:>7.2}x  {:<8} {}",
+            c.n,
+            c.threads,
+            c.naive_s,
+            c.blocked_s,
+            c.speedup,
+            c.routed,
+            if c.bitwise_equal { "yes" } else { "NO" }
+        );
+    }
+    let full_dim = p.cells.iter().any(|c| c.n >= TARGET_N);
+    let verdict = if full_dim {
         if p.meets_target {
             "met, target >= 5x".to_owned()
         } else {
@@ -274,15 +369,11 @@ pub fn render(p: &Perf) -> String {
     } else {
         format!("informational; the >= 5x target is assessed at n >= {TARGET_N}")
     };
+    let _ = writeln!(s, "speedup bar: {verdict}");
     let _ = writeln!(
         s,
-        "sgemm {0}x{0}x{0} f32: naive {1:.3} s, blocked {2:.3} s -> {3:.2}x speedup ({4}, {5} threads)",
-        p.gemm.n, p.gemm.naive_s, p.gemm.blocked_s, p.gemm.speedup, verdict, p.threads,
-    );
-    let _ = writeln!(
-        s,
-        "bitwise agreement with naive reference: {}",
-        if p.gemm.bitwise_equal { "yes" } else { "NO" }
+        "routed dispatch never loses to naive: {}",
+        if p.never_loses { "yes" } else { "NO" }
     );
     for t in &p.solver {
         let _ = writeln!(
@@ -299,52 +390,81 @@ mod tests {
     use super::*;
 
     #[test]
-    fn blocked_agrees_bitwise_with_naive() {
-        let t = time_gemm(96);
-        assert!(t.bitwise_equal, "blocked f32 GEMM diverged from naive");
+    fn routed_agrees_bitwise_with_naive() {
+        let t = time_gemm(96, rayon::current_num_threads());
+        assert!(t.bitwise_equal, "routed f32 GEMM diverged from naive");
         assert!(t.naive_s > 0.0 && t.blocked_s > 0.0);
+        assert!(t.crossover_n > 0);
     }
 
     #[test]
-    fn problem_size_scales_with_budget() {
+    fn problem_sizes_scale_with_budget() {
         // Guard against MC_PERF_N leaking in from the environment.
         if std::env::var("MC_PERF_N").is_ok() {
             return;
         }
-        assert_eq!(problem_size(&IterBudgets::smoke()), 256);
-        assert_eq!(problem_size(&IterBudgets::reduced()), 1024);
-        assert_eq!(problem_size(&IterBudgets::paper()), 1024);
+        assert_eq!(problem_sizes(&IterBudgets::smoke()), vec![256]);
+        assert_eq!(problem_sizes(&IterBudgets::reduced()), vec![256, 512, 1024]);
+        assert_eq!(problem_sizes(&IterBudgets::paper()), vec![256, 512, 1024]);
     }
 
     #[test]
-    fn bench_file_lists_every_hot_path() {
-        let p = run(&DeviceRegistry::builtin(), 64);
+    fn bench_file_covers_the_matrix() {
+        let p = run(&DeviceRegistry::builtin(), &[64], &[1, 4]);
         let f = bench_file(&p);
         assert_eq!(f.schema_version, BENCH_SCHEMA_VERSION);
-        let ids: Vec<&str> = f.entries.iter().map(|e| e.id.as_str()).collect();
-        assert_eq!(ids, ["sgemm_naive", "sgemm_blocked", "getrf", "potrf"]);
+        // 2 cells × 2 GEMM ids + 2 solver routines.
+        assert_eq!(f.entries.len(), 6);
+        for threads in [1usize, 4] {
+            for id in ["sgemm_naive", "sgemm_blocked"] {
+                assert!(
+                    f.entries
+                        .iter()
+                        .any(|e| e.id == id && e.n == 64 && e.threads == threads),
+                    "missing {id} cell at t={threads}"
+                );
+            }
+        }
         assert!(f.entries.iter().all(|e| e.wall_s > 0.0));
     }
 
     #[test]
-    fn render_reports_speedup_and_agreement() {
-        let p = run(&DeviceRegistry::builtin(), 64);
+    fn render_reports_matrix_and_agreement() {
+        let p = run(&DeviceRegistry::builtin(), &[64], &[1]);
         let text = render(&p);
-        assert!(text.contains("speedup"));
-        assert!(text.contains("bitwise agreement with naive reference: yes"));
+        assert!(text.contains("speedup bar"));
+        assert!(p.cells.iter().all(|c| c.bitwise_equal), "{text}");
         assert!(text.contains("getrf"));
         assert!(text.contains("potrf"));
     }
 
     #[test]
     fn speedup_target_only_assessed_at_full_dimension() {
-        let p = run(&DeviceRegistry::builtin(), 64);
+        let p = run(&DeviceRegistry::builtin(), &[64], &[1]);
         assert!(
             !p.meets_target,
             "sub-{TARGET_N} runs must not claim the target"
         );
         assert!(render(&p).contains("informational"));
         assert!(!render(&p).contains("MISSED"));
+    }
+
+    #[test]
+    fn small_cells_route_to_naive_on_one_thread() {
+        // At N = 64 on one worker the dispatch must stay on the naive
+        // loop (the crossover covers it), so the routed side cannot
+        // structurally lose.
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build_global();
+        let t = time_gemm(64, 1);
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global();
+        if std::env::var(mc_compute::CROSSOVER_ENV).is_ok() {
+            return; // calibration override in force; routing is theirs
+        }
+        assert_eq!(t.routed, "naive", "crossover edge {}", t.crossover_n);
     }
 
     #[test]

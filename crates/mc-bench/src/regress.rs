@@ -19,8 +19,12 @@
 //!   `telemetry_noise` amplitude over the sampler's minimum sample
 //!   count.
 //! - `BENCH_hotpaths.json` host wall times diff lower-is-better at a
-//!   100% tolerance: only a catastrophic slowdown on matching
-//!   dimensions gates, and only when thread counts match.
+//!   100% tolerance: only a catastrophic slowdown gates. Entries are
+//!   keyed `bench/<id>/n<N>/t<T>`, so cells only pair when problem
+//!   dimension and thread count both match; cells present on one side
+//!   only are reported as added/removed, never gated. A baseline
+//!   written by an older schema fails to parse and is skipped
+//!   gracefully.
 //!
 //! Pairs whose [`IterBudgets`] differ between baseline and current are
 //! skipped: a budget change legitimately moves measured values.
@@ -64,7 +68,7 @@ pub struct Regress {
     /// Improved keys (lower-is-better metrics only).
     pub improved: usize,
     /// Experiments skipped with the reason (budget mismatch, missing
-    /// artifact, thread-count mismatch).
+    /// or schema-incompatible artifact).
     pub skipped: Vec<String>,
     /// The full diff.
     pub report: DiffReport,
@@ -137,9 +141,9 @@ fn record_samples(
 }
 
 /// Flattens a `BENCH_hotpaths.json` pair into lower-is-better samples
-/// keyed `bench/<id>`. Entries only pair when problem dimensions match,
-/// and the whole file is skipped when thread counts differ — a
-/// different host parallelism moves every timing.
+/// keyed `bench/<id>/n<N>/t<T>`. The key carries the problem dimension
+/// and thread count, so cells only pair when both match; anything else
+/// surfaces as added/removed (reported, never gated).
 fn bench_samples(
     baseline: Option<&BenchFile>,
     current: Option<&BenchFile>,
@@ -151,37 +155,27 @@ fn bench_samples(
         }
         return (Vec::new(), Vec::new());
     };
-    if b.threads != c.threads {
-        skipped.push(format!(
-            "{BENCH_FILE}: thread counts differ ({} baseline vs {} current)",
-            b.threads, c.threads
-        ));
-        return (Vec::new(), Vec::new());
-    }
-    let flatten = |f: &BenchFile, other: &BenchFile| {
+    let flatten = |f: &BenchFile| {
         f.entries
             .iter()
-            .filter(|e| {
-                other
-                    .entries
-                    .iter()
-                    .find(|o| o.id == e.id)
-                    .is_none_or(|o| o.n == e.n)
-            })
             .map(|e| Sample {
-                key: format!("bench/{}", e.id),
+                key: format!("bench/{}/n{}/t{}", e.id, e.n, e.threads),
                 value: e.wall_s,
                 direction: Direction::LowerIsBetter,
                 tolerance_rel: BENCH_TOLERANCE_REL,
             })
             .collect::<Vec<_>>()
     };
-    (flatten(b, c), flatten(c, b))
+    (flatten(b), flatten(c))
 }
 
+/// Reads and validates a timing artifact. A file written by a different
+/// schema version (or not parseable as the current one) is treated as
+/// absent, which downstream reports as a skip instead of gating.
 fn load_bench(dir: &std::path::Path) -> Option<BenchFile> {
     let text = std::fs::read_to_string(dir.join(BENCH_FILE)).ok()?;
-    serde_json::from_str(&text).ok()
+    let f: BenchFile = serde_json::from_str(&text).ok()?;
+    (f.schema_version == crate::perf::BENCH_SCHEMA_VERSION).then_some(f)
 }
 
 /// Runs the comparison between a baseline directory and the current
@@ -358,10 +352,10 @@ mod tests {
     fn bench(threads: usize, wall_s: f64) -> BenchFile {
         BenchFile {
             schema_version: BENCH_SCHEMA_VERSION,
-            threads,
             entries: vec![BenchEntry {
                 id: "sgemm_blocked".to_owned(),
                 n: 1024,
+                threads,
                 wall_s,
             }],
         }
@@ -451,7 +445,7 @@ mod tests {
     }
 
     #[test]
-    fn bench_slowdown_gates_but_thread_mismatch_skips() {
+    fn bench_slowdown_gates_but_thread_mismatch_never_pairs() {
         let rec = record("fig3", "fig3/mixed plateau (TFLOPS)", 175.0);
         let base = write_dir(
             "bench-base",
@@ -469,15 +463,45 @@ mod tests {
         assert_eq!(r.regressions, 1, "3x slower must gate: {}", render(&r));
         drop(_guard);
 
+        // A cell measured at a different thread count carries a
+        // different key: it shows up added/removed, never compared.
         let cur2 = write_dir("bench-cur2", &[rec], Some(&bench(4, 0.3)));
         let _guard = EnvGuard::set(&base);
         let ctx = RunContext::new(IterBudgets::smoke()).with_sink(&cur2);
         let r = run(&ctx).unwrap();
-        assert_eq!(r.regressions, 0);
-        assert!(r.skipped.iter().any(|s| s.contains("thread counts")));
+        assert_eq!(r.regressions, 0, "{}", render(&r));
+        assert!(r
+            .report
+            .entries
+            .iter()
+            .any(|e| e.key == "bench/sgemm_blocked/n1024/t4"));
 
         let _ = std::fs::remove_dir_all(&base);
         let _ = std::fs::remove_dir_all(&cur);
         let _ = std::fs::remove_dir_all(&cur2);
+    }
+
+    #[test]
+    fn old_schema_bench_baseline_skips_gracefully() {
+        // A v1-layout artifact (header-level thread count, no per-entry
+        // threads) must not parse as the current schema: the pair is
+        // reported as one-sided and nothing gates.
+        let rec = record("fig3", "fig3/mixed plateau (TFLOPS)", 175.0);
+        let base = write_dir("schema-base", std::slice::from_ref(&rec), None);
+        let v1 = r#"{
+  "schema_version": 1,
+  "threads": 1,
+  "entries": [ { "id": "sgemm_blocked", "n": 256, "wall_s": 0.08 } ]
+}"#;
+        std::fs::write(base.join(BENCH_FILE), v1).unwrap();
+        let cur = write_dir("schema-cur", &[rec], Some(&bench(1, 0.07)));
+        let _guard = EnvGuard::set(&base);
+        let ctx = RunContext::new(IterBudgets::smoke()).with_sink(&cur);
+        let r = run(&ctx).unwrap();
+        assert_eq!(r.regressions, 0, "{}", render(&r));
+        assert!(r.skipped.iter().any(|s| s.contains("only one side")));
+
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
     }
 }

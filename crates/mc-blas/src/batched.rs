@@ -96,7 +96,7 @@ impl BlasHandle {
             mem_hints: mc_isa::MemHints {
                 hbm_bytes: plan.kernel.mem_hints.hbm_bytes * b,
                 working_set_bytes: plan.kernel.mem_hints.working_set_bytes * b,
-                pow2_stride: plan.kernel.mem_hints.pow2_stride,
+                ..plan.kernel.mem_hints
             },
             name: format!("{}_batched_{b}", plan.kernel.name),
             ..plan.kernel.clone()

@@ -7,9 +7,11 @@
 //! applied in the compute type, mirroring the paper's Fig. 9
 //! decomposition.
 //!
-//! Both planner strategies execute on [`mc_compute::Blocked`], the
-//! cache-blocked packed-panel kernel, which reproduces the historical
-//! paths bit for bit; they differ only in the epilogue rounding:
+//! Both planner strategies execute on the shared [`mc_compute::Auto`]
+//! dispatch ([`crate::select::host_gemm_backend`]): the naive triple
+//! loop below the crossover edge, the cache-blocked packed-panel kernel
+//! above it — bit-for-bit identical either way, so routing only moves
+//! time. The strategies differ only in the epilogue rounding:
 //!
 //! * **Matrix Core** — the accumulator registers live in the compute
 //!   type, so the epilogue sum rounds through `CT` before the output
@@ -150,7 +152,7 @@ where
         }
         Strategy::SimdOnly { .. } => Epilogue::Direct,
     };
-    mc_compute::Blocked
+    crate::select::host_gemm_backend()
         .gemm::<AB, CD, CT>(&to_params(desc, epilogue), a, b, c, d)
         .map_err(compute_to_blas)
 }

@@ -71,26 +71,25 @@ pub fn gemv_functional<T: Real, CT: Real>(
     }
     // A GEMV is an m×1×n GEMM with x as the single column of B and y as
     // both C and D; the per-row ascending-j chain and the
-    // compute-rounded epilogue match the blocked backend's semantics
-    // exactly, so this routes through the shared kernel (parallel over
-    // row panels for large m).
+    // compute-rounded epilogue match the shared backends' semantics
+    // exactly, so this routes through the crossover dispatch (naive for
+    // small problems, row-panel-parallel blocked for large m).
     let params = mc_compute::GemmParams::new(m, 1, n)
         .with_scaling(desc.alpha, desc.beta)
         .with_epilogue(mc_compute::Epilogue::ComputeRounded);
     let y_in = y[..m].to_vec();
-    mc_compute::MatMul::gemm::<T, T, CT>(&mc_compute::Blocked, &params, a, x, &y_in, y).map_err(
-        |e| match e {
-            mc_compute::ComputeError::BufferTooSmall {
-                operand,
-                required,
-                provided,
-            } => BlasError::BufferTooSmall {
-                operand,
-                required,
-                provided,
-            },
+    let backend = crate::select::host_gemm_backend();
+    mc_compute::MatMul::gemm::<T, T, CT>(&backend, &params, a, x, &y_in, y).map_err(|e| match e {
+        mc_compute::ComputeError::BufferTooSmall {
+            operand,
+            required,
+            provided,
+        } => BlasError::BufferTooSmall {
+            operand,
+            required,
+            provided,
         },
-    )
+    })
 }
 
 /// Builds the streaming GEMV kernel: each wavefront owns 64 rows and
@@ -128,7 +127,7 @@ pub fn plan_gemv(desc: &GemvDesc) -> KernelDesc {
             // A is read exactly once; x/y are noise next to it.
             hbm_bytes: (desc.m * desc.n * elem) as u64,
             working_set_bytes: (desc.m * desc.n * elem) as u64,
-            pow2_stride: false,
+            ..MemHints::default()
         },
         ..KernelDesc::new(format!("gemv_{}", desc.op), program)
     }

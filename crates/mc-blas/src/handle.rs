@@ -16,8 +16,13 @@ use mc_sim::{DeviceId, DeviceRegistry, Gpu, HwCounters, LaunchError, PackageResu
 use mc_types::{Real, F16};
 
 use crate::functional::run_functional;
-use crate::planner::{plan_gemm, GemmPlan};
+use crate::plandb::PlanDb;
+use crate::planner::{build_plan, plan_gemm, GemmPlan};
 use crate::types::{BlasError, GemmDesc, GemmOp, Transpose};
+
+/// Environment variable enabling the scored plan search for every new
+/// handle (`1`/`true`); equivalent to [`BlasHandle::set_plan_search`].
+pub const PLAN_SEARCH_ENV: &str = "MC_PLAN_SEARCH";
 
 /// The full planning input: every descriptor field that influences
 /// [`plan_gemm`]'s output, plus the die the handle launches on.
@@ -96,6 +101,8 @@ pub struct BlasHandle {
     die: usize,
     strict_lint: bool,
     plan_cache: PlanCache,
+    plan_search: bool,
+    plan_db: Option<(std::path::PathBuf, PlanDb)>,
 }
 
 impl BlasHandle {
@@ -125,25 +132,93 @@ impl BlasHandle {
     /// permissive in release builds (benchmark sweeps), mirroring
     /// `debug_assertions`; override with [`BlasHandle::set_strict_lint`].
     pub fn with_config(cfg: SimConfig, die: usize) -> Self {
+        let plan_search = std::env::var(PLAN_SEARCH_ENV)
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        // A broken MC_PLAN_DB file must not brick every handle: fall
+        // back to searching without persistence.
+        let plan_db =
+            PlanDb::env_path().and_then(|path| PlanDb::load(&path).ok().map(|db| (path, db)));
         BlasHandle {
             gpu: Gpu::new(cfg),
             die,
             strict_lint: cfg!(debug_assertions),
             plan_cache: PlanCache::default(),
+            plan_search,
+            plan_db,
         }
     }
 
-    /// Plans a GEMM through the handle's memoizing cache.
+    /// Plans a GEMM through the handle's memoizing cache. With plan
+    /// search enabled, a miss consults the persisted plan DB and then
+    /// the scored search ([`crate::select::select_plan`]); otherwise
+    /// the static planner runs.
     pub fn planned(&mut self, desc: &GemmDesc) -> Result<GemmPlan, BlasError> {
         let key = PlanKey::new(desc, self.die);
         if let Some(plan) = self.plan_cache.plans.get(&key) {
             self.plan_cache.hits += 1;
             return Ok(plan.clone());
         }
-        let plan = plan_gemm(&self.gpu.spec().die, desc)?;
+        let plan = if self.plan_search {
+            self.search_plan(desc)?
+        } else {
+            plan_gemm(&self.gpu.spec().die, desc)?
+        };
         self.plan_cache.misses += 1;
         self.plan_cache.plans.insert(key, plan.clone());
         Ok(plan)
+    }
+
+    /// Whether this handle uses the scored plan search.
+    pub fn plan_search(&self) -> bool {
+        self.plan_search
+    }
+
+    /// Enables or disables the scored plan search for this handle.
+    /// Already-cached plans are dropped so the policy change takes
+    /// effect on the next launch.
+    pub fn set_plan_search(&mut self, on: bool) -> &mut Self {
+        if self.plan_search != on {
+            self.plan_cache.plans.clear();
+        }
+        self.plan_search = on;
+        self
+    }
+
+    /// Attaches (and loads, if present) a persisted plan DB at `path`;
+    /// searched winners are appended and saved back after each search.
+    pub fn set_plan_db_path(&mut self, path: std::path::PathBuf) -> Result<&mut Self, BlasError> {
+        let db = PlanDb::load(&path)?;
+        self.plan_db = Some((path, db));
+        Ok(self)
+    }
+
+    /// DB-backed scored planning: consult the plan DB, else search,
+    /// then persist the winner (best-effort).
+    fn search_plan(&mut self, desc: &GemmDesc) -> Result<GemmPlan, BlasError> {
+        let die = self.gpu.spec().die.clone();
+        let device = self.gpu.spec().name.clone();
+        if let Some((_, db)) = &self.plan_db {
+            if let Some(strategy) = db.lookup(&device, desc) {
+                // Rebuild and re-lint: a persisted entry is a strategy,
+                // never a pre-approved kernel. Stale or now-unlintable
+                // entries fall through to a fresh search.
+                if let Ok(plan) = build_plan(&die, desc, strategy) {
+                    return Ok(plan);
+                }
+            }
+        }
+        let outcome = crate::select::select_plan(&die, self.gpu.config(), desc)?;
+        if let Some((path, db)) = &mut self.plan_db {
+            db.insert(
+                &device,
+                desc,
+                &outcome.plan.strategy,
+                outcome.searched_time_s,
+            );
+            let _ = db.save(path);
+        }
+        Ok(outcome.plan)
     }
 
     /// Hit/miss counters for the plan cache.
@@ -385,6 +460,7 @@ impl BlasHandle {
                 macro_tile,
                 wave_tile,
                 k_step,
+                buffering,
             } => {
                 args.push(("strategy".into(), "matrix-core".into()));
                 args.push(("instr".into(), instr.mnemonic().into()));
@@ -397,6 +473,7 @@ impl BlasHandle {
                     format!("{}x{}", wave_tile.0, wave_tile.1).into(),
                 ));
                 args.push(("k_step".into(), (k_step as u64).into()));
+                args.push(("buffering".into(), format!("{buffering:?}").into()));
             }
             Strategy::SimdOnly { reason } => {
                 args.push(("strategy".into(), "simd-only".into()));
@@ -676,6 +753,52 @@ mod tests {
         // gemm_timed reuses the cached plan instead of re-planning.
         let stats = h.plan_cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn plan_search_is_opt_in_and_never_slower_than_static() {
+        let desc = GemmDesc::square(GemmOp::Sgemm, 2048);
+        let mut fixed = BlasHandle::new_mi250x_gcd();
+        assert!(!fixed.plan_search(), "static planning is the default");
+        let t_static = fixed.gemm_timed(&desc).unwrap().time_s;
+
+        let mut searching = BlasHandle::new_mi250x_gcd();
+        searching.set_plan_search(true);
+        let t_searched = searching.gemm_timed(&desc).unwrap().time_s;
+        // The static candidate is always a dry-run finalist, so the
+        // searched launch can only match or beat it.
+        assert!(
+            t_searched <= t_static * (1.0 + 1e-9),
+            "searched {t_searched} vs static {t_static}"
+        );
+    }
+
+    #[test]
+    fn plan_db_persists_searched_winners_across_handles() {
+        let dir = std::env::temp_dir().join(format!("mc-plan-db-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plans.json");
+        let _ = std::fs::remove_file(&path);
+        let desc = GemmDesc::square(GemmOp::Sgemm, 1024);
+
+        let mut first = BlasHandle::new_mi250x_gcd();
+        first.set_plan_search(true);
+        first.set_plan_db_path(path.clone()).unwrap();
+        let searched = first.gemm_timed(&desc).unwrap();
+
+        // The winner landed on disk...
+        let db = crate::plandb::PlanDb::load(&path).unwrap();
+        assert_eq!(db.len(), 1);
+
+        // ...and a fresh handle replays it to an identical strategy
+        // (determinism: identical keys yield identical plans).
+        let mut second = BlasHandle::new_mi250x_gcd();
+        second.set_plan_search(true);
+        second.set_plan_db_path(path.clone()).unwrap();
+        let replayed = second.gemm_timed(&desc).unwrap();
+        assert_eq!(replayed.plan.strategy, searched.plan.strategy);
+
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! The persisted plan DB: searched winners, cached across processes.
+//!
+//! A plan search costs dozens of kernel builds and a handful of engine
+//! dry runs; the winning strategy is a pure function of
+//! `(device, op, m, n, k, α, β)`. The DB persists that mapping as JSON
+//! so sweeps and solver replays skip the search entirely on the second
+//! process — rocBLAS ships the same idea as Tensile's solution
+//! libraries. Point [`PLAN_DB_ENV`] (`MC_PLAN_DB`) at a file path and
+//! every searching handle loads it on construction and appends winners
+//! as it finds them ([`crate::handle::BlasHandle::set_plan_search`]).
+//!
+//! Entries store the *strategy*, not the compiled kernel: on lookup the
+//! instruction is re-resolved against the live catalog and the plan is
+//! rebuilt and re-linted, so a DB written by an older build can never
+//! smuggle an unverified kernel into a launch. Unresolvable entries
+//! (unknown mnemonic, shape drift) are ignored; a file whose
+//! `schema_version` does not match [`PLAN_DB_SCHEMA_VERSION`] is
+//! rejected outright as [`BlasError::PlanDb`].
+
+use serde::{Deserialize, Serialize};
+
+use mc_isa::{cdna2_catalog, Buffering};
+
+use crate::planner::{SimdReason, Strategy};
+use crate::types::{BlasError, GemmDesc};
+
+/// Schema version of the persisted file; bump on layout changes.
+pub const PLAN_DB_SCHEMA_VERSION: u32 = 1;
+
+/// Environment variable naming the plan-DB file path.
+pub const PLAN_DB_ENV: &str = "MC_PLAN_DB";
+
+/// A strategy in persistable form: the MFMA instruction is stored by
+/// mnemonic and re-resolved against the catalog on load.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StrategyRecord {
+    /// `"matrix-core"` or `"simd"`.
+    pub kind: String,
+    /// MFMA mnemonic (empty for SIMD strategies).
+    pub instr: String,
+    /// Macro-tile rows.
+    pub mt_m: usize,
+    /// Macro-tile columns.
+    pub mt_n: usize,
+    /// Wave-tile rows.
+    pub wt_m: usize,
+    /// Wave-tile columns.
+    pub wt_n: usize,
+    /// K advanced per inner-loop iteration.
+    pub k_step: usize,
+    /// Whether global loads are double-buffered.
+    pub double_buffered: bool,
+}
+
+impl StrategyRecord {
+    /// Serializes a live strategy.
+    pub fn from_strategy(strategy: &Strategy) -> Self {
+        match strategy {
+            Strategy::MatrixCore {
+                instr,
+                macro_tile,
+                wave_tile,
+                k_step,
+                buffering,
+            } => StrategyRecord {
+                kind: "matrix-core".into(),
+                instr: instr.mnemonic().to_string(),
+                mt_m: macro_tile.0,
+                mt_n: macro_tile.1,
+                wt_m: wave_tile.0,
+                wt_n: wave_tile.1,
+                k_step: *k_step,
+                double_buffered: *buffering == Buffering::Double,
+            },
+            Strategy::SimdOnly { .. } => StrategyRecord {
+                kind: "simd".into(),
+                instr: String::new(),
+                mt_m: 0,
+                mt_n: 0,
+                wt_m: 0,
+                wt_n: 0,
+                k_step: 0,
+                double_buffered: true,
+            },
+        }
+    }
+
+    /// Re-resolves the record against the live catalog. `None` when the
+    /// record is stale (unknown mnemonic or kind) — callers fall back
+    /// to a fresh search.
+    pub fn resolve(&self) -> Option<Strategy> {
+        match self.kind.as_str() {
+            "simd" => Some(Strategy::SimdOnly {
+                reason: SimdReason::Scored,
+            }),
+            "matrix-core" => {
+                let catalog = cdna2_catalog();
+                let instr = *catalog
+                    .instructions()
+                    .iter()
+                    .find(|i| i.mnemonic() == self.instr)?;
+                Some(Strategy::MatrixCore {
+                    instr,
+                    macro_tile: (self.mt_m, self.mt_n),
+                    wave_tile: (self.wt_m, self.wt_n),
+                    k_step: self.k_step,
+                    buffering: if self.double_buffered {
+                        Buffering::Double
+                    } else {
+                        Buffering::Single
+                    },
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One persisted winner, keyed by device and full problem descriptor.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlanDbEntry {
+    /// Device name the search ran against (plans are calibrated to one
+    /// die's catalog, clocks, and memory system).
+    pub device: String,
+    /// Routine (`GemmOp` display form, e.g. `"sgemm"`).
+    pub op: String,
+    /// Problem rows.
+    pub m: usize,
+    /// Problem columns.
+    pub n: usize,
+    /// Problem inner dimension.
+    pub k: usize,
+    /// Bit pattern of α (exact keying; α participates in strategy
+    /// selection through the scaling epilogue).
+    pub alpha_bits: u64,
+    /// Bit pattern of β.
+    pub beta_bits: u64,
+    /// The winning strategy.
+    pub strategy: StrategyRecord,
+    /// The winner's engine-modeled time at search, in seconds.
+    pub searched_time_s: f64,
+}
+
+/// The in-memory plan DB (see module docs).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlanDb {
+    /// Persisted schema version.
+    pub schema_version: u32,
+    /// The winners, in insertion order.
+    pub entries: Vec<PlanDbEntry>,
+}
+
+impl PlanDb {
+    /// An empty DB at the current schema version.
+    pub fn new() -> Self {
+        PlanDb {
+            schema_version: PLAN_DB_SCHEMA_VERSION,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of cached winners.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the DB holds no winners.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses a DB from JSON, rejecting incompatible schema versions.
+    pub fn from_json(json: &str) -> Result<Self, BlasError> {
+        let db: PlanDb = serde_json::from_str(json)
+            .map_err(|e| BlasError::PlanDb(format!("unparseable plan DB: {e}")))?;
+        if db.schema_version != PLAN_DB_SCHEMA_VERSION {
+            return Err(BlasError::PlanDb(format!(
+                "schema version {} (this build reads {PLAN_DB_SCHEMA_VERSION})",
+                db.schema_version
+            )));
+        }
+        Ok(db)
+    }
+
+    /// Serializes the DB to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plan DB serializes")
+    }
+
+    /// Loads a DB from disk. A missing file yields an empty DB (first
+    /// run); an unreadable or incompatible file is an error.
+    pub fn load(path: &std::path::Path) -> Result<Self, BlasError> {
+        match std::fs::read_to_string(path) {
+            Ok(json) => PlanDb::from_json(&json),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(PlanDb::new()),
+            Err(e) => Err(BlasError::PlanDb(format!("{}: {e}", path.display()))),
+        }
+    }
+
+    /// Persists the DB to disk.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), BlasError> {
+        std::fs::write(path, self.to_json())
+            .map_err(|e| BlasError::PlanDb(format!("{}: {e}", path.display())))
+    }
+
+    /// The path named by [`PLAN_DB_ENV`], if set and non-empty.
+    pub fn env_path() -> Option<std::path::PathBuf> {
+        std::env::var(PLAN_DB_ENV)
+            .ok()
+            .filter(|p| !p.is_empty())
+            .map(std::path::PathBuf::from)
+    }
+
+    /// Looks up the cached winner for a problem on a device, resolving
+    /// it against the live catalog. Stale entries resolve to `None`.
+    pub fn lookup(&self, device: &str, desc: &GemmDesc) -> Option<Strategy> {
+        let op = format!("{}", desc.op);
+        self.entries
+            .iter()
+            .find(|e| {
+                e.device == device
+                    && e.op == op
+                    && e.m == desc.m
+                    && e.n == desc.n
+                    && e.k == desc.k
+                    && e.alpha_bits == desc.alpha.to_bits()
+                    && e.beta_bits == desc.beta.to_bits()
+            })
+            .and_then(|e| e.strategy.resolve())
+    }
+
+    /// Inserts (or replaces) the winner for a problem on a device.
+    pub fn insert(&mut self, device: &str, desc: &GemmDesc, strategy: &Strategy, time_s: f64) {
+        let op = format!("{}", desc.op);
+        self.entries.retain(|e| {
+            !(e.device == device
+                && e.op == op
+                && e.m == desc.m
+                && e.n == desc.n
+                && e.k == desc.k
+                && e.alpha_bits == desc.alpha.to_bits()
+                && e.beta_bits == desc.beta.to_bits())
+        });
+        self.entries.push(PlanDbEntry {
+            device: device.to_string(),
+            op,
+            m: desc.m,
+            n: desc.n,
+            k: desc.k,
+            alpha_bits: desc.alpha.to_bits(),
+            beta_bits: desc.beta.to_bits(),
+            strategy: StrategyRecord::from_strategy(strategy),
+            searched_time_s: time_s,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::select_strategy;
+    use crate::types::GemmOp;
+
+    #[test]
+    fn strategy_record_round_trips_through_the_catalog() {
+        for desc in [
+            GemmDesc::square(GemmOp::Sgemm, 1024),
+            GemmDesc::square(GemmOp::Dgemm, 4096),
+            GemmDesc::square(GemmOp::Hhs, 2048),
+            GemmDesc::square(GemmOp::Hgemm, 256),
+        ] {
+            let s = select_strategy(&desc);
+            let resolved = StrategyRecord::from_strategy(&s).resolve().unwrap();
+            match (s, resolved) {
+                (
+                    Strategy::MatrixCore {
+                        instr: a,
+                        macro_tile: amt,
+                        wave_tile: awt,
+                        k_step: ak,
+                        buffering: ab,
+                    },
+                    Strategy::MatrixCore {
+                        instr: b,
+                        macro_tile: bmt,
+                        wave_tile: bwt,
+                        k_step: bk,
+                        buffering: bb,
+                    },
+                ) => {
+                    assert_eq!(a, b);
+                    assert_eq!((amt, awt, ak, ab), (bmt, bwt, bk, bb));
+                }
+                (Strategy::SimdOnly { .. }, Strategy::SimdOnly { .. }) => {}
+                (a, b) => panic!("strategy kind changed: {a:?} -> {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn db_round_trips_through_json() {
+        let mut db = PlanDb::new();
+        let desc = GemmDesc::square(GemmOp::Sgemm, 512);
+        db.insert("gcd0", &desc, &select_strategy(&desc), 1.25e-4);
+        let back = PlanDb::from_json(&db.to_json()).unwrap();
+        assert_eq!(db, back);
+        assert_eq!(
+            back.lookup("gcd0", &desc),
+            Some(select_strategy(&desc)),
+            "resolved strategy matches the inserted one"
+        );
+        // Different device or shape: miss.
+        assert!(back.lookup("gcd1", &desc).is_none());
+        assert!(back
+            .lookup("gcd0", &GemmDesc::square(GemmOp::Sgemm, 513))
+            .is_none());
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut db = PlanDb::new();
+        db.schema_version = PLAN_DB_SCHEMA_VERSION + 1;
+        let err = PlanDb::from_json(&db.to_json()).unwrap_err();
+        assert!(matches!(err, BlasError::PlanDb(_)), "{err}");
+        assert!(err.to_string().contains("schema version"));
+    }
+
+    #[test]
+    fn stale_entries_resolve_to_none() {
+        let rec = StrategyRecord {
+            kind: "matrix-core".into(),
+            instr: "v_mfma_not_a_real_instruction".into(),
+            mt_m: 128,
+            mt_n: 128,
+            wt_m: 64,
+            wt_n: 64,
+            k_step: 4,
+            double_buffered: true,
+        };
+        assert!(rec.resolve().is_none());
+        let rec = StrategyRecord {
+            kind: "warp-specialized".into(),
+            ..rec
+        };
+        assert!(rec.resolve().is_none());
+    }
+
+    #[test]
+    fn insert_replaces_existing_keys() {
+        let mut db = PlanDb::new();
+        let desc = GemmDesc::square(GemmOp::Hhs, 64);
+        let s = select_strategy(&desc);
+        db.insert("gcd0", &desc, &s, 2.0e-5);
+        db.insert("gcd0", &desc, &s, 1.0e-5);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.entries[0].searched_time_s, 1.0e-5);
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let db = PlanDb::load(std::path::Path::new("/nonexistent/plan-db.json")).unwrap();
+        assert!(db.is_empty());
+    }
+}

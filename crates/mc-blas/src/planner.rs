@@ -1,4 +1,4 @@
-//! Runtime GEMM strategy selection and kernel-plan emission.
+//! GEMM kernel-plan emission and the static fallback strategy.
 //!
 //! rocBLAS maps an arbitrary GEMM onto Matrix Cores with a two-level
 //! tiling strategy chosen at runtime (paper §III): workgroups own
@@ -6,7 +6,25 @@
 //! inner loop feeds fixed-shape MFMA instructions (16×16×16 for mixed
 //! precision, 16×16×4 for FP32/FP64) from LDS-staged panels.
 //!
-//! The selection policy reproduces the paper's §VII findings exactly:
+//! Two paths produce a [`Strategy`]:
+//!
+//! - [`select_strategy`] — the **static fallback**: fixed per-datatype
+//!   tile heuristics plus the paper's §VII policy rules, used when the
+//!   scored search is off and whenever no searched candidate survives
+//!   lint. It never consults the simulator.
+//! - [`crate::select::select_plan`] — the **scored search**: enumerates
+//!   candidate (instruction, macro-tile, wave-tile, k-step, buffering)
+//!   tuples ([`crate::enumerate`]), ranks them with the Eq. 2 analytic
+//!   model plus simulator dry-runs ([`crate::score`]), and caches
+//!   winners in a persisted plan DB ([`crate::plandb`]).
+//!
+//! Either way, [`build_plan`] turns the chosen [`Strategy`] into the
+//! kernel the device runs, and every plan passes the static verifier
+//! (`mc-lint`) before it can reach a launch path.
+//!
+//! The static policy reproduces the paper's §VII findings exactly — and
+//! the scored search reproduces them *as outcomes* (see
+//! `docs/AUTOTUNE.md`):
 //!
 //! 1. **HGEMM never uses Matrix Cores** — CDNA2 has no `FP16 ← FP16`
 //!    MFMA (Table I) and rocBLAS does not cast through FP32 for the pure
@@ -24,7 +42,8 @@
 
 use mc_isa::specs::DieSpec;
 use mc_isa::{
-    cdna2_catalog, KernelDesc, MatrixInstruction, MemHints, SlotOp, ValuOp, ValuOpKind, WaveProgram,
+    cdna2_catalog, Buffering, KernelDesc, MatrixInstruction, MemHints, SlotOp, ValuOp, ValuOpKind,
+    WaveProgram,
 };
 use mc_types::DType;
 
@@ -39,6 +58,9 @@ pub enum SimdReason {
     /// The problem is too small for splitting work across pipelines to
     /// pay off (mixed precision at N ≤ 16 with α/β scaling).
     TinyProblem,
+    /// The scored plan search ranked the SIMD candidate ahead of every
+    /// surviving Matrix Core candidate (see [`crate::select`]).
+    Scored,
 }
 
 /// The execution strategy selected for a GEMM.
@@ -54,6 +76,10 @@ pub enum Strategy {
         wave_tile: (usize, usize),
         /// K advanced per inner-loop iteration.
         k_step: usize,
+        /// Global-load pipelining for the LDS panel stage: double
+        /// buffering overlaps DRAM with compute at twice the LDS and
+        /// fragment-register cost.
+        buffering: Buffering,
     },
     /// Vector-ALU (SIMD) execution via packed/scalar FMAs.
     SimdOnly {
@@ -96,20 +122,26 @@ impl GemmPlan {
     }
 }
 
-/// The macro-tile edge rocBLAS-style kernels use per datatype: larger
+/// The macro-tile edge the **static fallback** uses per datatype: larger
 /// tiles for FP64 trade occupancy for DRAM-traffic reduction.
-fn preferred_macro_tile(op: GemmOp) -> usize {
+///
+/// The scored search does not consult this heuristic — it enumerates the
+/// whole tile space and ranks it — so this value only shapes plans when
+/// the search is off or no searched candidate survives lint.
+pub(crate) fn preferred_macro_tile(op: GemmOp) -> usize {
     match op {
         GemmOp::Dgemm => 256,
         _ => 128,
     }
 }
 
-fn round_up(x: usize, to: usize) -> usize {
+pub(crate) fn round_up(x: usize, to: usize) -> usize {
     x.div_ceil(to) * to
 }
 
-/// Selects the execution strategy for a GEMM (policy rules 1–3 above).
+/// Selects the execution strategy for a GEMM with the static fallback
+/// policy (rules 1–3 above). Never consults the simulator; the scored
+/// alternative is [`crate::select::select_plan`].
 pub fn select_strategy(desc: &GemmDesc) -> Strategy {
     let op = desc.op;
     let catalog = cdna2_catalog();
@@ -156,25 +188,44 @@ pub fn select_strategy(desc: &GemmDesc) -> Strategy {
         macro_tile: (mt_m, mt_n),
         wave_tile: (wt_m, wt_n),
         k_step: instr.shape.k as usize,
+        buffering: Buffering::Double,
     }
 }
 
-/// Plans a GEMM for one die: strategy, kernel program, work accounting.
+/// Plans a GEMM for one die with the static fallback strategy.
 pub fn plan_gemm(die: &DieSpec, desc: &GemmDesc) -> Result<GemmPlan, BlasError> {
+    // Validate before strategy selection: tile clamping divides by
+    // problem-derived sizes.
     desc.validate()?;
-    let strategy = select_strategy(desc);
+    build_plan(die, desc, select_strategy(desc))
+}
+
+/// Compiles an explicit [`Strategy`] into a lint-gated [`GemmPlan`]:
+/// kernel program, memory hints, and closed-form work accounting.
+///
+/// This is the single trunk both planners share — [`plan_gemm`] feeds it
+/// the static strategy, the scored search feeds it each enumerated
+/// candidate. Every compiled kernel passes through the static verifier
+/// before it can reach a launch path: errors reject the plan outright,
+/// warnings ride along for the handle to log (or deny, in strict mode).
+pub fn build_plan(
+    die: &DieSpec,
+    desc: &GemmDesc,
+    strategy: Strategy,
+) -> Result<GemmPlan, BlasError> {
+    desc.validate()?;
     let mut plan = match strategy {
         Strategy::MatrixCore {
             instr,
             macro_tile,
             wave_tile,
             k_step,
-        } => plan_matrix_core(die, desc, strategy, &instr, macro_tile, wave_tile, k_step),
+            buffering,
+        } => plan_matrix_core(
+            die, desc, strategy, &instr, macro_tile, wave_tile, k_step, buffering,
+        ),
         Strategy::SimdOnly { .. } => plan_simd(die, desc, strategy),
     };
-    // Every compiled kernel passes through the static verifier before it
-    // can reach a launch path: errors reject the plan outright, warnings
-    // ride along for the handle to log (or deny, in strict mode).
     let report = mc_lint::lint_kernel(die, &plan.kernel);
     if report.has_errors() {
         return Err(BlasError::Lint(report));
@@ -183,7 +234,12 @@ pub fn plan_gemm(die: &DieSpec, desc: &GemmDesc) -> Result<GemmPlan, BlasError> 
     Ok(plan)
 }
 
-fn mem_hints(die: &DieSpec, desc: &GemmDesc, macro_tile: (usize, usize)) -> MemHints {
+fn mem_hints(
+    die: &DieSpec,
+    desc: &GemmDesc,
+    macro_tile: (usize, usize),
+    buffering: Buffering,
+) -> MemHints {
     let ab = desc.op.type_ab().size_bytes() as u64;
     let cd = desc.op.type_cd().size_bytes() as u64;
     let (m, n, k) = (desc.m as u64, desc.n as u64, desc.k as u64);
@@ -211,6 +267,7 @@ fn mem_hints(die: &DieSpec, desc: &GemmDesc, macro_tile: (usize, usize)) -> MemH
         hbm_bytes: (ab_traffic + cd_traffic) as u64,
         working_set_bytes: desc.footprint_bytes(),
         pow2_stride,
+        buffering,
     }
 }
 
@@ -223,6 +280,7 @@ fn plan_matrix_core(
     macro_tile: (usize, usize),
     wave_tile: (usize, usize),
     k_step: usize,
+    buffering: Buffering,
 ) -> GemmPlan {
     let (mt_m, mt_n) = macro_tile;
     let (wt_m, wt_n) = wave_tile;
@@ -309,12 +367,17 @@ fn plan_matrix_core(
         epilogue,
     };
 
-    // Register/LDS footprint: accumulators dominate.
+    // Register/LDS footprint: accumulators dominate. Double buffering
+    // keeps two panel stages in LDS and two fragment sets in flight;
+    // single buffering halves both, trading occupancy headroom for a
+    // serialized DRAM pipeline (the search weighs that trade).
+    let stages = match buffering {
+        Buffering::Double => 2u32,
+        Buffering::Single => 1u32,
+    };
     let acc_vgprs = ((wt_m * wt_n / 64) * desc.op.compute_type().vgprs_per_element()) as u32;
-    let arch_vgprs = 32
-        + (instr.a_vgprs_per_lane() + instr.b_vgprs_per_lane()) * 2 // double-buffered fragments
-        ;
-    let lds = (stage_bytes * 2) as u32; // double-buffered panel stage
+    let arch_vgprs = 32 + (instr.a_vgprs_per_lane() + instr.b_vgprs_per_lane()) * stages;
+    let lds = (stage_bytes * stages as usize) as u32;
 
     let mfma_flops = workgroups * u64::from(waves_per_wg) * k_iters * mfma_per_iter * instr.flops();
     let simd_flops = workgroups * u64::from(waves_per_wg) * scale_insts * (64 + 128);
@@ -325,7 +388,7 @@ fn plan_matrix_core(
         lds_bytes_per_workgroup: lds,
         arch_vgprs,
         acc_vgprs,
-        mem_hints: mem_hints(die, desc, macro_tile),
+        mem_hints: mem_hints(die, desc, macro_tile, buffering),
         ..KernelDesc::new(format!("gemm_{}_{}", desc.op, instr.mnemonic()), program)
     };
 
@@ -431,7 +494,9 @@ fn plan_simd(die: &DieSpec, desc: &GemmDesc, strategy: Strategy) -> GemmPlan {
         lds_bytes_per_workgroup: (stage_bytes * waves_per_wg as usize) as u32,
         arch_vgprs: 64 + ((elems_per_lane * compute.vgprs_per_element()).min(192)) as u32,
         acc_vgprs: 0,
-        mem_hints: mem_hints(die, desc, (mt_m, mt_n)),
+        // SIMD kernels keep the default double-buffered stream: the
+        // VALU loop is long enough to hide panel loads either way.
+        mem_hints: mem_hints(die, desc, (mt_m, mt_n), Buffering::Double),
         ..KernelDesc::new(format!("gemm_{}_simd", desc.op), program)
     };
 

@@ -1,0 +1,245 @@
+//! The scored plan search: enumerate → build → lint → rank → dry-run.
+//!
+//! [`select_plan`] is the search's entry point. It runs the pipeline
+//!
+//! 1. [`crate::enumerate::enumerate_candidates`] — the candidate
+//!    strategies, always including the static planner's pick and the
+//!    SIMD-only executor;
+//! 2. [`crate::planner::build_plan`] — each candidate compiles to a
+//!    kernel and passes the static verifier; candidates with
+//!    error-severity lint findings are discarded (counted in
+//!    [`SearchOutcome::lint_rejected`]);
+//! 3. [`crate::score::analytic_time_s`] — the Eq. 2 analytic model
+//!    ranks the survivors;
+//! 4. [`crate::score::dry_run_time_s`] — the top [`DRY_RUN_TOP_K`]
+//!    finalists (plus the static pick, always) run through the pure
+//!    simulator engine, and the fastest engine time wins.
+//!
+//! Because the static plan is always a dry-run finalist and the winner
+//! is the engine-time argmin, the searched plan is **never slower than
+//! the static plan under the engine's own model** — the invariant the
+//! `autotune` experiment asserts across the paper's Fig. 6/7 sweep.
+//! If every candidate fails lint (impossible today, but the search must
+//! not brick the library if the candidate space grows), the static
+//! planner's lint-gated plan is returned as the fallback.
+//!
+//! Ties break deterministically: candidates keep their enumeration
+//! order through a stable sort, so identical descriptors always select
+//! identical plans (the plan-DB round-trip relies on this).
+
+use mc_isa::specs::DieSpec;
+use mc_sim::SimConfig;
+
+use crate::enumerate::enumerate_candidates;
+use crate::planner::{build_plan, plan_gemm, GemmPlan};
+use crate::score::{analytic_time_s, dry_run_time_s};
+use crate::types::{BlasError, GemmDesc};
+
+/// How many analytically-ranked finalists get a simulator dry run.
+pub const DRY_RUN_TOP_K: usize = 4;
+
+/// The result of a plan search.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The winning plan.
+    pub plan: GemmPlan,
+    /// The winner's engine-modeled time (dry run + handoff penalty).
+    pub searched_time_s: f64,
+    /// The static planner's plan under the same engine model — the
+    /// baseline the search is measured against.
+    pub static_time_s: f64,
+    /// Candidates enumerated before building.
+    pub enumerated: usize,
+    /// Candidates rejected by the static verifier.
+    pub lint_rejected: usize,
+}
+
+impl SearchOutcome {
+    /// Engine-modeled speedup of the searched plan over the static one
+    /// (≥ 1.0 by construction: the static plan is always a finalist).
+    pub fn speedup(&self) -> f64 {
+        self.static_time_s / self.searched_time_s
+    }
+}
+
+/// Searches the candidate space for the fastest plan (see module docs).
+pub fn select_plan(
+    die: &DieSpec,
+    cfg: &SimConfig,
+    desc: &GemmDesc,
+) -> Result<SearchOutcome, BlasError> {
+    desc.validate()?;
+    let candidates = enumerate_candidates(desc);
+    let enumerated = candidates.len();
+
+    // Build + lint-gate every candidate; score survivors analytically.
+    // Index 0 is the static planner's pick (enumeration guarantees it).
+    let mut built: Vec<(usize, GemmPlan, f64)> = Vec::new();
+    let mut lint_rejected = 0usize;
+    for (idx, strategy) in candidates.into_iter().enumerate() {
+        match build_plan(die, desc, strategy) {
+            Ok(plan) => {
+                let score = analytic_time_s(die, cfg, &plan);
+                built.push((idx, plan, score));
+            }
+            Err(BlasError::Lint(_)) => lint_rejected += 1,
+            Err(other) => return Err(other),
+        }
+    }
+    let Some(static_pos) = built.iter().position(|(idx, _, _)| *idx == 0) else {
+        // Nothing survived lint (including the static pick, which today
+        // always does): fall back to the static planner wholesale.
+        let plan = plan_gemm(die, desc)?;
+        let t = dry_run_time_s(die, cfg, &plan)?;
+        return Ok(SearchOutcome {
+            plan,
+            searched_time_s: t,
+            static_time_s: t,
+            enumerated,
+            lint_rejected,
+        });
+    };
+
+    // Rank by analytic score (stable: enumeration order breaks ties)
+    // and dry-run the top K plus the static plan.
+    let static_entry = built.remove(static_pos);
+    built.sort_by(|a, b| a.2.total_cmp(&b.2));
+    built.truncate(DRY_RUN_TOP_K);
+    built.push(static_entry);
+
+    let mut static_time_s = f64::INFINITY;
+    let mut best: Option<(f64, GemmPlan)> = None;
+    for (idx, plan, _) in built {
+        let t = dry_run_time_s(die, cfg, &plan)?;
+        if idx == 0 {
+            static_time_s = t;
+        }
+        // Strict less-than: on exact ties the earlier (better analytic
+        // rank) finalist keeps the win, deterministically.
+        if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
+            best = Some((t, plan));
+        }
+    }
+    let (searched_time_s, plan) = best.expect("at least the static finalist was dry-run");
+    Ok(SearchOutcome {
+        plan,
+        searched_time_s,
+        static_time_s,
+        enumerated,
+        lint_rejected,
+    })
+}
+
+/// The selector's host-side analogue: the [`mc_compute::Auto`] dispatch
+/// with the calibrated naive/blocked crossover for the live thread pool
+/// (overridable via [`mc_compute::CROSSOVER_ENV`]). The functional GEMM
+/// path and the bench harness both construct their backend here, so the
+/// host crossover policy has one owner.
+pub fn host_gemm_backend() -> mc_compute::Auto {
+    mc_compute::Auto::from_env()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{SimdReason, Strategy};
+    use crate::types::GemmOp;
+
+    fn die() -> DieSpec {
+        mc_isa::specs::mi250x().die
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig::mi250x()
+    }
+
+    #[test]
+    fn searched_never_loses_to_static_across_the_sweep() {
+        let d = die();
+        let c = cfg();
+        for op in [GemmOp::Sgemm, GemmOp::Dgemm, GemmOp::Hhs, GemmOp::Hgemm] {
+            for n in [16usize, 256, 2048, 8192] {
+                let out = select_plan(&d, &c, &GemmDesc::square(op, n)).unwrap();
+                assert!(
+                    out.searched_time_s <= out.static_time_s,
+                    "{op} N={n}: searched {} vs static {}",
+                    out.searched_time_s,
+                    out.static_time_s
+                );
+                assert!(out.speedup() >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn scorer_reproduces_hgemm_simd_rule() {
+        // §VII rule 1 as a structural outcome: no MC candidate exists.
+        let out = select_plan(&die(), &cfg(), &GemmDesc::square(GemmOp::Hgemm, 4096)).unwrap();
+        assert!(!out.plan.strategy.uses_matrix_cores());
+    }
+
+    #[test]
+    fn scorer_reproduces_tiny_mixed_simd_rule() {
+        // §VII rule 2 as a scored outcome: with α/β scaling at N = 16
+        // the handoff penalty makes SIMD win; at N = 32 Matrix Cores
+        // already amortize it (paper Fig. 8).
+        let d = die();
+        let c = cfg();
+        for op in [GemmOp::Hhs, GemmOp::Hss] {
+            let out = select_plan(&d, &c, &GemmDesc::square(op, 16)).unwrap();
+            assert!(
+                !out.plan.strategy.uses_matrix_cores(),
+                "{op} N=16 must stay on SIMD, got {:?}",
+                out.plan.strategy
+            );
+            let out = select_plan(&d, &c, &GemmDesc::square(op, 32)).unwrap();
+            assert!(out.plan.strategy.uses_matrix_cores(), "{op} N=32");
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let d = die();
+        let c = cfg();
+        for desc in [
+            GemmDesc::square(GemmOp::Sgemm, 512),
+            GemmDesc::square(GemmOp::Hhs, 16),
+            GemmDesc::square(GemmOp::Dgemm, 4096),
+        ] {
+            let a = select_plan(&d, &c, &desc).unwrap();
+            let b = select_plan(&d, &c, &desc).unwrap();
+            assert_eq!(a.plan.strategy, b.plan.strategy, "{desc:?}");
+            assert_eq!(a.searched_time_s, b.searched_time_s);
+        }
+    }
+
+    #[test]
+    fn search_reports_candidate_accounting() {
+        let out = select_plan(&die(), &cfg(), &GemmDesc::square(GemmOp::Sgemm, 2048)).unwrap();
+        assert!(out.enumerated > 10, "{}", out.enumerated);
+        // Every surviving plan linted clean at error severity; warnings
+        // still ride on the winner like any planner output.
+        assert!(out.plan.lint.is_empty());
+    }
+
+    #[test]
+    fn simd_candidate_carries_scored_reason() {
+        // When the search picks SIMD for a problem the static rules
+        // would also put on SIMD, the static (reasoned) candidate wins
+        // ties; a pure-search SIMD win is tagged Scored. Either way the
+        // strategy is SIMD-only. Exercise the tagging through the
+        // enumerator directly.
+        let c = crate::enumerate::enumerate_candidates(&GemmDesc::square(GemmOp::Sgemm, 64));
+        assert!(c.contains(&Strategy::SimdOnly {
+            reason: SimdReason::Scored
+        }));
+    }
+
+    #[test]
+    fn host_backend_honors_env_override() {
+        // No env mutation (tests run in parallel): just check the
+        // default wiring returns a usable dispatcher.
+        let auto = host_gemm_backend();
+        assert!(auto.crossover_n() > 0);
+    }
+}

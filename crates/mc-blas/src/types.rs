@@ -250,6 +250,9 @@ pub enum BlasError {
     /// The planned kernel failed static verification (`mc-lint`); the
     /// report carries the diagnostics that rejected it.
     Lint(mc_lint::LintReport),
+    /// The persisted plan DB could not be read or has an incompatible
+    /// schema (see `crate::plandb`).
+    PlanDb(String),
 }
 
 impl fmt::Display for BlasError {
@@ -277,6 +280,7 @@ impl fmt::Display for BlasError {
                 report.error_count(),
                 report.render()
             ),
+            BlasError::PlanDb(msg) => write!(f, "plan DB: {msg}"),
         }
     }
 }

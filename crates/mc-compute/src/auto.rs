@@ -1,0 +1,179 @@
+//! Shape-aware backend dispatch: naive loop below the crossover,
+//! blocked kernel above it.
+//!
+//! The blocked kernel pays a fixed toll per call — panel packing, the
+//! rayon fork/join, and per-tile bookkeeping — that the cache savings
+//! only repay once the problem is large enough. Below that crossover
+//! the plain triple loop is *faster* (the `perf` experiment's
+//! `BENCH_hotpaths.json` showed `sgemm_blocked` losing to
+//! `sgemm_naive` at N = 256 on one thread before this dispatch
+//! existed). [`Auto`] closes that gap: it compares the problem's
+//! geometric-mean dimension `∛(m·n·k)` against a crossover edge and
+//! routes small problems to [`Naive`], large ones to [`Blocked`].
+//!
+//! Routing is bitwise-invisible: [`Blocked`] matches [`Naive`] bit for
+//! bit on every dtype triple (the `compute_parity` suite proves it), so
+//! the dispatch can only change *time*, never results.
+//!
+//! The default edge is thread-aware — the blocked kernel amortizes its
+//! toll sooner when the rayon pool parallelizes it — and the
+//! [`CROSSOVER_ENV`] variable overrides both defaults for calibration
+//! sweeps. The `mc-blas` plan selector re-exports this dispatch as its
+//! host-side analogue (`mc_blas::select::host_gemm_backend`), keeping
+//! the library's host loops and the bench harness on one policy.
+
+use mc_types::Real;
+
+use crate::params::{ComputeError, GemmParams};
+use crate::{Blocked, MatMul, Naive};
+
+/// Environment variable overriding the crossover edge (a plain integer,
+/// interpreted as the N of an N³ problem at the naive/blocked boundary).
+pub const CROSSOVER_ENV: &str = "MC_GEMM_CROSSOVER";
+
+/// Default crossover edge for a rayon pool of `threads` workers.
+///
+/// Single-threaded, the blocked kernel's packing toll keeps the naive
+/// loop ahead through N = 256 and behind by N = 512; the edge sits
+/// between them. With a real pool the fork/join amortizes much sooner.
+pub fn default_crossover(threads: usize) -> usize {
+    if threads > 1 {
+        128
+    } else {
+        320
+    }
+}
+
+/// The parallelism the blocked kernel can actually exploit: the rayon
+/// pool size capped by the machine's core count. Configuring a 4-worker
+/// pool on a single core oversubscribes it — the fork/join toll is paid
+/// but nothing runs concurrently — so the crossover must not drop to
+/// the pooled edge just because the pool is nominally larger.
+pub fn effective_parallelism() -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    rayon::current_num_threads().min(cores)
+}
+
+/// The crossover edge currently in force: [`CROSSOVER_ENV`] when set
+/// and parseable, else [`default_crossover`] at the live
+/// [`effective_parallelism`].
+pub fn crossover_from_env() -> usize {
+    std::env::var(CROSSOVER_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| default_crossover(effective_parallelism()))
+}
+
+/// The shape-aware dispatching backend.
+#[derive(Clone, Copy, Debug)]
+pub struct Auto {
+    crossover_n: usize,
+}
+
+impl Auto {
+    /// Dispatcher with an explicit crossover edge (the selector's
+    /// calibrated value, or a sweep point).
+    pub fn with_crossover(crossover_n: usize) -> Self {
+        Auto { crossover_n }
+    }
+
+    /// Dispatcher with the environment/thread-derived edge
+    /// ([`crossover_from_env`]).
+    pub fn from_env() -> Self {
+        Auto::with_crossover(crossover_from_env())
+    }
+
+    /// The crossover edge this dispatcher uses.
+    pub fn crossover_n(&self) -> usize {
+        self.crossover_n
+    }
+
+    /// Whether a problem routes to the naive loop: true when the work
+    /// volume `m·n·k` is at most `crossover_n³` (the geometric-mean
+    /// test, so a 1024×1024×8 sliver counts as small, not large).
+    pub fn routes_to_naive(&self, params: &GemmParams) -> bool {
+        let work = params.m as u128 * params.n as u128 * params.k as u128;
+        let edge = self.crossover_n as u128;
+        work <= edge.saturating_mul(edge).saturating_mul(edge)
+    }
+}
+
+impl Default for Auto {
+    fn default() -> Self {
+        Auto::from_env()
+    }
+}
+
+impl MatMul for Auto {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn gemm<AB, CD, CT>(
+        &self,
+        params: &GemmParams,
+        a: &[AB],
+        b: &[AB],
+        c: &[CD],
+        d: &mut [CD],
+    ) -> Result<(), ComputeError>
+    where
+        AB: Real,
+        CD: Real,
+        CT: Real,
+    {
+        if self.routes_to_naive(params) {
+            Naive.gemm::<AB, CD, CT>(params, a, b, c, d)
+        } else {
+            Blocked.gemm::<AB, CD, CT>(params, a, b, c, d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_uses_the_geometric_mean() {
+        let auto = Auto::with_crossover(320);
+        assert!(auto.routes_to_naive(&GemmParams::new(256, 256, 256)));
+        assert!(!auto.routes_to_naive(&GemmParams::new(512, 512, 512)));
+        // A thin sliver with one huge dimension still counts as small.
+        assert!(auto.routes_to_naive(&GemmParams::new(4096, 16, 16)));
+        // Exactly at the edge: naive (the toll is only repaid beyond it).
+        assert!(auto.routes_to_naive(&GemmParams::new(320, 320, 320)));
+    }
+
+    #[test]
+    fn multithreaded_default_routes_256_to_blocked() {
+        assert!(default_crossover(1) > 256, "1-thread edge covers N=256");
+        assert!(default_crossover(4) < 256, "pooled edge releases N=256");
+    }
+
+    #[test]
+    fn effective_parallelism_never_exceeds_the_machine() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert!(effective_parallelism() <= cores);
+        assert!(effective_parallelism() >= 1);
+    }
+
+    #[test]
+    fn both_routes_match_bitwise() {
+        for n in [24usize, 96] {
+            let params = GemmParams::new(n, n, n).with_scaling(0.5, 0.25);
+            let a: Vec<f32> = (0..n * n).map(|i| ((i % 13) as f32) - 6.0).collect();
+            let b: Vec<f32> = (0..n * n).map(|i| ((i % 7) as f32) - 3.0).collect();
+            let c: Vec<f32> = (0..n * n).map(|i| (i % 5) as f32).collect();
+            let mut via_naive = vec![0.0f32; n * n];
+            let mut via_blocked = vec![0.0f32; n * n];
+            Auto::with_crossover(usize::MAX)
+                .gemm::<f32, f32, f32>(&params, &a, &b, &c, &mut via_naive)
+                .unwrap();
+            Auto::with_crossover(0)
+                .gemm::<f32, f32, f32>(&params, &a, &b, &c, &mut via_blocked)
+                .unwrap();
+            assert_eq!(via_naive, via_blocked, "N={n}");
+        }
+    }
+}

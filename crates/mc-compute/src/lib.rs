@@ -11,6 +11,9 @@
 //!   backend ([`MC`]×[`NC`]×[`KC`] tiling). Bit-identical to [`Naive`]
 //!   for every dtype triple because it preserves the per-element
 //!   ascending-k rounding chain; see `blocked.rs` for the argument.
+//! * [`Auto`] — shape-aware dispatch between the two: the naive loop at
+//!   or below a thread-aware crossover edge, the blocked kernel above
+//!   it. Bitwise-invisible because the two backends agree bit for bit.
 //! * [`gemm_i8`] / [`gemm_i8_reference`] — the int8→int32 quantized
 //!   kernels (exact integer accumulation, so blocking is trivially
 //!   safe).
@@ -22,12 +25,14 @@
 
 #![deny(missing_docs)]
 
+mod auto;
 mod blocked;
 mod int8;
 mod mma;
 mod naive;
 mod params;
 
+pub use auto::{crossover_from_env, default_crossover, effective_parallelism, Auto, CROSSOVER_ENV};
 pub use blocked::{Blocked, KC, MC, NC};
 pub use int8::{gemm_i8, gemm_i8_reference};
 pub use mma::mma_accumulate;

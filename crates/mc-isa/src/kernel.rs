@@ -143,6 +143,23 @@ impl WaveProgram {
     }
 }
 
+/// Global-load staging discipline of a kernel's inner loop: whether the
+/// planner emitted a pipelined (double-buffered) panel stage whose DRAM
+/// latency hides behind compute, or a single-buffered stage that
+/// serializes memory behind the compute phases.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Buffering {
+    /// One panel stage in LDS: each iteration waits for its global
+    /// loads before computing, so DRAM time adds to compute time. Costs
+    /// half the LDS/fragment registers of [`Buffering::Double`].
+    Single,
+    /// Two panel stages in LDS: iteration `i+1`'s loads issue while
+    /// iteration `i` computes, so DRAM time overlaps compute (the
+    /// rocBLAS-style pipelined GEMM the paper's kernels use).
+    #[default]
+    Double,
+}
+
 /// Memory-system hints the planner attaches to a kernel so the simulator
 /// can model DRAM behaviour without re-deriving the blocking structure.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -156,6 +173,9 @@ pub struct MemHints {
     /// channel/bank camping and degrades effective DRAM bandwidth (the
     /// mechanism behind the paper's Fig. 6/7 dips at N = 2^k).
     pub pow2_stride: bool,
+    /// Whether the kernel's global loads are double-buffered (DRAM time
+    /// overlaps compute) or single-buffered (it serializes).
+    pub buffering: Buffering,
 }
 
 /// A complete kernel launch: program + geometry + resource usage.

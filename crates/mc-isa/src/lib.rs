@@ -34,6 +34,6 @@ mod valu;
 
 pub use catalog::{ampere_catalog, cdna1_catalog, cdna2_catalog, IsaCatalog};
 pub use instr::{MatrixArch, MatrixInstruction, ParseMnemonicError};
-pub use kernel::{KernelDesc, MemHints, SlotOp, WaveProgram};
+pub use kernel::{Buffering, KernelDesc, MemHints, SlotOp, WaveProgram};
 pub use shape::MfmaShape;
 pub use valu::{ValuOp, ValuOpKind};

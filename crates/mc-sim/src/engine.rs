@@ -77,7 +77,8 @@ impl SliceDemand {
             }
             SlotOp::GlobalLoad { .. } | SlotOp::GlobalStore { .. } => {
                 // One issue slot; latency is modelled at kernel level via
-                // the DRAM time, double-buffering assumed by planners.
+                // the DRAM time, overlapped with compute or serialized
+                // behind it per the kernel's `MemHints::buffering`.
                 self.simd_cycles += times;
                 self.self_cycles += times;
             }
@@ -389,7 +390,15 @@ pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelE
 
     let compute_time_s = total_cycles / effective_clock_hz;
     let dram_time_s = memory::dram_time_s(die, cfg, &k.mem_hints);
-    let time_s = compute_time_s.max(dram_time_s) + cfg.launch_overhead_s;
+    // Double-buffered kernels hide DRAM latency behind compute (the two
+    // phases pipeline, so the slower one sets the pace); single-buffered
+    // kernels wait for each panel before computing on it, so the phases
+    // serialize. The planner declares which discipline it compiled.
+    let overlapped = match k.mem_hints.buffering {
+        mc_isa::Buffering::Double => compute_time_s.max(dram_time_s),
+        mc_isa::Buffering::Single => compute_time_s + dram_time_s,
+    };
+    let time_s = overlapped + cfg.launch_overhead_s;
 
     // FLOP and counter accounting.
     let total_waves = k.total_waves();
@@ -755,6 +764,36 @@ mod tests {
             e.time_s
         );
         assert!(e.compute_bound_fraction < 0.1);
+    }
+
+    #[test]
+    fn single_buffering_serializes_dram_behind_compute() {
+        use mc_isa::Buffering;
+        let i = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
+        let program = WaveProgram::looped(vec![SlotOp::Mfma(i)], 100_000);
+        let mut k = KernelDesc {
+            workgroups: 440,
+            waves_per_workgroup: 1,
+            ..KernelDesc::new("buffered", program)
+        };
+        k.mem_hints.hbm_bytes = 1 << 30;
+        let d = die();
+        let c = cfg();
+        let double = execute(&d, &c, &k).unwrap();
+        k.mem_hints.buffering = Buffering::Single;
+        let single = execute(&d, &c, &k).unwrap();
+        // Same compute, same traffic; only the overlap model differs.
+        assert_eq!(double.compute_cycles, single.compute_cycles);
+        assert_eq!(double.dram_time_s, single.dram_time_s);
+        let compute_s = double.compute_cycles / double.effective_clock_hz;
+        let overhead = c.launch_overhead_s;
+        let want_double = compute_s.max(double.dram_time_s) + overhead;
+        let want_single = compute_s + single.dram_time_s + overhead;
+        assert!((double.time_s - want_double).abs() / want_double < 1e-12);
+        assert!((single.time_s - want_single).abs() / want_single < 1e-12);
+        assert!(single.time_s > double.time_s, "serialization must cost");
     }
 
     #[test]

@@ -60,7 +60,7 @@ mod tests {
         let hints = MemHints {
             hbm_bytes: 1_000_000_000,
             working_set_bytes: 1 << 20,
-            pow2_stride: false,
+            ..MemHints::default()
         };
         let bw = effective_bandwidth(&die(), &cfg(), &hints);
         // Tiny working set: capacity decay is negligible (<0.01%).
@@ -74,6 +74,7 @@ mod tests {
             hbm_bytes: 1,
             working_set_bytes: 1 << 20,
             pow2_stride: true,
+            ..MemHints::default()
         };
         let big = MemHints {
             working_set_bytes: 1 << 30,
@@ -92,7 +93,7 @@ mod tests {
         let small = MemHints {
             hbm_bytes: 1,
             working_set_bytes: 1 << 20,
-            pow2_stride: false,
+            ..MemHints::default()
         };
         let full = MemHints {
             working_set_bytes: 64 << 30,
@@ -115,7 +116,7 @@ mod tests {
         let mk = |bytes| MemHints {
             hbm_bytes: bytes,
             working_set_bytes: 1 << 33,
-            pow2_stride: false,
+            ..MemHints::default()
         };
         let t1 = dram_time_s(&die(), &cfg(), &mk(1 << 30));
         let t2 = dram_time_s(&die(), &cfg(), &mk(1 << 31));

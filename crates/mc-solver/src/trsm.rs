@@ -5,7 +5,7 @@
 //! no `m×n×k` structure for Matrix Cores). Above [`TRSM_BLOCK`] unknowns
 //! each solve is itself blocked: substitution stays on `TRSM_BLOCK`-wide
 //! diagonal blocks and the off-diagonal bulk of the work becomes rank-k
-//! updates on the shared [`mc_compute::Blocked`] GEMM kernel — the same
+//! updates on the shared [`mc_compute::Auto`] GEMM dispatch — the same
 //! BLAS-3 shift the factorizations make, applied one level down.
 
 use mc_compute::{GemmParams, MatMul, Trans};
@@ -17,10 +17,13 @@ use crate::SolverError;
 /// the plain substitution loops.
 pub const TRSM_BLOCK: usize = 64;
 
-/// Runs `D ← α·A·B + β·C` on the blocked f64 kernel (solver-internal
-/// shapes are always in-bounds, so the buffer check cannot fail).
+/// Runs `D ← α·A·B + β·C` on the shared GEMM dispatch (solver-internal
+/// shapes are always in-bounds, so the buffer check cannot fail). The
+/// [`mc_compute::Auto`] crossover keeps the frequent small panel
+/// updates off the blocked kernel's packing toll without changing a
+/// bit of the result.
 fn gemm_update(params: &GemmParams, a: &[f64], b: &[f64], c: &[f64], d: &mut [f64]) {
-    mc_compute::Blocked
+    mc_compute::Auto::from_env()
         .gemm::<f64, f64, f64>(params, a, b, c, d)
         .expect("solver gemm shapes are validated by construction");
 }

@@ -118,7 +118,7 @@ fn dram_bound_kernel_reports_memory_rounds() {
     k.mem_hints = MemHints {
         hbm_bytes: 8 << 30,
         working_set_bytes: 16 << 30,
-        pow2_stride: false,
+        ..MemHints::default()
     };
     let mut gpu = DeviceRegistry::builtin().gpu(DeviceId::Mi250x);
     let r = gpu.launch(0, &k).unwrap();

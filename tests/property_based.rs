@@ -330,6 +330,61 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Plan-search invariants over arbitrary descriptors: every
+    /// searched winner passes the static verifier at error severity,
+    /// is never slower than the static plan under the engine model,
+    /// reproduces the §VII policy rules as outcomes, and round-trips
+    /// through the plan-DB strategy record.
+    #[test]
+    fn searched_plans_lint_clean_and_never_lose(
+        op_idx in 0usize..5,
+        n in 1usize..400,
+        scaled in any::<bool>(),
+    ) {
+        use amd_matrix_cores::blas::{select_plan, StrategyRecord};
+        let op = [GemmOp::Sgemm, GemmOp::Dgemm, GemmOp::Hgemm, GemmOp::Hss, GemmOp::Hhs]
+            [op_idx];
+        let (alpha, beta) = if scaled { (0.5, 0.25) } else { (1.0, 0.0) };
+        let desc = GemmDesc { alpha, beta, ..GemmDesc::square(op, n) };
+        let cfg = SimConfig::mi250x();
+        let die = cfg.package.die.clone();
+        let out = select_plan(&die, &cfg, &desc).unwrap();
+
+        // The winner compiled through the lint gate: re-linting finds
+        // no error-severity issues.
+        let report = amd_matrix_cores::lint::lint_kernel(&die, &out.plan.kernel);
+        prop_assert!(!report.has_errors(), "{op} N={n}: {report:?}");
+
+        // Selected never slower than static (the static plan is always
+        // a dry-run finalist).
+        prop_assert!(
+            out.searched_time_s <= out.static_time_s,
+            "{op} N={n}: searched {} vs static {}",
+            out.searched_time_s,
+            out.static_time_s
+        );
+
+        // §VII rule 1 (structural): HGEMM never uses the Matrix Cores.
+        if op == GemmOp::Hgemm {
+            prop_assert!(!out.plan.strategy.uses_matrix_cores());
+        }
+        // §VII rule 2 (scored): tiny scaled mixed-precision problems
+        // stay on SIMD — the pipeline-handoff penalty beats one MFMA's
+        // worth of Matrix Core work.
+        if scaled && n <= 16 && matches!(op, GemmOp::Hss | GemmOp::Hhs) {
+            prop_assert!(
+                !out.plan.strategy.uses_matrix_cores(),
+                "{op} N={n} must stay on SIMD"
+            );
+        }
+
+        // The winning strategy survives the plan-DB record round-trip.
+        let record = StrategyRecord::from_strategy(&out.plan.strategy);
+        prop_assert_eq!(record.resolve(), Some(out.plan.strategy));
+    }
+}
+
 /// Functional GEMM vs the f64 reference over random data: bounded
 /// relative error per routine (deterministic seeds, full matrix check).
 #[test]
@@ -364,6 +419,7 @@ fn random_gemm_error_bounds() {
         macro_tile: (128, 128),
         wave_tile: (64, 64),
         k_step: 4,
+        buffering: amd_matrix_cores::isa::Buffering::Double,
     };
     run_functional::<f32, f32, f32>(&desc, &strat, &a, &b, &c, &mut d).unwrap();
     for (got, want) in d.iter().zip(&d_ref) {
