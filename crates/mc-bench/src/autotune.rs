@@ -57,6 +57,9 @@ pub struct AutotunePoint {
     pub enumerated: usize,
     /// Candidates the static verifier rejected.
     pub lint_rejected: usize,
+    /// Candidates the dataflow verifier rejected (races, waitcnt,
+    /// register working-set overflows).
+    pub flow_rejected: usize,
 }
 
 /// The autotune sweep payload.
@@ -122,6 +125,16 @@ pub fn run(devices: &DeviceRegistry, sizes: &[usize]) -> Autotune {
         crate::experiment::par_map(devices.trace_sink().is_none(), grid, |(op, n)| {
             let out = select_plan(&die, &cfg, &GemmDesc::square(op, n))
                 .expect("sweep descriptors are valid");
+            // The gate's second invariant: a searched winner is
+            // race-free by construction, because build_plan rejects
+            // flow-failing candidates before ranking. Re-verify the
+            // winner so a future planner regression trips here.
+            let verdict = mc_flow::analyze_kernel(&die, &out.plan.kernel);
+            assert!(
+                !verdict.has_errors(),
+                "searched winner {op} N={n} failed dataflow verification:\n{}",
+                verdict.render()
+            );
             AutotunePoint {
                 routine: op.routine().to_owned(),
                 n,
@@ -132,6 +145,7 @@ pub fn run(devices: &DeviceRegistry, sizes: &[usize]) -> Autotune {
                 matrix_cores: out.plan.strategy.uses_matrix_cores(),
                 enumerated: out.enumerated,
                 lint_rejected: out.lint_rejected,
+                flow_rejected: out.flow_rejected,
             }
         });
     let losing_points = points
@@ -282,5 +296,8 @@ mod tests {
         assert!(sgemm.enumerated > 10, "{}", sgemm.enumerated);
         assert!(sgemm.matrix_cores);
         assert!(sgemm.strategy.contains("mt"), "{}", sgemm.strategy);
+        // Today's emitters produce no flow-rejected candidates; the
+        // field exists so a regression shows up in the payload.
+        assert_eq!(sgemm.flow_rejected, 0);
     }
 }

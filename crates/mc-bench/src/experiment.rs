@@ -236,6 +236,30 @@ impl RunContext {
         Ok(written)
     }
 
+    /// Writes one verifier gate's aggregate diagnostic counts as
+    /// `<metrics_dir>/<id>.verify.om` in OpenMetrics text exposition
+    /// format (via [`mc_obs::register_verifier_metrics`]), giving
+    /// scrapers the same zero-diagnostic invariant the gate itself
+    /// enforces. The name is distinct from the `<id>.om` attribution
+    /// exposition, which [`RunContext::persist_observability`] writes
+    /// for traced runs. Returns the path written, or `None` when no
+    /// metrics directory is configured.
+    pub fn persist_verifier_metrics(
+        &self,
+        id: &str,
+        counts: &mc_obs::VerifierCounts,
+    ) -> std::io::Result<Option<PathBuf>> {
+        let Some(dir) = &self.metrics_dir else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(dir)?;
+        let mut registry = MetricsRegistry::new();
+        mc_obs::register_verifier_metrics(counts, &mut registry);
+        let path = dir.join(format!("{id}.verify.om"));
+        std::fs::write(&path, mc_trace::openmetrics(&registry))?;
+        Ok(Some(path))
+    }
+
     /// Writes a record envelope to `<sink>/<experiment id>.json`,
     /// creating the directory. Returns the path written, or `None` when
     /// no sink is configured.
@@ -442,6 +466,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::generations::GenerationsExperiment),
         Box::new(crate::saturation::SaturationExperiment),
         Box::new(crate::lint::LintExperiment),
+        Box::new(crate::flow::FlowExperiment),
         Box::new(crate::trace::TraceExperiment),
         Box::new(crate::perf::PerfExperiment),
         Box::new(crate::autotune::AutotuneExperiment),
@@ -563,6 +588,34 @@ mod tests {
         assert!(path.ends_with("table1.json"));
         let loaded = load_records(&dir).unwrap();
         assert_eq!(loaded, vec![record]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verifier_metrics_expose_gate_counts() {
+        let dir = std::env::temp_dir().join(format!(
+            "mc-bench-verify-om-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Without a metrics directory the helper is a no-op.
+        let ctx = RunContext::new(IterBudgets::smoke());
+        let counts = mc_obs::VerifierCounts::new("flow", 42, 0, 1);
+        assert_eq!(ctx.persist_verifier_metrics("flow", &counts).unwrap(), None);
+
+        let ctx = ctx.with_metrics(&dir);
+        let path = ctx
+            .persist_verifier_metrics("flow", &counts)
+            .unwrap()
+            .unwrap();
+        assert!(path.ends_with("flow.verify.om"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("verifier_flow_subjects 42"), "{text}");
+        assert!(text.contains("verifier_flow_errors 0"), "{text}");
+        assert!(text.contains("verifier_flow_warnings 1"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

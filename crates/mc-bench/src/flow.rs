@@ -1,58 +1,57 @@
-//! Lint sweep: static verification of every shipped kernel and device
-//! spec (the `mc-lint` artifact).
+//! Flow sweep: dataflow verification of every shipped kernel (the
+//! `mc-flow` artifact).
 //!
-//! The paper's §IV-A methodology compiles every benchmark with `-S` and
-//! inspects the assembly to prove the intended `V_MFMA_*` instructions
-//! are emitted. This artifact is the same idea turned into a gate: it
-//! audits every registered device spec against the paper's Eq. 2
-//! pipeline identity, then runs the static verifier over the whole
-//! shipped kernel corpus — one `mc-wmma` loop kernel per catalog
-//! instruction per device, the LDS-staged WMMA GEMM tile kernels, and
-//! the `mc-blas` planner output for every routine × size on the CDNA2
-//! devices. Any error-severity diagnostic fails the artifact (the
-//! `experiments` driver exits non-zero), so a broken kernel generator
-//! can never silently ship plausible-but-wrong throughput curves.
+//! The lint sweep proves every shipped kernel is *instruction-legal*;
+//! this gate proves every shipped kernel is *pipeline-correct*: no LDS
+//! race between wavefronts, no consumer of an unretired load, no
+//! barrier with LDS traffic still outstanding, and a register working
+//! set inside the declared budget. It walks the same corpus as the lint
+//! sweep — one `mc-wmma` loop kernel per catalog instruction per
+//! device, the LDS-staged WMMA GEMM tile kernels, and the `mc-blas`
+//! planner output (single- *and* double-buffered pipelines) for every
+//! routine × size on the CDNA2 devices — and any error-severity finding
+//! fails the artifact, so a kernel generator that drops a barrier or a
+//! waitcnt can never silently ship plausible-but-wrong curves.
 
-use mc_blas::{plan_gemm, GemmDesc, GemmOp};
-use mc_isa::MatrixArch;
-use mc_lint::{audit_package, lint_kernel, Diagnostic, LintReport};
+use mc_blas::{build_plan, plan_gemm, select_strategy, GemmDesc, GemmOp, Strategy};
+use mc_flow::{analyze_kernel, FlowDiagnostic, FlowReport};
+use mc_isa::{Buffering, MatrixArch};
 use mc_sim::DeviceId;
 use mc_wmma::{mma_loop_kernel, wmma_gemm_tile_kernel, LoopKernelParams};
 use serde::{Deserialize, Serialize};
 
-/// One linted subject (a kernel or a device spec).
+/// One flow-verified subject.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct LintSubject {
+pub struct FlowSubject {
     /// Registry name of the device the subject was verified against.
     pub device: String,
-    /// Corpus class: `device-audit`, `wmma-loop`, `wmma-tile`, or
-    /// `gemm-plan`.
+    /// Corpus class: `wmma-loop`, `wmma-tile`, or `gemm-plan`.
     pub kind: String,
-    /// Kernel name or audit subject.
+    /// Kernel name.
     pub subject: String,
     /// Error-severity findings.
     pub errors: usize,
     /// Warning-severity findings.
     pub warnings: usize,
     /// The findings themselves (empty for clean subjects).
-    pub diagnostics: Vec<Diagnostic>,
+    pub diagnostics: Vec<FlowDiagnostic>,
 }
 
-impl LintSubject {
-    fn from_report(device: &str, kind: &str, report: LintReport) -> Self {
-        LintSubject {
+impl FlowSubject {
+    fn from_report(device: &str, kind: &str, report: FlowReport) -> Self {
+        FlowSubject {
             device: device.to_owned(),
             kind: kind.to_owned(),
             subject: report.subject,
             errors: report
                 .diagnostics
                 .iter()
-                .filter(|d| d.severity == mc_lint::Severity::Error)
+                .filter(|d| d.severity == mc_flow::Severity::Error)
                 .count(),
             warnings: report
                 .diagnostics
                 .iter()
-                .filter(|d| d.severity == mc_lint::Severity::Warning)
+                .filter(|d| d.severity == mc_flow::Severity::Warning)
                 .count(),
             diagnostics: report.diagnostics,
         }
@@ -61,9 +60,9 @@ impl LintSubject {
 
 /// The full sweep result.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct LintSweep {
+pub struct FlowSweep {
     /// Every verified subject, in sweep order.
-    pub subjects: Vec<LintSubject>,
+    pub subjects: Vec<FlowSubject>,
     /// Compile-path failures that prevented building a corpus kernel
     /// (always empty for a healthy tree; counted as errors).
     pub build_failures: Vec<String>,
@@ -73,26 +72,19 @@ pub struct LintSweep {
     pub total_warnings: usize,
 }
 
-/// GEMM problem edges the planner corpus covers: the tiny strategy
-/// boundary, a mid-size tile-exact point, and a padded off-grid size.
+/// GEMM problem edges the planner corpus covers (same as the lint
+/// sweep): the tiny strategy boundary, a mid-size tile-exact point, and
+/// a padded off-grid size.
 const GEMM_SIZES: [usize; 3] = [16, 1024, 4000];
 
 /// Runs the sweep over every registered device.
-pub fn run(devices: &mc_sim::DeviceRegistry) -> LintSweep {
+pub fn run(devices: &mc_sim::DeviceRegistry) -> FlowSweep {
     let mut subjects = Vec::new();
     let mut build_failures = Vec::new();
 
     for id in DeviceId::ALL {
         let device = id.as_str();
-        let package = &devices.config(id).package;
-        let die = &package.die;
-
-        // Device-spec audit (Eq. 2 pipeline identity, wavefront width).
-        subjects.push(LintSubject::from_report(
-            device,
-            "device-audit",
-            audit_package(package),
-        ));
+        let die = &devices.config(id).package.die;
 
         // One throughput loop kernel per catalog instruction.
         let waves = match die.arch {
@@ -114,21 +106,20 @@ pub fn run(devices: &mc_sim::DeviceRegistry) -> LintSweep {
                 iterations: 64,
             };
             match mma_loop_kernel(params) {
-                Ok(kernel) => subjects.push(LintSubject::from_report(
+                Ok(kernel) => subjects.push(FlowSubject::from_report(
                     device,
                     "wmma-loop",
-                    lint_kernel(die, &kernel),
+                    analyze_kernel(die, &kernel),
                 )),
-                Err(mc_wmma::WmmaError::Lint(report)) => {
-                    subjects.push(LintSubject::from_report(device, "wmma-loop", report));
+                Err(mc_wmma::WmmaError::Flow(report)) => {
+                    subjects.push(FlowSubject::from_report(device, "wmma-loop", report));
                 }
                 Err(e) => build_failures.push(format!("{device}: {}: {e}", instr.mnemonic())),
             }
         }
 
-        // The LDS-staged cooperative tile kernel, both CDNA2 shapes (the
-        // builder resolves the nearest supported shape per architecture).
         if die.arch == MatrixArch::Cdna2 {
+            // The LDS-staged cooperative tile kernel, both CDNA2 shapes.
             for shape in [(16, 16, 16), (32, 32, 8)] {
                 match wmma_gemm_tile_kernel(
                     die.arch,
@@ -137,32 +128,72 @@ pub fn run(devices: &mc_sim::DeviceRegistry) -> LintSweep {
                     shape,
                     64,
                 ) {
-                    Ok(kernel) => subjects.push(LintSubject::from_report(
+                    Ok(kernel) => subjects.push(FlowSubject::from_report(
                         device,
                         "wmma-tile",
-                        lint_kernel(die, &kernel),
+                        analyze_kernel(die, &kernel),
                     )),
-                    Err(mc_wmma::WmmaError::Lint(report)) => {
-                        subjects.push(LintSubject::from_report(device, "wmma-tile", report));
+                    Err(mc_wmma::WmmaError::Flow(report)) => {
+                        subjects.push(FlowSubject::from_report(device, "wmma-tile", report));
                     }
                     Err(e) => build_failures.push(format!("{device}: tile {shape:?}: {e}")),
                 }
             }
 
-            // Planner output for every routine × size. The planner
-            // targets the CDNA2 catalog, so only CDNA2 devices host it.
+            // Planner output for every routine × size, plus the opposite
+            // buffering mode for each Matrix Core pick: the flow gate's
+            // whole point is proving the stage rotation of *both*
+            // pipeline variants, not just the strategy the planner
+            // happens to prefer.
             for op in GemmOp::ALL {
                 for n in GEMM_SIZES {
-                    match plan_gemm(die, &GemmDesc::square(op, n)) {
-                        Ok(plan) => subjects.push(LintSubject::from_report(
+                    let desc = GemmDesc::square(op, n);
+                    match plan_gemm(die, &desc) {
+                        Ok(plan) => subjects.push(FlowSubject::from_report(
                             device,
                             "gemm-plan",
-                            lint_kernel(die, &plan.kernel),
+                            analyze_kernel(die, &plan.kernel),
                         )),
-                        Err(mc_blas::BlasError::Lint(report)) => {
-                            subjects.push(LintSubject::from_report(device, "gemm-plan", report));
+                        Err(mc_blas::BlasError::Flow(report)) => {
+                            subjects.push(FlowSubject::from_report(device, "gemm-plan", report));
                         }
                         Err(e) => build_failures.push(format!("{device}: {op} N={n}: {e}")),
+                    }
+                    if let Strategy::MatrixCore {
+                        instr,
+                        macro_tile,
+                        wave_tile,
+                        k_step,
+                        buffering,
+                    } = select_strategy(&desc)
+                    {
+                        let flipped = Strategy::MatrixCore {
+                            instr,
+                            macro_tile,
+                            wave_tile,
+                            k_step,
+                            buffering: match buffering {
+                                Buffering::Single => Buffering::Double,
+                                Buffering::Double => Buffering::Single,
+                            },
+                        };
+                        match build_plan(die, &desc, flipped) {
+                            Ok(plan) => subjects.push(FlowSubject::from_report(
+                                device,
+                                "gemm-plan",
+                                analyze_kernel(die, &plan.kernel),
+                            )),
+                            Err(mc_blas::BlasError::Flow(report)) => {
+                                subjects.push(FlowSubject::from_report(
+                                    device,
+                                    "gemm-plan",
+                                    report,
+                                ));
+                            }
+                            Err(e) => {
+                                build_failures.push(format!("{device}: {op} N={n} flipped: {e}"))
+                            }
+                        }
                     }
                 }
             }
@@ -171,7 +202,7 @@ pub fn run(devices: &mc_sim::DeviceRegistry) -> LintSweep {
 
     let total_errors = subjects.iter().map(|s| s.errors).sum::<usize>() + build_failures.len();
     let total_warnings = subjects.iter().map(|s| s.warnings).sum();
-    LintSweep {
+    FlowSweep {
         subjects,
         build_failures,
         total_errors,
@@ -180,17 +211,17 @@ pub fn run(devices: &mc_sim::DeviceRegistry) -> LintSweep {
 }
 
 /// Renders the sweep as text.
-pub fn render(sweep: &LintSweep) -> String {
+pub fn render(sweep: &FlowSweep) -> String {
     use std::fmt::Write as _;
-    let mut s = String::from("mc-lint sweep: static verification of the shipped kernel corpus\n");
+    let mut s = String::from("mc-flow sweep: dataflow verification of the shipped kernel corpus\n");
     let _ = writeln!(
         s,
         "{:<12} {:<14} {:>8} {:>7} {:>9}",
         "device", "class", "subjects", "errors", "warnings"
     );
     for id in DeviceId::ALL {
-        for kind in ["device-audit", "wmma-loop", "wmma-tile", "gemm-plan"] {
-            let rows: Vec<&LintSubject> = sweep
+        for kind in ["wmma-loop", "wmma-tile", "gemm-plan"] {
+            let rows: Vec<&FlowSubject> = sweep
                 .subjects
                 .iter()
                 .filter(|r| r.device == id.as_str() && r.kind == kind)
@@ -224,7 +255,7 @@ pub fn render(sweep: &LintSweep) -> String {
         sweep.total_errors,
         sweep.total_warnings,
         if sweep.total_errors == 0 {
-            " — corpus is lint clean"
+            " — corpus is flow clean"
         } else {
             " — FAILING"
         }
@@ -232,16 +263,16 @@ pub fn render(sweep: &LintSweep) -> String {
     s
 }
 
-/// The lint sweep as a registered experiment.
-pub struct LintExperiment;
+/// The flow sweep as a registered experiment.
+pub struct FlowExperiment;
 
-impl crate::experiment::Experiment for LintExperiment {
+impl crate::experiment::Experiment for FlowExperiment {
     fn id(&self) -> &'static str {
-        "lint"
+        "flow"
     }
 
     fn title(&self) -> &'static str {
-        "mc-lint — static verification sweep over the shipped kernels"
+        "mc-flow — dataflow race & synchronization sweep over the shipped kernels"
     }
 
     fn device(&self) -> &'static str {
@@ -250,21 +281,21 @@ impl crate::experiment::Experiment for LintExperiment {
 
     fn checks(&self) -> Vec<crate::experiment::Check> {
         vec![
-            crate::experiment::Check::new("lint/error diagnostics", 0.0, 0.0, "/total_errors"),
-            crate::experiment::Check::new("lint/warning diagnostics", 0.0, 0.0, "/total_warnings"),
+            crate::experiment::Check::new("flow/error diagnostics", 0.0, 0.0, "/total_errors"),
+            crate::experiment::Check::new("flow/warning diagnostics", 0.0, 0.0, "/total_warnings"),
         ]
     }
 
     fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
         let sweep = run(&ctx.devices);
         let counts = mc_obs::VerifierCounts::new(
-            "lint",
+            "flow",
             sweep.subjects.len(),
             sweep.total_errors,
             sweep.total_warnings,
         );
-        if let Err(e) = ctx.persist_verifier_metrics("lint", &counts) {
-            eprintln!("error: could not write lint verifier metrics: {e}");
+        if let Err(e) = ctx.persist_verifier_metrics("flow", &counts) {
+            eprintln!("error: could not write flow verifier metrics: {e}");
         }
         (serde_json::to_value(&sweep), render(&sweep))
     }
@@ -276,7 +307,7 @@ mod tests {
     use mc_sim::DeviceRegistry;
 
     #[test]
-    fn shipped_corpus_is_lint_clean() {
+    fn shipped_corpus_is_flow_clean() {
         let sweep = run(&DeviceRegistry::builtin());
         assert!(
             sweep.build_failures.is_empty(),
@@ -288,16 +319,9 @@ mod tests {
     }
 
     #[test]
-    fn sweep_covers_every_device_and_corpus_class() {
+    fn sweep_covers_every_device_and_both_bufferings() {
         let sweep = run(&DeviceRegistry::builtin());
         for id in DeviceId::ALL {
-            assert!(
-                sweep
-                    .subjects
-                    .iter()
-                    .any(|s| s.device == id.as_str() && s.kind == "device-audit"),
-                "missing audit for {id}"
-            );
             assert!(
                 sweep
                     .subjects
@@ -306,31 +330,25 @@ mod tests {
                 "missing loop kernels for {id}"
             );
         }
-        // Planner and tile corpora ride on the CDNA2 devices.
-        assert!(sweep
+        // Both pipeline variants of each Matrix Core routine appear:
+        // the flipped-buffering plan doubles the matrix-core rows.
+        let plans = sweep
             .subjects
             .iter()
-            .any(|s| s.device == "mi250x" && s.kind == "gemm-plan"));
+            .filter(|s| s.device == "mi250x" && s.kind == "gemm-plan")
+            .count();
+        assert!(plans > GemmOp::ALL.len() * 3, "{plans}");
         assert!(sweep
             .subjects
             .iter()
             .any(|s| s.device == "mi250x" && s.kind == "wmma-tile"));
-        // Every GemmOp routine appears in the plans.
-        for op in GemmOp::ALL {
-            assert!(
-                sweep.subjects.iter().any(|s| s.kind == "gemm-plan"
-                    && s.subject.contains(&format!("_{op}_"))
-                    || s.subject.contains(&format!("gemm_{op}"))),
-                "no plan for {op}"
-            );
-        }
     }
 
     #[test]
     fn rendering_reports_a_clean_corpus() {
         let sweep = run(&DeviceRegistry::builtin());
         let text = render(&sweep);
-        assert!(text.contains("corpus is lint clean"), "{text}");
+        assert!(text.contains("corpus is flow clean"), "{text}");
         assert!(text.contains("mi250x"));
         assert!(text.contains("gemm-plan"));
     }

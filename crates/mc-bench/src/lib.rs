@@ -29,6 +29,7 @@
 //! | [`generations`] | Extension — MI100→MI250X generation survey (§II framing) |
 //! | [`saturation`] | Extension — empirical saturation size (ref. \[19] methodology) |
 //! | [`lint`] | Gate — `mc-lint` static verification of the shipped kernel corpus |
+//! | [`flow`] | Gate — `mc-flow` dataflow race & synchronization sweep of the corpus |
 //! | [`trace`] | Gate — `mc-trace` timeline replay and telemetry cross-check |
 //! | [`autotune`] | Gate — scored plan search vs static planner over the Fig. 6/7 sweep |
 //! | [`regress`] | Gate — `mc-obs` perf-diff of run envelopes against committed baselines |
@@ -45,6 +46,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod flow;
 pub mod generations;
 pub mod lint;
 pub mod ml_dtypes;

@@ -102,9 +102,9 @@ pub fn plan_gemv(desc: &GemvDesc) -> KernelDesc {
     let chunk = 16usize;
     let iters = desc.n.div_ceil(chunk) as u64;
     let body = vec![
-        SlotOp::GlobalLoad {
-            bytes_per_lane: (chunk * elem) as u32,
-        },
+        SlotOp::global_load((chunk * elem) as u32),
+        // The FMA consumes the chunk just loaded; retire it first.
+        SlotOp::Waitcnt(mc_isa::WaitSpec::vm(0)),
         SlotOp::Valu(ValuOp::new(ValuOpKind::Fma, compute)),
         SlotOp::Scalar,
     ];
@@ -115,9 +115,7 @@ pub fn plan_gemv(desc: &GemvDesc) -> KernelDesc {
         epilogue: vec![
             SlotOp::Valu(ValuOp::new(ValuOpKind::Mul, compute)),
             SlotOp::Valu(ValuOp::new(ValuOpKind::Fma, compute)),
-            SlotOp::GlobalStore {
-                bytes_per_lane: desc.op.type_cd().size_bytes() as u32,
-            },
+            SlotOp::global_store(desc.op.type_cd().size_bytes() as u32),
         ],
     };
     KernelDesc {

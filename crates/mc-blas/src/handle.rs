@@ -257,6 +257,22 @@ impl BlasHandle {
         Ok(())
     }
 
+    /// Applies the same policy to the plan's dataflow findings: error
+    /// findings never reach a plan ([`build_plan`] rejects them), so
+    /// this gates the warnings (dead stores, underdeclared working
+    /// sets) under the strict flag.
+    fn enforce_flow(&self, plan: &GemmPlan) -> Result<(), BlasError> {
+        if plan.flow.is_empty() {
+            return Ok(());
+        }
+        let report = mc_flow::FlowReport::new(plan.kernel.name.clone(), plan.flow.clone());
+        if self.strict_lint {
+            return Err(BlasError::Flow(report));
+        }
+        eprintln!("{}", report.render());
+        Ok(())
+    }
+
     /// Attaches a trace sink: launches through this handle emit plan
     /// spans (library level) and kernel timelines (engine level).
     pub fn set_trace_sink(&mut self, sink: std::sync::Arc<dyn mc_trace::TraceSink>) -> &mut Self {
@@ -303,6 +319,7 @@ impl BlasHandle {
         }
         let plan = self.planned(desc)?;
         self.enforce_lint(&plan)?;
+        self.enforce_flow(&plan)?;
         let package = self
             .gpu
             .launch(self.die, &plan.kernel)
@@ -336,6 +353,7 @@ impl BlasHandle {
     {
         let plan = self.planned(desc)?;
         self.enforce_lint(&plan)?;
+        self.enforce_flow(&plan)?;
         run_functional::<AB, CD, CT>(desc, &plan.strategy, a, b, c, d)?;
         self.gemm_timed(desc)
     }

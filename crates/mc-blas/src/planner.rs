@@ -42,8 +42,8 @@
 
 use mc_isa::specs::DieSpec;
 use mc_isa::{
-    cdna2_catalog, Buffering, KernelDesc, MatrixInstruction, MemHints, SlotOp, ValuOp, ValuOpKind,
-    WaveProgram,
+    cdna2_catalog, Buffering, KernelDesc, LdsAccess, MatrixInstruction, MemHints, SlotOp, ValuOp,
+    ValuOpKind, WaitSpec, WaveProgram,
 };
 use mc_types::DType;
 
@@ -113,6 +113,10 @@ pub struct GemmPlan {
     /// findings never reach a plan: [`plan_gemm`] rejects them as
     /// [`BlasError::Lint`].
     pub lint: Vec<mc_lint::Diagnostic>,
+    /// Warning-severity dataflow findings (`mc-flow`). Error findings
+    /// (LDS races, insufficient waitcnts, register overflows) never
+    /// reach a plan: [`build_plan`] rejects them as [`BlasError::Flow`].
+    pub flow: Vec<mc_flow::FlowDiagnostic>,
 }
 
 impl GemmPlan {
@@ -231,6 +235,15 @@ pub fn build_plan(
         return Err(BlasError::Lint(report));
     }
     plan.lint = report.warnings().into_iter().cloned().collect();
+    // Same contract for the dataflow verifier: a plan with an LDS race,
+    // an unretired-load consumer, or an over-budget working set never
+    // leaves the planner — autotune winners are race-free by
+    // construction because losing candidates error out here.
+    let flow = mc_flow::analyze_kernel(die, &plan.kernel);
+    if flow.has_errors() {
+        return Err(BlasError::Flow(flow));
+    }
+    plan.flow = flow.warnings().into_iter().cloned().collect();
     Ok(plan)
 }
 
@@ -300,23 +313,61 @@ fn plan_matrix_core(
     let read_bytes = (wt_m + wt_n) * k_step * ab_bytes;
     let read_bpl = (read_bytes / 64).max(1) as u32;
 
-    let mut body = vec![
-        SlotOp::GlobalLoad {
-            bytes_per_lane: stage_bpl,
-        },
-        SlotOp::LdsWrite {
-            bytes_per_lane: stage_bpl,
-        },
-        SlotOp::Barrier,
-        SlotOp::LdsRead {
-            bytes_per_lane: read_bpl,
-        },
-    ];
+    // The staged panel lives in LDS buffer 0. Double buffering rotates
+    // the read/write stages in anti-phase (read stage `i % 2`, write the
+    // next panel into stage `(i+1) % 2`) with one barrier per iteration;
+    // single buffering reuses stage 0 and needs a second barrier to
+    // protect the next overwrite from this iteration's readers. Both
+    // shapes carry the waitcnts that publish data before it is consumed
+    // — `mc-flow` proves the race-freedom instead of assuming it.
+    let (prologue, mut body, body_tail) = match buffering {
+        Buffering::Double => {
+            let prologue = vec![
+                SlotOp::Scalar,
+                SlotOp::global_load(stage_bpl),
+                SlotOp::Waitcnt(WaitSpec::vm(0)),
+                SlotOp::lds_write(stage_bpl, LdsAccess::fixed(0)),
+                SlotOp::Waitcnt(WaitSpec::lgkm(0)),
+                SlotOp::Barrier,
+            ];
+            let body = vec![
+                SlotOp::global_load(stage_bpl),
+                SlotOp::lds_read(read_bpl, LdsAccess::rotating(0, 0, 2)),
+                SlotOp::Waitcnt(WaitSpec::lgkm(0)),
+            ];
+            // After the MFMA block: wait for the prefetch, stage it into
+            // the off-stage, drain, barrier — 5 issue slots that count
+            // against the MFMA hazard window.
+            (prologue, body, 5u32)
+        }
+        Buffering::Single => {
+            let body = vec![
+                SlotOp::global_load(stage_bpl),
+                SlotOp::Waitcnt(WaitSpec::vm(0)),
+                SlotOp::lds_write(stage_bpl, LdsAccess::fixed(0)),
+                SlotOp::Waitcnt(WaitSpec::lgkm(0)),
+                SlotOp::Barrier,
+                SlotOp::lds_read(read_bpl, LdsAccess::fixed(0)),
+                SlotOp::Waitcnt(WaitSpec::lgkm(0)),
+            ];
+            // After the MFMA block: `Scalar`, `Barrier` — 2 issue slots.
+            (vec![SlotOp::Scalar], body, 2u32)
+        }
+    };
     body.extend(std::iter::repeat_n(
         SlotOp::Mfma(*instr),
         mfma_per_iter as usize,
     ));
-    body.push(SlotOp::Scalar);
+    match buffering {
+        Buffering::Double => body.extend([
+            SlotOp::Waitcnt(WaitSpec::vm(0)),
+            SlotOp::lds_write(stage_bpl, LdsAccess::rotating(0, 1, 2)),
+            SlotOp::Scalar,
+            SlotOp::Waitcnt(WaitSpec::lgkm(0)),
+            SlotOp::Barrier,
+        ]),
+        Buffering::Single => body.extend([SlotOp::Scalar, SlotOp::Barrier]),
+    }
 
     // Epilogue: β·C read, α/β scaling on SIMD (one V_MUL + one V_FMA per
     // output element — the paper's 3N² term), optional casts, store D.
@@ -324,15 +375,17 @@ fn plan_matrix_core(
     let compute = desc.op.compute_type();
     let cd_bpl = ((wt_m * wt_n * cd_bytes) / 64).max(1) as u32;
     // Hazard gap between the loop's last MFMA and the AccVGPR-consuming
-    // scaling VALU ops, sized to the instruction's pipeline depth (the
-    // GlobalLoad above already absorbs one independent slot).
-    let snop_gap = mc_lint::required_snop_gap(instr).min(u32::from(u8::MAX)) as u8;
-    let mut epilogue = vec![
-        SlotOp::GlobalLoad {
-            bytes_per_lane: cd_bpl,
-        },
-        SlotOp::SNop(snop_gap),
-    ];
+    // scaling VALU ops, sized to the instruction's pipeline depth. The
+    // loop tail plus the epilogue's own C load and waitcnt already
+    // absorb independent issue slots; pad only the remainder.
+    let snop_gap = mc_lint::required_snop_gap(instr)
+        .saturating_sub(body_tail + 2)
+        .min(u32::from(u8::MAX)) as u8;
+    let mut epilogue = vec![SlotOp::global_load(cd_bpl)];
+    if snop_gap > 0 {
+        epilogue.push(SlotOp::SNop(snop_gap));
+    }
+    epilogue.push(SlotOp::Waitcnt(WaitSpec::vm(0)));
     // HHS stores FP16 C/D around an FP32 compute pipeline; Quant8
     // dequantizes INT32 accumulators to FP32: cast traffic either way.
     let needs_cast = desc.op.type_cd() != compute || desc.op.mfma_pair().0 != compute;
@@ -356,12 +409,10 @@ fn plan_matrix_core(
             scale_insts as usize,
         ));
     }
-    epilogue.push(SlotOp::GlobalStore {
-        bytes_per_lane: cd_bpl,
-    });
+    epilogue.push(SlotOp::global_store(cd_bpl));
 
     let program = WaveProgram {
-        prologue: vec![SlotOp::Scalar],
+        prologue,
         body,
         body_iterations: k_iters,
         epilogue,
@@ -399,6 +450,7 @@ fn plan_matrix_core(
         mfma_flops,
         simd_flops,
         lint: Vec::new(),
+        flow: Vec::new(),
     }
 }
 
@@ -437,30 +489,33 @@ fn plan_simd(die: &DieSpec, desc: &GemmDesc, strategy: Strategy) -> GemmPlan {
     let stage_bytes = (mt_m + mt_n) * k_step * ab_bytes;
     let stage_bpl = (stage_bytes / waves_per_wg as usize / 64).max(1) as u32;
 
+    // Same double-buffered LDS ping-pong as the matrix-core path: the
+    // prologue primes stage 0, each iteration reads stage `i % 2` while
+    // prefetching the next panel into stage `(i+1) % 2`.
     let mut body = vec![
-        SlotOp::GlobalLoad {
-            bytes_per_lane: stage_bpl,
-        },
-        SlotOp::LdsWrite {
-            bytes_per_lane: stage_bpl,
-        },
-        SlotOp::Barrier,
-        SlotOp::LdsRead {
-            bytes_per_lane: stage_bpl,
-        },
+        SlotOp::global_load(stage_bpl),
+        SlotOp::lds_read(stage_bpl, LdsAccess::rotating(0, 0, 2)),
+        SlotOp::Waitcnt(WaitSpec::lgkm(0)),
     ];
     body.extend(std::iter::repeat_n(SlotOp::Valu(fma_op), fma_insts));
     body.extend(std::iter::repeat_n(
         SlotOp::Valu(ValuOp::new(ValuOpKind::Move, compute)),
         aux_moves,
     ));
-    body.push(SlotOp::Scalar);
+    body.extend([
+        SlotOp::Waitcnt(WaitSpec::vm(0)),
+        SlotOp::lds_write(stage_bpl, LdsAccess::rotating(0, 1, 2)),
+        SlotOp::Scalar,
+        SlotOp::Waitcnt(WaitSpec::lgkm(0)),
+        SlotOp::Barrier,
+    ]);
 
     let scale_insts = elems_per_lane as u64;
     let cd_bpl = ((wt_m * wt_n * cd_bytes) / 64).max(1) as u32;
-    let mut epilogue = vec![SlotOp::GlobalLoad {
-        bytes_per_lane: cd_bpl,
-    }];
+    let mut epilogue = vec![
+        SlotOp::global_load(cd_bpl),
+        SlotOp::Waitcnt(WaitSpec::vm(0)),
+    ];
     epilogue.extend(std::iter::repeat_n(
         SlotOp::Valu(ValuOp::new(ValuOpKind::Mul, compute)),
         scale_insts as usize,
@@ -469,12 +524,17 @@ fn plan_simd(die: &DieSpec, desc: &GemmDesc, strategy: Strategy) -> GemmPlan {
         SlotOp::Valu(ValuOp::new(ValuOpKind::Fma, compute)),
         scale_insts as usize,
     ));
-    epilogue.push(SlotOp::GlobalStore {
-        bytes_per_lane: cd_bpl,
-    });
+    epilogue.push(SlotOp::global_store(cd_bpl));
 
     let program = WaveProgram {
-        prologue: vec![SlotOp::Scalar],
+        prologue: vec![
+            SlotOp::Scalar,
+            SlotOp::global_load(stage_bpl),
+            SlotOp::Waitcnt(WaitSpec::vm(0)),
+            SlotOp::lds_write(stage_bpl, LdsAccess::fixed(0)),
+            SlotOp::Waitcnt(WaitSpec::lgkm(0)),
+            SlotOp::Barrier,
+        ],
         body,
         body_iterations: k_iters,
         epilogue,
@@ -507,6 +567,7 @@ fn plan_simd(die: &DieSpec, desc: &GemmDesc, strategy: Strategy) -> GemmPlan {
         mfma_flops: 0,
         simd_flops,
         lint: Vec::new(),
+        flow: Vec::new(),
     }
 }
 

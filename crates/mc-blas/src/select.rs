@@ -52,6 +52,9 @@ pub struct SearchOutcome {
     pub enumerated: usize,
     /// Candidates rejected by the static verifier.
     pub lint_rejected: usize,
+    /// Candidates rejected by the dataflow verifier (LDS races,
+    /// insufficient waitcnts, register working-set overflows).
+    pub flow_rejected: usize,
 }
 
 impl SearchOutcome {
@@ -76,6 +79,7 @@ pub fn select_plan(
     // Index 0 is the static planner's pick (enumeration guarantees it).
     let mut built: Vec<(usize, GemmPlan, f64)> = Vec::new();
     let mut lint_rejected = 0usize;
+    let mut flow_rejected = 0usize;
     for (idx, strategy) in candidates.into_iter().enumerate() {
         match build_plan(die, desc, strategy) {
             Ok(plan) => {
@@ -83,6 +87,7 @@ pub fn select_plan(
                 built.push((idx, plan, score));
             }
             Err(BlasError::Lint(_)) => lint_rejected += 1,
+            Err(BlasError::Flow(_)) => flow_rejected += 1,
             Err(other) => return Err(other),
         }
     }
@@ -97,6 +102,7 @@ pub fn select_plan(
             static_time_s: t,
             enumerated,
             lint_rejected,
+            flow_rejected,
         });
     };
 
@@ -127,6 +133,7 @@ pub fn select_plan(
         static_time_s,
         enumerated,
         lint_rejected,
+        flow_rejected,
     })
 }
 
@@ -220,6 +227,10 @@ mod tests {
         // Every surviving plan linted clean at error severity; warnings
         // still ride on the winner like any planner output.
         assert!(out.plan.lint.is_empty());
+        // Same for the dataflow verifier: a winner with a race or an
+        // unretired-load consumer cannot exist, and today's emitters
+        // produce no flow warnings either.
+        assert!(out.plan.flow.is_empty());
     }
 
     #[test]

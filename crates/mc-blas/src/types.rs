@@ -250,6 +250,10 @@ pub enum BlasError {
     /// The planned kernel failed static verification (`mc-lint`); the
     /// report carries the diagnostics that rejected it.
     Lint(mc_lint::LintReport),
+    /// The planned kernel failed dataflow verification (`mc-flow`): an
+    /// LDS race, an insufficient waitcnt, or a register working set the
+    /// plan cannot hold.
+    Flow(mc_flow::FlowReport),
     /// The persisted plan DB could not be read or has an incompatible
     /// schema (see `crate::plandb`).
     PlanDb(String),
@@ -276,6 +280,13 @@ impl fmt::Display for BlasError {
             BlasError::Lint(report) => write!(
                 f,
                 "kernel `{}` failed static verification with {} error(s):\n{}",
+                report.subject,
+                report.error_count(),
+                report.render()
+            ),
+            BlasError::Flow(report) => write!(
+                f,
+                "kernel `{}` failed dataflow verification with {} error(s):\n{}",
                 report.subject,
                 report.error_count(),
                 report.render()

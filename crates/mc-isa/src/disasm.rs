@@ -51,23 +51,63 @@ pub fn kernel_stats(k: &KernelDesc) -> KernelStats {
     }
 }
 
+/// Renders a stage tag as the comment suffix of an LDS access.
+fn stage_comment(access: &crate::kernel::LdsAccess) -> String {
+    match access.stage {
+        crate::kernel::StageTag::Fixed(s) => format!("buf{} stage {s}", access.buffer),
+        crate::kernel::StageTag::Rotating { offset, period } => {
+            format!("buf{} stage (i+{offset})%{period}", access.buffer)
+        }
+    }
+}
+
+/// Renders an `S_WAITCNT` argument list the way real listings print it.
+fn waitcnt_args(w: &crate::kernel::WaitSpec) -> String {
+    let mut args = Vec::new();
+    if w.vmcnt != crate::kernel::WaitSpec::IGNORE {
+        args.push(format!("vmcnt({})", w.vmcnt));
+    }
+    if w.lgkmcnt != crate::kernel::WaitSpec::IGNORE {
+        args.push(format!("lgkmcnt({})", w.lgkmcnt));
+    }
+    if args.is_empty() {
+        "0".to_owned()
+    } else {
+        args.join(" ")
+    }
+}
+
 fn render_op(out: &mut String, op: &SlotOp) {
     let _ = match op {
         SlotOp::Mfma(i) => writeln!(out, "    {}", i.mnemonic()),
         SlotOp::Valu(v) => writeln!(out, "    {}", v.mnemonic()),
-        SlotOp::GlobalLoad { bytes_per_lane } => {
+        SlotOp::GlobalLoad { bytes_per_lane, .. } => {
             writeln!(out, "    global_load_b{}", bytes_per_lane * 8)
         }
-        SlotOp::GlobalStore { bytes_per_lane } => {
+        SlotOp::GlobalStore { bytes_per_lane, .. } => {
             writeln!(out, "    global_store_b{}", bytes_per_lane * 8)
         }
-        SlotOp::LdsRead { bytes_per_lane } => writeln!(out, "    ds_read_b{}", bytes_per_lane * 8),
-        SlotOp::LdsWrite { bytes_per_lane } => {
-            writeln!(out, "    ds_write_b{}", bytes_per_lane * 8)
-        }
+        SlotOp::LdsRead {
+            bytes_per_lane,
+            access,
+        } => writeln!(
+            out,
+            "    ds_read_b{}  ; {}",
+            bytes_per_lane * 8,
+            stage_comment(access)
+        ),
+        SlotOp::LdsWrite {
+            bytes_per_lane,
+            access,
+        } => writeln!(
+            out,
+            "    ds_write_b{}  ; {}",
+            bytes_per_lane * 8,
+            stage_comment(access)
+        ),
         SlotOp::SNop(n) => writeln!(out, "    s_nop {n}"),
         SlotOp::Scalar => writeln!(out, "    s_alu"),
-        SlotOp::Waitcnt => writeln!(out, "    s_waitcnt vmcnt(0)"),
+        SlotOp::Waitcnt(w) => writeln!(out, "    s_waitcnt {}", waitcnt_args(w)),
         SlotOp::Barrier => writeln!(out, "    s_barrier"),
     };
 }
@@ -126,16 +166,19 @@ mod tests {
             .find(DType::F32, DType::F16, 16, 16, 16)
             .unwrap();
         let program = WaveProgram {
-            prologue: vec![SlotOp::GlobalLoad { bytes_per_lane: 16 }, SlotOp::Waitcnt],
+            prologue: vec![
+                SlotOp::global_load(16),
+                SlotOp::Waitcnt(crate::kernel::WaitSpec::vm(0)),
+            ],
             body: vec![
-                SlotOp::LdsRead { bytes_per_lane: 8 },
+                SlotOp::lds_read(8, crate::kernel::LdsAccess::fixed(0)),
                 SlotOp::Mfma(i),
                 SlotOp::Mfma(i),
                 SlotOp::Valu(ValuOp::new(ValuOpKind::Fma, DType::F32)),
                 SlotOp::Scalar,
             ],
             body_iterations: 512,
-            epilogue: vec![SlotOp::SNop(4), SlotOp::GlobalStore { bytes_per_lane: 16 }],
+            epilogue: vec![SlotOp::SNop(4), SlotOp::global_store(16)],
         };
         KernelDesc::new("demo", program)
     }

@@ -13,6 +13,157 @@ use serde::{Deserialize, Serialize};
 use crate::instr::MatrixInstruction;
 use crate::valu::ValuOp;
 
+/// The hardware counter an outstanding memory operation retires on.
+///
+/// CDNA2 tracks memory completion with two saturating counters: `vmcnt`
+/// for vector-memory (global/HBM) operations and `lgkmcnt` for
+/// LDS/GDS/scalar/message operations. A `S_WAITCNT` argument names the
+/// counter it bounds, so the dataflow verifier (`mc-flow`) must know
+/// which counter each load or store increments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CounterClass {
+    /// Vector-memory counter (`vmcnt`): global loads and stores.
+    #[default]
+    Vm,
+    /// LDS/scalar counter (`lgkmcnt`): flat/scalar traffic routed
+    /// through the LDS-group counter.
+    Lgkm,
+}
+
+/// Which pipeline stage of a multi-buffered LDS allocation an access
+/// touches, possibly as a function of the loop iteration.
+///
+/// A double-buffered GEMM body writes stage `(i+1) % 2` while reading
+/// stage `i % 2`; encoding that rotation symbolically lets the race
+/// detector *prove* the ping-pong never collides instead of assuming it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StageTag {
+    /// The access always touches the same stage (prologue fills,
+    /// single-buffered bodies).
+    Fixed(u8),
+    /// The access touches stage `(iteration + offset) % period`.
+    Rotating {
+        /// Stage offset at iteration 0.
+        offset: u8,
+        /// Rotation period — the number of stages (2 for double
+        /// buffering).
+        period: u8,
+    },
+}
+
+impl StageTag {
+    /// The concrete stage this tag touches on the given loop iteration.
+    /// `Fixed` tags ignore the iteration; a degenerate rotation period
+    /// of 0 is treated as 1.
+    pub fn resolve(&self, iteration: u64) -> u8 {
+        match *self {
+            StageTag::Fixed(stage) => stage,
+            StageTag::Rotating { offset, period } => {
+                let period = u64::from(period.max(1));
+                ((iteration + u64::from(offset)) % period) as u8
+            }
+        }
+    }
+
+    /// Every stage this tag can touch over a full steady-state rotation.
+    pub fn stage_set(&self) -> impl Iterator<Item = u8> {
+        let (first, count) = match *self {
+            StageTag::Fixed(stage) => (stage, 1),
+            StageTag::Rotating { period, .. } => (0, period.max(1)),
+        };
+        (0..count).map(move |i| match count {
+            1 => first,
+            _ => i,
+        })
+    }
+}
+
+/// Symbolic description of which LDS resource an access touches: a
+/// buffer identity (distinct planner allocations) plus a [`StageTag`]
+/// selecting the pipeline stage within that buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LdsAccess {
+    /// Planner-assigned buffer id; accesses to different buffers never
+    /// alias.
+    pub buffer: u8,
+    /// Pipeline stage within the buffer.
+    pub stage: StageTag,
+}
+
+impl LdsAccess {
+    /// An access that always touches stage 0 of `buffer`.
+    pub fn fixed(buffer: u8) -> Self {
+        LdsAccess {
+            buffer,
+            stage: StageTag::Fixed(0),
+        }
+    }
+
+    /// An access that touches stage `(iteration + offset) % period` of
+    /// `buffer` — the double-buffer ping-pong when `period == 2`.
+    pub fn rotating(buffer: u8, offset: u8, period: u8) -> Self {
+        LdsAccess {
+            buffer,
+            stage: StageTag::Rotating { offset, period },
+        }
+    }
+}
+
+/// The argument of an `S_WAITCNT`: upper bounds on the two outstanding
+/// counters the instruction waits for. [`WaitSpec::IGNORE`] in a field
+/// means that counter is not waited on (the hardware encodes this as
+/// the counter's maximum value).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WaitSpec {
+    /// Wait until at most this many vector-memory ops are outstanding.
+    pub vmcnt: u8,
+    /// Wait until at most this many LDS-group ops are outstanding.
+    pub lgkmcnt: u8,
+}
+
+impl WaitSpec {
+    /// Sentinel meaning "do not wait on this counter".
+    pub const IGNORE: u8 = u8::MAX;
+
+    /// `s_waitcnt vmcnt(n)` — bounds vector-memory ops only.
+    pub fn vm(n: u8) -> Self {
+        WaitSpec {
+            vmcnt: n,
+            lgkmcnt: Self::IGNORE,
+        }
+    }
+
+    /// `s_waitcnt lgkmcnt(n)` — bounds LDS-group ops only.
+    pub fn lgkm(n: u8) -> Self {
+        WaitSpec {
+            vmcnt: Self::IGNORE,
+            lgkmcnt: n,
+        }
+    }
+
+    /// `s_waitcnt 0` — drains both counters.
+    pub fn zero() -> Self {
+        WaitSpec {
+            vmcnt: 0,
+            lgkmcnt: 0,
+        }
+    }
+
+    /// Whether this wait bounds the given counter class at all.
+    pub fn bounds(&self, class: CounterClass) -> bool {
+        self.bound(class) != Self::IGNORE
+    }
+
+    /// The bound this wait imposes on the given counter class
+    /// ([`WaitSpec::IGNORE`] when unbounded).
+    pub fn bound(&self, class: CounterClass) -> u8 {
+        match class {
+            CounterClass::Vm => self.vmcnt,
+            CounterClass::Lgkm => self.lgkmcnt,
+        }
+    }
+}
+
 /// One instruction slot issued by a wavefront.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum SlotOp {
@@ -25,21 +176,30 @@ pub enum SlotOp {
     GlobalLoad {
         /// Bytes fetched per lane (wavefront traffic = 64×this on CDNA2).
         bytes_per_lane: u32,
+        /// Outstanding counter the load retires on (`vmcnt` for global).
+        counter: CounterClass,
     },
     /// A global-memory store.
     GlobalStore {
         /// Bytes written per lane.
         bytes_per_lane: u32,
+        /// Outstanding counter the store retires on.
+        counter: CounterClass,
     },
-    /// A read from the CU's local data share (shared memory).
+    /// A read from the CU's local data share (shared memory). Retires on
+    /// `lgkmcnt`.
     LdsRead {
         /// Bytes read per lane.
         bytes_per_lane: u32,
+        /// Which buffer/stage the read touches.
+        access: LdsAccess,
     },
-    /// A write to the local data share.
+    /// A write to the local data share. Retires on `lgkmcnt`.
     LdsWrite {
         /// Bytes written per lane.
         bytes_per_lane: u32,
+        /// Which buffer/stage the write touches.
+        access: LdsAccess,
     },
     /// `S_NOP n` — the hardware-mandated independent cycles before MFMA
     /// results may be read (paper §III "several no-op instructions might
@@ -48,13 +208,48 @@ pub enum SlotOp {
     /// Scalar-ALU work: loop counters, branches, address set-up. Free on
     /// the vector pipelines but occupies an issue slot.
     Scalar,
-    /// `S_WAITCNT` — wait for outstanding memory operations.
-    Waitcnt,
-    /// Workgroup barrier.
+    /// `S_WAITCNT` — wait until outstanding memory operations drain to
+    /// the bounds in the [`WaitSpec`].
+    Waitcnt(WaitSpec),
+    /// Workgroup barrier (`s_barrier`). Synchronizes execution only; it
+    /// does *not* wait for memory — pair it with a preceding
+    /// `s_waitcnt lgkmcnt(0)` to publish LDS data (the verifier checks
+    /// this).
     Barrier,
 }
 
 impl SlotOp {
+    /// A global load on the vector-memory counter.
+    pub fn global_load(bytes_per_lane: u32) -> Self {
+        SlotOp::GlobalLoad {
+            bytes_per_lane,
+            counter: CounterClass::Vm,
+        }
+    }
+
+    /// A global store on the vector-memory counter.
+    pub fn global_store(bytes_per_lane: u32) -> Self {
+        SlotOp::GlobalStore {
+            bytes_per_lane,
+            counter: CounterClass::Vm,
+        }
+    }
+
+    /// An LDS read from the given buffer/stage.
+    pub fn lds_read(bytes_per_lane: u32, access: LdsAccess) -> Self {
+        SlotOp::LdsRead {
+            bytes_per_lane,
+            access,
+        }
+    }
+
+    /// An LDS write to the given buffer/stage.
+    pub fn lds_write(bytes_per_lane: u32, access: LdsAccess) -> Self {
+        SlotOp::LdsWrite {
+            bytes_per_lane,
+            access,
+        }
+    }
     /// FLOPs this slot contributes when executed once by a wavefront.
     pub fn flops(&self) -> u64 {
         match self {
@@ -67,9 +262,8 @@ impl SlotOp {
     /// Global-memory bytes moved (load + store) by one execution.
     pub fn global_bytes(&self, lanes: u64) -> u64 {
         match self {
-            SlotOp::GlobalLoad { bytes_per_lane } | SlotOp::GlobalStore { bytes_per_lane } => {
-                u64::from(*bytes_per_lane) * lanes
-            }
+            SlotOp::GlobalLoad { bytes_per_lane, .. }
+            | SlotOp::GlobalStore { bytes_per_lane, .. } => u64::from(*bytes_per_lane) * lanes,
             _ => 0,
         }
     }
@@ -259,10 +453,10 @@ mod tests {
     #[test]
     fn prologue_epilogue_counted_once() {
         let p = WaveProgram {
-            prologue: vec![SlotOp::GlobalLoad { bytes_per_lane: 16 }],
+            prologue: vec![SlotOp::global_load(16)],
             body: vec![mixed_mfma(), SlotOp::Scalar],
             body_iterations: 100,
-            epilogue: vec![SlotOp::GlobalStore { bytes_per_lane: 16 }],
+            epilogue: vec![SlotOp::global_store(16)],
         };
         assert_eq!(p.global_bytes(64), 2 * 16 * 64);
         assert_eq!(p.mfma_instructions(), 100);
@@ -280,6 +474,41 @@ mod tests {
         );
         assert_eq!(p.flops(), (128 + 8192) * 10);
         assert_eq!(p.mfma_flops(), 8192 * 10);
+    }
+
+    #[test]
+    fn stage_tags_resolve_the_ping_pong() {
+        let read = LdsAccess::rotating(0, 0, 2);
+        let write = LdsAccess::rotating(0, 1, 2);
+        for i in 0..8u64 {
+            assert_eq!(u64::from(read.stage.resolve(i)), i % 2);
+            assert_eq!(u64::from(write.stage.resolve(i)), (i + 1) % 2);
+            assert_ne!(read.stage.resolve(i), write.stage.resolve(i));
+        }
+        assert_eq!(LdsAccess::fixed(3).stage.resolve(17), 0);
+        assert_eq!(StageTag::Fixed(2).stage_set().collect::<Vec<_>>(), [2]);
+        assert_eq!(
+            StageTag::Rotating {
+                offset: 1,
+                period: 2
+            }
+            .stage_set()
+            .collect::<Vec<_>>(),
+            [0, 1]
+        );
+    }
+
+    #[test]
+    fn wait_specs_bound_the_right_counters() {
+        let vm = WaitSpec::vm(0);
+        assert!(vm.bounds(CounterClass::Vm));
+        assert!(!vm.bounds(CounterClass::Lgkm));
+        assert_eq!(vm.bound(CounterClass::Vm), 0);
+        let lgkm = WaitSpec::lgkm(2);
+        assert!(!lgkm.bounds(CounterClass::Vm));
+        assert_eq!(lgkm.bound(CounterClass::Lgkm), 2);
+        let zero = WaitSpec::zero();
+        assert!(zero.bounds(CounterClass::Vm) && zero.bounds(CounterClass::Lgkm));
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod kernel;
 pub mod modifiers;
 pub mod regmap;
 pub mod specs;
+pub mod walk;
 
 mod instr;
 mod shape;
@@ -34,6 +35,9 @@ mod valu;
 
 pub use catalog::{ampere_catalog, cdna1_catalog, cdna2_catalog, IsaCatalog};
 pub use instr::{MatrixArch, MatrixInstruction, ParseMnemonicError};
-pub use kernel::{Buffering, KernelDesc, MemHints, SlotOp, WaveProgram};
+pub use kernel::{
+    Buffering, CounterClass, KernelDesc, LdsAccess, MemHints, SlotOp, StageTag, WaitSpec,
+    WaveProgram,
+};
 pub use shape::MfmaShape;
 pub use valu::{ValuOp, ValuOpKind};

@@ -161,31 +161,38 @@ struct PendingHazard {
     remaining: u32,
 }
 
+/// Maps a walk pass kind onto the diagnostic section it reports as.
+pub(crate) fn section_of(kind: mc_isa::walk::PassKind) -> Section {
+    match kind {
+        mc_isa::walk::PassKind::Prologue => Section::Prologue,
+        mc_isa::walk::PassKind::Body => Section::Body,
+        mc_isa::walk::PassKind::Epilogue => Section::Epilogue,
+    }
+}
+
+/// Body passes the hazard scan unrolls. Hazard windows are
+/// iteration-independent, so two passes reach the steady state: any
+/// window crossing the back edge once is seen (`mc_isa::walk`).
+const HAZARD_UNROLL: u64 = 2;
+
 /// Linear hazard scan over prologue / body / body (back-edge) / epilogue.
 ///
 /// Tracks the issue distance since the last MFMA: a `Valu` or
 /// `GlobalStore` reading the accumulator inside the window is an error,
 /// `S_NOP` outside any window is waste, and a *different* MFMA touching
 /// overlapping AccVGPRs inside the window is a write-after-write hazard.
-/// When `body_iterations > 1` the body is scanned twice so a window
-/// opened at the bottom of the loop is checked against the top
-/// (diagnostics dedup by `(rule, span)` so the second pass adds nothing
-/// already seen).
+/// The unrolled walk comes from [`mc_isa::walk::steady_passes`] — the
+/// same back-edge linearization the `mc-flow` dataflow verifier uses —
+/// so a window opened at the bottom of the loop is checked against the
+/// top (diagnostics dedup by `(rule, span)` so the second pass adds
+/// nothing already seen).
 fn check_hazards(k: &KernelDesc, diags: &mut Vec<Diagnostic>) {
     let mut pending: Option<PendingHazard> = None;
     let mut seen: HashSet<(RuleId, Section, usize)> = HashSet::new();
 
-    let mut passes: Vec<(Section, &[SlotOp])> = vec![(Section::Prologue, &k.program.prologue)];
-    if k.program.body_iterations >= 1 {
-        passes.push((Section::Body, &k.program.body));
-    }
-    if k.program.body_iterations >= 2 {
-        passes.push((Section::Body, &k.program.body));
-    }
-    passes.push((Section::Epilogue, &k.program.epilogue));
-
-    for (section, ops) in passes {
-        for (slot, op) in ops.iter().enumerate() {
+    for pass in mc_isa::walk::steady_passes(&k.program, HAZARD_UNROLL) {
+        let section = section_of(pass.kind);
+        for (slot, op) in pass.ops.iter().enumerate() {
             let span = Span { section, slot };
             let mut emit = |d: Diagnostic, seen: &mut HashSet<_>| {
                 if seen.insert((d.rule_id, section, slot)) {
@@ -269,7 +276,7 @@ fn check_hazards(k: &KernelDesc, diags: &mut Vec<Diagnostic>) {
                 | SlotOp::LdsRead { .. }
                 | SlotOp::LdsWrite { .. }
                 | SlotOp::Scalar
-                | SlotOp::Waitcnt
+                | SlotOp::Waitcnt(_)
                 | SlotOp::Barrier => {
                     if let Some(p) = &mut pending {
                         p.remaining = p.remaining.saturating_sub(1);
@@ -470,13 +477,13 @@ mod tests {
             ..KernelDesc::new(
                 "clean",
                 WaveProgram {
-                    prologue: vec![SlotOp::GlobalLoad { bytes_per_lane: 16 }, SlotOp::Waitcnt],
+                    prologue: vec![
+                        SlotOp::global_load(16),
+                        SlotOp::Waitcnt(mc_isa::WaitSpec::vm(0)),
+                    ],
                     body: vec![SlotOp::Mfma(i)],
                     body_iterations: 64,
-                    epilogue: vec![
-                        SlotOp::SNop(gap),
-                        SlotOp::GlobalStore { bytes_per_lane: 16 },
-                    ],
+                    epilogue: vec![SlotOp::SNop(gap), SlotOp::global_store(16)],
                 },
             )
         }
@@ -491,7 +498,7 @@ mod tests {
     #[test]
     fn missing_snop_in_epilogue_is_an_error() {
         let mut k = clean_kernel();
-        k.program.epilogue = vec![SlotOp::GlobalStore { bytes_per_lane: 16 }];
+        k.program.epilogue = vec![SlotOp::global_store(16)];
         let report = lint_kernel(&die(), &k);
         assert!(report.has_errors());
         assert!(
@@ -514,7 +521,7 @@ mod tests {
         k.program.body.push(SlotOp::Mfma(i));
         k.program.epilogue = vec![
             SlotOp::SNop(u8::try_from(required_snop_gap(&i)).unwrap()),
-            SlotOp::GlobalStore { bytes_per_lane: 16 },
+            SlotOp::global_store(16),
         ];
         let report = lint_kernel(&die(), &k);
         assert!(
@@ -623,10 +630,10 @@ mod tests {
         let mut k = clean_kernel();
         k.program
             .prologue
-            .push(SlotOp::LdsWrite { bytes_per_lane: 8 });
+            .push(SlotOp::lds_write(8, mc_isa::LdsAccess::fixed(0)));
         k.program
             .prologue
-            .push(SlotOp::LdsRead { bytes_per_lane: 8 });
+            .push(SlotOp::lds_read(8, mc_isa::LdsAccess::fixed(0)));
         let r = lint_kernel(&die(), &k);
         assert!(r.fired(RuleId::LdsUndeclared) && !r.has_errors());
     }
@@ -678,7 +685,7 @@ mod tests {
                     body: vec![SlotOp::Mfma(i)],
                     body_iterations: 8,
                     // No S_NOP before the store: fine on Ampere.
-                    epilogue: vec![SlotOp::GlobalStore { bytes_per_lane: 16 }],
+                    epilogue: vec![SlotOp::global_store(16)],
                 },
             )
         };
@@ -689,7 +696,7 @@ mod tests {
     #[test]
     fn renderer_mentions_rule_and_span() {
         let mut k = clean_kernel();
-        k.program.epilogue = vec![SlotOp::GlobalStore { bytes_per_lane: 16 }];
+        k.program.epilogue = vec![SlotOp::global_store(16)];
         let text = lint_kernel(&die(), &k).render();
         assert!(text.contains("error[hazard-missing-snop]"), "{text}");
         assert!(text.contains("epilogue[0]"), "{text}");

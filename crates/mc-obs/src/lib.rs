@@ -20,6 +20,10 @@
 //! - [`register_attribution_metrics`]: aggregates a ledger into a
 //!   [`mc_trace::MetricsRegistry`] under `attribution.*`, from where
 //!   [`mc_trace::openmetrics`] renders the text exposition.
+//! - [`register_verifier_metrics`] / [`VerifierCounts`]: aggregates
+//!   the lint and flow gates' diagnostic counts into the same registry
+//!   under `verifier.*`, so a scrape sees the corpus's zero-diagnostic
+//!   invariant as counters.
 //! - [`diff`] / [`Sample`] / [`DiffReport`]: the `perf-diff` regression
 //!   detector comparing a run's samples against committed baselines
 //!   with per-metric tolerances; [`power_noise_tolerance`] derives the
@@ -33,6 +37,7 @@
 
 mod attribution;
 mod perfdiff;
+mod verifier;
 
 pub use attribution::{
     from_jsonl, register_attribution_metrics, to_jsonl, AttributionRecord, Attributor,
@@ -42,3 +47,4 @@ pub use perfdiff::{
     diff, power_noise_tolerance, DiffEntry, DiffReport, DiffStatus, Direction, Sample,
     DEFAULT_TOLERANCE_REL,
 };
+pub use verifier::{register_verifier_metrics, VerifierCounts};

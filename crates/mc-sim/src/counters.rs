@@ -181,7 +181,7 @@ impl HwCounters {
             SlotOp::GlobalStore { .. } => self.flat_stores += times,
             SlotOp::LdsRead { .. } => self.lds_reads += times,
             SlotOp::LdsWrite { .. } => self.lds_writes += times,
-            SlotOp::Scalar | SlotOp::Waitcnt | SlotOp::Barrier | SlotOp::SNop(_) => {
+            SlotOp::Scalar | SlotOp::Waitcnt(_) | SlotOp::Barrier | SlotOp::SNop(_) => {
                 self.salu_insts += times;
             }
         }
@@ -324,10 +324,10 @@ mod tests {
     #[test]
     fn merge_and_delta_roundtrip() {
         let mut a = HwCounters::default();
-        a.record(&SlotOp::GlobalLoad { bytes_per_lane: 8 }, 7);
+        a.record(&SlotOp::global_load(8), 7);
         a.record(&SlotOp::Scalar, 3);
         let mut b = a;
-        b.record(&SlotOp::GlobalStore { bytes_per_lane: 8 }, 2);
+        b.record(&SlotOp::global_store(8), 2);
         let d = b.delta_from(&a);
         assert_eq!(d.flat_loads, 0);
         assert_eq!(d.flat_stores, 2);
@@ -343,7 +343,7 @@ mod tests {
             .unwrap();
         c.record(&SlotOp::Mfma(mixed), 64);
         c.record(&SlotOp::Valu(ValuOp::new(ValuOpKind::Fma, DType::F32)), 5);
-        c.record(&SlotOp::GlobalLoad { bytes_per_lane: 8 }, 3);
+        c.record(&SlotOp::global_load(8), 3);
         c.waves_launched = 7;
         let pairs: Vec<(&str, u64)> = c.iter().collect();
         assert_eq!(pairs.len(), COUNTER_NAMES.len());

@@ -82,7 +82,7 @@ impl SliceDemand {
                 self.simd_cycles += times;
                 self.self_cycles += times;
             }
-            SlotOp::LdsRead { bytes_per_lane } | SlotOp::LdsWrite { bytes_per_lane } => {
+            SlotOp::LdsRead { bytes_per_lane, .. } | SlotOp::LdsWrite { bytes_per_lane, .. } => {
                 self.simd_cycles += times;
                 self.self_cycles += times;
                 self.lds_bytes += f64::from(*bytes_per_lane) * 64.0 * times;
@@ -90,7 +90,7 @@ impl SliceDemand {
             SlotOp::SNop(n) => {
                 self.self_cycles += f64::from(*n) * times;
             }
-            SlotOp::Scalar | SlotOp::Waitcnt | SlotOp::Barrier => {
+            SlotOp::Scalar | SlotOp::Waitcnt(_) | SlotOp::Barrier => {
                 // Scalar pipe work: free on the vector pipes, one issue slot.
                 self.self_cycles += times;
             }

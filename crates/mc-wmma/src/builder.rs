@@ -11,15 +11,17 @@
 //! are performed" inside the loop).
 
 use mc_isa::{
-    ampere_catalog, cdna2_catalog, KernelDesc, MatrixArch, MatrixInstruction, SlotOp, WaveProgram,
+    ampere_catalog, cdna2_catalog, KernelDesc, LdsAccess, MatrixArch, MatrixInstruction, SlotOp,
+    WaitSpec, WaveProgram,
 };
 use mc_types::DType;
 
 use crate::error::WmmaError;
 
-/// Lints a freshly-built kernel against the reference die of its target
-/// architecture: error-severity diagnostics reject the kernel (the
-/// builder equivalent of a compile error), warnings go to stderr.
+/// Verifies a freshly-built kernel against the reference die of its
+/// target architecture: lint first, then the dataflow engine.
+/// Error-severity diagnostics reject the kernel (the builder equivalent
+/// of a compile error), warnings go to stderr.
 fn verify_built(arch: MatrixArch, kernel: &KernelDesc) -> Result<(), WmmaError> {
     let die = mc_lint::default_die_for(arch);
     let report = mc_lint::lint_kernel(&die, kernel);
@@ -28,6 +30,13 @@ fn verify_built(arch: MatrixArch, kernel: &KernelDesc) -> Result<(), WmmaError> 
     }
     if report.has_errors() {
         return Err(WmmaError::Lint(report));
+    }
+    let flow = mc_flow::analyze_kernel(&die, kernel);
+    for w in flow.warnings() {
+        eprintln!("{}", w.render(&flow.subject));
+    }
+    if flow.has_errors() {
+        return Err(WmmaError::Flow(flow));
     }
     Ok(())
 }
@@ -93,13 +102,9 @@ pub fn mma_loop_kernel(params: LoopKernelParams) -> Result<KernelDesc, WmmaError
 
     let program = WaveProgram {
         prologue: vec![
-            SlotOp::GlobalLoad {
-                bytes_per_lane: load_bpl,
-            },
-            SlotOp::GlobalLoad {
-                bytes_per_lane: store_bpl,
-            },
-            SlotOp::Waitcnt,
+            SlotOp::global_load(load_bpl),
+            SlotOp::global_load(store_bpl),
+            SlotOp::Waitcnt(WaitSpec::vm(0)),
         ],
         body: vec![SlotOp::Mfma(*instr)],
         body_iterations: params.iterations,
@@ -108,9 +113,7 @@ pub fn mma_loop_kernel(params: LoopKernelParams) -> Result<KernelDesc, WmmaError
             // AccVGPRs written by MFMA (paper §III); the width scales
             // with the instruction's pipeline depth.
             SlotOp::SNop(snop_gap(instr)),
-            SlotOp::GlobalStore {
-                bytes_per_lane: store_bpl,
-            },
+            SlotOp::global_store(store_bpl),
         ],
     };
 
@@ -139,33 +142,38 @@ pub fn wmma_gemm_tile_kernel(
     let ab_tile_bytes =
         (instr.shape.a_elements_total() + instr.shape.b_elements_total()) * ab.size_bytes() as u64;
 
+    let ab_bpl = (ab_tile_bytes / 64).max(1) as u32;
+    let cd_bpl = ((instr.shape.cd_elements_total() * cd.size_bytes() as u64) / 64).max(1) as u32;
+    // Single-buffered LDS staging: the panel lives in stage 0 of buffer
+    // 0, so each iteration needs two barriers — one publishing the
+    // freshly-written stage to the readers, one protecting the next
+    // iteration's overwrite from this iteration's readers (the back-edge
+    // WAR hazard mc-flow proves absent).
+    let stage = LdsAccess::fixed(0);
+    // Issue slots after the MFMA inside the body (`Scalar`, `Barrier`)
+    // already cover part of its hazard window; pad only the remainder.
+    let pad = snop_gap(instr).saturating_sub(2);
+    let mut epilogue = Vec::new();
+    if pad > 0 {
+        epilogue.push(SlotOp::SNop(pad));
+    }
+    epilogue.push(SlotOp::global_store(cd_bpl));
     let program = WaveProgram {
-        prologue: vec![SlotOp::GlobalLoad {
-            bytes_per_lane: ((instr.shape.cd_elements_total() * cd.size_bytes() as u64) / 64).max(1)
-                as u32,
-        }],
+        prologue: vec![SlotOp::global_load(cd_bpl)],
         body: vec![
-            SlotOp::GlobalLoad {
-                bytes_per_lane: (ab_tile_bytes / 64).max(1) as u32,
-            },
-            SlotOp::LdsWrite {
-                bytes_per_lane: (ab_tile_bytes / 64).max(1) as u32,
-            },
+            SlotOp::global_load(ab_bpl),
+            SlotOp::Waitcnt(WaitSpec::vm(0)),
+            SlotOp::lds_write(ab_bpl, stage),
+            SlotOp::Waitcnt(WaitSpec::lgkm(0)),
             SlotOp::Barrier,
-            SlotOp::LdsRead {
-                bytes_per_lane: (ab_tile_bytes / 64).max(1) as u32,
-            },
+            SlotOp::lds_read(ab_bpl, stage),
+            SlotOp::Waitcnt(WaitSpec::lgkm(0)),
             SlotOp::Mfma(*instr),
             SlotOp::Scalar,
+            SlotOp::Barrier,
         ],
         body_iterations: k_tiles,
-        epilogue: vec![
-            SlotOp::SNop(snop_gap(instr)),
-            SlotOp::GlobalStore {
-                bytes_per_lane: ((instr.shape.cd_elements_total() * cd.size_bytes() as u64) / 64)
-                    .max(1) as u32,
-            },
-        ],
+        epilogue,
     };
 
     let kernel = KernelDesc {

@@ -41,6 +41,10 @@ pub enum WmmaError {
     /// The built kernel failed static verification (`mc-lint`): the
     /// report carries the error-severity diagnostics.
     Lint(mc_lint::LintReport),
+    /// The built kernel failed dataflow verification (`mc-flow`): an
+    /// LDS race, an insufficient waitcnt, or a register working set the
+    /// builder cannot hold.
+    Flow(mc_flow::FlowReport),
 }
 
 impl fmt::Display for WmmaError {
@@ -68,6 +72,15 @@ impl fmt::Display for WmmaError {
                 write!(
                     f,
                     "kernel `{}` failed static verification with {} error(s):\n{}",
+                    report.subject,
+                    report.error_count(),
+                    report.render()
+                )
+            }
+            WmmaError::Flow(report) => {
+                write!(
+                    f,
+                    "kernel `{}` failed dataflow verification with {} error(s):\n{}",
                     report.subject,
                     report.error_count(),
                     report.render()

@@ -8,6 +8,8 @@
 //!   layer routes through (see `docs/PERFORMANCE.md`)
 //! - [`isa`] — the CDNA2 / Ampere matrix-instruction model
 //! - [`lint`] — static kernel verification (see `docs/LINTS.md`)
+//! - [`flow`] — dataflow race & synchronization verification of
+//!   pipelined kernel plans (see `docs/DATAFLOW.md`)
 //! - [`sim`] — the event-driven GPU simulator (devices, counters, power)
 //! - [`trace`] — execution timelines, Perfetto/flamegraph export, and
 //!   the unified metrics registry (see `docs/OBSERVABILITY.md`)
@@ -22,6 +24,7 @@
 
 pub use mc_blas as blas;
 pub use mc_compute as compute;
+pub use mc_flow as flow;
 pub use mc_isa as isa;
 pub use mc_lint as lint;
 pub use mc_model as model;

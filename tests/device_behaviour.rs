@@ -139,12 +139,8 @@ fn lds_bound_kernel_is_classified_as_such() {
         .unwrap();
     let body = vec![
         SlotOp::Mfma(i),
-        SlotOp::LdsRead {
-            bytes_per_lane: 128,
-        },
-        SlotOp::LdsRead {
-            bytes_per_lane: 128,
-        },
+        SlotOp::lds_read(128, mc_isa::LdsAccess::fixed(0)),
+        SlotOp::lds_read(128, mc_isa::LdsAccess::fixed(0)),
     ];
     let k = KernelDesc {
         workgroups: 440,

@@ -7,7 +7,7 @@ use mc_bench::experiment::{registry, ExperimentRecord, IterBudgets, RunContext, 
 /// The stable ids the CLI, EXPERIMENTS.md, and recorded envelopes rely
 /// on. Renaming one is a breaking change to the results schema; adding a
 /// new experiment means extending this list.
-const EXPECTED_IDS: [&str; 21] = [
+const EXPECTED_IDS: [&str; 22] = [
     "table1",
     "table2",
     "table3",
@@ -24,6 +24,7 @@ const EXPECTED_IDS: [&str; 21] = [
     "generations",
     "saturation",
     "lint",
+    "flow",
     "trace",
     "perf",
     "autotune",

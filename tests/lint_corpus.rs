@@ -36,13 +36,13 @@ fn baseline() -> KernelDesc {
         ..KernelDesc::new(
             "corpus_baseline",
             WaveProgram {
-                prologue: vec![SlotOp::GlobalLoad { bytes_per_lane: 16 }, SlotOp::Waitcnt],
+                prologue: vec![
+                    SlotOp::global_load(16),
+                    SlotOp::Waitcnt(mc_isa::WaitSpec::vm(0)),
+                ],
                 body: vec![SlotOp::Mfma(i)],
                 body_iterations: 64,
-                epilogue: vec![
-                    SlotOp::SNop(gap),
-                    SlotOp::GlobalStore { bytes_per_lane: 16 },
-                ],
+                epilogue: vec![SlotOp::SNop(gap), SlotOp::global_store(16)],
             },
         )
     }
@@ -146,7 +146,7 @@ fn broken_tampered_latency() {
 #[test]
 fn broken_unpadded_accumulator_store() {
     let mut k = baseline();
-    k.program.epilogue = vec![SlotOp::GlobalStore { bytes_per_lane: 16 }];
+    k.program.epilogue = vec![SlotOp::global_store(16)];
     assert_fires(
         &lint_kernel(&die(), &k),
         &[RuleId::HazardMissingSnop],
@@ -243,10 +243,10 @@ fn broken_undeclared_lds_traffic() {
     let mut k = baseline();
     k.program
         .prologue
-        .push(SlotOp::LdsWrite { bytes_per_lane: 8 });
+        .push(SlotOp::lds_write(8, mc_isa::LdsAccess::fixed(0)));
     k.program
         .prologue
-        .push(SlotOp::LdsRead { bytes_per_lane: 8 });
+        .push(SlotOp::lds_read(8, mc_isa::LdsAccess::fixed(0)));
     assert_fires(
         &lint_kernel(&die(), &k),
         &[RuleId::LdsUndeclared],
