@@ -471,6 +471,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::perf::PerfExperiment),
         Box::new(crate::autotune::AutotuneExperiment),
         Box::new(crate::regress::RegressExperiment),
+        Box::new(crate::insight::InsightExperiment),
         Box::new(crate::report::ReportExperiment),
     ]
 }

@@ -33,6 +33,7 @@
 //! | [`trace`] | Gate — `mc-trace` timeline replay and telemetry cross-check |
 //! | [`autotune`] | Gate — scored plan search vs static planner over the Fig. 6/7 sweep |
 //! | [`regress`] | Gate — `mc-obs` perf-diff of run envelopes against committed baselines |
+//! | [`insight`] | Gate — `mc-insight` bottleneck verdicts and Eq. 2 model drift over the corpus replay |
 
 #![deny(missing_docs)]
 
@@ -48,6 +49,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod flow;
 pub mod generations;
+pub mod insight;
 pub mod lint;
 pub mod ml_dtypes;
 pub mod perf;

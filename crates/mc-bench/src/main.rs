@@ -138,6 +138,14 @@ fn fail_on_gate_errors(record: &ExperimentRecord) {
                 "counter cross-check mismatch(es)",
             ),
         ],
+        "insight" => &[
+            ("/unclassified", "unclassified kernel launch(es)"),
+            ("/regime_inconsistent", "regime-inconsistent verdict(s)"),
+            (
+                "/drift_out_of_band",
+                "model-drift observation(s) outside the calibrated band",
+            ),
+        ],
         _ => return,
     };
     for (pointer, what) in gates {
@@ -214,8 +222,9 @@ fn run_all(experiments: &[Box<dyn Experiment>], ctx: &RunContext, jobs: Option<u
     if let Some(report_exp) = experiments.iter().find(|e| e.id() == "report") {
         let paper_report = report::from_records(&records);
         let rendered = format!(
-            "{}(from this run's {} records)\n",
+            "{}{}(from this run's {} records)\n",
             report::render(&paper_report),
+            report::render_insight_lines(&records),
             records.len()
         );
         let record = ExperimentRecord {

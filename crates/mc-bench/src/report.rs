@@ -9,7 +9,7 @@
 
 use std::path::PathBuf;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 pub use crate::experiment::Comparison;
 use crate::experiment::{load_records, registry, ExperimentRecord, RunContext};
@@ -98,6 +98,41 @@ pub fn render(r: &Report) -> String {
     s
 }
 
+/// Renders the one-line kernel explanations from a recorded `insight`
+/// envelope (empty when no insight record is present): every diagnosed
+/// launch with its verdict and the evidence-citing justification the
+/// diagnosis layer produced.
+pub fn render_insight_lines(records: &[ExperimentRecord]) -> String {
+    use std::fmt::Write as _;
+    let Some(record) = records.iter().find(|r| r.experiment == "insight") else {
+        return String::new();
+    };
+    let Some(devices) = record.payload.get("devices").and_then(Value::as_array) else {
+        return String::new();
+    };
+    let mut s = String::from("\n## Kernel verdicts (insight)\n\n");
+    for device in devices {
+        let name = device.get("device").and_then(Value::as_str).unwrap_or("?");
+        for verdict in device
+            .get("verdicts")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+        {
+            let kernel = verdict.get("kernel").and_then(Value::as_str).unwrap_or("?");
+            let bottleneck = verdict
+                .get("bottleneck")
+                .and_then(Value::as_str)
+                .unwrap_or("?");
+            let explanation = verdict
+                .get("explanation")
+                .and_then(Value::as_str)
+                .unwrap_or("");
+            let _ = writeln!(s, "- `{name}` {kernel}: **{bottleneck}** — {explanation}");
+        }
+    }
+    s
+}
+
 /// The report as a registered experiment: consumes the envelopes other
 /// experiments recorded under the JSON sink (`results/` by default) and
 /// re-runs nothing unless no recordings exist.
@@ -154,7 +189,11 @@ impl crate::experiment::Experiment for ReportExperiment {
                 ),
             )
         };
-        let rendered = format!("{}({source})\n", render(&report));
+        let rendered = format!(
+            "{}{}({source})\n",
+            render(&report),
+            render_insight_lines(&usable)
+        );
         (serde_json::to_value(&report), rendered)
     }
 }

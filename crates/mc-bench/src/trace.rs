@@ -82,7 +82,7 @@ struct Replay {
 
 /// Representative workgroup count: fills every CU twice over and leaves
 /// a ragged tail, so the timeline shows full rounds and a partial one.
-fn ragged_workgroups(gpu: &Gpu, k: &mc_isa::KernelDesc) -> u64 {
+pub(crate) fn ragged_workgroups(gpu: &Gpu, k: &mc_isa::KernelDesc) -> u64 {
     let die = &gpu.spec().die;
     let per_cu = engine::workgroups_per_cu(die, k).unwrap_or(1).max(1);
     let capacity = u64::from(per_cu) * u64::from(die.compute_units);

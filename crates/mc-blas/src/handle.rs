@@ -215,6 +215,7 @@ impl BlasHandle {
                 desc,
                 &outcome.plan.strategy,
                 outcome.searched_time_s,
+                outcome.analytic_time_s,
             );
             let _ = db.save(path);
         }
@@ -463,6 +464,12 @@ impl BlasHandle {
         }
         // The launch advanced the device's trace clock by its makespan.
         let t0_us = (self.gpu.trace_time_s() - time_s) * 1e6;
+        // The Eq. 2 prediction for the plan that ran, alongside the
+        // measured wall time: the pair the insight layer joins into a
+        // per-launch model-drift observation.
+        let predicted_s =
+            crate::score::analytic_time_s(&self.gpu.spec().die, self.gpu.config(), plan);
+        let handoff_s = crate::score::handoff_penalty_s(&self.gpu.spec().die, desc, &plan.strategy);
         let mut args: Vec<(String, ArgValue)> = vec![
             ("op".into(), format!("{}", desc.op).into()),
             ("m".into(), (desc.m as u64).into()),
@@ -471,6 +478,9 @@ impl BlasHandle {
             ("useful_flops".into(), plan.useful_flops().into()),
             ("mfma_flops".into(), plan.mfma_flops.into()),
             ("simd_flops".into(), plan.simd_flops.into()),
+            ("predicted_time_s".into(), predicted_s.into()),
+            ("measured_time_s".into(), time_s.into()),
+            ("handoff_penalty_s".into(), handoff_s.into()),
         ];
         match plan.strategy {
             Strategy::MatrixCore {
@@ -739,6 +749,25 @@ mod tests {
             .args
             .iter()
             .any(|(k, v)| k == "strategy" && *v == mc_trace::ArgValue::Str("matrix-core".into())));
+        // The Eq. 2 prediction rides on the span next to the measured
+        // time, within the calibrated drift band of each other.
+        for plan in &plans {
+            let arg = |name: &str| {
+                plan.args.iter().find_map(|(k, v)| match v {
+                    mc_trace::ArgValue::F64(x) if k == name => Some(*x),
+                    _ => None,
+                })
+            };
+            let predicted = arg("predicted_time_s").expect("predicted_time_s arg");
+            let measured = arg("measured_time_s").expect("measured_time_s arg");
+            assert!(arg("handoff_penalty_s").is_some());
+            assert!(predicted > 0.0 && measured > 0.0);
+            assert!((plan.dur_us - measured * 1e6).abs() < 1e-6);
+            assert!(
+                (predicted / measured - 1.0).abs() < 0.5,
+                "prediction {predicted} vs measured {measured}"
+            );
+        }
     }
 
     #[test]

@@ -51,6 +51,8 @@ pub use igemm::{dequantize, quantize, quantized_gemm, Quantized};
 pub use plandb::{PlanDb, PlanDbEntry, StrategyRecord, PLAN_DB_ENV, PLAN_DB_SCHEMA_VERSION};
 pub use planner::{build_plan, plan_gemm, select_strategy, GemmPlan, SimdReason, Strategy};
 pub use score::{analytic_time_s, dry_run_time_s, handoff_penalty_s, HANDOFF_CYCLES};
-pub use select::{host_gemm_backend, select_plan, SearchOutcome, DRY_RUN_TOP_K};
+pub use select::{
+    host_gemm_backend, select_plan, strategy_label, FinalistScore, SearchOutcome, DRY_RUN_TOP_K,
+};
 pub use syrk::{plan_syrk, syrk_functional, SyrkDesc, SyrkPlan};
 pub use types::{BlasError, GemmDesc, GemmOp, Transpose};

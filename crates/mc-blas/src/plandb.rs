@@ -25,7 +25,10 @@ use crate::planner::{SimdReason, Strategy};
 use crate::types::{BlasError, GemmDesc};
 
 /// Schema version of the persisted file; bump on layout changes.
-pub const PLAN_DB_SCHEMA_VERSION: u32 = 1;
+/// Version 2 added [`PlanDbEntry::predicted_time_s`] (the Eq. 2
+/// analytic prediction recorded next to the engine time, so the
+/// `insight` gate can measure model drift from persisted winners).
+pub const PLAN_DB_SCHEMA_VERSION: u32 = 2;
 
 /// Environment variable naming the plan-DB file path.
 pub const PLAN_DB_ENV: &str = "MC_PLAN_DB";
@@ -139,6 +142,22 @@ pub struct PlanDbEntry {
     pub strategy: StrategyRecord,
     /// The winner's engine-modeled time at search, in seconds.
     pub searched_time_s: f64,
+    /// The winner's Eq. 2 analytic prediction at search, in seconds.
+    /// `predicted / searched − 1` is the persisted model drift.
+    pub predicted_time_s: f64,
+}
+
+impl PlanDbEntry {
+    /// Relative model drift of the analytic prediction against the
+    /// engine time: `(predicted − searched) / searched`. Positive means
+    /// the analytic model was pessimistic, negative optimistic.
+    pub fn drift(&self) -> f64 {
+        if self.searched_time_s > 0.0 {
+            (self.predicted_time_s - self.searched_time_s) / self.searched_time_s
+        } else {
+            0.0
+        }
+    }
 }
 
 /// The in-memory plan DB (see module docs).
@@ -170,16 +189,21 @@ impl PlanDb {
     }
 
     /// Parses a DB from JSON, rejecting incompatible schema versions.
+    /// The version gate runs on the raw JSON tree *before* the typed
+    /// decode, so an old-layout file reports its schema mismatch rather
+    /// than a confusing missing-field error.
     pub fn from_json(json: &str) -> Result<Self, BlasError> {
-        let db: PlanDb = serde_json::from_str(json)
+        let value: serde::Value = serde_json::from_str(json)
             .map_err(|e| BlasError::PlanDb(format!("unparseable plan DB: {e}")))?;
-        if db.schema_version != PLAN_DB_SCHEMA_VERSION {
+        let version = value.get("schema_version").and_then(|v| v.as_u64());
+        if version != Some(u64::from(PLAN_DB_SCHEMA_VERSION)) {
             return Err(BlasError::PlanDb(format!(
                 "schema version {} (this build reads {PLAN_DB_SCHEMA_VERSION})",
-                db.schema_version
+                version.map_or_else(|| "missing".to_string(), |v| v.to_string())
             )));
         }
-        Ok(db)
+        serde_json::from_value(value)
+            .map_err(|e| BlasError::PlanDb(format!("unparseable plan DB: {e}")))
     }
 
     /// Serializes the DB to pretty JSON.
@@ -229,8 +253,16 @@ impl PlanDb {
             .and_then(|e| e.strategy.resolve())
     }
 
-    /// Inserts (or replaces) the winner for a problem on a device.
-    pub fn insert(&mut self, device: &str, desc: &GemmDesc, strategy: &Strategy, time_s: f64) {
+    /// Inserts (or replaces) the winner for a problem on a device,
+    /// recording both the engine time and the analytic prediction.
+    pub fn insert(
+        &mut self,
+        device: &str,
+        desc: &GemmDesc,
+        strategy: &Strategy,
+        time_s: f64,
+        predicted_s: f64,
+    ) {
         let op = format!("{}", desc.op);
         self.entries.retain(|e| {
             !(e.device == device
@@ -251,6 +283,7 @@ impl PlanDb {
             beta_bits: desc.beta.to_bits(),
             strategy: StrategyRecord::from_strategy(strategy),
             searched_time_s: time_s,
+            predicted_time_s: predicted_s,
         });
     }
 }
@@ -301,7 +334,7 @@ mod tests {
     fn db_round_trips_through_json() {
         let mut db = PlanDb::new();
         let desc = GemmDesc::square(GemmOp::Sgemm, 512);
-        db.insert("gcd0", &desc, &select_strategy(&desc), 1.25e-4);
+        db.insert("gcd0", &desc, &select_strategy(&desc), 1.25e-4, 1.3e-4);
         let back = PlanDb::from_json(&db.to_json()).unwrap();
         assert_eq!(db, back);
         assert_eq!(
@@ -350,10 +383,21 @@ mod tests {
         let mut db = PlanDb::new();
         let desc = GemmDesc::square(GemmOp::Hhs, 64);
         let s = select_strategy(&desc);
-        db.insert("gcd0", &desc, &s, 2.0e-5);
-        db.insert("gcd0", &desc, &s, 1.0e-5);
+        db.insert("gcd0", &desc, &s, 2.0e-5, 2.5e-5);
+        db.insert("gcd0", &desc, &s, 1.0e-5, 1.2e-5);
         assert_eq!(db.len(), 1);
         assert_eq!(db.entries[0].searched_time_s, 1.0e-5);
+        assert_eq!(db.entries[0].predicted_time_s, 1.2e-5);
+        assert!((db.entries[0].drift() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn version_one_files_are_rejected_not_misread() {
+        // A v1 file lacks predicted_time_s; the schema gate must reject
+        // it before deserialization can trip over the missing field.
+        let json = r#"{"schema_version": 1, "entries": []}"#;
+        let err = PlanDb::from_json(json).unwrap_err();
+        assert!(err.to_string().contains("schema version"));
     }
 
     #[test]

@@ -38,6 +38,35 @@ use crate::types::{BlasError, GemmDesc};
 /// How many analytically-ranked finalists get a simulator dry run.
 pub const DRY_RUN_TOP_K: usize = 4;
 
+/// One dry-run finalist's two scores, kept for model-drift analysis:
+/// the Eq. 2 analytic prediction that ranked it and the engine time
+/// that judged it. `mc-insight` compares the two orderings to flag
+/// ranking inversions — pairs the analytic model would have gotten
+/// wrong had the dry run not corrected it.
+#[derive(Clone, Debug)]
+pub struct FinalistScore {
+    /// Human-readable strategy label (MFMA mnemonic + macro tile, or
+    /// `"simd"`).
+    pub label: String,
+    /// Eq. 2 analytic prediction, in seconds.
+    pub analytic_time_s: f64,
+    /// Engine dry-run time (plus handoff penalty), in seconds.
+    pub engine_time_s: f64,
+    /// Whether this finalist is the static planner's pick.
+    pub is_static: bool,
+}
+
+/// A short display form of a strategy for finalist records and spans.
+pub fn strategy_label(strategy: &crate::planner::Strategy) -> String {
+    use crate::planner::Strategy;
+    match strategy {
+        Strategy::MatrixCore {
+            instr, macro_tile, ..
+        } => format!("{}/{}x{}", instr.mnemonic(), macro_tile.0, macro_tile.1),
+        Strategy::SimdOnly { .. } => "simd".to_string(),
+    }
+}
+
 /// The result of a plan search.
 #[derive(Clone, Debug)]
 pub struct SearchOutcome {
@@ -45,9 +74,17 @@ pub struct SearchOutcome {
     pub plan: GemmPlan,
     /// The winner's engine-modeled time (dry run + handoff penalty).
     pub searched_time_s: f64,
+    /// The winner's Eq. 2 analytic prediction — what the closed-form
+    /// model *said* the winner would cost. The gap between this and
+    /// [`SearchOutcome::searched_time_s`] is the model drift the
+    /// `insight` gate bounds.
+    pub analytic_time_s: f64,
     /// The static planner's plan under the same engine model — the
     /// baseline the search is measured against.
     pub static_time_s: f64,
+    /// Every dry-run finalist's (analytic, engine) score pair, in
+    /// analytic-rank order (static pick last unless it ranked top-K).
+    pub finalists: Vec<FinalistScore>,
     /// Candidates enumerated before building.
     pub enumerated: usize,
     /// Candidates rejected by the static verifier.
@@ -62,6 +99,28 @@ impl SearchOutcome {
     /// (≥ 1.0 by construction: the static plan is always a finalist).
     pub fn speedup(&self) -> f64 {
         self.static_time_s / self.searched_time_s
+    }
+
+    /// Finalist pairs whose analytic ordering disagrees with the
+    /// engine's: the analytic model strictly preferred one plan while
+    /// the dry run strictly preferred the other. Each inversion is a
+    /// ranking mistake the autotuner would have made without tier 2.
+    pub fn ranking_inversions(&self) -> Vec<(usize, usize)> {
+        let mut inversions = Vec::new();
+        for i in 0..self.finalists.len() {
+            for j in (i + 1)..self.finalists.len() {
+                let (a, b) = (&self.finalists[i], &self.finalists[j]);
+                let analytic = a.analytic_time_s.total_cmp(&b.analytic_time_s);
+                let engine = a.engine_time_s.total_cmp(&b.engine_time_s);
+                if analytic != std::cmp::Ordering::Equal
+                    && engine != std::cmp::Ordering::Equal
+                    && analytic != engine
+                {
+                    inversions.push((i, j));
+                }
+            }
+        }
+        inversions
     }
 }
 
@@ -95,11 +154,20 @@ pub fn select_plan(
         // Nothing survived lint (including the static pick, which today
         // always does): fall back to the static planner wholesale.
         let plan = plan_gemm(die, desc)?;
+        let analytic = analytic_time_s(die, cfg, &plan);
         let t = dry_run_time_s(die, cfg, &plan)?;
+        let finalists = vec![FinalistScore {
+            label: strategy_label(&plan.strategy),
+            analytic_time_s: analytic,
+            engine_time_s: t,
+            is_static: true,
+        }];
         return Ok(SearchOutcome {
             plan,
             searched_time_s: t,
+            analytic_time_s: analytic,
             static_time_s: t,
+            finalists,
             enumerated,
             lint_rejected,
             flow_rejected,
@@ -114,23 +182,33 @@ pub fn select_plan(
     built.push(static_entry);
 
     let mut static_time_s = f64::INFINITY;
-    let mut best: Option<(f64, GemmPlan)> = None;
-    for (idx, plan, _) in built {
+    let mut finalists = Vec::with_capacity(built.len());
+    let mut best: Option<(f64, f64, GemmPlan)> = None;
+    for (idx, plan, analytic) in built {
         let t = dry_run_time_s(die, cfg, &plan)?;
         if idx == 0 {
             static_time_s = t;
         }
+        finalists.push(FinalistScore {
+            label: strategy_label(&plan.strategy),
+            analytic_time_s: analytic,
+            engine_time_s: t,
+            is_static: idx == 0,
+        });
         // Strict less-than: on exact ties the earlier (better analytic
         // rank) finalist keeps the win, deterministically.
-        if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
-            best = Some((t, plan));
+        if best.as_ref().is_none_or(|(bt, _, _)| t < *bt) {
+            best = Some((t, analytic, plan));
         }
     }
-    let (searched_time_s, plan) = best.expect("at least the static finalist was dry-run");
+    let (searched_time_s, winner_analytic, plan) =
+        best.expect("at least the static finalist was dry-run");
     Ok(SearchOutcome {
         plan,
         searched_time_s,
+        analytic_time_s: winner_analytic,
         static_time_s,
+        finalists,
         enumerated,
         lint_rejected,
         flow_rejected,
@@ -218,6 +296,49 @@ mod tests {
             assert_eq!(a.plan.strategy, b.plan.strategy, "{desc:?}");
             assert_eq!(a.searched_time_s, b.searched_time_s);
         }
+    }
+
+    #[test]
+    fn finalists_carry_both_score_tiers() {
+        let out = select_plan(&die(), &cfg(), &GemmDesc::square(GemmOp::Sgemm, 2048)).unwrap();
+        assert!(out.finalists.len() >= 2, "{}", out.finalists.len());
+        assert_eq!(out.finalists.iter().filter(|f| f.is_static).count(), 1);
+        for f in &out.finalists {
+            assert!(f.analytic_time_s > 0.0 && f.engine_time_s > 0.0, "{f:?}");
+            assert!(!f.label.is_empty());
+        }
+        // The winner's recorded pair matches one of the finalists.
+        assert!(out
+            .finalists
+            .iter()
+            .any(|f| f.engine_time_s == out.searched_time_s
+                && f.analytic_time_s == out.analytic_time_s));
+        // Inversions, if any, reference valid finalist indices in order.
+        for (i, j) in out.ranking_inversions() {
+            assert!(i < j && j < out.finalists.len());
+        }
+    }
+
+    #[test]
+    fn ranking_inversions_flags_disagreeing_pairs() {
+        let mk = |analytic: f64, engine: f64| FinalistScore {
+            label: "x".into(),
+            analytic_time_s: analytic,
+            engine_time_s: engine,
+            is_static: false,
+        };
+        let out = SearchOutcome {
+            plan: plan_gemm(&die(), &GemmDesc::square(GemmOp::Sgemm, 64)).unwrap(),
+            searched_time_s: 1.0,
+            analytic_time_s: 1.0,
+            static_time_s: 1.0,
+            // Analytic says a < b, the engine says b < a: one inversion.
+            finalists: vec![mk(1.0, 3.0), mk(2.0, 2.0), mk(4.0, 5.0)],
+            enumerated: 3,
+            lint_rejected: 0,
+            flow_rejected: 0,
+        };
+        assert_eq!(out.ranking_inversions(), vec![(0, 1)]);
     }
 
     #[test]

@@ -158,9 +158,7 @@ mod tests {
         let bogus = SampleStats {
             count: 1000,
             mean_w: 250.0, // true mean is 300
-            min_w: 0.0,
-            max_w: 0.0,
-            stddev_w: 0.0,
+            ..SampleStats::default()
         };
         assert!(pm.validate_against(&bogus, 0.02).is_err());
     }

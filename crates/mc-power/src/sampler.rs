@@ -82,12 +82,15 @@ impl BackgroundSampler {
 
     /// Waits, then registers the sampling statistics in a metrics
     /// registry under the `power.smi.` prefix, regardless of whether
-    /// the minimum-sample threshold was met. Returns the stats.
+    /// the minimum-sample threshold was met: the summary gauges
+    /// (mean/min/max/stddev and p50/p95/p99) plus the full sample
+    /// distribution as the `power.smi.watts` histogram family.
+    /// Returns the stats.
     pub fn join_metrics(self, registry: &mut mc_trace::MetricsRegistry) -> SampleStats {
-        let stats = match self.join_stats() {
-            Ok(stats) | Err(stats) => stats,
-        };
+        let samples = self.join();
+        let stats = sample_stats(&samples);
         stats.register_metrics(registry);
+        mc_sim::register_sample_histogram(registry, "power.smi.watts", &samples);
         stats
     }
 }
@@ -165,6 +168,10 @@ mod tests {
         let stats = sampler.join_metrics(&mut reg);
         assert_eq!(reg.value("power.smi.mean_w"), Some(stats.mean_w));
         assert_eq!(reg.value("power.smi.samples"), Some(stats.count as f64));
+        assert_eq!(reg.value("power.smi.p99_w"), Some(stats.p99_w));
+        // The full distribution registers as a histogram family.
+        let h = reg.histogram("power.smi.watts").expect("histogram");
+        assert_eq!(h.count(), stats.count as u64);
     }
 
     #[test]

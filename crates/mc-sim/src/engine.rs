@@ -52,6 +52,11 @@ struct SliceDemand {
     mc_cycles_f64: f64,
     mc_cycles_f32: f64,
     mc_cycles_f16: f64,
+    /// Synchronization-stall cycles inside the dependent chain:
+    /// `s_waitcnt`, `s_barrier`, and `s_nop` hazard slots. A subset of
+    /// `self_cycles`; the diagnostic layer reads their share to call a
+    /// kernel barrier-stalled.
+    wait_cycles: f64,
 }
 
 impl SliceDemand {
@@ -89,8 +94,16 @@ impl SliceDemand {
             }
             SlotOp::SNop(n) => {
                 self.self_cycles += f64::from(*n) * times;
+                self.wait_cycles += f64::from(*n) * times;
             }
-            SlotOp::Scalar | SlotOp::Waitcnt(_) | SlotOp::Barrier => {
+            SlotOp::Waitcnt(_) | SlotOp::Barrier => {
+                // Synchronization: one scalar-pipe slot each, but the
+                // wave is stalled, not working — tallied separately so
+                // the stall share is observable downstream.
+                self.self_cycles += times;
+                self.wait_cycles += times;
+            }
+            SlotOp::Scalar => {
                 // Scalar pipe work: free on the vector pipes, one issue slot.
                 self.self_cycles += times;
             }
@@ -103,6 +116,40 @@ impl SliceDemand {
             d.add(op, times as f64);
         }
         d
+    }
+}
+
+/// Per-wave pipeline demand of a kernel's program: the same aggregation
+/// the engine's dispatch-round loop prices every round with, exposed so
+/// analytic scorers (`mc-blas`'s Eq. 2 tier) can mirror the engine's
+/// first-order cost structure without running it — and so the `insight`
+/// drift gate measures genuine model residuals instead of bookkeeping
+/// differences.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WaveDemand {
+    /// Serial dependent-chain cycles: every op's latency back to back.
+    pub dependent_chain_cycles: f64,
+    /// Matrix-unit busy cycles per wave.
+    pub mc_cycles: f64,
+    /// SIMD issue-port cycles per wave (VALU passes plus one issue slot
+    /// per load/store/LDS op, four per MFMA operand read).
+    pub simd_cycles: f64,
+    /// LDS bytes moved per wave.
+    pub lds_bytes: f64,
+    /// Matrix cycles by input datatype `(f64, f32, f16-class)` — the
+    /// weights the residency model applies to the clock.
+    pub mc_cycles_by_type: (f64, f64, f64),
+}
+
+/// Computes the per-wave [`WaveDemand`] of a kernel's program.
+pub fn wave_demand(k: &KernelDesc) -> WaveDemand {
+    let d = SliceDemand::of_program(&k.program);
+    WaveDemand {
+        dependent_chain_cycles: d.self_cycles,
+        mc_cycles: d.mc_cycles,
+        simd_cycles: d.simd_cycles,
+        lds_bytes: d.lds_bytes,
+        mc_cycles_by_type: (d.mc_cycles_f64, d.mc_cycles_f32, d.mc_cycles_f16),
     }
 }
 
@@ -202,6 +249,18 @@ pub struct KernelExec {
     pub counters: HwCounters,
     /// Fraction of compute time that is matrix-unit bound (diagnostic).
     pub compute_bound_fraction: f64,
+    /// Share of the per-wave dependent chain spent in synchronization
+    /// stalls (`s_waitcnt`, `s_barrier`, `s_nop` hazard slots), in
+    /// `[0, 1]`. High values flag a kernel whose serial chain is
+    /// dominated by waiting rather than issuing.
+    pub wait_stall_fraction: f64,
+    /// DRAM time not hidden behind compute, in seconds: the whole
+    /// transfer for single-buffered kernels, the overhang
+    /// `max(0, dram − compute)` for double-buffered ones.
+    pub exposed_dram_time_s: f64,
+    /// Share of the kernel wall time stalled on exposed DRAM transfers
+    /// (`exposed_dram_time_s / time_s`), in `[0, 1]`.
+    pub memory_stall_fraction: f64,
     /// Per-dispatch-round execution trace.
     pub rounds: Vec<RoundTrace>,
 }
@@ -399,6 +458,13 @@ pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelE
         mc_isa::Buffering::Single => compute_time_s + dram_time_s,
     };
     let time_s = overlapped + cfg.launch_overhead_s;
+    // DRAM time the compute pipeline actually waits for: the whole
+    // transfer when single-buffered, only the overhang when the
+    // double-buffered pipeline hides it behind compute.
+    let exposed_dram_time_s = match k.mem_hints.buffering {
+        mc_isa::Buffering::Double => (dram_time_s - compute_time_s).max(0.0),
+        mc_isa::Buffering::Single => dram_time_s,
+    };
 
     // FLOP and counter accounting.
     let total_waves = k.total_waves();
@@ -440,6 +506,17 @@ pub fn execute(die: &DieSpec, cfg: &SimConfig, k: &KernelDesc) -> Result<KernelE
             compute_time_s / (compute_time_s + dram_time_s).max(f64::MIN_POSITIVE)
         } else {
             1.0
+        },
+        wait_stall_fraction: if demand.self_cycles > 0.0 {
+            (demand.wait_cycles / demand.self_cycles).clamp(0.0, 1.0)
+        } else {
+            0.0
+        },
+        exposed_dram_time_s,
+        memory_stall_fraction: if time_s > 0.0 {
+            (exposed_dram_time_s / time_s).clamp(0.0, 1.0)
+        } else {
+            0.0
         },
         rounds,
     })
@@ -522,6 +599,16 @@ pub fn emit_kernel_events(
         ("matrix_occupancy".into(), e.matrix_occupancy.into()),
         ("simd_occupancy".into(), e.simd_occupancy.into()),
         ("rounds".into(), (e.rounds.len() as u64).into()),
+        (
+            "compute_bound_fraction".into(),
+            e.compute_bound_fraction.into(),
+        ),
+        ("wait_stall_fraction".into(), e.wait_stall_fraction.into()),
+        ("exposed_dram_time_s".into(), e.exposed_dram_time_s.into()),
+        (
+            "memory_stall_fraction".into(),
+            e.memory_stall_fraction.into(),
+        ),
     ];
     for (name, value) in e.counters.iter() {
         if value > 0 {
@@ -963,6 +1050,60 @@ mod tests {
         let sink = mc_trace::NullSink;
         let e = execute_with_sink(&die(), &cfg(), &k, &sink).unwrap();
         assert!(e.flops > 0); // execution itself is unaffected
+    }
+
+    #[test]
+    fn stall_shares_track_buffering_and_sync_slots() {
+        use mc_isa::Buffering;
+        let i = *cdna2_catalog()
+            .find(DType::F32, DType::F16, 16, 16, 16)
+            .unwrap();
+        // Pure MFMA loop: no sync slots, no DRAM traffic.
+        let clean = mfma_loop_kernel(440, 1000);
+        let e = execute(&die(), &cfg(), &clean).unwrap();
+        assert_eq!(e.wait_stall_fraction, 0.0);
+        assert_eq!(e.exposed_dram_time_s, 0.0);
+        assert_eq!(e.memory_stall_fraction, 0.0);
+
+        // A wait-heavy loop: each MFMA (32 cyc) behind a waitcnt slot
+        // and a 16-cycle hazard nop -> 17/49 of the chain is stalling.
+        let program = WaveProgram::looped(
+            vec![
+                SlotOp::Waitcnt(mc_isa::WaitSpec::zero()),
+                SlotOp::SNop(16),
+                SlotOp::Mfma(i),
+            ],
+            1000,
+        );
+        let k = KernelDesc {
+            workgroups: 440,
+            waves_per_workgroup: 1,
+            ..KernelDesc::new("waity", program)
+        };
+        let e = execute(&die(), &cfg(), &k).unwrap();
+        assert!(
+            (e.wait_stall_fraction - 17.0 / 49.0).abs() < 1e-12,
+            "{}",
+            e.wait_stall_fraction
+        );
+
+        // DRAM-heavy kernel: single-buffering exposes the whole
+        // transfer, double-buffering only the overhang.
+        let mut mem = mfma_loop_kernel(440, 10);
+        mem.mem_hints.hbm_bytes = 10 << 30;
+        let d = die();
+        let c = cfg();
+        let double = execute(&d, &c, &mem).unwrap();
+        assert!(double.memory_stall_fraction > 0.9, "{double:?}");
+        assert!(
+            (double.exposed_dram_time_s
+                - (double.dram_time_s - double.compute_cycles / double.effective_clock_hz))
+                .abs()
+                < 1e-12
+        );
+        mem.mem_hints.buffering = Buffering::Single;
+        let single = execute(&d, &c, &mem).unwrap();
+        assert_eq!(single.exposed_dram_time_s, single.dram_time_s);
     }
 
     #[test]

@@ -36,8 +36,8 @@ pub use config::{ClockResidency, SimConfig};
 pub use counters::{HwCounters, UnknownCounter, COUNTER_NAMES};
 pub use device::{dominant_mfma_type, Gpu, KernelResult, PackageResult, PowerProfile};
 pub use engine::{
-    dynamic_energy_j, emit_kernel_events, execute, execute_with_sink, workgroups_per_cu,
-    KernelExec, LaunchError, RoundBound, RoundTrace, TracePlacement,
+    dynamic_energy_j, emit_kernel_events, execute, execute_with_sink, wave_demand,
+    workgroups_per_cu, KernelExec, LaunchError, RoundBound, RoundTrace, TracePlacement, WaveDemand,
 };
 pub use microbench::{
     fig3_wavefront_sweep, measure_latency, throughput_run, throughput_run_all_dies, LatencyResult,
@@ -46,4 +46,6 @@ pub use microbench::{
 pub use occupancy::{occupancy, OccupancyLimit, OccupancyReport};
 pub use registry::{DeviceId, DeviceRegistry, RegistryError};
 pub use shared::SharedGpu;
-pub use smi::{sample_stats, PowerSample, SampleStats, Smi};
+pub use smi::{
+    power_sample_histogram, register_sample_histogram, sample_stats, PowerSample, SampleStats, Smi,
+};

@@ -94,6 +94,11 @@ impl Smi {
 }
 
 /// Summary statistics over a set of samples (used by experiments).
+///
+/// Beyond the classic min/mean/max summary, the stats carry streaming
+/// p50/p95/p99 quantile estimates from the [`mc_trace::Histogram`]
+/// primitive — the distribution view the paper's >1000-sample SMI
+/// methodology supports but a min/mean/max triple cannot express.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct SampleStats {
     /// Number of samples.
@@ -106,11 +111,26 @@ pub struct SampleStats {
     pub max_w: f64,
     /// Population standard deviation.
     pub stddev_w: f64,
+    /// Median power estimate in watts (log-bucketed histogram, 0 when
+    /// there are no samples).
+    pub p50_w: f64,
+    /// 95th-percentile power estimate in watts.
+    pub p95_w: f64,
+    /// 99th-percentile power estimate in watts.
+    pub p99_w: f64,
+}
+
+/// The histogram shape every power-sample stream records through:
+/// 0.1 W to 10 kW, 50 log buckets per decade (≤ 4.7 % relative bucket
+/// width, well inside the sensor's own <2 % noise band).
+pub fn power_sample_histogram() -> mc_trace::Histogram {
+    mc_trace::Histogram::log_bucketed(mc_trace::Unit::Watts, 0.1, 10_000.0, 50)
 }
 
 impl SampleStats {
     /// Registers these statistics in a metrics registry under the
-    /// `power.smi.` prefix (e.g. `power.smi.mean_w`).
+    /// `power.smi.` prefix (e.g. `power.smi.mean_w`,
+    /// `power.smi.p99_w`).
     pub fn register_metrics(&self, registry: &mut mc_trace::MetricsRegistry) {
         use mc_trace::Unit;
         registry.set("power.smi.samples", Unit::Count, self.count as f64);
@@ -118,10 +138,14 @@ impl SampleStats {
         registry.set("power.smi.min_w", Unit::Watts, self.min_w);
         registry.set("power.smi.max_w", Unit::Watts, self.max_w);
         registry.set("power.smi.stddev_w", Unit::Watts, self.stddev_w);
+        registry.set("power.smi.p50_w", Unit::Watts, self.p50_w);
+        registry.set("power.smi.p95_w", Unit::Watts, self.p95_w);
+        registry.set("power.smi.p99_w", Unit::Watts, self.p99_w);
     }
 }
 
-/// Computes summary statistics of a sample train.
+/// Computes summary statistics of a sample train, including streaming
+/// quantile estimates through [`power_sample_histogram`].
 pub fn sample_stats(samples: &[PowerSample]) -> SampleStats {
     if samples.is_empty() {
         return SampleStats::default();
@@ -133,6 +157,10 @@ pub fn sample_stats(samples: &[PowerSample]) -> SampleStats {
         .map(|s| (s.watts - mean).powi(2))
         .sum::<f64>()
         / n;
+    let mut hist = power_sample_histogram();
+    for s in samples {
+        hist.record(s.watts);
+    }
     SampleStats {
         count: samples.len(),
         mean_w: mean,
@@ -142,7 +170,25 @@ pub fn sample_stats(samples: &[PowerSample]) -> SampleStats {
             .fold(f64::INFINITY, f64::min),
         max_w: samples.iter().map(|s| s.watts).fold(0.0, f64::max),
         stddev_w: var.sqrt(),
+        p50_w: hist.quantile(0.5).unwrap_or(0.0),
+        p95_w: hist.quantile(0.95).unwrap_or(0.0),
+        p99_w: hist.quantile(0.99).unwrap_or(0.0),
     }
+}
+
+/// Records a sample train into a [`power_sample_histogram`] and
+/// registers it under `name` in `registry` — the OpenMetrics histogram
+/// family the `.om` snapshots expose next to the `power.smi.*` gauges.
+pub fn register_sample_histogram(
+    registry: &mut mc_trace::MetricsRegistry,
+    name: &str,
+    samples: &[PowerSample],
+) {
+    let mut hist = power_sample_histogram();
+    for s in samples {
+        hist.record(s.watts);
+    }
+    registry.register_histogram(name, hist);
 }
 
 #[cfg(test)]
@@ -227,6 +273,38 @@ mod tests {
         stats.register_metrics(&mut reg);
         assert_eq!(reg.value("power.smi.mean_w"), Some(300.0));
         assert_eq!(reg.value("power.smi.samples"), Some(101.0));
+        // Quantiles ride along as power.smi.p*_w gauges.
+        for name in ["power.smi.p50_w", "power.smi.p95_w", "power.smi.p99_w"] {
+            let v = reg.value(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!((v - 300.0).abs() < 300.0 * 0.05, "{name} = {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_order_and_bracket_the_noise_band() {
+        let smi = Smi::attach(flat_profile(120.0, 400.0), 0.015, 42);
+        let stats = sample_stats(&smi.sample_period(0.1));
+        assert!(stats.count >= 1000);
+        assert!(stats.p50_w <= stats.p95_w && stats.p95_w <= stats.p99_w);
+        assert!(stats.min_w <= stats.p50_w && stats.p99_w <= stats.max_w * 1.0001);
+        // ±1.5 % multiplicative noise: every quantile stays within the
+        // histogram's bucket resolution of the 400 W band.
+        for q in [stats.p50_w, stats.p95_w, stats.p99_w] {
+            assert!((q - 400.0).abs() < 400.0 * 0.07, "{q}");
+        }
+    }
+
+    #[test]
+    fn sample_histograms_register_for_exposition() {
+        let smi = Smi::attach(flat_profile(10.0, 300.0), 0.0, 1);
+        let samples = smi.sample_period(0.1);
+        let mut reg = mc_trace::MetricsRegistry::new();
+        register_sample_histogram(&mut reg, "power.smi.watts", &samples);
+        let h = reg.histogram("power.smi.watts").expect("registered");
+        assert_eq!(h.count(), samples.len() as u64);
+        let text = mc_trace::openmetrics(&reg);
+        assert!(text.contains("# TYPE power_smi_watts histogram"), "{text}");
+        assert!(text.contains("power_smi_watts_count 101"), "{text}");
     }
 
     #[test]

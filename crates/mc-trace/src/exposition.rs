@@ -44,39 +44,75 @@ fn sanitize(name: &str) -> String {
     out
 }
 
+/// Derives the exposition family name for a registry name/unit pair:
+/// sanitized, unit-token suffixed unless already present, collision
+/// disambiguated against `used` with `_2`, `_3`, … suffixes.
+fn family_name(raw: &str, token: Option<&'static str>, used: &mut BTreeSet<String>) -> String {
+    let mut name = sanitize(raw);
+    if let Some(token) = token {
+        let suffix = format!("_{token}");
+        if !name.ends_with(&suffix) {
+            name.push_str(&suffix);
+        }
+    }
+    if used.contains(&name) {
+        let mut n = 2usize;
+        while used.contains(&format!("{name}_{n}")) {
+            n += 1;
+        }
+        name = format!("{name}_{n}");
+    }
+    used.insert(name.clone());
+    name
+}
+
+/// Renders one `le` label value: finite bounds print as their shortest
+/// `f64` form, the catch-all bucket as `+Inf` (the literal the
+/// OpenMetrics grammar requires).
+fn le_label(bound: Option<f64>) -> String {
+    match bound {
+        Some(b) => format!("{b}"),
+        None => "+Inf".to_owned(),
+    }
+}
+
 /// Renders a registry snapshot in OpenMetrics text exposition format.
 ///
-/// Metrics are emitted in registry (name) order, each as a `gauge`
-/// family with `# TYPE` metadata, `# UNIT` metadata when the unit has
-/// an OpenMetrics token, and a single unlabelled sample. Distinct
-/// registry names that sanitize to the same exposition name are
-/// disambiguated with a numeric suffix so the output never repeats a
-/// family name (which the format forbids).
+/// Gauge metrics are emitted in registry (name) order, each as a
+/// `gauge` family with `# TYPE` metadata, `# UNIT` metadata when the
+/// unit has an OpenMetrics token, and a single unlabelled sample.
+/// Registered [`crate::Histogram`]s follow as proper `histogram`
+/// families: cumulative `_bucket{le="..."}` samples ending with the
+/// mandatory `+Inf` bucket (whose value equals `_count`), then `_sum`
+/// and `_count`. Distinct registry names that sanitize to the same
+/// exposition name are disambiguated with a numeric suffix so the
+/// output never repeats a family name (which the format forbids).
 pub fn openmetrics(registry: &MetricsRegistry) -> String {
     let mut out = String::new();
     let mut used: BTreeSet<String> = BTreeSet::new();
     for m in registry.iter() {
         let token = m.unit.openmetrics_token();
-        let mut name = sanitize(&m.name);
-        if let Some(token) = token {
-            let suffix = format!("_{token}");
-            if !name.ends_with(&suffix) {
-                name.push_str(&suffix);
-            }
-        }
-        if used.contains(&name) {
-            let mut n = 2usize;
-            while used.contains(&format!("{name}_{n}")) {
-                n += 1;
-            }
-            name = format!("{name}_{n}");
-        }
-        used.insert(name.clone());
+        let name = family_name(&m.name, token, &mut used);
         let _ = writeln!(out, "# TYPE {name} gauge");
         if let Some(token) = token {
             let _ = writeln!(out, "# UNIT {name} {token}");
         }
         let _ = writeln!(out, "{name} {}", m.value);
+    }
+    for (raw, hist) in registry.histograms() {
+        let token = hist.unit().openmetrics_token();
+        let name = family_name(raw, token, &mut used);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        if let Some(token) = token {
+            let _ = writeln!(out, "# UNIT {name} {token}");
+        }
+        let cumulative = hist.cumulative_counts();
+        for (i, count) in cumulative.iter().enumerate() {
+            let bound = hist.bounds().get(i).copied();
+            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {count}", le_label(bound));
+        }
+        let _ = writeln!(out, "{name}_sum {}", hist.sum());
+        let _ = writeln!(out, "{name}_count {}", hist.count());
     }
     out.push_str("# EOF\n");
     out
@@ -129,6 +165,57 @@ mod tests {
     #[test]
     fn empty_registry_is_a_valid_exposition() {
         assert_eq!(openmetrics(&MetricsRegistry::new()), "# EOF\n");
+    }
+
+    #[test]
+    fn histogram_families_render_golden_text() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("power.avg_w", Unit::Watts, 412.5);
+        let mut h = crate::Histogram::with_bounds(Unit::Seconds, vec![0.001, 0.01, 0.1]);
+        h.record(0.0004); // le 0.001
+        h.record(0.002); // le 0.01
+        h.record(0.003); // le 0.01
+        h.record(5.0); // +Inf
+        reg.register_histogram("round.latency_s", h);
+        let text = openmetrics(&reg);
+
+        // Gauges first, then histogram families, then EOF — exactly.
+        let golden = "\
+# TYPE power_avg_w_watts gauge
+# UNIT power_avg_w_watts watts
+power_avg_w_watts 412.5
+# TYPE round_latency_s_seconds histogram
+# UNIT round_latency_s_seconds seconds
+round_latency_s_seconds_bucket{le=\"0.001\"} 1
+round_latency_s_seconds_bucket{le=\"0.01\"} 3
+round_latency_s_seconds_bucket{le=\"0.1\"} 3
+round_latency_s_seconds_bucket{le=\"+Inf\"} 4
+round_latency_s_seconds_sum 5.0054
+round_latency_s_seconds_count 4
+# EOF
+";
+        assert_eq!(text, golden);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_consistent() {
+        let mut reg = MetricsRegistry::new();
+        let mut h = crate::Histogram::latency_seconds();
+        for i in 1..=50u64 {
+            h.record(i as f64 * 1e-6);
+        }
+        reg.register_histogram("lat", h);
+        let text = openmetrics(&reg);
+        // +Inf bucket value must equal _count, and bucket values must
+        // never decrease in le order.
+        assert!(text.contains("_bucket{le=\"+Inf\"} 50"), "{text}");
+        assert!(text.contains("lat_seconds_count 50"), "{text}");
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-cumulative bucket line: {line}");
+            last = v;
+        }
     }
 
     #[test]

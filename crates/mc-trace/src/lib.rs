@@ -20,9 +20,13 @@
 //! - [`MetricsRegistry`]: one named-metric snapshot API with typed
 //!   [`Unit`]s, unifying `HwCounters`, SMI power stats, and profiler
 //!   timings.
+//! - [`Histogram`]: log-bucketed HDR-style streaming histograms with
+//!   interpolated quantiles, registered alongside gauges for
+//!   distribution metrics (round latency, power samples, model drift).
 //! - [`openmetrics`]: OpenMetrics / Prometheus text exposition of a
-//!   registry snapshot, with unit-correct name suffixes derived from
-//!   [`Unit`].
+//!   registry snapshot — gauge families plus proper `histogram`
+//!   families (cumulative `le` buckets, `+Inf`, `_sum`/`_count`) —
+//!   with unit-correct name suffixes derived from [`Unit`].
 //!
 //! See `docs/OBSERVABILITY.md` for the event schema and naming
 //! conventions.
@@ -33,6 +37,7 @@ mod chrome;
 mod event;
 mod exposition;
 mod flame;
+mod histogram;
 mod metrics;
 mod sink;
 mod validate;
@@ -41,6 +46,7 @@ pub use chrome::chrome_trace_json;
 pub use event::{device_label, ArgValue, Category, SpanEvent, TraceEvent, Track, PACKAGE_DEVICE};
 pub use exposition::openmetrics;
 pub use flame::folded_stacks;
+pub use histogram::{Histogram, MAX_HISTOGRAM_BUCKETS};
 pub use metrics::{Metric, MetricsRegistry, Unit};
 pub use sink::{NullSink, RingSink, TraceSink, DEFAULT_RING_CAPACITY};
 pub use validate::{check_invariants, Violation};

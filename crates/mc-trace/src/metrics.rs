@@ -11,6 +11,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::histogram::Histogram;
+
 /// Physical unit of a metric value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Unit {
@@ -97,6 +99,7 @@ pub struct Metric {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsRegistry {
     metrics: BTreeMap<String, (Unit, f64)>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl MetricsRegistry {
@@ -181,11 +184,60 @@ impl MetricsRegistry {
         self.iter().collect()
     }
 
-    /// Absorbs every metric from `other` via [`MetricsRegistry::set`].
+    /// Absorbs every metric from `other` via [`MetricsRegistry::set`],
+    /// and every histogram via [`MetricsRegistry::register_histogram`].
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for m in other.iter() {
             self.set(&m.name, m.unit, m.value);
         }
+        for (name, hist) in other.histograms() {
+            self.register_histogram(name, hist.clone());
+        }
+    }
+
+    /// Registers `hist` under `name`. If the name already holds a
+    /// histogram of the same shape, the two merge (bucket counts add);
+    /// this is the aggregation path experiment sweeps use.
+    ///
+    /// # Panics
+    /// If `name` already holds a histogram of a different shape (unit
+    /// or bucket bounds) — like a gauge unit mismatch, always a wiring
+    /// bug.
+    pub fn register_histogram(&mut self, name: &str, hist: Histogram) {
+        match self.histograms.get_mut(name) {
+            Some(existing) => existing.merge(&hist),
+            None => {
+                self.histograms.insert(name.to_owned(), hist);
+            }
+        }
+    }
+
+    /// Records one sample into the histogram registered under `name`.
+    ///
+    /// # Panics
+    /// If no histogram was registered under `name` (register the shape
+    /// first — sample streams never pick their own buckets implicitly).
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no histogram registered under `{name}`"))
+            .record(value);
+    }
+
+    /// The histogram registered under `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates `(name, histogram)` pairs in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// Number of registered histograms ([`MetricsRegistry::len`] counts
+    /// gauges only).
+    pub fn histogram_len(&self) -> usize {
+        self.histograms.len()
     }
 }
 
@@ -199,25 +251,77 @@ impl fmt::Display for MetricsRegistry {
                 writeln!(f, "{:<40} {}{}", m.name, m.value, m.unit.suffix())?;
             }
         }
+        for (name, h) in self.histograms() {
+            let suffix = h.unit().suffix();
+            match (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99)) {
+                (Some(p50), Some(p95), Some(p99)) => writeln!(
+                    f,
+                    "{:<40} n={} p50={p50:.3e}{suffix} p95={p95:.3e}{suffix} p99={p99:.3e}{suffix}",
+                    name,
+                    h.count()
+                )?,
+                _ => writeln!(f, "{name:<40} n=0 (empty histogram)")?,
+            }
+        }
         Ok(())
     }
 }
 
+/// One named histogram, the wire shape registry histograms serialize
+/// through (the vendored serde stub has no map impls).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct NamedHistogram {
+    /// Dotted registry name.
+    name: String,
+    /// The histogram snapshot.
+    histogram: Histogram,
+}
+
 // The vendored serde stub provides no map impls, so the registry
-// serializes as its ordered `Vec<Metric>` snapshot — which is also the
-// natural wire shape for envelope payloads.
+// serializes through ordered `Vec` snapshots. Gauge-only registries
+// keep the original bare-array shape (the wire format of every
+// envelope written before histograms existed); a registry carrying
+// histograms serializes as `{"metrics": [...], "histograms": [...]}`.
+// Deserialization accepts both shapes.
 impl Serialize for MetricsRegistry {
     fn to_value(&self) -> serde::Value {
-        self.snapshot().to_value()
+        if self.histograms.is_empty() {
+            return self.snapshot().to_value();
+        }
+        let histograms: Vec<NamedHistogram> = self
+            .histograms()
+            .map(|(name, h)| NamedHistogram {
+                name: name.to_owned(),
+                histogram: h.clone(),
+            })
+            .collect();
+        serde::Value::Object(vec![
+            ("metrics".to_owned(), self.snapshot().to_value()),
+            ("histograms".to_owned(), histograms.to_value()),
+        ])
     }
 }
 
 impl Deserialize for MetricsRegistry {
     fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
-        let metrics = Vec::<Metric>::from_value(value)?;
+        let (gauges, histograms) = match value {
+            serde::Value::Object(_) => {
+                let gauges = value
+                    .get("metrics")
+                    .ok_or_else(|| serde::DeError::expected("`metrics` key", "MetricsRegistry"))?;
+                (gauges.clone(), value.get("histograms").cloned())
+            }
+            _ => (value.clone(), None),
+        };
+        let metrics = Vec::<Metric>::from_value(&gauges)?;
         let mut reg = MetricsRegistry::new();
         for m in &metrics {
             reg.set(&m.name, m.unit, m.value);
+        }
+        if let Some(h) = histograms {
+            for named in Vec::<NamedHistogram>::from_value(&h)? {
+                reg.register_histogram(&named.name, named.histogram);
+            }
         }
         Ok(reg)
     }
@@ -301,6 +405,65 @@ mod tests {
     fn registry_deserialize_rejects_malformed_values() {
         let v: serde::Value = serde_json::from_str("{\"not\":\"an array\"}").unwrap();
         assert!(<MetricsRegistry as serde::Deserialize>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn histograms_register_observe_and_merge() {
+        let mut reg = MetricsRegistry::new();
+        reg.register_histogram("round.latency_s", Histogram::latency_seconds());
+        reg.observe("round.latency_s", 2.0e-4);
+        reg.observe("round.latency_s", 8.0e-4);
+        assert_eq!(reg.histogram("round.latency_s").unwrap().count(), 2);
+        assert_eq!(reg.len(), 0, "histograms are not gauges");
+        assert_eq!(reg.histogram_len(), 1);
+
+        // Re-registering the same shape merges.
+        let mut more = Histogram::latency_seconds();
+        more.record(5.0e-2);
+        reg.register_histogram("round.latency_s", more);
+        assert_eq!(reg.histogram("round.latency_s").unwrap().count(), 3);
+
+        // merge() carries histograms across registries.
+        let mut other = MetricsRegistry::new();
+        other.merge(&reg);
+        assert_eq!(other.histogram("round.latency_s").unwrap().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no histogram registered")]
+    fn observing_an_unregistered_histogram_panics() {
+        MetricsRegistry::new().observe("missing", 1.0);
+    }
+
+    #[test]
+    fn registry_with_histograms_round_trips_and_accepts_legacy_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("sim.time_s", Unit::Seconds, 0.5);
+        reg.register_histogram("round.latency_s", Histogram::latency_seconds());
+        reg.observe("round.latency_s", 1.0e-3);
+        let value = serde::Serialize::to_value(&reg);
+        let back = <MetricsRegistry as serde::Deserialize>::from_value(&value).unwrap();
+        assert_eq!(back, reg);
+
+        // The pre-histogram bare-array shape still deserializes.
+        let legacy: serde::Value =
+            serde_json::from_str(r#"[{"name":"a","unit":"Count","value":1}]"#).unwrap();
+        let old = <MetricsRegistry as serde::Deserialize>::from_value(&legacy).unwrap();
+        assert_eq!(old.value("a"), Some(1.0));
+        assert_eq!(old.histogram_len(), 0);
+    }
+
+    #[test]
+    fn display_summarizes_histograms_with_quantiles() {
+        let mut reg = MetricsRegistry::new();
+        reg.register_histogram("round.latency_s", Histogram::latency_seconds());
+        for i in 1..=100 {
+            reg.observe("round.latency_s", f64::from(i) * 1e-5);
+        }
+        let text = format!("{reg}");
+        assert!(text.contains("round.latency_s"), "{text}");
+        assert!(text.contains("n=100"), "{text}");
+        assert!(text.contains("p99="), "{text}");
     }
 
     #[test]

@@ -429,3 +429,92 @@ fn random_gemm_error_bounds() {
         );
     }
 }
+
+proptest! {
+    /// Streaming quantile estimates always land inside the bucket that
+    /// holds the exact rank-order statistic (and inside the observed
+    /// min/max), for arbitrary sample streams and quantiles.
+    #[test]
+    fn histogram_quantiles_are_bracketed_by_bucket_bounds(
+        samples in prop::collection::vec(1e-7f64..50.0, 1..256),
+        q in 0.0f64..1.0,
+    ) {
+        use amd_matrix_cores::trace::Histogram;
+        let mut h = Histogram::latency_seconds();
+        for &s in &samples {
+            h.record(s);
+        }
+        let est = h.quantile(q).unwrap();
+
+        // The exact order statistic the estimate targets.
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let exact = sorted[rank - 1];
+
+        // Bounds of the bucket holding that sample.
+        let bucket = h.bounds().iter().position(|b| exact <= *b);
+        let upper = bucket
+            .map(|i| h.bounds()[i])
+            .unwrap_or(h.max().unwrap());
+        let lower = match bucket {
+            Some(0) | None => h.min().unwrap(),
+            Some(i) => h.bounds()[i - 1].min(upper),
+        };
+        prop_assert!(
+            est >= lower.min(h.min().unwrap()) && est <= upper.max(lower),
+            "q={q}: estimate {est} outside bucket [{lower}, {upper}] of exact {exact}"
+        );
+        prop_assert!(est >= h.min().unwrap() && est <= h.max().unwrap());
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        samples in prop::collection::vec(1e-7f64..50.0, 1..128),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        use amd_matrix_cores::trace::Histogram;
+        let mut h = Histogram::latency_seconds();
+        for &s in &samples {
+            h.record(s);
+        }
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(h.quantile(lo).unwrap() <= h.quantile(hi).unwrap());
+    }
+
+    /// Merging two histograms is exactly recording the concatenated
+    /// stream: identical bucket counts, count, min/max, and a sum equal
+    /// up to floating-point reassociation.
+    #[test]
+    fn histogram_merge_equals_concatenated_stream(
+        a in prop::collection::vec(1e-7f64..50.0, 0..128),
+        b in prop::collection::vec(1e-7f64..50.0, 0..128),
+    ) {
+        use amd_matrix_cores::trace::Histogram;
+        let mut ha = Histogram::latency_seconds();
+        let mut hb = Histogram::latency_seconds();
+        let mut hc = Histogram::latency_seconds();
+        for &s in &a {
+            ha.record(s);
+            hc.record(s);
+        }
+        for &s in &b {
+            hb.record(s);
+            hc.record(s);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.bucket_counts(), hc.bucket_counts());
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        let scale = ha.sum().abs().max(1.0);
+        prop_assert!((ha.sum() - hc.sum()).abs() <= 1e-9 * scale);
+        if !a.is_empty() || !b.is_empty() {
+            for q in [0.5, 0.95, 0.99] {
+                prop_assert_eq!(ha.quantile(q), hc.quantile(q));
+            }
+        }
+    }
+}
