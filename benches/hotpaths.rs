@@ -5,7 +5,7 @@
 //! that writes `BENCH_hotpaths.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mc_compute::{Blocked, GemmParams, MatMul, Naive};
+use mc_compute::{Blocked, GemmParams, MatMul, Naive, Simd};
 
 fn fill(len: usize, seed: usize) -> Vec<f32> {
     (0..len)
@@ -34,6 +34,20 @@ fn bench_gemm(c: &mut Criterion) {
             Blocked
                 .gemm::<f32, f32, f32>(&p, &a, &b, &cc, &mut d)
                 .unwrap();
+            d[0]
+        })
+    });
+    // Vector microkernel where the runner has AVX2, the portable
+    // register-blocked fallback otherwise — named accordingly so a
+    // criterion history never mixes the two.
+    let simd = Simd::from_env();
+    let simd_name = match simd.mode() {
+        mc_compute::SimdMode::Vector => "sgemm_256_simd",
+        mc_compute::SimdMode::Portable => "sgemm_256_simd_portable",
+    };
+    c.bench_function(simd_name, |bench| {
+        bench.iter(|| {
+            simd.gemm::<f32, f32, f32>(&p, &a, &b, &cc, &mut d).unwrap();
             d[0]
         })
     });

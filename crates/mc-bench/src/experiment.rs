@@ -260,6 +260,28 @@ impl RunContext {
         Ok(Some(path))
     }
 
+    /// Writes the host packing-pool counters accumulated during a run
+    /// as `<metrics_dir>/<id>.pool.om` in OpenMetrics text exposition
+    /// format (via [`mc_obs::register_compute_pool_metrics`]), so the
+    /// steady-state-reuse invariant the `pool_reuse` test enforces is
+    /// scrapeable next to the wall times it explains. Returns the path
+    /// written, or `None` when no metrics directory is configured.
+    pub fn persist_pool_metrics(
+        &self,
+        id: &str,
+        counts: &mc_obs::PoolCounts,
+    ) -> std::io::Result<Option<PathBuf>> {
+        let Some(dir) = &self.metrics_dir else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(dir)?;
+        let mut registry = MetricsRegistry::new();
+        mc_obs::register_compute_pool_metrics(counts, &mut registry);
+        let path = dir.join(format!("{id}.pool.om"));
+        std::fs::write(&path, mc_trace::openmetrics(&registry))?;
+        Ok(Some(path))
+    }
+
     /// Writes a record envelope to `<sink>/<experiment id>.json`,
     /// creating the directory. Returns the path written, or `None` when
     /// no sink is configured.
@@ -616,6 +638,31 @@ mod tests {
         assert!(text.contains("verifier_flow_subjects 42"), "{text}");
         assert!(text.contains("verifier_flow_errors 0"), "{text}");
         assert!(text.contains("verifier_flow_warnings 1"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pool_metrics_expose_reuse_counters() {
+        let dir = std::env::temp_dir().join(format!(
+            "mc-bench-pool-om-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Without a metrics directory the helper is a no-op.
+        let ctx = RunContext::new(IterBudgets::smoke());
+        let counts = mc_obs::PoolCounts::new(96, 4, 100, 0, 8192);
+        assert_eq!(ctx.persist_pool_metrics("perf", &counts).unwrap(), None);
+
+        let ctx = ctx.with_metrics(&dir);
+        let path = ctx.persist_pool_metrics("perf", &counts).unwrap().unwrap();
+        assert!(path.ends_with("perf.pool.om"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("compute_pool_hits 96"), "{text}");
+        assert!(text.contains("compute_pool_misses 4"), "{text}");
+        assert!(text.contains("compute_pool_hit_rate_ratio 0.96"), "{text}");
         assert!(text.ends_with("# EOF\n"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,75 +1,118 @@
-//! Hot-path performance experiment: the routed GEMM dispatch against
-//! the retained naive reference across a (size × threads) matrix, plus
-//! solver-layer wall times.
+//! Hot-path performance experiment: the kernel-tier ladder across a
+//! (size × threads) matrix, plus solver-layer wall times.
 //!
 //! Every figure in the suite funnels its host GEMM work through
 //! [`mc_blas::select::host_gemm_backend`] — the [`mc_compute::Auto`]
-//! crossover dispatch over the naive and blocked kernels. This
-//! experiment measures what that routing buys: for each cell of a
-//! problem-size × thread-count matrix it times the plain naive loop and
-//! the routed dispatch, confirms the two agree bitwise (the
-//! optimization contract: same rounding chain, different loop order),
-//! and records blocked LU/Cholesky factorization wall times. Alongside
-//! the usual envelope it writes a machine-readable
-//! `BENCH_hotpaths.json` to the `--json` sink so CI can archive and
-//! perf-diff timings cell by cell.
+//! dispatch over the naive → blocked → blocked+SIMD ladder. This
+//! experiment measures what each rung buys: for each cell of a
+//! problem-size × thread-count matrix it times the scalar blocked
+//! kernel, the explicit-SIMD microkernel (when the vector unit
+//! supports it), and the routed dispatch, confirms every path agrees
+//! bitwise with the retained naive reference (the optimization
+//! contract: same rounding chain, different loop order), and records
+//! blocked LU/Cholesky factorization wall times. Alongside the usual
+//! envelope it writes a machine-readable `BENCH_hotpaths.json` to the
+//! `--json` sink so CI can archive and perf-diff timings cell by cell.
 //!
-//! Because the dispatch routes sub-crossover problems back to the naive
-//! loop, the routed side can tie but never structurally lose at small
-//! N — the regression the v1 artifact exposed (`sgemm_blocked` behind
-//! `sgemm_naive` at N = 256 on one thread) is closed by policy, not by
-//! tuning the blocked kernel's toll away.
+//! Because the dispatch routes sub-crossover problems back to the
+//! naive loop and super-crossover ones to the fastest supported tier,
+//! the routed side can tie but never structurally lose to any single
+//! tier — the regression the v1 artifact exposed (`sgemm_blocked`
+//! behind `sgemm_naive` at N = 256 on one thread) stays closed by
+//! policy, and the v3 matrix additionally pins the ladder order: the
+//! tier the dispatch picks must not lose to any tier below it.
 //!
-//! The size axis defaults to {256, 512, 1024} (just {256} under smoke
-//! budgets) and collapses to a single dimension with the `MC_PERF_N`
-//! environment variable; the thread axis is fixed at {1, 4}.
+//! The naive reference is O(N³) with a strided `B` walk and no
+//! parallelism; at N = 2048 it needs minutes while the microkernel
+//! needs half a second. It is therefore only timed up to
+//! [`NAIVE_CAP_N`] — and only once per size, on the single-thread
+//! pass, since it never touches the pool — and larger cells report
+//! their throughput as GFLOP/s instead of a speedup-over-naive.
+//!
+//! The size axis defaults to {256, 512, 1024, 2048} (just {256} under
+//! smoke budgets) and collapses to a single dimension with the
+//! `MC_PERF_N` environment variable; the thread axis is fixed at
+//! {1, 4, 8}.
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use mc_blas::BlasHandle;
-use mc_compute::{Epilogue, GemmParams, MatMul, Naive};
+use mc_compute::{Blocked, Epilogue, GemmParams, MatMul, Naive, Simd};
 use mc_sim::{DeviceId, DeviceRegistry};
 use mc_solver::{factor_timed, Factorization};
 use serde::{Deserialize, Serialize};
 
 use crate::experiment::IterBudgets;
 
-/// Layout version of `BENCH_hotpaths.json`. Version 2 moved the thread
-/// count from the file header into every entry, turning the artifact
-/// into a (size × threads) matrix.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// Layout version of `BENCH_hotpaths.json`. Version 3 added per-entry
+/// `gflops` and `backend` columns and split the packed tier into
+/// `sgemm_blocked` (scalar) and `sgemm_simd` (microkernel) alongside
+/// the routed `sgemm_auto`; version 2 had moved the thread count from
+/// the file header into every entry.
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Name of the timing artifact written to the JSON sink.
 pub const BENCH_FILE: &str = "BENCH_hotpaths.json";
 
 /// The thread-count axis of the timing matrix.
-pub const MATRIX_THREADS: [usize; 2] = [1, 4];
+pub const MATRIX_THREADS: [usize; 3] = [1, 4, 8];
 
 /// Timing repetitions per cell; each kernel's wall time is the minimum
 /// over the repetitions, which strips scheduler noise from the
 /// committed artifact.
 pub const REPS: usize = 2;
 
-/// One cell of the naive-vs-routed GEMM matrix.
+/// Largest dimension at which the serial naive reference is timed.
+/// Beyond it the O(N³) strided walk costs minutes per repetition, so
+/// 2048-class cells skip it and report absolute GFLOP/s only.
+pub const NAIVE_CAP_N: usize = 1024;
+
+/// Relative jitter allowed before a tier comparison counts as a loss.
+/// Cross-tier cells re-time the same kernel through two code paths
+/// (the tier directly and the dispatch), so only scheduler noise can
+/// separate them; single-core runners show up to ~10% of it.
+pub const TIER_JITTER_REL: f64 = 0.10;
+
+/// Absolute scheduler-noise floor added on top of [`TIER_JITTER_REL`].
+/// Sub-100 ms cells (and oversubscribed thread counts on small hosts)
+/// see fixed wake-up/descheduling costs that dwarf 10% of the wall
+/// time, so a purely relative band flags noise as a loss there. Real
+/// tier inversions are order-of-magnitude events — the committed
+/// calibration puts ~9× between SIMD and blocked at 1024³ — which the
+/// 25 ms floor cannot mask.
+pub const TIER_JITTER_ABS_S: f64 = 0.025;
+
+/// One cell of the tier-ladder GEMM matrix.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GemmTiming {
     /// Square problem dimension (M = N = K).
     pub n: usize,
     /// Configured rayon worker count for this cell.
     pub threads: usize,
-    /// Naive reference kernel wall time in seconds (best of [`REPS`]).
-    pub naive_s: f64,
-    /// Routed-dispatch wall time in seconds (best of [`REPS`]).
+    /// Naive reference wall time in seconds (best of [`REPS`]); absent
+    /// above [`NAIVE_CAP_N`]. The reference is serial, so the value is
+    /// measured once per size and shared across the thread axis.
+    pub naive_s: Option<f64>,
+    /// Scalar blocked-kernel wall time in seconds (best of [`REPS`]).
     pub blocked_s: f64,
-    /// `naive_s / blocked_s`.
-    pub speedup: f64,
-    /// Whether the two paths produced bitwise-identical results.
+    /// SIMD-microkernel wall time in seconds (best of [`REPS`]);
+    /// absent when the vector unit is missing or `MC_GEMM_SIMD` turned
+    /// the tier off.
+    pub simd_s: Option<f64>,
+    /// Routed-dispatch wall time in seconds (best of [`REPS`]).
+    pub routed_s: f64,
+    /// Which tier the dispatch routed this cell to
+    /// (`naive`/`blocked`/`simd`).
+    pub routed: String,
+    /// Routed-dispatch throughput, `2·N³ / routed_s / 10⁹`.
+    pub gflops: f64,
+    /// `naive_s / routed_s`; absent where the naive reference is.
+    pub speedup: Option<f64>,
+    /// Whether every measured path produced bitwise-identical results.
     pub bitwise_equal: bool,
     /// The crossover edge the dispatch used for this cell.
     pub crossover_n: usize,
-    /// Which kernel the dispatch routed this cell to
-    /// (`naive`/`blocked`).
-    pub routed: String,
 }
 
 /// One factorization wall-time measurement.
@@ -99,16 +142,22 @@ pub struct Perf {
     /// Rayon worker threads of the ambient pool (restored after the
     /// matrix and used for the solver timings).
     pub threads: usize,
+    /// Whether the SIMD tier was live for this run (vector unit
+    /// present and not disabled via `MC_GEMM_SIMD`).
+    pub simd_enabled: bool,
     /// The (size × threads) GEMM timing matrix.
     pub cells: Vec<GemmTiming>,
     /// True when some full-dimension cell (N ≥ [`TARGET_N`]) met the
-    /// ≥5× speedup bar.
+    /// ≥5× speedup bar against the naive reference.
     pub meets_target: bool,
-    /// True when the routed dispatch never lost to the naive loop in
-    /// any cell beyond timer jitter (5%) — the crossover contract. On
-    /// sub-crossover cells both measurements time the *same* kernel, so
-    /// only jitter can separate them.
+    /// True when the routed dispatch never lost to any measured tier
+    /// in any cell beyond timer jitter ([`TIER_JITTER_REL`] plus the
+    /// [`TIER_JITTER_ABS_S`] noise floor) — the crossover contract.
     pub never_loses: bool,
+    /// True when in no cell the tier the dispatch picked lost to a
+    /// tier below it on the ladder (naive < blocked < simd), beyond
+    /// timer jitter — the tier-inversion check.
+    pub tier_ordered: bool,
     /// Factorization wall times over the routed BLAS-3 blocks.
     pub solver: Vec<SolverTiming>,
 }
@@ -116,7 +165,8 @@ pub struct Perf {
 /// One entry of `BENCH_hotpaths.json`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BenchEntry {
-    /// Stable hot-path id (`sgemm_naive`, `sgemm_blocked`, …).
+    /// Stable hot-path id (`sgemm_naive`, `sgemm_blocked`,
+    /// `sgemm_simd`, `sgemm_auto`, `getrf`, `potrf`).
     pub id: String,
     /// Problem dimension.
     pub n: usize,
@@ -124,6 +174,14 @@ pub struct BenchEntry {
     pub threads: usize,
     /// Host wall time in seconds.
     pub wall_s: f64,
+    /// Useful-FLOP throughput over the host wall time, in GFLOP/s
+    /// (schema v3; a v2 file is missing the column, so it fails the
+    /// parse and is treated as absent — same skip as a version
+    /// mismatch).
+    pub gflops: f64,
+    /// The kernel behind the measurement; for `sgemm_auto` the tier
+    /// the dispatch routed to (schema v3).
+    pub backend: String,
 }
 
 /// The schema-versioned timing artifact.
@@ -135,8 +193,8 @@ pub struct BenchFile {
     pub entries: Vec<BenchEntry>,
 }
 
-/// The GEMM size axis for a budget tier: {256, 512, 1024} for the
-/// reduced and paper tiers, {256} under smoke budgets, a single
+/// The GEMM size axis for a budget tier: {256, 512, 1024, 2048} for
+/// the reduced and paper tiers, {256} under smoke budgets, a single
 /// `MC_PERF_N` dimension overriding both.
 pub fn problem_sizes(budgets: &IterBudgets) -> Vec<usize> {
     if let Some(n) = std::env::var("MC_PERF_N")
@@ -148,7 +206,7 @@ pub fn problem_sizes(budgets: &IterBudgets) -> Vec<usize> {
     if *budgets == IterBudgets::smoke() {
         vec![256]
     } else {
-        vec![256, 512, 1024]
+        vec![256, 512, 1024, 2048]
     }
 }
 
@@ -161,6 +219,15 @@ fn fill(buf: &mut [f32], mut state: u64) {
         let mantissa = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f64;
         *v = (mantissa / (1u64 << 23) as f64 * 2.0 - 1.0) as f32;
     }
+}
+
+/// The deterministic operands every timing in this experiment uses.
+fn operands(n: usize) -> (Vec<f32>, Vec<f32>) {
+    let mut a = vec![0.0f32; n * n];
+    let mut b = vec![0.0f32; n * n];
+    fill(&mut a, 0x9E37_79B9_7F4A_7C15);
+    fill(&mut b, 0xD1B5_4A32_D192_ED03);
+    (a, b)
 }
 
 fn time_kernel<K: MatMul>(
@@ -180,47 +247,93 @@ fn time_kernel<K: MatMul>(
     (start.elapsed().as_secs_f64(), d)
 }
 
-/// Times one matrix cell: the naive loop against the routed dispatch,
-/// best of [`REPS`] each, with a bitwise agreement check. Assumes the
-/// global rayon pool is already sized to `threads`; the dispatch is
-/// constructed here so its crossover sees that pool.
-pub fn time_gemm(n: usize, threads: usize) -> GemmTiming {
-    let mut a = vec![0.0f32; n * n];
-    let mut b = vec![0.0f32; n * n];
-    fill(&mut a, 0x9E37_79B9_7F4A_7C15);
-    fill(&mut b, 0xD1B5_4A32_D192_ED03);
+/// Times the serial naive reference at size `n` (best of [`REPS`]),
+/// returning the wall time and the reference output for bitwise
+/// checks. Measured once per size; the loop has no parallelism, so
+/// the thread axis cannot move it.
+pub fn time_naive(n: usize) -> (f64, Vec<f32>) {
+    let (a, b) = operands(n);
     let params = GemmParams::new(n, n, n).with_epilogue(Epilogue::ComputeRounded);
-    let auto = mc_blas::select::host_gemm_backend();
-
-    let mut naive_s = f64::INFINITY;
-    let mut blocked_s = f64::INFINITY;
-    let mut d_naive = Vec::new();
-    let mut d_auto = Vec::new();
+    let mut best = f64::INFINITY;
+    let mut out = Vec::new();
     for _ in 0..REPS {
         let (t, d) = time_kernel(&Naive, &params, &a, &b);
-        naive_s = naive_s.min(t);
-        d_naive = d;
-        let (t, d) = time_kernel(&auto, &params, &a, &b);
+        best = best.min(t);
+        out = d;
+    }
+    (best, out)
+}
+
+/// Times one matrix cell: the scalar blocked tier, the SIMD tier when
+/// available, and the routed dispatch, best of [`REPS`] each, with a
+/// bitwise agreement check against the naive reference (or the
+/// blocked output above [`NAIVE_CAP_N`], where blocked stands in —
+/// `compute_parity` proves it bit-identical to naive). Assumes the
+/// global rayon pool is already sized to `threads`; the dispatch is
+/// constructed here so its crossover sees that pool.
+pub fn time_gemm(n: usize, threads: usize, naive: Option<&(f64, Vec<f32>)>) -> GemmTiming {
+    let (a, b) = operands(n);
+    let params = GemmParams::new(n, n, n).with_epilogue(Epilogue::ComputeRounded);
+    let auto = mc_blas::select::host_gemm_backend();
+    let simd_live = auto.simd_enabled() && Simd::supports::<f32, f32>();
+
+    let mut blocked_s = f64::INFINITY;
+    let mut simd_s = f64::INFINITY;
+    let mut routed_s = f64::INFINITY;
+    let mut d_blocked = Vec::new();
+    let mut d_simd = Vec::new();
+    let mut d_auto = Vec::new();
+    for _ in 0..REPS {
+        let (t, d) = time_kernel(&Blocked, &params, &a, &b);
         blocked_s = blocked_s.min(t);
+        d_blocked = d;
+        if simd_live {
+            let (t, d) = time_kernel(&Simd::from_env(), &params, &a, &b);
+            simd_s = simd_s.min(t);
+            d_simd = d;
+        }
+        let (t, d) = time_kernel(&auto, &params, &a, &b);
+        routed_s = routed_s.min(t);
         d_auto = d;
     }
 
+    let reference = naive.map_or(&d_blocked, |(_, d)| d);
+    let agrees = |other: &[f32]| {
+        reference
+            .iter()
+            .zip(other)
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+    };
+    let routed_s = routed_s.max(f64::MIN_POSITIVE);
     GemmTiming {
         n,
         threads,
-        naive_s,
+        naive_s: naive.map(|(t, _)| *t),
         blocked_s,
-        speedup: naive_s / blocked_s.max(f64::MIN_POSITIVE),
-        bitwise_equal: d_naive
-            .iter()
-            .zip(&d_auto)
-            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        simd_s: simd_live.then_some(simd_s),
+        routed_s,
+        routed: auto.routed_name::<f32, f32>(&params).to_owned(),
+        gflops: 2.0 * (n as f64).powi(3) / routed_s / 1e9,
+        speedup: naive.map(|(t, _)| t / routed_s),
+        bitwise_equal: agrees(&d_blocked) && agrees(&d_auto) && (!simd_live || agrees(&d_simd)),
         crossover_n: auto.crossover_n(),
-        routed: if auto.routes_to_naive(&params) {
-            "naive".to_owned()
-        } else {
-            "blocked".to_owned()
-        },
+    }
+}
+
+/// The wall times of the tiers at or below the dispatch's pick for a
+/// cell, paired with the pick's own tier timing — the inputs of the
+/// tier-inversion check.
+fn routed_tier_vs_lower(c: &GemmTiming) -> Option<(f64, Vec<f64>)> {
+    let naive = c.naive_s;
+    match c.routed.as_str() {
+        "simd" => c.simd_s.map(|s| {
+            (
+                s,
+                [Some(c.blocked_s), naive].into_iter().flatten().collect(),
+            )
+        }),
+        "blocked" => Some((c.blocked_s, naive.into_iter().collect())),
+        _ => None,
     }
 }
 
@@ -231,13 +344,17 @@ pub fn time_gemm(n: usize, threads: usize) -> GemmTiming {
 /// restored to the auto-detected default afterwards.
 pub fn run(devices: &DeviceRegistry, sizes: &[usize], threads_axis: &[usize]) -> Perf {
     let ambient = rayon::current_num_threads();
+    let mut naive_cache: HashMap<usize, (f64, Vec<f32>)> = HashMap::new();
     let mut cells = Vec::new();
     for &t in threads_axis {
         let _ = rayon::ThreadPoolBuilder::new()
             .num_threads(t)
             .build_global();
         for &n in sizes {
-            cells.push(time_gemm(n, t));
+            if n <= NAIVE_CAP_N && !naive_cache.contains_key(&n) {
+                naive_cache.insert(n, time_naive(n));
+            }
+            cells.push(time_gemm(n, t, naive_cache.get(&n)));
         }
     }
     let _ = rayon::ThreadPoolBuilder::new()
@@ -246,7 +363,13 @@ pub fn run(devices: &DeviceRegistry, sizes: &[usize], threads_axis: &[usize]) ->
 
     let mut handle = BlasHandle::from_registry(devices, DeviceId::Mi250xGcd);
     let block = 128;
-    let solver_n = sizes.iter().copied().max().unwrap_or(block).max(block * 2);
+    let solver_n = sizes
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(block)
+        .max(block * 2)
+        .min(NAIVE_CAP_N);
     let solver = [Factorization::Getrf, Factorization::Potrf]
         .into_iter()
         .map(|kind| {
@@ -265,10 +388,26 @@ pub fn run(devices: &DeviceRegistry, sizes: &[usize], threads_axis: &[usize]) ->
         })
         .collect();
 
+    let within_jitter = |actual: f64, reference: f64| {
+        actual <= reference * (1.0 + TIER_JITTER_REL) + TIER_JITTER_ABS_S
+    };
     Perf {
         threads: ambient,
-        meets_target: cells.iter().any(|c| c.n >= TARGET_N && c.speedup >= 5.0),
-        never_loses: cells.iter().all(|c| c.blocked_s <= c.naive_s * 1.05),
+        simd_enabled: cells.iter().all(|c| c.simd_s.is_some()) && !cells.is_empty(),
+        meets_target: cells
+            .iter()
+            .any(|c| c.n >= TARGET_N && c.speedup.is_some_and(|s| s >= 5.0)),
+        never_loses: cells.iter().all(|c| {
+            let floor = [Some(c.blocked_s), c.simd_s, c.naive_s]
+                .into_iter()
+                .flatten()
+                .fold(f64::INFINITY, f64::min);
+            within_jitter(c.routed_s, floor)
+        }),
+        tier_ordered: cells.iter().all(|c| {
+            routed_tier_vs_lower(c)
+                .is_none_or(|(own, lower)| lower.iter().all(|&l| within_jitter(own, l)))
+        }),
         cells,
         solver,
     }
@@ -276,26 +415,65 @@ pub fn run(devices: &DeviceRegistry, sizes: &[usize], threads_axis: &[usize]) ->
 
 /// The `BENCH_hotpaths.json` contents for a run.
 pub fn bench_file(p: &Perf) -> BenchFile {
+    let gf = |n: usize, wall: f64| 2.0 * (n as f64).powi(3) / wall.max(f64::MIN_POSITIVE) / 1e9;
     let mut entries = Vec::new();
     for c in &p.cells {
-        entries.push(BenchEntry {
-            id: "sgemm_naive".to_owned(),
-            n: c.n,
-            threads: c.threads,
-            wall_s: c.naive_s,
-        });
+        // The naive reference is serial and measured once per size;
+        // emit it on the single-thread row only so every entry is a
+        // real measurement at its recorded thread count.
+        if c.threads == 1 {
+            if let Some(t) = c.naive_s {
+                entries.push(BenchEntry {
+                    id: "sgemm_naive".to_owned(),
+                    n: c.n,
+                    threads: c.threads,
+                    wall_s: t,
+                    gflops: gf(c.n, t),
+                    backend: "naive".to_owned(),
+                });
+            }
+        }
         entries.push(BenchEntry {
             id: "sgemm_blocked".to_owned(),
             n: c.n,
             threads: c.threads,
             wall_s: c.blocked_s,
+            gflops: gf(c.n, c.blocked_s),
+            backend: "blocked".to_owned(),
+        });
+        if let Some(t) = c.simd_s {
+            entries.push(BenchEntry {
+                id: "sgemm_simd".to_owned(),
+                n: c.n,
+                threads: c.threads,
+                wall_s: t,
+                gflops: gf(c.n, t),
+                backend: "simd".to_owned(),
+            });
+        }
+        entries.push(BenchEntry {
+            id: "sgemm_auto".to_owned(),
+            n: c.n,
+            threads: c.threads,
+            wall_s: c.routed_s,
+            gflops: c.gflops,
+            backend: c.routed.clone(),
         });
     }
-    entries.extend(p.solver.iter().map(|s| BenchEntry {
-        id: s.routine.clone(),
-        n: s.n,
-        threads: p.threads,
-        wall_s: s.wall_s,
+    entries.extend(p.solver.iter().map(|s| {
+        // LU is 2n³/3 useful FLOPs, Cholesky n³/3.
+        let flops = match s.routine.as_str() {
+            "getrf" => 2.0 * (s.n as f64).powi(3) / 3.0,
+            _ => (s.n as f64).powi(3) / 3.0,
+        };
+        BenchEntry {
+            id: s.routine.clone(),
+            n: s.n,
+            threads: p.threads,
+            wall_s: s.wall_s,
+            gflops: flops / s.wall_s.max(f64::MIN_POSITIVE) / 1e9,
+            backend: "auto".to_owned(),
+        }
     }));
     BenchFile {
         schema_version: BENCH_SCHEMA_VERSION,
@@ -312,7 +490,7 @@ impl crate::experiment::Experiment for PerfExperiment {
     }
 
     fn title(&self) -> &'static str {
-        "Perf — routed GEMM dispatch vs naive reference (size × threads)"
+        "Perf — GEMM kernel-tier ladder vs naive reference (size × threads)"
     }
 
     fn device(&self) -> &'static str {
@@ -320,7 +498,19 @@ impl crate::experiment::Experiment for PerfExperiment {
     }
 
     fn execute(&self, ctx: &crate::experiment::RunContext) -> (serde::Value, String) {
+        mc_compute::reset_pool_stats();
         let p = run(&ctx.devices, &problem_sizes(&ctx.budgets), &MATRIX_THREADS);
+        let stats = mc_compute::pool_stats();
+        let counts = mc_obs::PoolCounts::new(
+            stats.hits,
+            stats.misses,
+            stats.recycled,
+            stats.discarded,
+            stats.allocated_bytes,
+        );
+        if let Err(e) = ctx.persist_pool_metrics(self.id(), &counts) {
+            eprintln!("error: could not write pool metrics: {e}");
+        }
         if let Some(dir) = &ctx.json_sink {
             let write = std::fs::create_dir_all(dir).and_then(|()| {
                 std::fs::write(
@@ -340,21 +530,28 @@ impl crate::experiment::Experiment for PerfExperiment {
 /// Renders the experiment as text.
 pub fn render(p: &Perf) -> String {
     use std::fmt::Write as _;
-    let mut s = String::from("Perf: host hot-path timings (routed GEMM dispatch vs naive)\n");
+    let mut s = format!(
+        "Perf: host hot-path timings across the kernel-tier ladder (SIMD tier {})\n",
+        if p.simd_enabled { "on" } else { "off" }
+    );
     let _ = writeln!(
         s,
-        "{:>6} {:>4} {:>10} {:>10} {:>8}  {:<8} bitwise",
-        "N", "thr", "naive_s", "routed_s", "speedup", "route"
+        "{:>6} {:>4} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}  {:<8} bitwise",
+        "N", "thr", "naive_s", "blocked_s", "simd_s", "routed_s", "GF/s", "speedup", "route"
     );
+    let opt = |v: Option<f64>| v.map_or("-".to_owned(), |t| format!("{t:.4}"));
     for c in &p.cells {
         let _ = writeln!(
             s,
-            "{:>6} {:>4} {:>10.4} {:>10.4} {:>7.2}x  {:<8} {}",
+            "{:>6} {:>4} {:>10} {:>10.4} {:>10} {:>10.4} {:>8.1} {:>8}  {:<8} {}",
             c.n,
             c.threads,
-            c.naive_s,
+            opt(c.naive_s),
             c.blocked_s,
-            c.speedup,
+            opt(c.simd_s),
+            c.routed_s,
+            c.gflops,
+            c.speedup.map_or("-".to_owned(), |sp| format!("{sp:.1}x")),
             c.routed,
             if c.bitwise_equal { "yes" } else { "NO" }
         );
@@ -372,8 +569,13 @@ pub fn render(p: &Perf) -> String {
     let _ = writeln!(s, "speedup bar: {verdict}");
     let _ = writeln!(
         s,
-        "routed dispatch never loses to naive: {}",
+        "routed dispatch never loses to a measured tier: {}",
         if p.never_loses { "yes" } else { "NO" }
+    );
+    let _ = writeln!(
+        s,
+        "tier ladder order holds in every cell: {}",
+        if p.tier_ordered { "yes" } else { "NO" }
     );
     for t in &p.solver {
         let _ = writeln!(
@@ -390,11 +592,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn routed_agrees_bitwise_with_naive() {
-        let t = time_gemm(96, rayon::current_num_threads());
-        assert!(t.bitwise_equal, "routed f32 GEMM diverged from naive");
-        assert!(t.naive_s > 0.0 && t.blocked_s > 0.0);
+    fn all_tiers_agree_bitwise_with_naive() {
+        let naive = time_naive(96);
+        let t = time_gemm(96, rayon::current_num_threads(), Some(&naive));
+        assert!(t.bitwise_equal, "a tier diverged from the naive reference");
+        assert_eq!(t.naive_s, Some(naive.0));
+        assert!(t.blocked_s > 0.0 && t.routed_s > 0.0);
+        assert!(t.speedup.is_some());
+        assert!(t.gflops > 0.0);
         assert!(t.crossover_n > 0);
+    }
+
+    #[test]
+    fn capped_cells_check_against_the_blocked_stand_in() {
+        // Above NAIVE_CAP_N the cell carries no naive column but the
+        // bitwise check still runs (against the blocked output).
+        let t = time_gemm(96, rayon::current_num_threads(), None);
+        assert_eq!(t.naive_s, None);
+        assert_eq!(t.speedup, None);
+        assert!(t.bitwise_equal);
     }
 
     #[test]
@@ -404,8 +620,14 @@ mod tests {
             return;
         }
         assert_eq!(problem_sizes(&IterBudgets::smoke()), vec![256]);
-        assert_eq!(problem_sizes(&IterBudgets::reduced()), vec![256, 512, 1024]);
-        assert_eq!(problem_sizes(&IterBudgets::paper()), vec![256, 512, 1024]);
+        assert_eq!(
+            problem_sizes(&IterBudgets::reduced()),
+            vec![256, 512, 1024, 2048]
+        );
+        assert_eq!(
+            problem_sizes(&IterBudgets::paper()),
+            vec![256, 512, 1024, 2048]
+        );
     }
 
     #[test]
@@ -413,10 +635,16 @@ mod tests {
         let p = run(&DeviceRegistry::builtin(), &[64], &[1, 4]);
         let f = bench_file(&p);
         assert_eq!(f.schema_version, BENCH_SCHEMA_VERSION);
-        // 2 cells × 2 GEMM ids + 2 solver routines.
-        assert_eq!(f.entries.len(), 6);
+        // Naive rides the t=1 row only; blocked and auto cover every
+        // cell; simd follows the vector unit; 2 solver routines.
+        let simd_ids = if p.simd_enabled { 2 } else { 0 };
+        assert_eq!(f.entries.len(), 1 + 2 * 2 + simd_ids + 2);
+        assert!(f
+            .entries
+            .iter()
+            .any(|e| e.id == "sgemm_naive" && e.threads == 1 && e.backend == "naive"));
         for threads in [1usize, 4] {
-            for id in ["sgemm_naive", "sgemm_blocked"] {
+            for id in ["sgemm_blocked", "sgemm_auto"] {
                 assert!(
                     f.entries
                         .iter()
@@ -425,7 +653,8 @@ mod tests {
                 );
             }
         }
-        assert!(f.entries.iter().all(|e| e.wall_s > 0.0));
+        assert!(f.entries.iter().all(|e| e.wall_s > 0.0 && e.gflops > 0.0));
+        assert!(f.entries.iter().all(|e| !e.backend.is_empty()));
     }
 
     #[test]
@@ -433,6 +662,7 @@ mod tests {
         let p = run(&DeviceRegistry::builtin(), &[64], &[1]);
         let text = render(&p);
         assert!(text.contains("speedup bar"));
+        assert!(text.contains("tier ladder order"));
         assert!(p.cells.iter().all(|c| c.bitwise_equal), "{text}");
         assert!(text.contains("getrf"));
         assert!(text.contains("potrf"));
@@ -451,13 +681,14 @@ mod tests {
 
     #[test]
     fn small_cells_route_to_naive_on_one_thread() {
-        // At N = 64 on one worker the dispatch must stay on the naive
-        // loop (the crossover covers it), so the routed side cannot
-        // structurally lose.
+        // At N = 32 on one worker the dispatch must stay on the naive
+        // loop (every ladder's crossover covers it), so the routed
+        // side cannot structurally lose.
         let _ = rayon::ThreadPoolBuilder::new()
             .num_threads(1)
             .build_global();
-        let t = time_gemm(64, 1);
+        let naive = time_naive(32);
+        let t = time_gemm(32, 1, Some(&naive));
         let _ = rayon::ThreadPoolBuilder::new()
             .num_threads(0)
             .build_global();
@@ -465,6 +696,32 @@ mod tests {
             return; // calibration override in force; routing is theirs
         }
         assert_eq!(t.routed, "naive", "crossover edge {}", t.crossover_n);
+    }
+
+    #[test]
+    fn tier_inversion_check_compares_the_pick_against_lower_rungs() {
+        let cell = GemmTiming {
+            n: 256,
+            threads: 1,
+            naive_s: Some(0.5),
+            blocked_s: 0.1,
+            simd_s: Some(0.02),
+            routed_s: 0.02,
+            routed: "simd".to_owned(),
+            gflops: 1.0,
+            speedup: Some(25.0),
+            bitwise_equal: true,
+            crossover_n: 40,
+        };
+        let (own, lower) = routed_tier_vs_lower(&cell).unwrap();
+        assert_eq!(own, 0.02);
+        assert_eq!(lower, vec![0.1, 0.5]);
+        // A naive-routed cell has no lower rung to lose to.
+        let naive_cell = GemmTiming {
+            routed: "naive".to_owned(),
+            ..cell
+        };
+        assert!(routed_tier_vs_lower(&naive_cell).is_none());
     }
 
     #[test]

@@ -12,7 +12,6 @@
 use mc_isa::KernelDesc;
 use mc_types::Real;
 
-use crate::functional::run_functional;
 use crate::handle::{BlasHandle, GemmPerf};
 use crate::planner::plan_gemm;
 use crate::types::{BlasError, GemmDesc};
@@ -119,6 +118,13 @@ impl BlasHandle {
 
     /// Functional strided-batched execution on host data plus the
     /// simulated launch (`rocblas_gemm_strided_batched_ex` shape).
+    ///
+    /// The planner strategy and the host backend are resolved once for
+    /// the whole batch, and the packed tiers draw their panel scratch
+    /// from the `mc-compute` buffer pool — so after the first entry
+    /// warms the freelists, the remaining `batch_count - 1` problems
+    /// run with zero allocator round-trips (the `pool_reuse`
+    /// integration test pins this steady-state invariant).
     #[allow(clippy::too_many_arguments)]
     pub fn gemm_strided_batched_ex<AB, CD, CT>(
         &mut self,
@@ -152,9 +158,11 @@ impl BlasHandle {
             }
         }
         let strategy = crate::planner::select_strategy(g);
+        let backend = crate::select::host_gemm_backend();
         for i in 0..desc.batch_count {
             let (ao, bo, co) = (i * desc.stride_a, i * desc.stride_b, i * desc.stride_c);
-            run_functional::<AB, CD, CT>(
+            crate::functional::run_functional_with::<AB, CD, CT>(
+                &backend,
                 g,
                 &strategy,
                 &a[ao..ao + g.m * g.k],
@@ -170,6 +178,7 @@ impl BlasHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::functional::run_functional;
     use crate::types::GemmOp;
 
     #[test]

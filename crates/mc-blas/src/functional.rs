@@ -8,10 +8,13 @@
 //! decomposition.
 //!
 //! Both planner strategies execute on the shared [`mc_compute::Auto`]
-//! dispatch ([`crate::select::host_gemm_backend`]): the naive triple
-//! loop below the crossover edge, the cache-blocked packed-panel kernel
-//! above it — bit-for-bit identical either way, so routing only moves
-//! time. The strategies differ only in the epilogue rounding:
+//! dispatch ([`crate::select::host_gemm_backend`]), a three-tier
+//! ladder: the naive triple loop below the crossover edge, and above
+//! it the explicit-SIMD microkernel ([`mc_compute::Simd`]) when the
+//! vector unit and dtype pairing allow, else the cache-blocked
+//! packed-panel kernel — bit-for-bit identical at every tier, so
+//! routing only moves time. The strategies differ only in the epilogue
+//! rounding:
 //!
 //! * **Matrix Core** — the accumulator registers live in the compute
 //!   type, so the epilogue sum rounds through `CT` before the output
@@ -138,6 +141,35 @@ where
     CD: Real,
     CT: Real,
 {
+    run_functional_with::<AB, CD, CT>(
+        &crate::select::host_gemm_backend(),
+        desc,
+        strategy,
+        a,
+        b,
+        c,
+        d,
+    )
+}
+
+/// [`run_functional`] with a caller-held backend: batch loops resolve
+/// the dispatcher (an environment read) once and reuse it across every
+/// entry instead of rebuilding it per problem.
+#[allow(clippy::too_many_arguments)]
+pub fn run_functional_with<AB, CD, CT>(
+    backend: &mc_compute::Auto,
+    desc: &GemmDesc,
+    strategy: &Strategy,
+    a: &[AB],
+    b: &[AB],
+    c: &[CD],
+    d: &mut [CD],
+) -> Result<(), BlasError>
+where
+    AB: Real,
+    CD: Real,
+    CT: Real,
+{
     check_buffers(desc, a.len(), b.len(), c.len(), d.len())?;
     let epilogue = match strategy {
         Strategy::MatrixCore { .. } => {
@@ -152,7 +184,7 @@ where
         }
         Strategy::SimdOnly { .. } => Epilogue::Direct,
     };
-    crate::select::host_gemm_backend()
+    backend
         .gemm::<AB, CD, CT>(&to_params(desc, epilogue), a, b, c, d)
         .map_err(compute_to_blas)
 }

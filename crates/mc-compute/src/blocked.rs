@@ -26,7 +26,7 @@ use mc_types::Real;
 use rayon::prelude::*;
 
 use crate::params::{ComputeError, Epilogue, GemmParams, Trans};
-use crate::MatMul;
+use crate::{pool, MatMul};
 
 /// Row-panel height: the unit of parallel work.
 pub const MC: usize = 64;
@@ -149,6 +149,35 @@ fn micro_panel<CT: Real>(
     }
 }
 
+/// The shared α/β epilogue: `d ← epi(α·acc, β·c)` over full rows in
+/// parallel, with both products rounded in the compute type. Used by
+/// the blocked and SIMD tiers (the accumulator layout is identical).
+pub(crate) fn apply_epilogue<CT: Real, CD: Real>(
+    params: &GemmParams,
+    acc: &[CT],
+    c: &[CD],
+    d: &mut [CD],
+) {
+    let (m, n) = (params.m, params.n);
+    let (alpha, beta) = (params.alpha, params.beta);
+    let epilogue = params.epilogue;
+    d[..m * n]
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, drow)| {
+            for (j, out) in drow.iter_mut().enumerate() {
+                let ab = CT::from_f64(alpha * acc[i * n + j].to_f64());
+                let bc = CT::from_f64(beta * c[i * n + j].to_f64());
+                *out = match epilogue {
+                    Epilogue::Direct => CD::from_f64(ab.to_f64() + bc.to_f64()),
+                    Epilogue::ComputeRounded => {
+                        CD::from_f64(CT::from_f64(ab.to_f64() + bc.to_f64()).to_f64())
+                    }
+                };
+            }
+        });
+}
+
 impl MatMul for Blocked {
     fn name(&self) -> &'static str {
         "blocked"
@@ -176,42 +205,25 @@ impl MatMul for Blocked {
         // Compute-type accumulators for the whole output, carried across
         // k blocks so each element sees one ascending-k rounding chain.
         let mut acc = vec![CT::zero(); m * n];
-        let mut b_panel: Vec<f64> = Vec::with_capacity(KC * NC);
+        let mut b_panel = pool::acquire::<f64>(KC.min(k.max(1)) * NC.min(n));
         for jc in (0..n).step_by(NC) {
             let nc_len = NC.min(n - jc);
             for pc in (0..k).step_by(KC) {
                 let kc_len = KC.min(k - pc);
                 pack_b(params, b, pc, kc_len, jc, nc_len, &mut b_panel);
-                let bp = &b_panel;
+                let bp = &*b_panel;
                 acc.par_chunks_mut(MC * n)
                     .enumerate()
                     .for_each(|(panel, acc_rows)| {
                         let mc_len = acc_rows.len() / n;
-                        let mut a_panel = Vec::with_capacity(mc_len * kc_len);
+                        let mut a_panel = pool::acquire::<f64>(mc_len * kc_len);
                         pack_a(params, a, panel * MC, mc_len, pc, kc_len, &mut a_panel);
                         micro_panel(acc_rows, n, jc, nc_len, kc_len, &a_panel, bp);
                     });
             }
         }
 
-        let (alpha, beta) = (params.alpha, params.beta);
-        let epilogue = params.epilogue;
-        let acc_ref = &acc;
-        d[..m * n]
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, drow)| {
-                for (j, out) in drow.iter_mut().enumerate() {
-                    let ab = CT::from_f64(alpha * acc_ref[i * n + j].to_f64());
-                    let bc = CT::from_f64(beta * c[i * n + j].to_f64());
-                    *out = match epilogue {
-                        Epilogue::Direct => CD::from_f64(ab.to_f64() + bc.to_f64()),
-                        Epilogue::ComputeRounded => {
-                            CD::from_f64(CT::from_f64(ab.to_f64() + bc.to_f64()).to_f64())
-                        }
-                    };
-                }
-            });
+        apply_epilogue::<CT, CD>(params, &acc, c, d);
         Ok(())
     }
 }

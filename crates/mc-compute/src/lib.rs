@@ -11,9 +11,20 @@
 //!   backend ([`MC`]×[`NC`]×[`KC`] tiling). Bit-identical to [`Naive`]
 //!   for every dtype triple because it preserves the per-element
 //!   ascending-k rounding chain; see `blocked.rs` for the argument.
-//! * [`Auto`] — shape-aware dispatch between the two: the naive loop at
-//!   or below a thread-aware crossover edge, the blocked kernel above
-//!   it. Bitwise-invisible because the two backends agree bit for bit.
+//! * [`Simd`] — the explicit-SIMD microkernel tier: AVX2
+//!   register-blocked microtiles (8-wide f32 / 4-wide f64, two vectors
+//!   per row) with a portable scalar-unrolled fallback, runtime
+//!   feature detection, and the [`SIMD_ENV`] escape hatch. Lanes carry
+//!   independent rounding chains, so it too is bit-identical to
+//!   [`Naive`]; see `simd.rs` for the double-rounding argument.
+//! * [`Auto`] — shape-aware dispatch over the ladder: the naive loop
+//!   at or below a thread-aware crossover edge, the best packed tier
+//!   (SIMD where supported, blocked otherwise) above it.
+//!   Bitwise-invisible because all backends agree bit for bit.
+//! * Pool-backed scratch reuse — [`acquire`] / [`pool_stats`] /
+//!   [`reset_pool_stats`]: the packing-buffer pool the packed tiers
+//!   draw from, with hit/miss counters `mc-obs` exports as
+//!   `compute.pool.*` metrics.
 //! * [`gemm_i8`] / [`gemm_i8_reference`] — the int8→int32 quantized
 //!   kernels (exact integer accumulation, so blocking is trivially
 //!   safe).
@@ -31,6 +42,8 @@ mod int8;
 mod mma;
 mod naive;
 mod params;
+mod pool;
+mod simd;
 
 pub use auto::{crossover_from_env, default_crossover, effective_parallelism, Auto, CROSSOVER_ENV};
 pub use blocked::{Blocked, KC, MC, NC};
@@ -38,6 +51,10 @@ pub use int8::{gemm_i8, gemm_i8_reference};
 pub use mma::mma_accumulate;
 pub use naive::Naive;
 pub use params::{ComputeError, Epilogue, GemmParams, Trans};
+pub use pool::{
+    acquire, pool_stats, reset_pool_stats, PoolElem, PoolStats, PooledVec, LOCAL_CAP, SHELF_CAP,
+};
+pub use simd::{Simd, SimdMode, MR, SIMD_ENV};
 
 use mc_types::Real;
 

@@ -24,6 +24,11 @@
 //!   the lint and flow gates' diagnostic counts into the same registry
 //!   under `verifier.*`, so a scrape sees the corpus's zero-diagnostic
 //!   invariant as counters.
+//! - [`register_compute_pool_metrics`] / [`PoolCounts`]: aggregates
+//!   the `mc-compute` packing-pool freelist counters under
+//!   `compute.pool.*`, so the steady-state-reuse invariant (miss delta
+//!   zero once warm) is scrapeable alongside the wall times it
+//!   explains.
 //! - [`diff`] / [`Sample`] / [`DiffReport`]: the `perf-diff` regression
 //!   detector comparing a run's samples against committed baselines
 //!   with per-metric tolerances; [`power_noise_tolerance`] derives the
@@ -36,6 +41,7 @@
 #![deny(missing_docs)]
 
 mod attribution;
+mod compute;
 mod perfdiff;
 mod verifier;
 
@@ -43,6 +49,7 @@ pub use attribution::{
     from_jsonl, register_attribution_metrics, to_jsonl, AttributionRecord, Attributor,
     ATTRIBUTION_SCHEMA_VERSION,
 };
+pub use compute::{register_compute_pool_metrics, PoolCounts};
 pub use perfdiff::{
     diff, power_noise_tolerance, DiffEntry, DiffReport, DiffStatus, Direction, Sample,
     DEFAULT_TOLERANCE_REL,

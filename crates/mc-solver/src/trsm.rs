@@ -20,8 +20,10 @@ pub const TRSM_BLOCK: usize = 64;
 /// Runs `D ← α·A·B + β·C` on the shared GEMM dispatch (solver-internal
 /// shapes are always in-bounds, so the buffer check cannot fail). The
 /// [`mc_compute::Auto`] crossover keeps the frequent small panel
-/// updates off the blocked kernel's packing toll without changing a
-/// bit of the result.
+/// updates off the packed tiers' packing toll without changing a bit
+/// of the result; large rank-k updates land on the f64 SIMD
+/// microkernel when the vector unit allows, the scalar blocked kernel
+/// otherwise — bitwise identical either way.
 fn gemm_update(params: &GemmParams, a: &[f64], b: &[f64], c: &[f64], d: &mut [f64]) {
     mc_compute::Auto::from_env()
         .gemm::<f64, f64, f64>(params, a, b, c, d)

@@ -1,14 +1,18 @@
-//! ULP-parity tests for the blocked `mc-compute` GEMM kernel.
+//! ULP-parity tests for the packed `mc-compute` GEMM kernels.
 //!
-//! The optimization contract (docs/PERFORMANCE.md) is that the blocked
-//! kernel reorders *loops*, never the per-element rounding chain: for
-//! every dtype combination the result is bitwise-identical to the
-//! retained naive reference — trivially within the 2-ULP acceptance
-//! band — for any shape, transpose pair, scaling, epilogue, and worker
-//! thread count.
+//! The optimization contract (docs/PERFORMANCE.md) is that the packed
+//! tiers — the cache-blocked kernel and the explicit-SIMD microkernel,
+//! in both its vector and portable modes — reorder *loops*, never the
+//! per-element rounding chain: for every dtype combination the result
+//! is bitwise-identical to the retained naive reference — trivially
+//! within the 2-ULP acceptance band — for any shape, transpose pair,
+//! scaling, epilogue, and worker thread count. A golden test
+//! additionally pins the reduction order itself against committed
+//! output bits, so a contract change cannot hide behind all tiers
+//! drifting together.
 
 use amd_matrix_cores::compute::{
-    gemm_i8, gemm_i8_reference, Blocked, Epilogue, GemmParams, MatMul, Naive, Trans,
+    gemm_i8, gemm_i8_reference, Blocked, Epilogue, GemmParams, MatMul, Naive, Simd, SimdMode, Trans,
 };
 use amd_matrix_cores::types::{ulp_distance_f32, Bf16, Real, F16};
 use proptest::prelude::*;
@@ -49,27 +53,63 @@ fn assert_parity<AB: Real, CD: Real, CT: Real>(
         .with_epilogue(epilogue);
 
     let mut d_naive = vec![CD::zero(); m * n];
-    let mut d_blocked = vec![CD::zero(); m * n];
     Naive
         .gemm::<AB, CD, CT>(&params, &a, &b, &c, &mut d_naive)
         .expect("naive kernel accepts well-formed problems");
-    Blocked
-        .gemm::<AB, CD, CT>(&params, &a, &b, &c, &mut d_blocked)
-        .expect("blocked kernel accepts well-formed problems");
 
-    for (i, (x, y)) in d_naive.iter().zip(&d_blocked).enumerate() {
-        prop_assert_eq!(
-            x.to_f64().to_bits(),
-            y.to_f64().to_bits(),
-            "{}x{}x{} {:?} element {}: naive {:?} vs blocked {:?}",
-            m,
-            n,
-            k,
-            params.epilogue,
-            i,
-            x,
-            y
-        );
+    // Every packed tier must match the naive chain bit for bit: the
+    // scalar blocked kernel, the SIMD microkernel in whatever mode the
+    // host supports, and its portable mode explicitly (so runners with
+    // AVX2 still cover the fallback). Unsupported dtype pairings fall
+    // back to Blocked inside Simd, which keeps the assertion honest
+    // for every combination.
+    let tier_out = |kernel: &dyn Fn(&mut [CD])| {
+        let mut d = vec![CD::zero(); m * n];
+        kernel(&mut d);
+        d
+    };
+    let tiers: [(&str, Vec<CD>); 3] = [
+        (
+            "blocked",
+            tier_out(&|d| {
+                Blocked
+                    .gemm::<AB, CD, CT>(&params, &a, &b, &c, d)
+                    .expect("blocked kernel accepts well-formed problems")
+            }),
+        ),
+        (
+            "simd",
+            tier_out(&|d| {
+                Simd::from_env()
+                    .gemm::<AB, CD, CT>(&params, &a, &b, &c, d)
+                    .expect("simd kernel accepts well-formed problems")
+            }),
+        ),
+        (
+            "simd-portable",
+            tier_out(&|d| {
+                Simd::with_mode(SimdMode::Portable)
+                    .gemm::<AB, CD, CT>(&params, &a, &b, &c, d)
+                    .expect("portable simd kernel accepts well-formed problems")
+            }),
+        ),
+    ];
+    for (tier, d_tier) in &tiers {
+        for (i, (x, y)) in d_naive.iter().zip(d_tier).enumerate() {
+            prop_assert_eq!(
+                x.to_f64().to_bits(),
+                y.to_f64().to_bits(),
+                "{}x{}x{} {:?} element {}: naive {:?} vs {} {:?}",
+                m,
+                n,
+                k,
+                params.epilogue,
+                i,
+                x,
+                tier,
+                y
+            );
+        }
     }
     Ok(())
 }
@@ -217,21 +257,107 @@ fn thread_count_does_not_change_results() {
     let c = lcg_fill::<f32>(m * n, 107);
     let params = GemmParams::new(m, n, k).with_epilogue(Epilogue::ComputeRounded);
 
-    let run = |threads: usize| {
+    let run = |threads: usize, simd: bool| {
         rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build_global()
             .expect("pool rebuild");
         let mut d = vec![0.0f32; m * n];
-        Blocked
-            .gemm::<f32, f32, f32>(&params, &a, &b, &c, &mut d)
-            .unwrap();
+        if simd {
+            Simd::from_env()
+                .gemm::<f32, f32, f32>(&params, &a, &b, &c, &mut d)
+                .unwrap();
+        } else {
+            Blocked
+                .gemm::<f32, f32, f32>(&params, &a, &b, &c, &mut d)
+                .unwrap();
+        }
         d.into_iter().map(f32::to_bits).collect::<Vec<u32>>()
     };
 
-    let single = run(1);
-    let quad = run(4);
-    let eight = run(8);
-    assert_eq!(single, quad);
-    assert_eq!(single, eight);
+    for simd in [false, true] {
+        let single = run(1, simd);
+        let quad = run(4, simd);
+        let eight = run(8, simd);
+        assert_eq!(single, quad, "simd={simd}");
+        assert_eq!(single, eight, "simd={simd}");
+    }
+}
+
+/// Deterministic pseudo-random fill in [-1, 1) (xorshift64*): full
+/// mantissas, so products and partial sums are inexact and the
+/// rounding chain's *order* shows up in the output bits.
+fn xorshift_fill(buf: &mut [f32], mut state: u64) {
+    for v in buf.iter_mut() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let mantissa = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f64;
+        *v = (mantissa / (1u64 << 23) as f64 * 2.0 - 1.0) as f32;
+    }
+}
+
+/// Golden pin of the reduction-order contract: the FNV-1a hash of the
+/// output bits of a fixed inexact-arithmetic problem, committed as a
+/// constant. Cross-tier parity alone cannot catch every regression —
+/// if someone reorders the per-element chain in *all* kernels at once
+/// (say, swaps the ascending-k order for a tree reduction), the tiers
+/// still agree with each other; this pin fails instead. The constant
+/// is machine-independent: scalar f32 arithmetic through the exact
+/// `to_f64` chain is IEEE-defined, and the SIMD lanes are independent
+/// columns of the same chain.
+#[test]
+fn golden_reduction_order_is_pinned() {
+    let (m, n, k) = (48, 40, 72);
+    let mut a = vec![0.0f32; m * k];
+    let mut b = vec![0.0f32; k * n];
+    let mut c = vec![0.0f32; m * n];
+    xorshift_fill(&mut a, 0x9E37_79B9_7F4A_7C15);
+    xorshift_fill(&mut b, 0xD1B5_4A32_D192_ED03);
+    xorshift_fill(&mut c, 0x1234_5678_9ABC_DEF0);
+    let params = GemmParams::new(m, n, k)
+        .with_scaling(1.25, -0.5)
+        .with_epilogue(Epilogue::ComputeRounded);
+
+    let fnv = |d: &[f32]| {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for v in d {
+            for byte in v.to_bits().to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    };
+
+    const GOLDEN: u64 = 0x3b33_151a_e852_55e7;
+    for (tier, out) in [
+        ("naive", {
+            let mut d = vec![0.0f32; m * n];
+            Naive
+                .gemm::<f32, f32, f32>(&params, &a, &b, &c, &mut d)
+                .unwrap();
+            d
+        }),
+        ("simd", {
+            let mut d = vec![0.0f32; m * n];
+            Simd::from_env()
+                .gemm::<f32, f32, f32>(&params, &a, &b, &c, &mut d)
+                .unwrap();
+            d
+        }),
+        ("simd-portable", {
+            let mut d = vec![0.0f32; m * n];
+            Simd::with_mode(SimdMode::Portable)
+                .gemm::<f32, f32, f32>(&params, &a, &b, &c, &mut d)
+                .unwrap();
+            d
+        }),
+    ] {
+        assert_eq!(
+            fnv(&out),
+            GOLDEN,
+            "{tier}: the per-element reduction order changed"
+        );
+    }
 }
