@@ -494,6 +494,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::autotune::AutotuneExperiment),
         Box::new(crate::regress::RegressExperiment),
         Box::new(crate::insight::InsightExperiment),
+        Box::new(crate::hostprof::HostprofExperiment),
         Box::new(crate::report::ReportExperiment),
     ]
 }

@@ -34,6 +34,7 @@
 //! | [`autotune`] | Gate — scored plan search vs static planner over the Fig. 6/7 sweep |
 //! | [`regress`] | Gate — `mc-obs` perf-diff of run envelopes against committed baselines |
 //! | [`insight`] | Gate — `mc-insight` bottleneck verdicts and Eq. 2 model drift over the corpus replay |
+//! | [`hostprof`] | Gate — host-plane tracing overhead, per-phase attribution, and the unified host+GPU timeline |
 
 #![deny(missing_docs)]
 
@@ -49,6 +50,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod flow;
 pub mod generations;
+pub mod hostprof;
 pub mod insight;
 pub mod lint;
 pub mod ml_dtypes;

@@ -5,9 +5,10 @@
 //!             [--paper-iters] [--jobs N]
 //!   artifact: any id from the experiment registry (table1 … report)
 //!   all         run every registered experiment once, in parallel
-//!               (the host-timed `perf` study runs at its smoke
-//!               dimension here; invoke `experiments perf` directly
-//!               for the full 1024³ measurement)
+//!               (the host-timed `perf` and `hostprof` studies run at
+//!               their smoke dimension here; invoke `experiments perf`
+//!               or `experiments hostprof` directly for the full 1024³
+//!               measurements)
 //!   --json DIR  also write each result as a schema-versioned JSON
 //!               envelope into DIR (one file per experiment); with span
 //!               capture on (`--trace`/`--metrics`) the per-kernel
@@ -146,6 +147,25 @@ fn fail_on_gate_errors(record: &ExperimentRecord) {
                 "model-drift observation(s) outside the calibrated band",
             ),
         ],
+        "hostprof" => &[
+            (
+                "/overhead_exceeded",
+                "traced run(s) over the host-tracing overhead budget",
+            ),
+            (
+                "/bitwise_mismatches",
+                "traced-vs-untraced bitwise mismatch(es)",
+            ),
+            ("/total_violations", "unified-timeline violation(s)"),
+            (
+                "/reconcile_failures",
+                "region(s) whose phase times fail to reconcile to wall time",
+            ),
+            (
+                "/unified_missing",
+                "timeline plane(s) missing from the unified trace",
+            ),
+        ],
         _ => return,
     };
     for (pointer, what) in gates {
@@ -169,11 +189,14 @@ fn fail_on_gate_errors(record: &ExperimentRecord) {
 /// `report` from their in-memory records. Output is printed in registry
 /// order regardless of which thread finishes first.
 ///
-/// The `perf` experiment runs at its smoke dimension here: its host
-/// timings at the full 1024³ GEMM would dominate the whole suite's
-/// wall-clock (the simulator experiments are analytic and finish in
-/// milliseconds). The full measurement is one `experiments perf` away,
-/// and the record's `config` field reflects the budgets it ran under.
+/// The host-timed experiments (`perf`, `hostprof`) run at their smoke
+/// dimension here: their wall times at the full 1024³ GEMM would
+/// dominate the whole suite's wall-clock (the simulator experiments
+/// are analytic and finish in milliseconds), and `hostprof`'s
+/// traced-vs-untraced comparison needs an uncontended machine the
+/// parallel suite cannot provide. The full measurements are one
+/// `experiments perf` / `experiments hostprof` away, and each record's
+/// `config` field reflects the budgets it ran under.
 fn run_all(experiments: &[Box<dyn Experiment>], ctx: &RunContext, jobs: Option<usize>) {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
@@ -183,7 +206,7 @@ fn run_all(experiments: &[Box<dyn Experiment>], ctx: &RunContext, jobs: Option<u
     let workers = jobs
         .unwrap_or(independent.len())
         .clamp(1, independent.len().max(1));
-    let perf_ctx = RunContext {
+    let smoke_ctx = RunContext {
         budgets: IterBudgets::smoke(),
         ..ctx.clone()
     };
@@ -197,7 +220,11 @@ fn run_all(experiments: &[Box<dyn Experiment>], ctx: &RunContext, jobs: Option<u
                 let Some(exp) = independent.get(i) else {
                     break;
                 };
-                let exp_ctx = if exp.id() == "perf" { &perf_ctx } else { ctx };
+                let exp_ctx = if matches!(exp.id(), "perf" | "hostprof") {
+                    &smoke_ctx
+                } else {
+                    ctx
+                };
                 *slots[i].lock().expect("slot lock") = Some(exp.run(exp_ctx));
             });
         }

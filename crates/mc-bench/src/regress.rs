@@ -27,6 +27,13 @@
 //!   and thread count both match; cells present on one side only are
 //!   reported as added/removed, never gated. A baseline written by an
 //!   older schema fails to parse and is skipped gracefully.
+//! - `CALIBRATE_crossover.json` (the calibrate example's tier sweep,
+//!   see [`mc_compute::calibrate`]) diffs under the same lower-is-better
+//!   policy and noise floor, keyed `calibrate/<tier>/n<N>/t<T>`. Rows
+//!   whose naive tier was not timed contribute no naive cell, and when
+//!   the two sides disagree on SIMD vector availability the simd cells
+//!   are skipped wholesale — a scalar-fallback timing paired against a
+//!   vector timing would gate on hardware, not on a regression.
 //!
 //! Pairs whose [`IterBudgets`](crate::experiment::IterBudgets) differ
 //! between baseline and current are
@@ -40,6 +47,7 @@
 
 use std::path::PathBuf;
 
+use mc_compute::calibrate::{CalibrateFile, CALIBRATE_FILE, CALIBRATE_SCHEMA_VERSION};
 use mc_obs::{diff, power_noise_tolerance, DiffReport, Direction, Sample, DEFAULT_TOLERANCE_REL};
 use mc_sim::DeviceId;
 use serde::{Deserialize, Serialize};
@@ -209,6 +217,76 @@ fn load_bench(dir: &std::path::Path) -> Option<BenchFile> {
     (f.schema_version == crate::perf::BENCH_SCHEMA_VERSION).then_some(f)
 }
 
+/// Reads and validates the calibrate example's tier-sweep artifact
+/// under the same treat-mismatch-as-absent policy as [`load_bench`].
+fn load_calibrate(dir: &std::path::Path) -> Option<CalibrateFile> {
+    let text = std::fs::read_to_string(dir.join(CALIBRATE_FILE)).ok()?;
+    let f: CalibrateFile = serde_json::from_str(&text).ok()?;
+    (f.schema_version == CALIBRATE_SCHEMA_VERSION).then_some(f)
+}
+
+/// Flattens a `CALIBRATE_crossover.json` pair into lower-is-better
+/// samples keyed `calibrate/<tier>/n<N>/t<T>`, under the bench
+/// tolerance and absolute noise floor. Untimed naive rows contribute
+/// no cell; simd cells are skipped when the sides disagree on vector
+/// availability (scalar fallback vs AVX2 is hardware, not regression).
+fn calibrate_samples(
+    baseline: Option<&CalibrateFile>,
+    current: Option<&CalibrateFile>,
+    skipped: &mut Vec<String>,
+) -> (Vec<Sample>, Vec<Sample>) {
+    let (Some(b), Some(c)) = (baseline, current) else {
+        if baseline.is_some() != current.is_some() {
+            skipped.push(format!("{CALIBRATE_FILE}: present on only one side"));
+        }
+        return (Vec::new(), Vec::new());
+    };
+    let keep_simd = b.simd_vector == c.simd_vector;
+    if !keep_simd {
+        skipped.push(format!(
+            "{CALIBRATE_FILE}: simd cells skipped (vector availability differs)"
+        ));
+    }
+    let cells = |f: &CalibrateFile| {
+        let mut v: Vec<(String, f64)> = Vec::new();
+        for r in &f.rows {
+            let key = |tier: &str| format!("calibrate/{tier}/n{}/t{}", r.n, f.threads);
+            if let Some(naive) = r.naive_s {
+                v.push((key("naive"), naive));
+            }
+            v.push((key("blocked"), r.blocked_s));
+            if keep_simd {
+                v.push((key("simd"), r.simd_s));
+            }
+        }
+        v
+    };
+    let base_cells = cells(b);
+    let base_wall: std::collections::HashMap<String, f64> = base_cells.iter().cloned().collect();
+    let flatten = |cells: Vec<(String, f64)>, widen: bool| {
+        cells
+            .into_iter()
+            .map(|(key, wall_s)| {
+                let tolerance_rel = if widen {
+                    match base_wall.get(&key) {
+                        Some(&w) if w > 0.0 => BENCH_TOLERANCE_REL.max(BENCH_NOISE_FLOOR_S / w),
+                        _ => BENCH_TOLERANCE_REL,
+                    }
+                } else {
+                    BENCH_TOLERANCE_REL
+                };
+                Sample {
+                    key,
+                    value: wall_s,
+                    direction: Direction::LowerIsBetter,
+                    tolerance_rel,
+                }
+            })
+            .collect::<Vec<_>>()
+    };
+    (flatten(base_cells, false), flatten(cells(c), true))
+}
+
 /// Runs the comparison between a baseline directory and the current
 /// run's sink directory.
 pub fn run(ctx: &RunContext) -> Result<Regress, String> {
@@ -234,6 +312,13 @@ pub fn run(ctx: &RunContext) -> Result<Regress, String> {
     );
     base_samples.extend(bench_base);
     cur_samples.extend(bench_cur);
+    let (cal_base, cal_cur) = calibrate_samples(
+        load_calibrate(&baseline).as_ref(),
+        load_calibrate(&current).as_ref(),
+        &mut skipped,
+    );
+    base_samples.extend(cal_base);
+    cur_samples.extend(cal_cur);
 
     let report = diff(&base_samples, &cur_samples);
     Ok(Regress {
@@ -575,6 +660,110 @@ mod tests {
         for d in [&base, &cur, &base2, &cur2] {
             let _ = std::fs::remove_dir_all(d);
         }
+    }
+
+    fn calibrate(threads: usize, simd_vector: bool, simd_s: f64) -> CalibrateFile {
+        let mut f = CalibrateFile::new(threads, simd_vector);
+        f.rows.push(mc_compute::calibrate::CalibrateRow {
+            n: 1024,
+            naive_s: None,
+            blocked_s: 2.0 * simd_s,
+            simd_s,
+            simd_gflops: 2.0 * 1024f64.powi(3) / simd_s / 1e9,
+        });
+        f
+    }
+
+    fn write_calibrate(dir: &std::path::Path, f: &CalibrateFile) {
+        let json = serde_json::to_string_pretty(f).unwrap();
+        std::fs::write(dir.join(CALIBRATE_FILE), json).unwrap();
+    }
+
+    #[test]
+    fn calibrate_tier_slowdown_gates_past_the_floor() {
+        let rec = record("fig3", "fig3/mixed plateau (TFLOPS)", 175.0);
+        let base = write_dir("cal-base", std::slice::from_ref(&rec), None);
+        write_calibrate(&base, &calibrate(8, true, 0.5));
+        let cur = write_dir("cal-cur", std::slice::from_ref(&rec), None);
+        write_calibrate(&cur, &calibrate(8, true, 1.5));
+        let _guard = EnvGuard::set(&base);
+        let ctx = RunContext::new(IterBudgets::smoke()).with_sink(&cur);
+        let r = run(&ctx).unwrap();
+        // Both the simd and the derived blocked cell regressed 3x past
+        // the quarter-second floor; the untimed naive row never pairs.
+        assert_eq!(r.regressions, 2, "{}", render(&r));
+        assert!(r
+            .report
+            .entries
+            .iter()
+            .any(|e| e.key == "calibrate/simd/n1024/t8"));
+        assert!(!r
+            .report
+            .entries
+            .iter()
+            .any(|e| e.key.starts_with("calibrate/naive/")));
+
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
+    }
+
+    #[test]
+    fn calibrate_one_sided_or_simd_mismatch_skips() {
+        // Baseline has no calibrate artifact: one-sided, reported as a
+        // skip, nothing gates.
+        let rec = record("fig3", "fig3/mixed plateau (TFLOPS)", 175.0);
+        let base = write_dir("cal-skip-base", std::slice::from_ref(&rec), None);
+        let cur = write_dir("cal-skip-cur", std::slice::from_ref(&rec), None);
+        write_calibrate(&cur, &calibrate(8, true, 1.5));
+        let _guard = EnvGuard::set(&base);
+        let ctx = RunContext::new(IterBudgets::smoke()).with_sink(&cur);
+        let r = run(&ctx).unwrap();
+        assert_eq!(r.regressions, 0, "{}", render(&r));
+        assert!(r
+            .skipped
+            .iter()
+            .any(|s| s.contains(CALIBRATE_FILE) && s.contains("only one side")));
+        drop(_guard);
+
+        // Vector availability differs: simd cells are dropped on both
+        // sides (blocked still pairs, and here it stayed flat).
+        write_calibrate(&base, &calibrate(8, false, 9.0));
+        let mut flat = calibrate(8, true, 9.0);
+        flat.rows[0].simd_s = 0.1; // wildly different, but incomparable
+        write_calibrate(&cur, &flat);
+        let _guard = EnvGuard::set(&base);
+        let r = run(&ctx).unwrap();
+        assert_eq!(r.regressions, 0, "{}", render(&r));
+        assert!(r.skipped.iter().any(|s| s.contains("vector availability")));
+        assert!(!r
+            .report
+            .entries
+            .iter()
+            .any(|e| e.key.starts_with("calibrate/simd/")));
+
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
+    }
+
+    #[test]
+    fn old_schema_calibrate_baseline_skips_gracefully() {
+        let rec = record("fig3", "fig3/mixed plateau (TFLOPS)", 175.0);
+        let base = write_dir("cal-schema-base", std::slice::from_ref(&rec), None);
+        let v0 = r#"{ "schema_version": 0, "threads": 8, "simd_vector": true, "rows": [] }"#;
+        std::fs::write(base.join(CALIBRATE_FILE), v0).unwrap();
+        let cur = write_dir("cal-schema-cur", &[rec], None);
+        write_calibrate(&cur, &calibrate(8, true, 0.5));
+        let _guard = EnvGuard::set(&base);
+        let ctx = RunContext::new(IterBudgets::smoke()).with_sink(&cur);
+        let r = run(&ctx).unwrap();
+        assert_eq!(r.regressions, 0, "{}", render(&r));
+        assert!(r
+            .skipped
+            .iter()
+            .any(|s| s.contains(CALIBRATE_FILE) && s.contains("only one side")));
+
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
     }
 
     #[test]

@@ -2,9 +2,17 @@
 //! square sizes on the current rayon pool so the `default_crossover`
 //! constants can be re-derived on new hardware. Run with
 //! `cargo run --release -p mc-compute --example calibrate [sizes...]`.
+//!
+//! Besides the console table, the sweep lands as a schema-versioned
+//! `results/CALIBRATE_crossover.json` (see `mc_compute::calibrate`),
+//! which the `regress` gate diffs against the committed baseline so a
+//! tier slowdown that invalidates the crossover edges is caught in CI.
+//! Set `MC_CALIBRATE_OUT` to redirect the artifact directory.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
+use mc_compute::calibrate::{CalibrateFile, CalibrateRow, CALIBRATE_FILE};
 use mc_compute::{Blocked, Epilogue, GemmParams, MatMul, Naive, Simd};
 
 fn fill(buf: &mut [f32], mut state: u64) {
@@ -46,11 +54,8 @@ fn main() {
     } else {
         sizes
     };
-    println!(
-        "threads={} simd_vector={}",
-        rayon::current_num_threads(),
-        Simd::vector_available()
-    );
+    let mut file = CalibrateFile::new(rayon::current_num_threads(), Simd::vector_available());
+    println!("threads={} simd_vector={}", file.threads, file.simd_vector);
     println!(
         "{:>6} {:>12} {:>12} {:>12} {:>10}",
         "N", "naive_s", "blocked_s", "simd_s", "simd GF/s"
@@ -58,13 +63,35 @@ fn main() {
     for n in sizes {
         let reps = if n >= 512 { 2 } else { 5 };
         let naive = if n <= 512 {
-            time(&Naive, n, reps)
+            Some(time(&Naive, n, reps))
         } else {
-            f64::NAN
+            None
         };
         let blocked = time(&Blocked, n, reps);
         let simd = time(&Simd::from_env(), n, reps);
         let gf = 2.0 * (n as f64).powi(3) / simd / 1e9;
-        println!("{n:>6} {naive:>12.6} {blocked:>12.6} {simd:>12.6} {gf:>10.2}");
+        let naive_cell = naive.unwrap_or(f64::NAN);
+        println!("{n:>6} {naive_cell:>12.6} {blocked:>12.6} {simd:>12.6} {gf:>10.2}");
+        file.rows.push(CalibrateRow {
+            n: n as u64,
+            naive_s: naive,
+            blocked_s: blocked,
+            simd_s: simd,
+            simd_gflops: gf,
+        });
+    }
+    let out_dir = std::env::var("MC_CALIBRATE_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    let path = out_dir.join(CALIBRATE_FILE);
+    let write = std::fs::create_dir_all(&out_dir).and_then(|()| {
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&file).expect("timings are always serializable"),
+        )
+    });
+    match write {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("error: could not write {}: {e}", path.display()),
     }
 }

@@ -35,7 +35,7 @@
 use mc_types::Real;
 
 use crate::params::{ComputeError, GemmParams};
-use crate::{Blocked, MatMul, Naive, Simd};
+use crate::{prof, Blocked, MatMul, Naive, Simd};
 
 /// Environment variable overriding the crossover edge (a plain integer,
 /// interpreted as the N of an N³ problem at the naive/top-tier
@@ -177,13 +177,43 @@ impl MatMul for Auto {
         CD: Real,
         CT: Real,
     {
-        if self.routes_to_naive(params) {
-            return Naive.gemm::<AB, CD, CT>(params, a, b, c, d);
+        // Host profiling: when the calling thread is attached to a
+        // live session, the dispatch opens a region around the routed
+        // call (an untraced run pays only the `active()` check).
+        let token = prof::active().then(|| {
+            prof::region_start(
+                self.routed_name::<AB, CT>(params),
+                params.m,
+                params.n,
+                params.k,
+                self.crossover_n,
+                self.simd.is_some(),
+            )
+        });
+        let result = if self.routes_to_naive(params) {
+            let t0 = token.as_ref().map(|_| prof::now_s());
+            let r = Naive.gemm::<AB, CD, CT>(params, a, b, c, d);
+            if let Some(t0) = t0 {
+                prof::phase(
+                    prof::current_region(),
+                    prof::HostPhase::Compute,
+                    prof::Lane::Call(prof::call_lane()),
+                    t0,
+                );
+            }
+            r
+        } else {
+            match self.simd {
+                Some(simd) if Simd::supports::<AB, CT>() => {
+                    simd.gemm::<AB, CD, CT>(params, a, b, c, d)
+                }
+                _ => Blocked.gemm::<AB, CD, CT>(params, a, b, c, d),
+            }
+        };
+        if let Some(token) = token {
+            prof::region_end(token);
         }
-        match self.simd {
-            Some(simd) if Simd::supports::<AB, CT>() => simd.gemm::<AB, CD, CT>(params, a, b, c, d),
-            _ => Blocked.gemm::<AB, CD, CT>(params, a, b, c, d),
-        }
+        result
     }
 }
 

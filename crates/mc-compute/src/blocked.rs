@@ -26,6 +26,7 @@ use mc_types::Real;
 use rayon::prelude::*;
 
 use crate::params::{ComputeError, Epilogue, GemmParams, Trans};
+use crate::prof::{self, HostPhase, Lane};
 use crate::{pool, MatMul};
 
 /// Row-panel height: the unit of parallel work.
@@ -161,6 +162,8 @@ pub(crate) fn apply_epilogue<CT: Real, CD: Real>(
     let (m, n) = (params.m, params.n);
     let (alpha, beta) = (params.alpha, params.beta);
     let epilogue = params.epilogue;
+    let region = prof::current_region();
+    let t0 = (prof::enabled() && region != 0).then(prof::now_s);
     d[..m * n]
         .par_chunks_mut(n)
         .enumerate()
@@ -176,6 +179,14 @@ pub(crate) fn apply_epilogue<CT: Real, CD: Real>(
                 };
             }
         });
+    if let Some(t0) = t0 {
+        prof::phase(
+            region,
+            HostPhase::Epilogue,
+            Lane::Call(prof::call_lane()),
+            t0,
+        );
+    }
 }
 
 impl MatMul for Blocked {
@@ -202,6 +213,13 @@ impl MatMul for Blocked {
             return Ok(());
         }
 
+        // Host profiling: caller-lane phases (pack-B, fan-out) and
+        // worker-lane phases (pack-A, microkernel) inside the region
+        // the dispatcher opened; `region == 0` (no session, or a call
+        // outside any region) records nothing.
+        let region = prof::current_region();
+        let on = prof::enabled() && region != 0;
+
         // Compute-type accumulators for the whole output, carried across
         // k blocks so each element sees one ascending-k rounding chain.
         let mut acc = vec![CT::zero(); m * n];
@@ -210,16 +228,42 @@ impl MatMul for Blocked {
             let nc_len = NC.min(n - jc);
             for pc in (0..k).step_by(KC) {
                 let kc_len = KC.min(k - pc);
+                let t_pack = on.then(prof::now_s);
                 pack_b(params, b, pc, kc_len, jc, nc_len, &mut b_panel);
+                if let Some(t0) = t_pack {
+                    prof::phase(region, HostPhase::PackB, Lane::Call(prof::call_lane()), t0);
+                }
                 let bp = &*b_panel;
+                let t_fan = on.then(prof::now_s);
                 acc.par_chunks_mut(MC * n)
                     .enumerate()
                     .for_each(|(panel, acc_rows)| {
                         let mc_len = acc_rows.len() / n;
+                        let t0 = on.then(prof::now_s);
                         let mut a_panel = pool::acquire::<f64>(mc_len * kc_len);
                         pack_a(params, a, panel * MC, mc_len, pc, kc_len, &mut a_panel);
+                        if let Some(t0) = t0 {
+                            prof::phase(
+                                region,
+                                HostPhase::PackA,
+                                Lane::Worker(prof::worker_lane()),
+                                t0,
+                            );
+                        }
+                        let t0 = on.then(prof::now_s);
                         micro_panel(acc_rows, n, jc, nc_len, kc_len, &a_panel, bp);
+                        if let Some(t0) = t0 {
+                            prof::phase(
+                                region,
+                                HostPhase::Microkernel,
+                                Lane::Worker(prof::worker_lane()),
+                                t0,
+                            );
+                        }
                     });
+                if let Some(t0) = t_fan {
+                    prof::phase(region, HostPhase::Fanout, Lane::Call(prof::call_lane()), t0);
+                }
             }
         }
 

@@ -30,6 +30,11 @@
 //!   safe).
 //! * [`mma_accumulate`] — the fragment-shaped accumulation loop
 //!   `mc-wmma` uses, with hoisted conversions.
+//! * [`prof`] — host-plane profiling hooks: opt-in, session-scoped
+//!   region/phase/dispatch events over the tier ladder, consumed by
+//!   `mc-hostprof` for unified traces and per-phase attribution.
+//! * [`calibrate`] — schema of the `CALIBRATE_crossover.json` artifact
+//!   the calibrate example writes and the `regress` gate diffs.
 //!
 //! Consumers: `mc_blas::functional` (gemm/gemv/batched), the
 //! `mc-solver` BLAS-3 blocks, and `mc-wmma`'s `mma_sync`.
@@ -38,11 +43,13 @@
 
 mod auto;
 mod blocked;
+pub mod calibrate;
 mod int8;
 mod mma;
 mod naive;
 mod params;
 mod pool;
+pub mod prof;
 mod simd;
 
 pub use auto::{crossover_from_env, default_crossover, effective_parallelism, Auto, CROSSOVER_ENV};

@@ -62,6 +62,7 @@ use rayon::prelude::*;
 use crate::blocked::{apply_epilogue, KC, MC, NC};
 use crate::params::{ComputeError, GemmParams, Trans};
 use crate::pool::{self, PoolElem};
+use crate::prof::{self, HostPhase, Lane};
 use crate::{Blocked, MatMul};
 
 /// Environment variable controlling the SIMD tier: `off` removes it
@@ -479,6 +480,11 @@ fn gemm_k<AB: Real, CD: Real, K: Kernel>(
         return Ok(());
     }
 
+    // Host profiling: one caller-lane fan-out phase around the single
+    // parallel region, worker-lane pack/microkernel phases inside it.
+    let region = prof::current_region();
+    let on = prof::enabled() && region != 0;
+
     let mut acc = pool::acquire::<K>(m * n);
     acc.resize(m * n, K::zero());
     let workers = rayon::current_num_threads().max(1);
@@ -488,6 +494,7 @@ fn gemm_k<AB: Real, CD: Real, K: Kernel>(
     let chunk_rows = m.div_ceil(workers).next_multiple_of(MR);
     let kc_max = KC.min(k.max(1));
     let bp_cap = kc_max * NC.min(n).next_multiple_of(K::NR);
+    let t_fan = on.then(prof::now_s);
     acc.par_chunks_mut(chunk_rows * n)
         .enumerate()
         .for_each(|(chunk_idx, acc_rows)| {
@@ -497,14 +504,44 @@ fn gemm_k<AB: Real, CD: Real, K: Kernel>(
             let mut b_panel = pool::acquire::<K>(bp_cap);
             for pc in (0..k).step_by(KC) {
                 let kc_len = KC.min(k - pc);
+                let t0 = on.then(prof::now_s);
                 pack_a_k(params, a, row0, mc_len, pc, kc_len, &mut a_panel);
+                if let Some(t0) = t0 {
+                    prof::phase(
+                        region,
+                        HostPhase::PackA,
+                        Lane::Worker(prof::worker_lane()),
+                        t0,
+                    );
+                }
                 for jc in (0..n).step_by(NC) {
                     let nc_len = NC.min(n - jc);
+                    let t0 = on.then(prof::now_s);
                     pack_b_k(params, b, pc, kc_len, jc, nc_len, &mut b_panel);
+                    if let Some(t0) = t0 {
+                        prof::phase(
+                            region,
+                            HostPhase::PackB,
+                            Lane::Worker(prof::worker_lane()),
+                            t0,
+                        );
+                    }
+                    let t0 = on.then(prof::now_s);
                     tiles(acc_rows, n, jc, nc_len, kc_len, &a_panel, &b_panel, vector);
+                    if let Some(t0) = t0 {
+                        prof::phase(
+                            region,
+                            HostPhase::Microkernel,
+                            Lane::Worker(prof::worker_lane()),
+                            t0,
+                        );
+                    }
                 }
             }
         });
+    if let Some(t0) = t_fan {
+        prof::phase(region, HostPhase::Fanout, Lane::Call(prof::call_lane()), t0);
+    }
 
     apply_epilogue::<K, CD>(params, &acc, c, d);
     Ok(())

@@ -20,7 +20,12 @@
 //!   distributions behind the verdicts as log-bucketed
 //!   [`mc_trace::Histogram`]s, ready for OpenMetrics exposition;
 //! * [`register_insight_metrics`] — the whole diagnosis summarized into
-//!   a [`mc_trace::MetricsRegistry`] under `insight.*`.
+//!   a [`mc_trace::MetricsRegistry`] under `insight.*`;
+//! * [`diagnose_host`] — the same treatment for the *host* GEMM plane:
+//!   one [`HostVerdict`] per `mc-hostprof` attribution record
+//!   (pack-bound / memory-bandwidth-bound / dispatch-overhead /
+//!   parallel-imbalance / compute-bound), thresholds in
+//!   [`host`].
 //!
 //! The `insight` gate experiment (`mc-bench`) sweeps the Fig. 6/7
 //! corpus through this crate on every built-in device and fails CI when
@@ -31,11 +36,16 @@
 #![deny(missing_docs)]
 
 pub mod drift;
+pub mod host;
 pub mod verdict;
 
 pub use drift::{
     drift_report, inversions_from_outcome, plan_drift, DriftObservation, DriftReport,
     InversionRecord, DEFAULT_DRIFT_BAND,
+};
+pub use host::{
+    classify_host, diagnose_host, explain_host, host_intensity, HostBottleneck, HostVerdict,
+    HOST_EFFICIENCY_MIN, HOST_INTENSITY_MIN_FLOP_PER_ELEM, HOST_PACK_RATIO_MAX,
 };
 pub use verdict::{
     classify, diagnose, explain, Bottleneck, Evidence, KernelVerdict, HANDOFF_FRACTION_MIN,

@@ -14,6 +14,12 @@ use serde::{Deserialize, Serialize};
 /// this process `package`.
 pub const PACKAGE_DEVICE: u32 = 999;
 
+/// Pseudo-device id for the **host** execution plane: the CPU-side GEMM
+/// tiers (naive/blocked/SIMD), their rayon workers, and the packing
+/// pool. Host spans render as their own trace process (`host`) so a
+/// unified export shows the host timeline beside the simulated dies.
+pub const HOST_DEVICE: u32 = 998;
+
 /// What layer of the execution hierarchy an event describes. Categories
 /// form a strict nesting order (see [`Category::depth`]): plan spans
 /// contain kernel spans, kernel spans contain dispatch rounds, rounds
@@ -32,6 +38,12 @@ pub enum Category {
     Memory,
     /// A power/DVFS event (governor clamp, power-state change).
     Power,
+    /// One host-side GEMM call (the region a tier dispatch covers),
+    /// on the [`HOST_DEVICE`] plane.
+    HostRegion,
+    /// One named phase inside a host region (pack-A, pack-B,
+    /// microkernel, epilogue, fan-out, naive compute).
+    HostPhase,
 }
 
 impl Category {
@@ -44,16 +56,21 @@ impl Category {
             Category::Pipeline => "pipeline",
             Category::Memory => "memory",
             Category::Power => "power",
+            Category::HostRegion => "host-region",
+            Category::HostPhase => "host-phase",
         }
     }
 
     /// Nesting depth: a span may only be contained by spans of smaller
-    /// depth. `Memory` windows hang directly off kernels.
+    /// depth. `Memory` windows hang directly off kernels. Host regions
+    /// sit at kernel depth on their own device, host phases inside
+    /// them — so the flamegraph folder parents host phases under their
+    /// region exactly like rounds under a kernel.
     pub fn depth(self) -> u8 {
         match self {
             Category::Plan => 0,
-            Category::Kernel => 1,
-            Category::Round => 2,
+            Category::Kernel | Category::HostRegion => 1,
+            Category::Round | Category::HostPhase => 2,
             Category::Pipeline | Category::Memory | Category::Power => 3,
         }
     }
@@ -78,6 +95,12 @@ pub enum Track {
     Memory,
     /// Power/DVFS events.
     Power,
+    /// A host caller thread: the thread that issued a GEMM call and
+    /// runs the orchestration phases (pack-B, fan-out, epilogue).
+    /// The index distinguishes concurrent caller threads.
+    HostCall(u32),
+    /// One host rayon worker executing packed-panel chunk work.
+    HostWorker(u32),
 }
 
 impl Track {
@@ -92,6 +115,9 @@ impl Track {
             Track::LdsPipe(cu) => 3000 + cu,
             Track::Memory => 4000,
             Track::Power => 4500,
+            // Host lanes: callers in [4800, 5000), workers above 5000.
+            Track::HostCall(lane) => 4800 + lane,
+            Track::HostWorker(worker) => 5000 + worker,
         }
     }
 
@@ -105,6 +131,8 @@ impl Track {
             Track::LdsPipe(cu) => format!("cu{cu} lds"),
             Track::Memory => "hbm".to_owned(),
             Track::Power => "power".to_owned(),
+            Track::HostCall(lane) => format!("host caller{lane}"),
+            Track::HostWorker(worker) => format!("host worker{worker}"),
         }
     }
 }
@@ -222,10 +250,13 @@ impl TraceEvent {
 }
 
 /// Human-readable name of a trace process: dies are `die<N>`, the
-/// pseudo-device [`PACKAGE_DEVICE`] is `package`.
+/// pseudo-device [`PACKAGE_DEVICE`] is `package`, and the host plane
+/// [`HOST_DEVICE`] is `host`.
 pub fn device_label(device: u32) -> String {
     if device == PACKAGE_DEVICE {
         "package".to_owned()
+    } else if device == HOST_DEVICE {
+        "host".to_owned()
     } else {
         format!("die{device}")
     }
@@ -241,6 +272,10 @@ mod tests {
         assert!(Category::Kernel.depth() < Category::Round.depth());
         assert!(Category::Round.depth() < Category::Pipeline.depth());
         assert_eq!(Category::Kernel.as_str(), "kernel");
+        assert_eq!(Category::HostRegion.depth(), Category::Kernel.depth());
+        assert!(Category::HostRegion.depth() < Category::HostPhase.depth());
+        assert_eq!(Category::HostRegion.as_str(), "host-region");
+        assert_eq!(Category::HostPhase.as_str(), "host-phase");
     }
 
     #[test]
@@ -253,12 +288,16 @@ mod tests {
             Track::LdsPipe(0),
             Track::Memory,
             Track::Power,
+            Track::HostCall(0),
+            Track::HostWorker(0),
         ];
         let mut ids: Vec<u32> = tracks.iter().map(|t| t.tid()).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), tracks.len());
         assert_eq!(Track::MatrixPipe(3).label(), "cu3 matrix pipe");
+        assert_eq!(Track::HostWorker(2).label(), "host worker2");
+        assert_eq!(Track::HostCall(0).label(), "host caller0");
     }
 
     #[test]
@@ -283,5 +322,6 @@ mod tests {
     fn device_labels() {
         assert_eq!(device_label(0), "die0");
         assert_eq!(device_label(PACKAGE_DEVICE), "package");
+        assert_eq!(device_label(HOST_DEVICE), "host");
     }
 }

@@ -43,7 +43,9 @@ mod sink;
 mod validate;
 
 pub use chrome::chrome_trace_json;
-pub use event::{device_label, ArgValue, Category, SpanEvent, TraceEvent, Track, PACKAGE_DEVICE};
+pub use event::{
+    device_label, ArgValue, Category, SpanEvent, TraceEvent, Track, HOST_DEVICE, PACKAGE_DEVICE,
+};
 pub use exposition::openmetrics;
 pub use flame::folded_stacks;
 pub use histogram::{Histogram, MAX_HISTOGRAM_BUCKETS};

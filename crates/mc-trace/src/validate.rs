@@ -4,7 +4,11 @@
 //! assert the structural invariants the engine's emission must uphold:
 //! finite non-negative times, every round/pipeline/memory span nested
 //! in its kernel, pipeline busy time never exceeding the kernel wall
-//! window on its lane, and round windows tiling the kernel.
+//! window on its lane, and round windows tiling the kernel. The host
+//! plane gets the analogous pair: every host-phase span nested in a
+//! host-region span of its device, and the spans of any one host lane
+//! (a caller or worker thread) strictly sequential — a thread cannot
+//! be in two phases at once.
 
 use crate::event::{Category, SpanEvent, TraceEvent, Track};
 use crate::flame::contains;
@@ -179,6 +183,66 @@ pub fn check_invariants(events: &[TraceEvent]) -> Vec<Violation> {
         }
     }
 
+    // 5. Every host-phase span nests inside a host-region span of its
+    //    device (worker phases live inside the region that fanned them
+    //    out, so time containment is the nesting witness).
+    let regions: Vec<&SpanEvent> = spans
+        .iter()
+        .filter(|s| s.category == Category::HostRegion)
+        .copied()
+        .collect();
+    for span in &spans {
+        if span.category == Category::HostPhase {
+            let nested = regions
+                .iter()
+                .any(|r| r.device == span.device && contains(r, span));
+            if !nested {
+                out.push(violation(
+                    "host-span-nesting",
+                    format!(
+                        "host-phase span '{}' on device {} [{:.3}, {:.3}]us is outside every host-region span",
+                        span.name,
+                        span.device,
+                        span.t0_us,
+                        span.end_us()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // 6. Host lanes are threads: spans of one (device, track, category)
+    //    must not overlap — a caller or worker cannot run two phases
+    //    (or two regions) at once.
+    let mut host_lanes: Vec<(u32, Track, Category)> = spans
+        .iter()
+        .filter(|s| matches!(s.category, Category::HostRegion | Category::HostPhase))
+        .map(|s| (s.device, s.track, s.category))
+        .collect();
+    host_lanes.sort_by_key(|(d, t, c)| (*d, t.tid(), c.depth()));
+    host_lanes.dedup();
+    for (device, track, category) in host_lanes {
+        let mut lane_spans: Vec<&SpanEvent> = spans
+            .iter()
+            .filter(|s| s.device == device && s.track == track && s.category == category)
+            .copied()
+            .collect();
+        lane_spans.sort_by(|a, b| a.t0_us.partial_cmp(&b.t0_us).expect("finite"));
+        for pair in lane_spans.windows(2) {
+            if pair[1].t0_us < pair[0].end_us() - eps_for(pair[0]) {
+                out.push(violation(
+                    "host-lane-overlap",
+                    format!(
+                        "host spans '{}' and '{}' overlap on lane '{}'",
+                        pair[0].name,
+                        pair[1].name,
+                        track.label()
+                    ),
+                ));
+            }
+        }
+    }
+
     out
 }
 
@@ -249,6 +313,78 @@ mod tests {
         let v = check_invariants(&events);
         assert!(v.iter().any(|v| v.rule == "round-overlap"), "{v:?}");
         assert!(v.iter().any(|v| v.rule == "round-total"), "{v:?}");
+    }
+
+    fn clean_host_trace() -> Vec<TraceEvent> {
+        vec![
+            span(
+                "gemm simd 512",
+                Category::HostRegion,
+                Track::HostCall(0),
+                0.0,
+                100.0,
+            ),
+            span("fanout", Category::HostPhase, Track::HostCall(0), 0.0, 90.0),
+            span(
+                "epilogue",
+                Category::HostPhase,
+                Track::HostCall(0),
+                90.0,
+                10.0,
+            ),
+            span(
+                "microkernel",
+                Category::HostPhase,
+                Track::HostWorker(0),
+                5.0,
+                80.0,
+            ),
+        ]
+    }
+
+    #[test]
+    fn clean_host_trace_has_no_violations() {
+        assert_eq!(check_invariants(&clean_host_trace()), Vec::new());
+    }
+
+    #[test]
+    fn orphan_host_phase_is_flagged() {
+        let mut events = clean_host_trace();
+        events.push(span(
+            "pack a",
+            Category::HostPhase,
+            Track::HostWorker(1),
+            500.0,
+            10.0,
+        ));
+        let v = check_invariants(&events);
+        assert!(v.iter().any(|v| v.rule == "host-span-nesting"), "{v:?}");
+    }
+
+    #[test]
+    fn overlapping_host_lane_spans_are_flagged() {
+        let mut events = clean_host_trace();
+        // A second phase on worker 0 starting before the first ends.
+        events.push(span(
+            "pack a",
+            Category::HostPhase,
+            Track::HostWorker(0),
+            50.0,
+            20.0,
+        ));
+        let v = check_invariants(&events);
+        assert!(v.iter().any(|v| v.rule == "host-lane-overlap"), "{v:?}");
+        // Distinct lanes may overlap freely: worker 1 busy at the same
+        // time is clean.
+        let mut events = clean_host_trace();
+        events.push(span(
+            "microkernel",
+            Category::HostPhase,
+            Track::HostWorker(1),
+            5.0,
+            80.0,
+        ));
+        assert_eq!(check_invariants(&events), Vec::new());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! - [`sim`] — the event-driven GPU simulator (devices, counters, power)
 //! - [`trace`] — execution timelines, Perfetto/flamegraph export, and
 //!   the unified metrics registry (see `docs/OBSERVABILITY.md`)
+//! - [`hostprof`] — host-plane trace conversion and per-phase GEMM
+//!   attribution over `compute::prof` sessions (see the "Host plane"
+//!   section of `docs/OBSERVABILITY.md`)
 //! - [`wmma`] — the rocWMMA-style fragment API
 //! - [`blas`] — the rocBLAS-style GEMM library
 //! - [`model`] — performance models (throughput, FLOP distribution)
@@ -25,6 +28,7 @@
 pub use mc_blas as blas;
 pub use mc_compute as compute;
 pub use mc_flow as flow;
+pub use mc_hostprof as hostprof;
 pub use mc_isa as isa;
 pub use mc_lint as lint;
 pub use mc_model as model;

@@ -7,7 +7,7 @@ use mc_bench::experiment::{registry, ExperimentRecord, IterBudgets, RunContext, 
 /// The stable ids the CLI, EXPERIMENTS.md, and recorded envelopes rely
 /// on. Renaming one is a breaking change to the results schema; adding a
 /// new experiment means extending this list.
-const EXPECTED_IDS: [&str; 23] = [
+const EXPECTED_IDS: [&str; 24] = [
     "table1",
     "table2",
     "table3",
@@ -30,6 +30,7 @@ const EXPECTED_IDS: [&str; 23] = [
     "autotune",
     "regress",
     "insight",
+    "hostprof",
     "report",
 ];
 
